@@ -1,0 +1,191 @@
+//! Property test: the watched-literal and counting engines derive the
+//! same forced assignments and agree on whether a conflict exists, for
+//! random formulas and random decision sequences.
+
+use bcp::{Attach, ClauseDb, CountingPropagator, HeadTailPropagator, WatchedPropagator};
+use cnf::{CnfFormula, Lit, Var};
+use proptest::prelude::*;
+
+fn dimacs_lit(n: i32) -> impl Strategy<Value = i32> {
+    (1..=n).prop_flat_map(|v| prop_oneof![Just(v), Just(-v)])
+}
+
+fn formula_strategy(max_var: i32) -> impl Strategy<Value = CnfFormula> {
+    prop::collection::vec(prop::collection::vec(dimacs_lit(max_var), 1..=4), 1..30)
+        .prop_map(move |cs| {
+            let mut f = CnfFormula::from_dimacs_clauses(&cs);
+            // decisions range over all of 1..=max_var — declare them all
+            f.ensure_var(Var::new(max_var as u32 - 1));
+            f
+        })
+}
+
+fn setup_watched(f: &CnfFormula) -> Option<(ClauseDb, WatchedPropagator)> {
+    let mut db = ClauseDb::from_formula(f);
+    let mut p = WatchedPropagator::new(f.num_vars());
+    let refs: Vec<_> = db.refs().collect();
+    for r in refs {
+        match p.attach_clause(&mut db, r) {
+            Attach::Watched => {}
+            Attach::Unit(l) => {
+                if p.enqueue_propagated(l, r).is_err() {
+                    return None; // conflicting root units: skip case
+                }
+            }
+            Attach::Empty => return None,
+        }
+    }
+    Some((db, p))
+}
+
+fn setup_head_tail(f: &CnfFormula) -> Option<(ClauseDb, HeadTailPropagator)> {
+    let db = ClauseDb::from_formula(f);
+    let mut p = HeadTailPropagator::new(f.num_vars());
+    p.attach_all(&db);
+    for r in db.refs() {
+        if db.clause_len(r) == 1 && p.enqueue_unit(db.lits(r)[0], r).is_err() {
+            return None;
+        }
+    }
+    Some((db, p))
+}
+
+fn setup_counting(f: &CnfFormula) -> Option<(ClauseDb, CountingPropagator)> {
+    let db = ClauseDb::from_formula(f);
+    let mut p = CountingPropagator::new(f.num_vars());
+    p.attach_all(&db);
+    for r in db.refs() {
+        if db.clause_len(r) == 1 && p.enqueue_unit(db.lits(r)[0], r).is_err() {
+            return None;
+        }
+    }
+    Some((db, p))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn engines_agree(
+        f in formula_strategy(8),
+        decisions in prop::collection::vec(dimacs_lit(8), 1..8),
+    ) {
+        let (Some((mut db_w, mut w)), Some((db_c, mut c)), Some((db_h, mut h))) =
+            (setup_watched(&f), setup_counting(&f), setup_head_tail(&f))
+        else {
+            return Ok(()); // degenerate root conflict; nothing to compare
+        };
+        let cw0 = w.propagate(&mut db_w);
+        let cc0 = c.propagate(&db_c);
+        let ch0 = h.propagate(&db_h);
+        prop_assert_eq!(cw0.is_some(), cc0.is_some(), "root conflict parity (counting)");
+        prop_assert_eq!(cw0.is_some(), ch0.is_some(), "root conflict parity (head-tail)");
+        if cw0.is_some() {
+            return Ok(());
+        }
+        for d in decisions {
+            let lit = Lit::from_dimacs(d);
+            if !w.assignment().is_unassigned(lit) {
+                continue;
+            }
+            w.decide(lit);
+            c.decide(lit);
+            h.decide(lit);
+            let cw = w.propagate(&mut db_w);
+            let cc = c.propagate(&db_c);
+            let ch = h.propagate(&db_h);
+            prop_assert_eq!(cw.is_some(), cc.is_some(),
+                "counting conflict parity after {}", d);
+            prop_assert_eq!(cw.is_some(), ch.is_some(),
+                "head-tail conflict parity after {}", d);
+            if cw.is_some() {
+                break;
+            }
+            for v in 0..f.num_vars() {
+                let l = Var::new(v as u32).positive();
+                prop_assert_eq!(w.value(l), c.value(l), "counting disagrees on {}", l);
+                prop_assert_eq!(w.value(l), h.value(l), "head-tail disagrees on {}", l);
+            }
+        }
+    }
+
+    #[test]
+    fn head_tail_backtracking_agrees_with_watched(
+        f in formula_strategy(8),
+        decisions in prop::collection::vec(dimacs_lit(8), 2..8),
+        backtrack_after in 1usize..4,
+    ) {
+        // interleave decisions with backtracks to stress cursor undo
+        let (Some((mut db_w, mut w)), Some((db_h, mut h))) =
+            (setup_watched(&f), setup_head_tail(&f))
+        else {
+            return Ok(());
+        };
+        if w.propagate(&mut db_w).is_some() {
+            return Ok(());
+        }
+        let _ = h.propagate(&db_h);
+        let mut steps = 0usize;
+        for d in decisions {
+            let lit = Lit::from_dimacs(d);
+            if !w.assignment().is_unassigned(lit) {
+                continue;
+            }
+            w.decide(lit);
+            h.decide(lit);
+            let cw = w.propagate(&mut db_w);
+            let ch = h.propagate(&db_h);
+            prop_assert_eq!(cw.is_some(), ch.is_some(), "parity after {}", d);
+            steps += 1;
+            if cw.is_some() || steps % backtrack_after == 0 {
+                let target = w.decision_level().saturating_sub(1);
+                w.backtrack_to(target);
+                h.backtrack_to(target);
+            }
+            for v in 0..f.num_vars() {
+                let l = Var::new(v as u32).positive();
+                prop_assert_eq!(w.value(l), h.value(l), "post-undo disagree on {}", l);
+            }
+        }
+    }
+
+    #[test]
+    fn propagation_is_sound(
+        f in formula_strategy(8),
+        decisions in prop::collection::vec(dimacs_lit(8), 1..6),
+    ) {
+        // Every literal forced by BCP is implied by the formula plus the
+        // decisions: flipping it must falsify some clause under the trail.
+        let Some((mut db, mut p)) = setup_watched(&f) else { return Ok(()); };
+        if p.propagate(&mut db).is_some() {
+            return Ok(());
+        }
+        let mut decided: Vec<Lit> = Vec::new();
+        for d in decisions {
+            let lit = Lit::from_dimacs(d);
+            if !p.assignment().is_unassigned(lit) {
+                continue;
+            }
+            decided.push(lit);
+            p.decide(lit);
+            if p.propagate(&mut db).is_some() {
+                return Ok(());
+            }
+        }
+        // check each propagated literal has a clause where it is the
+        // sole non-false literal
+        for &l in p.trail() {
+            if decided.contains(&l) {
+                continue;
+            }
+            let has_witness = f.iter().any(|clause| {
+                clause.contains(l)
+                    && clause
+                        .lits()
+                        .iter()
+                        .all(|&x| x == l || p.assignment().is_false(x))
+            });
+            prop_assert!(has_witness, "forced literal {} lacks a unit witness", l);
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Proof serialisation throughput: the text format (human-readable,
+//! DRUP-ancestor) vs the varint binary format, on a realistic
+//! solver-generated proof.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use satverify::cdcl::{solve, SolverConfig};
+use satverify::proofver::{
+    decode_proof, encode_proof_to_vec, parse_proof_str, to_proof_string,
+    ConflictClauseProof,
+};
+use satverify::proof_from_trace;
+
+fn prepared() -> ConflictClauseProof {
+    let formula = satverify::cnfgen::pigeonhole(7);
+    let trace = solve(&formula, SolverConfig::default())
+        .into_proof()
+        .expect("UNSAT");
+    proof_from_trace(&trace)
+}
+
+fn io_benchmarks(c: &mut Criterion) {
+    let proof = prepared();
+    let text = to_proof_string(&proof);
+    let bytes = encode_proof_to_vec(&proof);
+    let mut group = c.benchmark_group("proof_io");
+    group.bench_function("write_text", |b| b.iter(|| to_proof_string(&proof)));
+    group.bench_function("write_binary", |b| b.iter(|| encode_proof_to_vec(&proof)));
+    group.bench_function("parse_text", |b| {
+        b.iter(|| parse_proof_str(&text).expect("parses"))
+    });
+    group.bench_function("parse_binary", |b| {
+        b.iter(|| decode_proof(bytes.as_slice()).expect("decodes"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, io_benchmarks);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Proof verification benchmarks: `Proof_verification2` (marked-only)
+//! against `Proof_verification1` (check everything) across the smoke
+//! suite, plus verification vs. solving on a representative instance —
+//! the §6 claim that verifying takes a small multiple of solving.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use satverify::cdcl::{solve, SolverConfig};
+use satverify::cnf::CnfFormula;
+use satverify::cnfgen::{bmc_counter, pigeonhole};
+use satverify::proofver::{verify, verify_all, ConflictClauseProof};
+use satverify::proof_from_trace;
+
+fn prepared(formula: &CnfFormula) -> ConflictClauseProof {
+    let trace = solve(formula, SolverConfig::default())
+        .into_proof()
+        .expect("instance is UNSAT");
+    proof_from_trace(&trace)
+}
+
+fn verification_benchmarks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("verify");
+    let instances: Vec<(&str, CnfFormula)> = vec![
+        ("php6", pigeonhole(6)),
+        ("bmc_cnt8_40", bmc_counter(8, 40)),
+    ];
+    for (name, formula) in &instances {
+        let proof = prepared(formula);
+        group.bench_with_input(BenchmarkId::new("verify2", name), name, |b, _| {
+            b.iter(|| verify(formula, &proof).expect("valid"))
+        });
+        group.bench_with_input(BenchmarkId::new("verify1", name), name, |b, _| {
+            b.iter(|| verify_all(formula, &proof).expect("valid"))
+        });
+        group.bench_with_input(BenchmarkId::new("solve", name), name, |b, _| {
+            b.iter(|| {
+                assert!(solve(formula, SolverConfig::default()).is_unsat());
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, verification_benchmarks);
+criterion_main!(benches);

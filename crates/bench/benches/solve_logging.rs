@@ -1,0 +1,36 @@
+//! Proof-logging overhead: solving with conflict-clause recording on
+//! versus off (§1: "outputting all the conflict clauses to disk took
+//! about 10% of the total runtime of the SAT-solver"), plus the cost of
+//! full resolution-chain logging.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use satverify::cdcl::{solve, SolverConfig};
+use satverify::cnf::CnfFormula;
+use satverify::cnfgen::{bmc_counter, pigeonhole, tseitin_grid};
+
+fn logging_benchmarks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solve_logging");
+    let instances: Vec<(&str, CnfFormula)> = vec![
+        ("php6", pigeonhole(6)),
+        ("tseitin3x4", tseitin_grid(3, 4)),
+        ("bmc_cnt8_40", bmc_counter(8, 40)),
+    ];
+    for (name, formula) in &instances {
+        group.bench_with_input(BenchmarkId::new("no_log", name), name, |b, _| {
+            b.iter(|| assert!(solve(formula, SolverConfig::new().log_proof(false)).is_unsat()))
+        });
+        group.bench_with_input(BenchmarkId::new("log_clauses", name), name, |b, _| {
+            b.iter(|| assert!(solve(formula, SolverConfig::default()).is_unsat()))
+        });
+        group.bench_with_input(BenchmarkId::new("log_chains", name), name, |b, _| {
+            b.iter(|| {
+                let config = SolverConfig::new().log_resolution_chains(true);
+                assert!(solve(formula, config).is_unsat());
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, logging_benchmarks);
+criterion_main!(benches);

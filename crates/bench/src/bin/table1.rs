@@ -1,0 +1,49 @@
+//! Regenerates **Table 1: Unsatisfiable core extraction** — per
+//! instance: the number of conflict clauses deduced (`|F*|`), the
+//! percentage actually tested by `Proof_verification2`, the size of the
+//! initial CNF, and the percentage forming the unsatisfiable core.
+//!
+//! Run with `cargo run -p bench --release --bin table1`.
+
+use bench::{measure, render_table, table_config};
+use satverify::cnfgen::table_suite;
+
+fn main() {
+    println!("Table 1. Unsatisfiable core extraction");
+    println!("(workloads substitute for the paper's benchmarks; see DESIGN.md §3)\n");
+    let mut rows = Vec::new();
+    let mut last_domain = "";
+    for instance in table_suite() {
+        let row = measure(&instance, table_config());
+        if row.domain != last_domain {
+            rows.push(vec![
+                format!("-- {} --", row.domain),
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+            ]);
+            last_domain = row.domain;
+        }
+        eprintln!(
+            "done {:<14} solve {:>8.3}s  verify {:>8.3}s",
+            row.name,
+            row.solve_time.as_secs_f64(),
+            row.verify_time.as_secs_f64()
+        );
+        rows.push(vec![
+            row.name.clone(),
+            format!("{}", row.conflict_clauses),
+            format!("{:.0}%", row.tested_fraction * 100.0),
+            format!("{}", row.num_original),
+            format!("{:.0}%", row.core_fraction * 100.0),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["Name", "All conflict clauses", "Tested", "Initial CNF", "Unsat core"],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,72 @@
+//! Regenerates **Table 2: Proof verification** — per instance: the
+//! verification time, the solving (proof generation) time, the
+//! resolution-graph size lower bound in thousands of nodes, the
+//! conflict-clause proof size in thousands of literals, and the ratio of
+//! the two sizes in percent.
+//!
+//! The paper's headline trends to look for:
+//!
+//! * verification takes a small multiple of solving time (§6 reports
+//!   2–3×);
+//! * conflict-clause proofs are mostly *smaller* than resolution-graph
+//!   proofs (ratio < 100%), because the mixed learning scheme
+//!   periodically deduces "global" decision clauses.
+//!
+//! Run with `cargo run -p bench --release --bin table2`.
+
+use bench::{measure, render_table, table_config};
+use satverify::cnfgen::table_suite;
+
+fn main() {
+    println!("Table 2. Proof verification");
+    println!("(workloads substitute for the paper's benchmarks; see DESIGN.md §3)\n");
+    let mut rows = Vec::new();
+    let mut last_domain = "";
+    let mut ratio_product = 1.0f64;
+    let mut count = 0usize;
+    for instance in table_suite() {
+        let row = measure(&instance, table_config());
+        if row.domain != last_domain {
+            rows.push(vec![
+                format!("-- {} --", row.domain),
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+            ]);
+            last_domain = row.domain;
+        }
+        ratio_product *= row.size_ratio_percent();
+        count += 1;
+        rows.push(vec![
+            row.name.clone(),
+            format!("{:.3}", row.verify_time.as_secs_f64()),
+            format!("{:.3}", row.solve_time.as_secs_f64()),
+            format!("{:.1}", row.resolution_nodes as f64 / 1000.0),
+            format!("{:.1}", row.proof_literals as f64 / 1000.0),
+            format!("{:.1}", row.proof_literals as f64 / row.conflict_clauses.max(1) as f64),
+            format!("{:.0}%", row.size_ratio_percent()),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "Name",
+                "Verif. time (s)",
+                "Solve time (s)",
+                "Res. graph size (knodes)",
+                "CC proof size (klits)",
+                "Mean len",
+                "Ratio",
+            ],
+            &rows
+        )
+    );
+    println!(
+        "geometric mean size ratio: {:.0}%",
+        ratio_product.powf(1.0 / count as f64)
+    );
+}

@@ -1,0 +1,256 @@
+//! Solver configuration.
+
+use std::fmt;
+
+/// The conflict-driven learning scheme — §5 of the paper.
+///
+/// *Local* clauses (1UIP) are produced by few resolutions; *global*
+/// clauses (all decision variables) by many. The choice drives the
+/// relative sizes of resolution-graph and conflict-clause proofs that
+/// Tables 2 and 3 measure.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum LearningScheme {
+    /// First unique implication point (Chaff's scheme): local clauses,
+    /// small resolution graphs, potentially long clauses.
+    #[default]
+    FirstUip,
+    /// All-decision-variable clauses (Relsat's scheme): global clauses,
+    /// short in literals but expensive in resolutions.
+    Decision,
+    /// BerkMin's behaviour per §6: mostly 1UIP, but every `period`-th
+    /// conflict learns a decision clause as well.
+    Mixed {
+        /// Learn a decision clause every this many conflicts.
+        period: u32,
+    },
+}
+
+/// The restart policy.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RestartPolicy {
+    /// Never restart.
+    Never,
+    /// Restart every `interval` conflicts.
+    Fixed {
+        /// Conflicts between restarts.
+        interval: u64,
+    },
+    /// Luby sequence scaled by `base` conflicts.
+    Luby {
+        /// Unit of the Luby sequence, in conflicts.
+        base: u64,
+    },
+}
+
+impl Default for RestartPolicy {
+    fn default() -> Self {
+        RestartPolicy::Luby { base: 128 }
+    }
+}
+
+/// Configuration for [`Solver`](crate::Solver), built with a fluent
+/// builder.
+///
+/// # Examples
+///
+/// ```
+/// use cdcl::{LearningScheme, SolverConfig};
+///
+/// let config = SolverConfig::new()
+///     .learning_scheme(LearningScheme::Mixed { period: 10 })
+///     .log_proof(true)
+///     .max_conflicts(Some(100_000));
+/// assert!(config.log_proof);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SolverConfig {
+    /// Learning scheme for conflict analysis.
+    pub learning_scheme: LearningScheme,
+    /// Restart policy.
+    pub restart_policy: RestartPolicy,
+    /// Record learned clauses in a [`ProofTrace`](crate::ProofTrace).
+    pub log_proof: bool,
+    /// Record the full antecedent chain of every learned clause, allowing
+    /// an exact resolution-graph proof to be rebuilt. Implies exact
+    /// resolution counts. Memory-heavy; off by default.
+    pub log_resolution_chains: bool,
+    /// Multiplicative variable-activity decay per conflict, in `(0, 1)`.
+    pub var_decay: f64,
+    /// Multiplicative clause-activity decay per conflict, in `(0, 1)`.
+    pub clause_decay: f64,
+    /// Delete low-activity learned clauses when their number exceeds
+    /// `reduce_base + reduce_growth * reductions_so_far`.
+    pub reduce_base: usize,
+    /// See [`SolverConfig::reduce_base`].
+    pub reduce_growth: usize,
+    /// Enable learned-clause deletion at all. The paper notes "once in a
+    /// while, some clauses are removed from the current formula"; the
+    /// proof still contains every clause ever learned.
+    pub enable_reduce: bool,
+    /// Give up after this many conflicts (`None` = run to completion).
+    pub max_conflicts: Option<u64>,
+    /// BerkMin clause-stack decision heuristic: pick the decision
+    /// variable from the most recently learned unsatisfied clause. When
+    /// `false`, plain activity order (VSIDS) is used.
+    pub berkmin_decisions: bool,
+    /// How many learned clauses the BerkMin heuristic scans from the top
+    /// of the stack before falling back to activity order.
+    pub berkmin_scan_limit: usize,
+    /// Minimise 1UIP clauses by self-subsuming resolution before learning
+    /// them (Sörensson/Eén-style local minimisation — a post-2003
+    /// extension, off by default for fidelity). The extra resolutions are
+    /// counted and, with chain logging, recorded, so proofs stay exact.
+    pub minimize_learned: bool,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            learning_scheme: LearningScheme::default(),
+            restart_policy: RestartPolicy::default(),
+            log_proof: true,
+            log_resolution_chains: false,
+            var_decay: 0.95,
+            clause_decay: 0.999,
+            reduce_base: 4000,
+            reduce_growth: 300,
+            enable_reduce: true,
+            max_conflicts: None,
+            berkmin_decisions: true,
+            berkmin_scan_limit: 256,
+            minimize_learned: false,
+        }
+    }
+}
+
+impl SolverConfig {
+    /// Creates the default configuration.
+    #[must_use]
+    pub fn new() -> Self {
+        SolverConfig::default()
+    }
+
+    /// Sets the learning scheme.
+    #[must_use]
+    pub fn learning_scheme(mut self, scheme: LearningScheme) -> Self {
+        self.learning_scheme = scheme;
+        self
+    }
+
+    /// Sets the restart policy.
+    #[must_use]
+    pub fn restart_policy(mut self, policy: RestartPolicy) -> Self {
+        self.restart_policy = policy;
+        self
+    }
+
+    /// Enables or disables proof logging.
+    #[must_use]
+    pub fn log_proof(mut self, on: bool) -> Self {
+        self.log_proof = on;
+        self
+    }
+
+    /// Enables or disables exact resolution-chain logging.
+    #[must_use]
+    pub fn log_resolution_chains(mut self, on: bool) -> Self {
+        self.log_resolution_chains = on;
+        self
+    }
+
+    /// Sets the conflict budget.
+    #[must_use]
+    pub fn max_conflicts(mut self, limit: Option<u64>) -> Self {
+        self.max_conflicts = limit;
+        self
+    }
+
+    /// Enables or disables learned-clause deletion.
+    #[must_use]
+    pub fn enable_reduce(mut self, on: bool) -> Self {
+        self.enable_reduce = on;
+        self
+    }
+
+    /// Enables or disables the BerkMin clause-stack decision heuristic.
+    #[must_use]
+    pub fn berkmin_decisions(mut self, on: bool) -> Self {
+        self.berkmin_decisions = on;
+        self
+    }
+
+    /// Enables or disables learned-clause minimisation.
+    #[must_use]
+    pub fn minimize_learned(mut self, on: bool) -> Self {
+        self.minimize_learned = on;
+        self
+    }
+}
+
+impl fmt::Display for LearningScheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LearningScheme::FirstUip => write!(f, "1uip"),
+            LearningScheme::Decision => write!(f, "decision"),
+            LearningScheme::Mixed { period } => write!(f, "mixed/{period}"),
+        }
+    }
+}
+
+/// Computes the `i`-th element (0-based) of the Luby sequence
+/// (1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, …).
+#[must_use]
+pub fn luby(mut i: u64) -> u64 {
+    // MiniSat's formulation: locate the maximal complete subsequence of
+    // length 2^seq − 1 containing position i, then recurse into it.
+    let mut size = 1u64;
+    let mut seq = 0u32;
+    while size < i + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    while size - 1 != i {
+        size = (size - 1) / 2;
+        seq -= 1;
+        i %= size;
+    }
+    1u64 << seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains() {
+        let c = SolverConfig::new()
+            .learning_scheme(LearningScheme::Decision)
+            .restart_policy(RestartPolicy::Never)
+            .log_proof(false)
+            .max_conflicts(Some(7))
+            .enable_reduce(false)
+            .berkmin_decisions(false)
+            .log_resolution_chains(true);
+        assert_eq!(c.learning_scheme, LearningScheme::Decision);
+        assert_eq!(c.restart_policy, RestartPolicy::Never);
+        assert!(!c.log_proof);
+        assert!(c.log_resolution_chains);
+        assert_eq!(c.max_conflicts, Some(7));
+        assert!(!c.enable_reduce);
+        assert!(!c.berkmin_decisions);
+    }
+
+    #[test]
+    fn scheme_display() {
+        assert_eq!(LearningScheme::FirstUip.to_string(), "1uip");
+        assert_eq!(LearningScheme::Decision.to_string(), "decision");
+        assert_eq!(LearningScheme::Mixed { period: 8 }.to_string(), "mixed/8");
+    }
+
+    #[test]
+    fn luby_prefix_is_correct() {
+        let expect = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        let got: Vec<u64> = (0..expect.len() as u64).map(luby).collect();
+        assert_eq!(got, expect);
+    }
+}

@@ -1,0 +1,222 @@
+//! An indexed max-heap ordering variables by activity — the decision
+//! queue of the VSIDS/BerkMin heuristics.
+
+use cnf::Var;
+
+/// A binary max-heap over variables keyed by an external activity array.
+///
+/// The heap stores positions so that a variable whose activity increased
+/// can be sifted up in `O(log n)` ([`VarHeap::update`]). Activities are
+/// passed into each operation rather than stored, because the solver owns
+/// and decays them.
+#[derive(Clone, Debug, Default)]
+pub struct VarHeap {
+    heap: Vec<Var>,
+    /// pos[v] = index of v in `heap`, or `u32::MAX` if absent.
+    pos: Vec<u32>,
+}
+
+const ABSENT: u32 = u32::MAX;
+
+impl VarHeap {
+    /// Creates a heap able to hold `num_vars` variables (initially empty).
+    #[must_use]
+    pub fn new(num_vars: usize) -> Self {
+        VarHeap { heap: Vec::with_capacity(num_vars), pos: vec![ABSENT; num_vars] }
+    }
+
+    /// Grows capacity to cover `num_vars` variables.
+    #[allow(dead_code)] // part of the heap's natural API; used in tests
+    pub fn ensure_vars(&mut self, num_vars: usize) {
+        if num_vars > self.pos.len() {
+            self.pos.resize(num_vars, ABSENT);
+        }
+    }
+
+    /// Number of variables currently in the heap.
+    #[allow(dead_code)] // part of the heap's natural API; used in tests
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if no variable is queued.
+    #[allow(dead_code)] // part of the heap's natural API; used in tests
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Returns `true` if `var` is in the heap.
+    #[inline]
+    #[must_use]
+    pub fn contains(&self, var: Var) -> bool {
+        self.pos[var.idx()] != ABSENT
+    }
+
+    /// Inserts `var` if absent.
+    pub fn insert(&mut self, var: Var, activity: &[f64]) {
+        if self.contains(var) {
+            return;
+        }
+        self.pos[var.idx()] = self.heap.len() as u32;
+        self.heap.push(var);
+        self.sift_up(self.heap.len() - 1, activity);
+    }
+
+    /// Restores heap order after `var`'s activity increased.
+    ///
+    /// No-op if `var` is not queued.
+    pub fn update(&mut self, var: Var, activity: &[f64]) {
+        let p = self.pos[var.idx()];
+        if p != ABSENT {
+            self.sift_up(p as usize, activity);
+        }
+    }
+
+    /// Removes and returns the variable with the highest activity.
+    pub fn pop_max(&mut self, activity: &[f64]) -> Option<Var> {
+        let top = *self.heap.first()?;
+        let last = self.heap.pop().expect("nonempty");
+        self.pos[top.idx()] = ABSENT;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last.idx()] = 0;
+            self.sift_down(0, activity);
+        }
+        Some(top)
+    }
+
+    fn sift_up(&mut self, mut i: usize, activity: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if activity[self.heap[i].idx()] <= activity[self.heap[parent].idx()] {
+                break;
+            }
+            self.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, activity: &[f64]) {
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut best = i;
+            if l < self.heap.len()
+                && activity[self.heap[l].idx()] > activity[self.heap[best].idx()]
+            {
+                best = l;
+            }
+            if r < self.heap.len()
+                && activity[self.heap[r].idx()] > activity[self.heap[best].idx()]
+            {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.swap(i, best);
+            i = best;
+        }
+    }
+
+    fn swap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.pos[self.heap[a].idx()] = a as u32;
+        self.pos[self.heap[b].idx()] = b as u32;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> Var {
+        Var::new(i)
+    }
+
+    #[test]
+    fn pops_in_activity_order() {
+        let act = [3.0, 1.0, 4.0, 1.5, 5.0];
+        let mut h = VarHeap::new(5);
+        for i in 0..5 {
+            h.insert(v(i), &act);
+        }
+        let order: Vec<u32> =
+            std::iter::from_fn(|| h.pop_max(&act)).map(Var::index).collect();
+        assert_eq!(order, vec![4, 2, 0, 3, 1]);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn insert_is_idempotent() {
+        let act = [1.0, 2.0];
+        let mut h = VarHeap::new(2);
+        h.insert(v(0), &act);
+        h.insert(v(0), &act);
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn update_moves_var_up() {
+        let mut act = vec![1.0, 2.0, 3.0];
+        let mut h = VarHeap::new(3);
+        for i in 0..3 {
+            h.insert(v(i), &act);
+        }
+        act[0] = 10.0;
+        h.update(v(0), &act);
+        assert_eq!(h.pop_max(&act), Some(v(0)));
+    }
+
+    #[test]
+    fn contains_tracks_membership() {
+        let act = [1.0];
+        let mut h = VarHeap::new(1);
+        assert!(!h.contains(v(0)));
+        h.insert(v(0), &act);
+        assert!(h.contains(v(0)));
+        h.pop_max(&act);
+        assert!(!h.contains(v(0)));
+    }
+
+    #[test]
+    fn reinsert_after_pop() {
+        let act = [1.0, 5.0];
+        let mut h = VarHeap::new(2);
+        h.insert(v(0), &act);
+        h.insert(v(1), &act);
+        assert_eq!(h.pop_max(&act), Some(v(1)));
+        h.insert(v(1), &act);
+        assert_eq!(h.pop_max(&act), Some(v(1)));
+        assert_eq!(h.pop_max(&act), Some(v(0)));
+        assert_eq!(h.pop_max(&act), None);
+    }
+
+    #[test]
+    fn grows_with_ensure_vars() {
+        let act = [1.0, 2.0, 3.0, 4.0];
+        let mut h = VarHeap::new(2);
+        h.ensure_vars(4);
+        h.insert(v(3), &act);
+        assert!(h.contains(v(3)));
+    }
+
+    #[test]
+    fn many_random_ops_preserve_order() {
+        // deterministic pseudo-random mix of inserts/pops
+        let n = 64;
+        let act: Vec<f64> = (0..n).map(|i| ((i * 37) % 101) as f64).collect();
+        let mut h = VarHeap::new(n);
+        for i in 0..n {
+            h.insert(v(i as u32), &act);
+        }
+        let mut prev = f64::INFINITY;
+        while let Some(x) = h.pop_max(&act) {
+            assert!(act[x.idx()] <= prev, "heap order violated");
+            prev = act[x.idx()];
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! The conflict-clause proof trace emitted by the solver.
+//!
+//! The paper's proof object is "a chronologically ordered set of the
+//! conflict clauses" (§1). [`ProofTrace`] is exactly that, enriched with
+//! the per-clause resolution counts (and, optionally, the full antecedent
+//! chains) needed to measure — or rebuild — the corresponding
+//! resolution-graph proof for the §5 comparison.
+
+use cnf::Clause;
+
+/// Identifies a clause visible to the proof: either a clause of the
+/// original formula `F` (by its index in `F`) or an earlier conflict
+/// clause of `F*` (by its position in the trace).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum ProofClauseId {
+    /// Index into the original formula.
+    Original(usize),
+    /// Index into [`ProofTrace::steps`].
+    Learned(usize),
+}
+
+/// One step of the proof: a conflict clause together with how it was
+/// deduced.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ProofStep {
+    /// The conflict clause (empty for the terminal step).
+    pub clause: Clause,
+    /// Number of resolutions the solver performed to deduce the clause —
+    /// the number of internal resolution-graph nodes this step would
+    /// occupy.
+    pub num_resolutions: u64,
+    /// The antecedent chain, present when
+    /// [`log_resolution_chains`](crate::SolverConfig::log_resolution_chains)
+    /// was enabled: `antecedents[0]` is the clause falsified in the
+    /// conflict, and each later entry is resolved into the running
+    /// resolvent in order (a trivial/linear resolution derivation).
+    pub antecedents: Option<Vec<ProofClauseId>>,
+}
+
+impl ProofStep {
+    /// Returns `true` if this step derives the empty clause (the
+    /// terminal conflict of an UNSAT run).
+    #[must_use]
+    pub fn is_terminal(&self) -> bool {
+        self.clause.is_empty()
+    }
+}
+
+/// A clause-deletion event: after `after_step` conflict clauses had been
+/// deduced, the solver's database reduction removed `target` from the
+/// current formula. Deletion never weakens the proof (the clause stays
+/// in `F*`), but a deletion-aware checker can mirror the solver's
+/// working set — the idea the DRUP format later standardised.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ProofDeletion {
+    /// Number of proof steps logged before this deletion took effect.
+    pub after_step: usize,
+    /// The deleted clause.
+    pub target: ProofClauseId,
+}
+
+/// A chronologically ordered conflict-clause proof, as logged by
+/// [`Solver`](crate::Solver).
+///
+/// For an UNSAT run the last step derives the empty clause. The paper
+/// instead ends proofs with a *final conflicting pair* of unit clauses;
+/// the empty-clause terminal is the equivalent, slightly more general
+/// convention (a final pair `x`, `¬x` resolves to the empty clause in one
+/// step), and the checker in the `proofver` crate accepts both.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct ProofTrace {
+    /// Number of clauses in the original formula (for resolving
+    /// [`ProofClauseId::Original`]).
+    pub num_original: usize,
+    /// The conflict clauses, in deduction order.
+    pub steps: Vec<ProofStep>,
+    /// Clause deletions performed by database reduction, in
+    /// chronological order (non-decreasing `after_step`).
+    pub deletions: Vec<ProofDeletion>,
+}
+
+impl ProofTrace {
+    /// Creates an empty trace over a formula with `num_original` clauses.
+    #[must_use]
+    pub fn new(num_original: usize) -> Self {
+        ProofTrace { num_original, steps: Vec::new(), deletions: Vec::new() }
+    }
+
+    /// Number of steps (conflict clauses, including the terminal step).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Returns `true` if nothing was logged.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Returns `true` if the trace ends by deriving the empty clause.
+    #[must_use]
+    pub fn is_refutation(&self) -> bool {
+        self.steps.last().is_some_and(ProofStep::is_terminal)
+    }
+
+    /// Total number of literals over all conflict clauses — the paper's
+    /// "conflict clause proof size" (Table 2, in literals).
+    #[must_use]
+    pub fn num_literals(&self) -> usize {
+        self.steps.iter().map(|s| s.clause.len()).sum()
+    }
+
+    /// Total number of resolutions over all steps — the paper's lower
+    /// bound on the resolution-graph proof size (Table 2, in nodes).
+    #[must_use]
+    pub fn num_resolutions(&self) -> u64 {
+        self.steps.iter().map(|s| s.num_resolutions).sum()
+    }
+
+    /// The conflict clauses only, without metadata — the set `F*`.
+    #[must_use]
+    pub fn clauses(&self) -> Vec<Clause> {
+        self.steps.iter().map(|s| s.clause.clone()).collect()
+    }
+
+    /// Returns `true` if every step carries an antecedent chain, so an
+    /// exact resolution-graph proof can be rebuilt.
+    #[must_use]
+    pub fn has_chains(&self) -> bool {
+        !self.steps.is_empty() && self.steps.iter().all(|s| s.antecedents.is_some())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step(names: &[i32], res: u64) -> ProofStep {
+        ProofStep { clause: Clause::from_dimacs(names), num_resolutions: res, antecedents: None }
+    }
+
+    #[test]
+    fn refutation_requires_terminal_empty_clause() {
+        let mut t = ProofTrace::new(3);
+        assert!(!t.is_refutation());
+        t.steps.push(step(&[1, 2], 2));
+        assert!(!t.is_refutation());
+        t.steps.push(ProofStep {
+            clause: Clause::empty(),
+            num_resolutions: 3,
+            antecedents: None,
+        });
+        assert!(t.is_refutation());
+        assert!(t.steps.last().expect("nonempty").is_terminal());
+    }
+
+    #[test]
+    fn size_metrics_sum_over_steps() {
+        let mut t = ProofTrace::new(0);
+        t.steps.push(step(&[1, 2, 3], 2));
+        t.steps.push(step(&[-1], 5));
+        assert_eq!(t.num_literals(), 4);
+        assert_eq!(t.num_resolutions(), 7);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.clauses().len(), 2);
+    }
+
+    #[test]
+    fn chain_detection() {
+        let mut t = ProofTrace::new(1);
+        assert!(!t.has_chains());
+        t.steps.push(ProofStep {
+            clause: Clause::from_dimacs(&[1]),
+            num_resolutions: 1,
+            antecedents: Some(vec![ProofClauseId::Original(0)]),
+        });
+        assert!(t.has_chains());
+        t.steps.push(step(&[2], 1));
+        assert!(!t.has_chains());
+    }
+}

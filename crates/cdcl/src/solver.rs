@@ -1,0 +1,1029 @@
+//! The CDCL solver.
+//!
+//! A conflict-clause-recording solver in the BerkMin [9] mould — the
+//! proof *generator* of the paper. Every conflict records a clause; with
+//! [`SolverConfig::log_proof`] enabled the chronological sequence of
+//! those clauses is returned as a [`ProofTrace`], ready for the
+//! `proofver` checker.
+
+use bcp::{Attach, ClauseDb, ClauseRef, Conflict, Reason, WatchedPropagator};
+use cnf::{Assignment, Clause, CnfFormula, LBool, Lit, Var};
+
+use crate::config::{luby, LearningScheme, RestartPolicy, SolverConfig};
+use crate::heap::VarHeap;
+use crate::proof_log::{ProofClauseId, ProofDeletion, ProofStep, ProofTrace};
+use crate::stats::SolverStats;
+
+/// The outcome of a [`Solver::solve`] call.
+#[derive(Clone, Debug)]
+pub enum SolveResult {
+    /// Satisfiable, with a total satisfying assignment.
+    Sat(Assignment),
+    /// Unsatisfiable. The proof is present when
+    /// [`SolverConfig::log_proof`] was enabled.
+    Unsat(Option<ProofTrace>),
+    /// The conflict budget ([`SolverConfig::max_conflicts`]) ran out.
+    Unknown,
+}
+
+impl SolveResult {
+    /// Returns `true` for [`SolveResult::Sat`].
+    #[must_use]
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SolveResult::Sat(_))
+    }
+
+    /// Returns `true` for [`SolveResult::Unsat`].
+    #[must_use]
+    pub fn is_unsat(&self) -> bool {
+        matches!(self, SolveResult::Unsat(_))
+    }
+
+    /// Extracts the proof of an UNSAT result, if one was logged.
+    #[must_use]
+    pub fn into_proof(self) -> Option<ProofTrace> {
+        match self {
+            SolveResult::Unsat(p) => p,
+            _ => None,
+        }
+    }
+}
+
+/// The outcome of a [`Solver::solve_with_assumptions`] call.
+///
+/// A logged [`ProofTrace`] contains the clauses learned *during this
+/// call*; when making several incremental calls on one solver,
+/// concatenate the traces (in call order) to verify later answers.
+#[derive(Clone, Debug)]
+pub enum AssumptionResult {
+    /// Satisfiable under the assumptions, with a total model.
+    Sat(Assignment),
+    /// The formula is unsatisfiable outright.
+    Unsat(Option<ProofTrace>),
+    /// Unsatisfiable under the assumptions: `failed` is a clause over
+    /// negated assumption literals implied by the formula together with
+    /// the logged conflict clauses — verify it with
+    /// `proofver::verify_implication`.
+    UnsatUnderAssumptions {
+        /// The implied clause over negated assumptions.
+        failed: Clause,
+        /// The conflict clauses learned during the call.
+        proof: Option<ProofTrace>,
+    },
+    /// The conflict budget ran out.
+    Unknown,
+}
+
+const ACTIVITY_RESCALE: f64 = 1e100;
+
+/// A CDCL SAT solver with conflict-clause proof logging.
+///
+/// # Examples
+///
+/// ```
+/// use cdcl::{Solver, SolverConfig};
+/// use cnf::CnfFormula;
+///
+/// // x1 XOR chain that is unsatisfiable
+/// let f = CnfFormula::from_dimacs_clauses(&[
+///     vec![1, 2], vec![-1, -2], vec![1, -2], vec![-1, 2],
+/// ]);
+/// let mut solver = Solver::new(&f, SolverConfig::default());
+/// let result = solver.solve();
+/// assert!(result.is_unsat());
+/// let proof = result.into_proof().expect("logging is on by default");
+/// assert!(proof.is_refutation());
+/// ```
+#[derive(Debug)]
+pub struct Solver {
+    db: ClauseDb,
+    prop: WatchedPropagator,
+    config: SolverConfig,
+    stats: SolverStats,
+    num_vars: usize,
+    num_original: usize,
+
+    var_act: Vec<f64>,
+    var_inc: f64,
+    order: VarHeap,
+    saved_phase: Vec<bool>,
+
+    cla_act: Vec<f64>,
+    cla_inc: f64,
+    /// Live learned clauses, newest last (BerkMin's clause stack).
+    learned_refs: Vec<ClauseRef>,
+
+    trace: ProofTrace,
+    /// `true` once the formula is known UNSAT (sticky).
+    root_unsat: bool,
+    /// `true` once `add_clause` changed the formula mid-run: logged
+    /// proofs no longer describe a fixed formula and are suppressed.
+    trace_tainted: bool,
+    // scratch space for conflict analysis
+    seen: Vec<bool>,
+    restarts_done: u64,
+    conflicts_at_last_restart: u64,
+    reduce_threshold: usize,
+}
+
+impl Solver {
+    /// Creates a solver for `formula` under `config`.
+    #[must_use]
+    pub fn new(formula: &CnfFormula, config: SolverConfig) -> Self {
+        let num_vars = formula.num_vars();
+        let num_original = formula.num_clauses();
+        let mut db = ClauseDb::from_formula(formula);
+        let mut prop = WatchedPropagator::new(num_vars);
+        let mut root_unsat = false;
+
+        let refs: Vec<ClauseRef> = db.refs().collect();
+        for r in refs {
+            match prop.attach_clause(&mut db, r) {
+                Attach::Watched => {}
+                Attach::Unit(l) => {
+                    if prop.enqueue_propagated(l, r).is_err() {
+                        root_unsat = true;
+                    }
+                }
+                Attach::Empty => root_unsat = true,
+            }
+        }
+
+        let mut order = VarHeap::new(num_vars);
+        let var_act = vec![0.0; num_vars];
+        for i in 0..num_vars {
+            order.insert(Var::new(i as u32), &var_act);
+        }
+        let reduce_threshold = config.reduce_base;
+
+        Solver {
+            prop,
+            config,
+            stats: SolverStats::default(),
+            num_vars,
+            num_original,
+            var_act,
+            var_inc: 1.0,
+            order,
+            saved_phase: vec![false; num_vars],
+            cla_act: vec![0.0; db.len()],
+            cla_inc: 1.0,
+            learned_refs: Vec::new(),
+            trace: ProofTrace::new(num_original),
+            root_unsat,
+            trace_tainted: false,
+            seen: vec![false; num_vars],
+            restarts_done: 0,
+            conflicts_at_last_restart: 0,
+            reduce_threshold,
+            db,
+        }
+    }
+
+    /// Adds a clause after construction — the incremental interface
+    /// (model enumeration, CEGAR loops). The solver backtracks to the
+    /// root level first.
+    ///
+    /// Adding clauses changes the formula mid-run, so proof logging is
+    /// *invalidated*: subsequent UNSAT results return no trace (re-solve
+    /// the extended formula with a fresh solver to obtain a checkable
+    /// proof — that is what `satverify::enumerate_models` does for its
+    /// final completeness claim).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a literal's variable is out of range.
+    pub fn add_clause(&mut self, lits: &[Lit]) {
+        assert!(
+            lits.iter().all(|l| l.var().idx() < self.num_vars),
+            "clause variable out of range — declare it in the formula first"
+        );
+        self.backtrack_with_heap(0);
+        self.trace_tainted = true;
+        // order the literals so any watched pair is non-false at the root
+        let mut lits: Vec<Lit> = lits.to_vec();
+        lits.sort_by_key(|&l| self.prop.value(l) == LBool::False);
+        let non_false =
+            lits.iter().filter(|&&l| self.prop.value(l) != LBool::False).count();
+        let r = self.db.add_clause(&lits, false);
+        self.cla_act.push(0.0);
+        match non_false {
+            0 => self.root_unsat = true,
+            1 => {
+                if lits.len() >= 2 {
+                    self.prop.attach_clause(&mut self.db, r);
+                }
+                if self.prop.enqueue_propagated(lits[0], r).is_err() {
+                    self.root_unsat = true;
+                }
+            }
+            _ => {
+                self.prop.attach_clause(&mut self.db, r);
+            }
+        }
+    }
+
+    /// Solver statistics so far.
+    #[must_use]
+    pub fn stats(&self) -> &SolverStats {
+        &self.stats
+    }
+
+    /// The configuration this solver runs under.
+    #[must_use]
+    pub fn config(&self) -> &SolverConfig {
+        &self.config
+    }
+
+    /// Runs the search to completion (or until the conflict budget runs
+    /// out). One-shot: calling `solve` again returns the same verdict.
+    pub fn solve(&mut self) -> SolveResult {
+        match self.solve_with_assumptions(&[]) {
+            AssumptionResult::Sat(model) => SolveResult::Sat(model),
+            AssumptionResult::Unsat(proof) => SolveResult::Unsat(proof),
+            AssumptionResult::Unknown => SolveResult::Unknown,
+            AssumptionResult::UnsatUnderAssumptions { .. } => {
+                unreachable!("no assumptions were given")
+            }
+        }
+    }
+
+    /// Solves under the given assumption literals (an *incremental*
+    /// query): the assumptions are asserted as the first decisions and
+    /// re-asserted after every restart.
+    ///
+    /// On [`AssumptionResult::UnsatUnderAssumptions`], `failed` is a
+    /// clause over negated assumptions that is implied by the formula
+    /// plus the logged conflict clauses — checkable with
+    /// `proofver::verify_implication`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an assumption is over a variable the formula does not
+    /// declare.
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> AssumptionResult {
+        assert!(
+            assumptions.iter().all(|a| a.var().idx() < self.num_vars),
+            "assumption variable out of range — declare it in the formula \
+             (CnfFormula::ensure_var) before constructing the solver"
+        );
+        if self.root_unsat {
+            // The original formula contains an empty clause or a
+            // conflicting pair of unit clauses: nothing was learned.
+            return AssumptionResult::Unsat(self.take_trace_if_logging(|s| {
+                s.terminal_step_for_trivial_conflict()
+            }));
+        }
+        self.backtrack_with_heap(0);
+        loop {
+            let trail_before = self.prop.trail().len();
+            let conflict = self.prop.propagate(&mut self.db);
+            self.stats.propagations += (self.prop.trail().len() - trail_before) as u64;
+
+            match conflict {
+                Some(conflict) => {
+                    self.stats.conflicts += 1;
+                    if self.prop.decision_level() == 0 {
+                        // refutation complete
+                        if self.config.log_proof {
+                            let step = self.analyze_final(conflict);
+                            self.trace.steps.push(step);
+                        }
+                        return AssumptionResult::Unsat(
+                            self.take_trace_if_logging(|_| None),
+                        );
+                    }
+                    self.handle_conflict(conflict);
+                    if self
+                        .config
+                        .max_conflicts
+                        .is_some_and(|m| self.stats.conflicts >= m)
+                    {
+                        return AssumptionResult::Unknown;
+                    }
+                }
+                None => {
+                    // assert pending assumptions first
+                    let mut made_decision = false;
+                    while (self.prop.decision_level() as usize) < assumptions.len() {
+                        let a = assumptions[self.prop.decision_level() as usize];
+                        match self.prop.value(a) {
+                            LBool::True => self.prop.push_level(), // placeholder level
+                            LBool::Unassigned => {
+                                self.stats.decisions += 1;
+                                self.prop.decide(a);
+                                made_decision = true;
+                                break;
+                            }
+                            LBool::False => {
+                                let (failed, num_resolutions) =
+                                    self.analyze_failed_assumption(a);
+                                self.stats.resolutions += num_resolutions;
+                                let proof = self.take_trace_if_logging(|_| None);
+                                return AssumptionResult::UnsatUnderAssumptions {
+                                    failed,
+                                    proof,
+                                };
+                            }
+                        }
+                    }
+                    if made_decision {
+                        continue;
+                    }
+                    if self.prop.assignment().num_assigned() == self.num_vars {
+                        return AssumptionResult::Sat(self.prop.assignment().clone());
+                    }
+                    if self.should_restart() {
+                        self.restart();
+                        continue; // re-assert assumptions before deciding
+                    }
+                    if self.should_reduce() {
+                        self.reduce_db();
+                    }
+                    self.decide();
+                }
+            }
+        }
+    }
+
+    /// The `analyzeFinal` of MiniSat: when assumption `a` is found
+    /// falsified, produce the clause over negated assumptions implied by
+    /// the formula (the reason cone of `¬a` restricted to assumption
+    /// decisions). Returns the clause and the number of resolutions
+    /// (a lower bound, as level-0 eliminations are not counted).
+    fn analyze_failed_assumption(&mut self, a: Lit) -> (Clause, u64) {
+        let mut learned: Vec<Lit> = vec![!a];
+        let mut num_resolutions = 0u64;
+        let mut marked = 0usize;
+        if self.prop.level(a.var()) > 0 {
+            self.seen[a.var().idx()] = true;
+            marked = 1;
+        }
+        for idx in (0..self.prop.trail().len()).rev() {
+            if marked == 0 {
+                break;
+            }
+            let lit = self.prop.trail()[idx];
+            if !self.seen[lit.var().idx()] {
+                continue;
+            }
+            self.seen[lit.var().idx()] = false;
+            marked -= 1;
+            match self.prop.reason(lit.var()) {
+                Reason::Decision => {
+                    // All decisions on the trail are assumptions here.
+                    // Note `lit` may be ¬a itself (directly contradictory
+                    // assumptions): the clause then contains both a and
+                    // ¬a — a tautology, which is the correct (trivially
+                    // implied) answer for contradictory assumptions.
+                    learned.push(!lit);
+                }
+                Reason::Propagated(c) => {
+                    num_resolutions += 1;
+                    for i in 0..self.db.clause_len(c) {
+                        let q = self.db.lits(c)[i];
+                        if q != lit
+                            && self.prop.level(q.var()) > 0
+                            && !self.seen[q.var().idx()]
+                        {
+                            self.seen[q.var().idx()] = true;
+                            marked += 1;
+                        }
+                    }
+                }
+                Reason::Assumed => unreachable!("solver never assumes"),
+            }
+        }
+        (Clause::new(learned), num_resolutions)
+    }
+
+    fn take_trace_if_logging(
+        &mut self,
+        trivial_terminal: impl FnOnce(&mut Self) -> Option<ProofStep>,
+    ) -> Option<ProofTrace> {
+        if !self.config.log_proof || self.trace_tainted {
+            return None;
+        }
+        if let Some(step) = trivial_terminal(self) {
+            self.trace.steps.push(step);
+        }
+        Some(std::mem::replace(
+            &mut self.trace,
+            ProofTrace::new(self.num_original),
+        ))
+    }
+
+    /// Builds the terminal (empty-clause) step when the *original*
+    /// formula already conflicts at the root: either it contains the
+    /// empty clause, or unit clauses clash during attachment.
+    fn terminal_step_for_trivial_conflict(&mut self) -> Option<ProofStep> {
+        // Find an empty clause…
+        for r in self.db.refs() {
+            if self.db.clause_len(r) == 0 {
+                return Some(ProofStep {
+                    clause: Clause::empty(),
+                    num_resolutions: 0,
+                    antecedents: self
+                        .config
+                        .log_resolution_chains
+                        .then(|| vec![self.id_of(r)]),
+                });
+            }
+        }
+        // …or a clashing pair of unit clauses.
+        let mut first_unit: Vec<Option<ClauseRef>> = vec![None; 2 * self.num_vars];
+        for r in self.db.refs() {
+            if self.db.clause_len(r) == 1 {
+                let l = self.db.lits(r)[0];
+                if let Some(other) = first_unit[(!l).idx()] {
+                    return Some(ProofStep {
+                        clause: Clause::empty(),
+                        num_resolutions: 1,
+                        antecedents: self
+                            .config
+                            .log_resolution_chains
+                            .then(|| vec![self.id_of(other), self.id_of(r)]),
+                    });
+                }
+                first_unit[l.idx()] = Some(r);
+            }
+        }
+        // Units conflicted only after propagation through longer clauses;
+        // replay propagation bookkeeping is gone, so derive via the
+        // general root-conflict analysis by re-running propagation.
+        // (Reached only when enqueue_propagated failed during attach.)
+        Some(ProofStep { clause: Clause::empty(), num_resolutions: 0, antecedents: None })
+    }
+
+    // ----- decisions ---------------------------------------------------
+
+    fn decide(&mut self) {
+        let var = self
+            .pick_berkmin_var()
+            .or_else(|| self.pick_activity_var())
+            .expect("an unassigned variable exists");
+        self.stats.decisions += 1;
+        let phase = self.saved_phase[var.idx()];
+        self.prop.decide(var.lit(phase));
+    }
+
+    /// BerkMin's heuristic: branch on a variable of the most recently
+    /// learned clause that is not yet satisfied.
+    fn pick_berkmin_var(&mut self) -> Option<Var> {
+        if !self.config.berkmin_decisions {
+            return None;
+        }
+        let scan = self.config.berkmin_scan_limit.min(self.learned_refs.len());
+        for &r in self.learned_refs.iter().rev().take(scan) {
+            if self.db.is_deleted(r) {
+                continue;
+            }
+            let lits = self.db.lits(r);
+            if lits.iter().any(|&l| self.prop.value(l) == LBool::True) {
+                continue; // satisfied
+            }
+            let best = lits
+                .iter()
+                .filter(|&&l| self.prop.value(l) == LBool::Unassigned)
+                .max_by(|&&a, &&b| {
+                    self.var_act[a.var().idx()]
+                        .total_cmp(&self.var_act[b.var().idx()])
+                });
+            if let Some(&l) = best {
+                return Some(l.var());
+            }
+            // all literals false: propagate would have caught this as a
+            // conflict; clause is effectively handled — keep scanning
+        }
+        None
+    }
+
+    fn pick_activity_var(&mut self) -> Option<Var> {
+        while let Some(v) = self.order.pop_max(&self.var_act) {
+            if self.prop.assignment().var_value(v) == LBool::Unassigned {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    // ----- restarts & reduction ----------------------------------------
+
+    fn should_restart(&self) -> bool {
+        if self.prop.decision_level() == 0 {
+            return false;
+        }
+        let since = self.stats.conflicts - self.conflicts_at_last_restart;
+        match self.config.restart_policy {
+            RestartPolicy::Never => false,
+            RestartPolicy::Fixed { interval } => since >= interval,
+            RestartPolicy::Luby { base } => since >= base * luby(self.restarts_done),
+        }
+    }
+
+    fn restart(&mut self) {
+        self.backtrack_with_heap(0);
+        self.restarts_done += 1;
+        self.conflicts_at_last_restart = self.stats.conflicts;
+        self.stats.restarts += 1;
+    }
+
+    fn should_reduce(&self) -> bool {
+        self.config.enable_reduce
+            && self.learned_live() >= self.reduce_threshold
+            && self.prop.decision_level() == 0
+    }
+
+    fn learned_live(&self) -> usize {
+        self.learned_refs.len()
+    }
+
+    /// Deletes the lower-activity half of the learned clauses (keeping
+    /// binary and locked clauses). Clauses stay in the proof trace.
+    fn reduce_db(&mut self) {
+        let mut candidates: Vec<ClauseRef> = self
+            .learned_refs
+            .iter()
+            .copied()
+            .filter(|&r| self.db.clause_len(r) > 2 && !self.is_locked(r))
+            .collect();
+        candidates
+            .sort_by(|&a, &b| self.cla_act[a.index()].total_cmp(&self.cla_act[b.index()]));
+        let delete_count = candidates.len() / 2;
+        for &r in candidates.iter().take(delete_count) {
+            self.db.delete_clause(r);
+            self.stats.learned_deleted += 1;
+            if self.config.log_proof {
+                self.trace.deletions.push(ProofDeletion {
+                    after_step: self.trace.steps.len(),
+                    target: self.id_of(r),
+                });
+            }
+        }
+        self.learned_refs.retain(|&r| !self.db.is_deleted(r));
+        self.stats.reductions += 1;
+        self.reduce_threshold += self.config.reduce_growth;
+    }
+
+    fn is_locked(&self, r: ClauseRef) -> bool {
+        let first = self.db.lits(r)[0];
+        self.prop.value(first) == LBool::True
+            && self.prop.reason(first.var()) == Reason::Propagated(r)
+    }
+
+    // ----- conflict handling -------------------------------------------
+
+    fn handle_conflict(&mut self, conflict: Conflict) {
+        let scheme = self.effective_scheme();
+        let analysis = match scheme {
+            LearningScheme::FirstUip => self.analyze_first_uip(conflict.clause),
+            LearningScheme::Decision => self.analyze_decision(conflict.clause),
+            LearningScheme::Mixed { .. } => unreachable!("resolved by effective_scheme"),
+        };
+        match scheme {
+            LearningScheme::Decision => self.stats.global_clauses += 1,
+            _ => self.stats.local_clauses += 1,
+        }
+        self.stats.resolutions += analysis.num_resolutions;
+        self.stats.proof_literals += analysis.lits.len() as u64;
+
+        if self.config.log_proof {
+            self.trace.steps.push(ProofStep {
+                clause: Clause::new(analysis.lits.clone()),
+                num_resolutions: analysis.num_resolutions,
+                antecedents: analysis.antecedents,
+            });
+        }
+
+        self.backtrack_with_heap(analysis.backjump_level);
+
+        let cref = self.db.add_clause(&analysis.lits, true);
+        self.cla_act.push(self.cla_inc);
+        debug_assert_eq!(self.cla_act.len(), self.db.len());
+        self.learned_refs.push(cref);
+        self.stats.learned_kept = self.learned_refs.len() as u64;
+
+        let asserting = analysis.lits[0];
+        if analysis.lits.len() >= 2 {
+            self.prop.attach_clause(&mut self.db, cref);
+        }
+        self.prop
+            .enqueue_propagated(asserting, cref)
+            .expect("asserting literal is unassigned after backjump");
+
+        self.decay_activities();
+    }
+
+    fn effective_scheme(&self) -> LearningScheme {
+        match self.config.learning_scheme {
+            LearningScheme::Mixed { period } => {
+                if self.stats.conflicts % u64::from(period.max(1)) == 0 {
+                    LearningScheme::Decision
+                } else {
+                    LearningScheme::FirstUip
+                }
+            }
+            other => other,
+        }
+    }
+
+    fn backtrack_with_heap(&mut self, level: u32) {
+        // reinsert soon-to-be-unassigned variables into the order heap
+        // and remember their phases
+        if level < self.prop.decision_level() {
+            let new_len = self.prop.trail_len_at_level(level + 1);
+            for i in new_len..self.prop.trail().len() {
+                let lit = self.prop.trail()[i];
+                let v = lit.var();
+                self.saved_phase[v.idx()] = lit.is_positive();
+                self.order.insert(v, &self.var_act);
+            }
+            self.prop.backtrack_to(level);
+        }
+    }
+
+    fn id_of(&self, r: ClauseRef) -> ProofClauseId {
+        if r.index() < self.num_original {
+            ProofClauseId::Original(r.index())
+        } else {
+            ProofClauseId::Learned(r.index() - self.num_original)
+        }
+    }
+
+    fn bump_var(&mut self, v: Var) {
+        self.var_act[v.idx()] += self.var_inc;
+        if self.var_act[v.idx()] > ACTIVITY_RESCALE {
+            for a in &mut self.var_act {
+                *a /= ACTIVITY_RESCALE;
+            }
+            self.var_inc /= ACTIVITY_RESCALE;
+        }
+        self.order.update(v, &self.var_act);
+    }
+
+    fn bump_clause(&mut self, r: ClauseRef) {
+        if !self.db.is_learned(r) {
+            return;
+        }
+        self.cla_act[r.index()] += self.cla_inc;
+        if self.cla_act[r.index()] > ACTIVITY_RESCALE {
+            for a in &mut self.cla_act {
+                *a /= ACTIVITY_RESCALE;
+            }
+            self.cla_inc /= ACTIVITY_RESCALE;
+        }
+    }
+
+    fn decay_activities(&mut self) {
+        self.var_inc /= self.config.var_decay;
+        self.cla_inc /= self.config.clause_decay;
+    }
+
+    // ----- conflict analysis -------------------------------------------
+
+    /// 1UIP conflict analysis with resolution counting.
+    fn analyze_first_uip(&mut self, conflict: ClauseRef) -> Analysis {
+        let conf_level = self.prop.decision_level();
+        let mut learned: Vec<Lit> = Vec::with_capacity(8);
+        learned.push(Lit::from_code(0)); // placeholder for the asserting literal
+        let mut path = 0u32;
+        let mut num_resolutions = 0u64;
+        let mut chain: Option<Vec<ProofClauseId>> =
+            self.config.log_resolution_chains.then(Vec::new);
+        let mut root_lits: Vec<Lit> = Vec::new();
+
+        let mut cur = conflict;
+        let mut resolved_lit: Option<Lit> = None;
+        let mut idx = self.prop.trail().len();
+
+        loop {
+            self.bump_clause(cur);
+            if let Some(chain) = chain.as_mut() {
+                chain.push(self.id_of(cur));
+            }
+            for i in 0..self.db.clause_len(cur) {
+                let q = self.db.lits(cur)[i];
+                if Some(q) == resolved_lit {
+                    continue;
+                }
+                let v = q.var();
+                let lv = self.prop.level(v);
+                if lv == 0 {
+                    if self.config.log_resolution_chains && !root_lits.contains(&q) {
+                        root_lits.push(q);
+                    }
+                    continue;
+                }
+                if !self.seen[v.idx()] {
+                    self.seen[v.idx()] = true;
+                    self.bump_var(v);
+                    if lv == conf_level {
+                        path += 1;
+                    } else {
+                        learned.push(q);
+                    }
+                }
+            }
+            // advance to the next marked literal on the trail
+            loop {
+                idx -= 1;
+                if self.seen[self.prop.trail()[idx].var().idx()] {
+                    break;
+                }
+            }
+            let lit = self.prop.trail()[idx];
+            self.seen[lit.var().idx()] = false;
+            path -= 1;
+            if path == 0 {
+                learned[0] = !lit;
+                break;
+            }
+            let Reason::Propagated(c) = self.prop.reason(lit.var()) else {
+                unreachable!("non-decision conflict-level literal has a reason clause");
+            };
+            cur = c;
+            resolved_lit = Some(lit);
+            num_resolutions += 1;
+        }
+
+        if self.config.minimize_learned {
+            num_resolutions +=
+                self.minimize_learned_clause(&mut learned, chain.as_mut(), &mut root_lits);
+        }
+
+        for &l in &learned {
+            self.seen[l.var().idx()] = false;
+        }
+
+        if self.config.log_resolution_chains {
+            num_resolutions +=
+                self.eliminate_root_lits(&mut root_lits, chain.as_mut());
+        }
+
+        let backjump_level = self.place_watch_partner(&mut learned);
+        Analysis { lits: learned, backjump_level, num_resolutions, antecedents: chain }
+    }
+
+    /// Local (self-subsuming) minimisation of a fresh 1UIP clause: a
+    /// literal `q` of `learned[1..]` is redundant when every other
+    /// literal of its reason clause is at level 0 or already in the
+    /// clause — resolving the clause with that reason then removes `q`
+    /// without adding anything new.
+    ///
+    /// Eliminations are performed in decreasing trail order so that each
+    /// recorded resolution's side literals are still present in the
+    /// running resolvent, keeping logged chains exact. `seen` flags for
+    /// `learned[1..]` must still be set on entry; removed literals keep
+    /// their flag (the standard transitive-redundancy argument).
+    /// Returns the number of extra resolutions.
+    fn minimize_learned_clause(
+        &mut self,
+        learned: &mut Vec<Lit>,
+        mut chain: Option<&mut Vec<ProofClauseId>>,
+        root_lits: &mut Vec<Lit>,
+    ) -> u64 {
+        let mut extra = 0u64;
+        if learned.len() <= 1 {
+            return 0;
+        }
+        // removed literals keep their `seen` flag during minimisation
+        // (the transitive-redundancy criterion needs it) but must be
+        // cleared afterwards — the caller only clears the survivors
+        let mut removed: Vec<Var> = Vec::new();
+        for idx in (0..self.prop.trail().len()).rev() {
+            let trail_lit = self.prop.trail()[idx];
+            let q = !trail_lit; // candidate clause literal (false on trail)
+            let Some(pos) = learned[1..].iter().position(|&l| l == q) else {
+                continue;
+            };
+            let Reason::Propagated(reason) = self.prop.reason(trail_lit.var()) else {
+                continue; // decisions are never redundant
+            };
+            let removable = self.db.lits(reason).iter().all(|&x| {
+                x == trail_lit
+                    || self.prop.level(x.var()) == 0
+                    || self.seen[x.var().idx()]
+            });
+            if !removable {
+                continue;
+            }
+            learned.remove(pos + 1);
+            removed.push(q.var());
+            extra += 1;
+            self.bump_clause(reason);
+            if let Some(chain) = chain.as_deref_mut() {
+                chain.push(self.id_of(reason));
+            }
+            if self.config.log_resolution_chains {
+                for i in 0..self.db.clause_len(reason) {
+                    let x = self.db.lits(reason)[i];
+                    if x != trail_lit
+                        && self.prop.level(x.var()) == 0
+                        && !root_lits.contains(&x)
+                    {
+                        root_lits.push(x);
+                    }
+                }
+            }
+            self.stats.minimized_literals += 1;
+            if learned.len() == 1 {
+                break;
+            }
+        }
+        for v in removed {
+            self.seen[v.idx()] = false;
+        }
+        extra
+    }
+
+    /// Decision-scheme analysis: resolve until only decision literals
+    /// remain (the "global" clauses of §5).
+    fn analyze_decision(&mut self, conflict: ClauseRef) -> Analysis {
+        let mut learned: Vec<Lit> = Vec::new();
+        let mut num_resolutions = 0u64;
+        let mut chain: Option<Vec<ProofClauseId>> =
+            self.config.log_resolution_chains.then(Vec::new);
+        let mut marked = 0usize;
+
+        self.bump_clause(conflict);
+        if let Some(chain) = chain.as_mut() {
+            chain.push(self.id_of(conflict));
+        }
+        for i in 0..self.db.clause_len(conflict) {
+            let q = self.db.lits(conflict)[i];
+            if !self.seen[q.var().idx()] {
+                self.seen[q.var().idx()] = true;
+                self.bump_var(q.var());
+                marked += 1;
+            }
+        }
+
+        for idx in (0..self.prop.trail().len()).rev() {
+            if marked == 0 {
+                break;
+            }
+            let lit = self.prop.trail()[idx];
+            if !self.seen[lit.var().idx()] {
+                continue;
+            }
+            self.seen[lit.var().idx()] = false;
+            marked -= 1;
+            match self.prop.reason(lit.var()) {
+                Reason::Decision => learned.push(!lit),
+                Reason::Propagated(c) => {
+                    num_resolutions += 1;
+                    self.bump_clause(c);
+                    if let Some(chain) = chain.as_mut() {
+                        chain.push(self.id_of(c));
+                    }
+                    for i in 0..self.db.clause_len(c) {
+                        let q = self.db.lits(c)[i];
+                        if q != lit && !self.seen[q.var().idx()] {
+                            self.seen[q.var().idx()] = true;
+                            self.bump_var(q.var());
+                            marked += 1;
+                        }
+                    }
+                }
+                Reason::Assumed => unreachable!("solver never assumes"),
+            }
+        }
+
+        debug_assert!(!learned.is_empty(), "conflict involves at least one decision");
+        // `learned` holds negated decisions, deepest first; learned[0] is
+        // the asserting literal.
+        let backjump_level = self.place_watch_partner(&mut learned);
+        Analysis { lits: learned, backjump_level, num_resolutions, antecedents: chain }
+    }
+
+    /// Derives the empty clause from a root-level conflict (the terminal
+    /// step of the proof).
+    fn analyze_final(&mut self, conflict: Conflict) -> ProofStep {
+        let mut num_resolutions = 0u64;
+        let mut chain: Option<Vec<ProofClauseId>> =
+            self.config.log_resolution_chains.then(Vec::new);
+        let mut marked = 0usize;
+
+        if let Some(chain) = chain.as_mut() {
+            chain.push(self.id_of(conflict.clause));
+        }
+        for i in 0..self.db.clause_len(conflict.clause) {
+            let q = self.db.lits(conflict.clause)[i];
+            if !self.seen[q.var().idx()] {
+                self.seen[q.var().idx()] = true;
+                marked += 1;
+            }
+        }
+        for idx in (0..self.prop.trail().len()).rev() {
+            if marked == 0 {
+                break;
+            }
+            let lit = self.prop.trail()[idx];
+            if !self.seen[lit.var().idx()] {
+                continue;
+            }
+            self.seen[lit.var().idx()] = false;
+            marked -= 1;
+            let Reason::Propagated(c) = self.prop.reason(lit.var()) else {
+                unreachable!("every root assignment is propagated");
+            };
+            num_resolutions += 1;
+            if let Some(chain) = chain.as_mut() {
+                chain.push(self.id_of(c));
+            }
+            for i in 0..self.db.clause_len(c) {
+                let q = self.db.lits(c)[i];
+                if q != lit && !self.seen[q.var().idx()] {
+                    self.seen[q.var().idx()] = true;
+                    marked += 1;
+                }
+            }
+        }
+        ProofStep { clause: Clause::empty(), num_resolutions, antecedents: chain }
+    }
+
+    /// Resolves away root-level (level-0) literals so that the recorded
+    /// antecedent chain derives exactly the learned clause. Returns the
+    /// number of extra resolutions.
+    fn eliminate_root_lits(
+        &mut self,
+        root_lits: &mut Vec<Lit>,
+        mut chain: Option<&mut Vec<ProofClauseId>>,
+    ) -> u64 {
+        let mut extra = 0u64;
+        if root_lits.is_empty() {
+            return 0;
+        }
+        // Walk the root segment of the trail in reverse; whenever the
+        // negation of a pending root literal is reached, resolve with its
+        // reason clause.
+        let root_len = if self.prop.decision_level() > 0 {
+            self.prop.trail_len_at_level(1)
+        } else {
+            self.prop.trail().len()
+        };
+        for idx in (0..root_len).rev() {
+            let lit = self.prop.trail()[idx]; // true at root
+            if let Some(pos) = root_lits.iter().position(|&q| q == !lit) {
+                root_lits.swap_remove(pos);
+                let Reason::Propagated(c) = self.prop.reason(lit.var()) else {
+                    unreachable!("root assignments are propagated");
+                };
+                extra += 1;
+                if let Some(chain) = chain.as_deref_mut() {
+                    chain.push(self.id_of(c));
+                }
+                for i in 0..self.db.clause_len(c) {
+                    let q = self.db.lits(c)[i];
+                    if q != lit && !root_lits.contains(&q) {
+                        root_lits.push(q);
+                    }
+                }
+            }
+        }
+        debug_assert!(root_lits.is_empty(), "all root literals eliminated");
+        extra
+    }
+
+    /// Moves a literal of the backjump level to position 1 (the second
+    /// watch) and returns the backjump level. `lits[0]` must already be
+    /// the asserting literal.
+    fn place_watch_partner(&self, lits: &mut [Lit]) -> u32 {
+        if lits.len() == 1 {
+            return 0;
+        }
+        let mut best = 1;
+        for i in 2..lits.len() {
+            if self.prop.level(lits[i].var()) > self.prop.level(lits[best].var()) {
+                best = i;
+            }
+        }
+        lits.swap(1, best);
+        self.prop.level(lits[1].var())
+    }
+}
+
+struct Analysis {
+    /// Learned clause; `lits[0]` is the asserting literal, `lits[1]` (if
+    /// any) a literal of the backjump level.
+    lits: Vec<Lit>,
+    backjump_level: u32,
+    num_resolutions: u64,
+    antecedents: Option<Vec<ProofClauseId>>,
+}
+
+/// Convenience wrapper: solve `formula` under `config` in one call.
+///
+/// # Examples
+///
+/// ```
+/// use cdcl::{solve, SolverConfig};
+/// use cnf::CnfFormula;
+///
+/// let f = CnfFormula::from_dimacs_clauses(&[vec![1, 2], vec![-2]]);
+/// assert!(solve(&f, SolverConfig::default()).is_sat());
+/// ```
+#[must_use]
+pub fn solve(formula: &CnfFormula, config: SolverConfig) -> SolveResult {
+    Solver::new(formula, config).solve()
+}

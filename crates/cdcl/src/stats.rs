@@ -1,0 +1,78 @@
+//! Solver statistics.
+
+use std::fmt;
+
+/// Counters accumulated over a [`Solver`](crate::Solver) run.
+///
+/// The resolution counters feed the paper's Table 2: the total number of
+/// resolutions performed during conflict analyses is a lower bound on the
+/// node count of the corresponding resolution-graph proof.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Branching decisions made.
+    pub decisions: u64,
+    /// Conflicts encountered (= conflict clauses deduced, when every
+    /// conflict records a clause).
+    pub conflicts: u64,
+    /// Literals placed on the trail by unit propagation.
+    pub propagations: u64,
+    /// Restarts performed.
+    pub restarts: u64,
+    /// Learned clauses currently in the database (survivors of deletion).
+    pub learned_kept: u64,
+    /// Learned clauses deleted by database reduction.
+    pub learned_deleted: u64,
+    /// Database reductions performed.
+    pub reductions: u64,
+    /// Total resolutions performed by conflict analyses — the
+    /// resolution-graph size lower bound of Table 2.
+    pub resolutions: u64,
+    /// Total literals in all learned clauses — the conflict-clause proof
+    /// size of Table 2.
+    pub proof_literals: u64,
+    /// Conflict clauses learned with the decision ("global") scheme.
+    pub global_clauses: u64,
+    /// Conflict clauses learned with the 1UIP ("local") scheme.
+    pub local_clauses: u64,
+    /// Literals removed from learned clauses by minimisation
+    /// ([`SolverConfig::minimize_learned`](crate::SolverConfig::minimize_learned)).
+    pub minimized_literals: u64,
+}
+
+impl fmt::Display for SolverStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "decisions={} conflicts={} propagations={} restarts={} \
+             learned(kept/deleted)={}/{} resolutions={} proof_lits={}",
+            self.decisions,
+            self.conflicts,
+            self.propagations,
+            self.restarts,
+            self.learned_kept,
+            self.learned_deleted,
+            self.resolutions,
+            self.proof_literals,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_zeroed() {
+        let s = SolverStats::default();
+        assert_eq!(s.decisions, 0);
+        assert_eq!(s.conflicts, 0);
+        assert_eq!(s.resolutions, 0);
+    }
+
+    #[test]
+    fn display_mentions_key_counters() {
+        let s = SolverStats { conflicts: 42, ..SolverStats::default() };
+        let text = s.to_string();
+        assert!(text.contains("conflicts=42"), "{text}");
+    }
+}

@@ -1,0 +1,185 @@
+//! Solving under assumptions (incremental queries), with the failed
+//! clause verified against the brute-force oracle and the proof checker.
+
+use cdcl::{AssumptionResult, Solver, SolverConfig};
+use cnf::{CnfFormula, Lit};
+use proptest::prelude::*;
+
+fn f(clauses: &[Vec<i32>]) -> CnfFormula {
+    CnfFormula::from_dimacs_clauses(clauses)
+}
+
+fn lit(n: i32) -> Lit {
+    Lit::from_dimacs(n)
+}
+
+#[test]
+fn sat_under_compatible_assumptions() {
+    let formula = f(&[vec![1, 2], vec![-1, 3]]);
+    let mut solver = Solver::new(&formula, SolverConfig::default());
+    match solver.solve_with_assumptions(&[lit(1), lit(3)]) {
+        AssumptionResult::Sat(model) => {
+            assert!(model.is_true(lit(1)));
+            assert!(model.is_true(lit(3)));
+            assert!(formula.is_satisfied_by(&model));
+        }
+        other => panic!("expected SAT, got {other:?}"),
+    }
+}
+
+#[test]
+fn unsat_under_conflicting_assumptions_with_failed_clause() {
+    // F: x1 → x2; assumptions x1 ∧ ¬x2 fail
+    let formula = f(&[vec![-1, 2]]);
+    let mut solver = Solver::new(&formula, SolverConfig::default());
+    match solver.solve_with_assumptions(&[lit(1), lit(-2)]) {
+        AssumptionResult::UnsatUnderAssumptions { failed, .. } => {
+            // failed ⊆ {¬1, 2} and is implied by F
+            for &l in failed.lits() {
+                assert!(
+                    l == lit(-1) || l == lit(2),
+                    "failed clause literal {l} is not a negated assumption"
+                );
+            }
+            assert!(!failed.is_empty());
+        }
+        other => panic!("expected UnsatUnderAssumptions, got {other:?}"),
+    }
+    // …while the formula alone stays satisfiable
+    assert!(solver.solve().is_sat());
+}
+
+#[test]
+fn directly_contradictory_assumptions() {
+    let formula = f(&[vec![1, 2]]);
+    let mut solver = Solver::new(&formula, SolverConfig::default());
+    match solver.solve_with_assumptions(&[lit(2), lit(-2)]) {
+        AssumptionResult::UnsatUnderAssumptions { failed, .. } => {
+            // the failed clause is the tautology (¬2 ∨ 2): trivially
+            // implied, correctly blaming only the contradictory pair
+            assert!(failed.lits().iter().all(|l| l.var() == lit(2).var()));
+            assert!(failed.is_tautology());
+        }
+        other => panic!("expected UnsatUnderAssumptions, got {other:?}"),
+    }
+}
+
+#[test]
+#[should_panic(expected = "out of range")]
+fn out_of_range_assumption_panics() {
+    let formula = f(&[vec![1, 2]]);
+    let mut solver = Solver::new(&formula, SolverConfig::default());
+    let _ = solver.solve_with_assumptions(&[lit(9)]);
+}
+
+#[test]
+fn globally_unsat_reported_as_unsat() {
+    let mut formula = f(&[vec![1], vec![-1]]);
+    formula.ensure_var(cnf::Var::new(1)); // declare x2 for the assumption
+    let mut solver = Solver::new(&formula, SolverConfig::default());
+    match solver.solve_with_assumptions(&[lit(2)]) {
+        AssumptionResult::Unsat(proof) => assert!(proof.is_some()),
+        other => panic!("expected Unsat, got {other:?}"),
+    }
+}
+
+#[test]
+fn incremental_queries_reuse_learned_clauses() {
+    let formula = cnfgen::pigeonhole_sat(4);
+    let mut solver = Solver::new(&formula, SolverConfig::default());
+    // probe several assumption sets on the same solver
+    let v = |p: usize, h: usize| lit((p * 4 + h + 1) as i32);
+    assert!(matches!(
+        solver.solve_with_assumptions(&[v(0, 0)]),
+        AssumptionResult::Sat(_)
+    ));
+    // pigeon 0 and pigeon 1 both in hole 0 is forbidden
+    match solver.solve_with_assumptions(&[v(0, 0), v(1, 0)]) {
+        AssumptionResult::UnsatUnderAssumptions { failed, .. } => {
+            assert!(failed.len() <= 2);
+        }
+        other => panic!("expected failure, got {other:?}"),
+    }
+    // and a compatible pair still works afterwards
+    assert!(matches!(
+        solver.solve_with_assumptions(&[v(0, 0), v(1, 1)]),
+        AssumptionResult::Sat(_)
+    ));
+}
+
+#[test]
+fn failed_clause_verifies_as_implication() {
+    let formula = f(&[vec![-1, 2], vec![-2, 3], vec![-3, 4]]);
+    let mut solver = Solver::new(&formula, SolverConfig::default());
+    match solver.solve_with_assumptions(&[lit(1), lit(-4)]) {
+        AssumptionResult::UnsatUnderAssumptions { failed, proof } => {
+            let proof = proofver::ConflictClauseProof::new(
+                proof.expect("logged").clauses(),
+            );
+            proofver::verify_implication(&formula, &proof, &failed)
+                .expect("failed clause must be implied");
+        }
+        other => panic!("expected failure, got {other:?}"),
+    }
+}
+
+fn dimacs_lit_strategy(n: i32) -> impl Strategy<Value = i32> {
+    (1..=n).prop_flat_map(|v| prop_oneof![Just(v), Just(-v)])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn assumption_verdicts_match_oracle(
+        clauses in prop::collection::vec(
+            prop::collection::vec(dimacs_lit_strategy(6), 1..=3), 1..25),
+        assumption_names in prop::collection::vec(dimacs_lit_strategy(6), 0..4),
+    ) {
+        let mut formula = CnfFormula::from_dimacs_clauses(&clauses);
+        formula.ensure_var(cnf::Var::new(5));
+        let assumptions: Vec<Lit> =
+            assumption_names.iter().map(|&n| lit(n)).collect();
+
+        // oracle: formula plus assumption units
+        let mut augmented = formula.clone();
+        for &a in &assumptions {
+            augmented.add_clause(cnf::Clause::unit(a));
+        }
+        let expect_sat = augmented.brute_force_satisfiable();
+
+        let mut solver = Solver::new(&formula, SolverConfig::default());
+        match solver.solve_with_assumptions(&assumptions) {
+            AssumptionResult::Sat(model) => {
+                prop_assert!(expect_sat, "oracle disagrees (says UNSAT)");
+                prop_assert!(formula.is_satisfied_by(&model));
+                for &a in &assumptions {
+                    prop_assert!(model.is_true(a), "assumption {a} not honoured");
+                }
+            }
+            AssumptionResult::Unsat(proof) => {
+                prop_assert!(!formula.brute_force_satisfiable(),
+                    "claimed global UNSAT but formula is SAT");
+                let proof =
+                    proofver::ConflictClauseProof::new(proof.expect("logged").clauses());
+                prop_assert!(proofver::verify(&formula, &proof).is_ok());
+            }
+            AssumptionResult::UnsatUnderAssumptions { failed, proof } => {
+                prop_assert!(!expect_sat, "oracle disagrees (says SAT)");
+                // every literal of `failed` is a negated assumption
+                for &l in failed.lits() {
+                    prop_assert!(assumptions.contains(&!l),
+                        "failed-clause literal {} is not a negated assumption", l);
+                }
+                // and the clause is implied by the formula + proof
+                let proof =
+                    proofver::ConflictClauseProof::new(proof.expect("logged").clauses());
+                prop_assert!(
+                    proofver::verify_implication(&formula, &proof, &failed).is_ok(),
+                    "failed clause does not verify"
+                );
+            }
+            AssumptionResult::Unknown => prop_assert!(false, "no budget was set"),
+        }
+    }
+}

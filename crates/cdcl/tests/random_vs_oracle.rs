@@ -1,0 +1,84 @@
+//! Property test: the solver's verdict agrees with exhaustive
+//! enumeration on random small formulas, under every learning scheme.
+
+use cdcl::{solve, LearningScheme, RestartPolicy, SolveResult, SolverConfig};
+use cnf::CnfFormula;
+use proptest::prelude::*;
+
+fn dimacs_lit(n: i32) -> impl Strategy<Value = i32> {
+    (1..=n).prop_flat_map(|v| prop_oneof![Just(v), Just(-v)])
+}
+
+fn formula_strategy(max_var: i32) -> impl Strategy<Value = CnfFormula> {
+    prop::collection::vec(prop::collection::vec(dimacs_lit(max_var), 1..=3), 1..40)
+        .prop_map(|cs| CnfFormula::from_dimacs_clauses(&cs))
+}
+
+fn check_against_oracle(formula: &CnfFormula, config: SolverConfig) {
+    let expected = formula.brute_force_satisfiable();
+    match solve(formula, config) {
+        SolveResult::Sat(model) => {
+            assert!(expected, "solver said SAT but oracle says UNSAT");
+            assert!(formula.is_satisfied_by(&model), "model does not satisfy formula");
+        }
+        SolveResult::Unsat(proof) => {
+            assert!(!expected, "solver said UNSAT but oracle says SAT");
+            let proof = proof.expect("logging enabled");
+            assert!(proof.is_refutation(), "UNSAT without a terminal step");
+        }
+        SolveResult::Unknown => panic!("no budget was set"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    #[test]
+    fn verdict_matches_oracle_first_uip(f in formula_strategy(8)) {
+        check_against_oracle(&f, SolverConfig::default());
+    }
+
+    #[test]
+    fn verdict_matches_oracle_decision_scheme(f in formula_strategy(7)) {
+        let config = SolverConfig::new().learning_scheme(LearningScheme::Decision);
+        check_against_oracle(&f, config);
+    }
+
+    #[test]
+    fn verdict_matches_oracle_mixed_scheme(f in formula_strategy(7)) {
+        let config = SolverConfig::new()
+            .learning_scheme(LearningScheme::Mixed { period: 2 })
+            .restart_policy(RestartPolicy::Fixed { interval: 5 });
+        check_against_oracle(&f, config);
+    }
+
+    #[test]
+    fn verdict_matches_oracle_with_chains(f in formula_strategy(7)) {
+        let config = SolverConfig::new().log_resolution_chains(true);
+        check_against_oracle(&f, config);
+    }
+
+    #[test]
+    fn verdict_stable_across_configs(f in formula_strategy(7)) {
+        let a = solve(&f, SolverConfig::default()).is_sat();
+        let b = solve(
+            &f,
+            SolverConfig::new()
+                .berkmin_decisions(false)
+                .restart_policy(RestartPolicy::Never),
+        )
+        .is_sat();
+        prop_assert_eq!(a, b, "verdict must not depend on heuristics");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn verdict_matches_oracle_with_minimization(f in formula_strategy(7)) {
+        let mut config = SolverConfig::new().log_resolution_chains(true);
+        config.minimize_learned = true;
+        check_against_oracle(&f, config);
+    }
+}

@@ -1,0 +1,83 @@
+//! Deep fuzzing soak — ignored by default; run explicitly with
+//!
+//! ```sh
+//! PROPTEST_CASES=5000 cargo test --release -p cdcl --test soak -- --ignored
+//! ```
+//!
+//! Uses proptest's *default* config so the `PROPTEST_CASES` environment
+//! variable controls the depth (unlike the regular suites, which pin
+//! their case counts for stable CI times).
+
+use cdcl::{LearningScheme, SolveResult, Solver, SolverConfig};
+use cnf::CnfFormula;
+use proptest::prelude::*;
+
+fn dimacs_lit(n: i32) -> impl Strategy<Value = i32> {
+    (1..=n).prop_flat_map(|v| prop_oneof![Just(v), Just(-v)])
+}
+
+fn formula_strategy(max_var: i32) -> impl Strategy<Value = CnfFormula> {
+    prop::collection::vec(prop::collection::vec(dimacs_lit(max_var), 1..=4), 1..50)
+        .prop_map(|cs| CnfFormula::from_dimacs_clauses(&cs))
+}
+
+proptest! {
+    #[test]
+    #[ignore = "soak test; run with --ignored and PROPTEST_CASES"]
+    fn soak_full_pipeline_against_oracle(
+        f in formula_strategy(9),
+        scheme_pick in 0usize..3,
+        minimize in any::<bool>(),
+    ) {
+        let scheme = [
+            LearningScheme::FirstUip,
+            LearningScheme::Decision,
+            LearningScheme::Mixed { period: 3 },
+        ][scheme_pick];
+        let mut config = SolverConfig::new()
+            .learning_scheme(scheme)
+            .log_resolution_chains(true);
+        config.minimize_learned = minimize;
+
+        let expected = f.brute_force_satisfiable();
+        let mut solver = Solver::new(&f, config);
+        match solver.solve() {
+            SolveResult::Sat(model) => {
+                prop_assert!(expected);
+                prop_assert!(f.is_satisfied_by(&model));
+            }
+            SolveResult::Unsat(trace) => {
+                prop_assert!(!expected);
+                let trace = trace.expect("logged");
+                let proof = proofver::ConflictClauseProof::new(trace.clauses());
+                // RUP verification, DRAT verification, parallel
+                // verification, trimming, and the core — all must agree
+                let v = proofver::verify(&f, &proof).expect("verify2");
+                proofver::verify_all(&f, &proof).expect("verify1");
+                proofver::verify_drat(&f, &proof).expect("drat");
+                proofver::verify_all_parallel(&f, &proof, 3).expect("parallel");
+                let trimmed = proofver::trim_proof(&proof, &v.marked_steps);
+                proofver::verify(&f, &trimmed).expect("trimmed");
+                prop_assert!(!v.core.to_formula(&f).brute_force_satisfiable());
+            }
+            SolveResult::Unknown => prop_assert!(false, "no budget set"),
+        }
+    }
+
+    #[test]
+    #[ignore = "soak test; run with --ignored and PROPTEST_CASES"]
+    fn soak_preprocessed_pipeline(f in formula_strategy(8)) {
+        use satverify::{solve_and_verify_preprocessed, PipelineOutcome, SimplifyConfig};
+        let expected = f.brute_force_satisfiable();
+        match solve_and_verify_preprocessed(
+            &f, SimplifyConfig::default(), SolverConfig::default(),
+        ) {
+            Ok(PipelineOutcome::Sat(model)) => {
+                prop_assert!(expected);
+                prop_assert!(f.is_satisfied_by(&model));
+            }
+            Ok(PipelineOutcome::Unsat(_)) => prop_assert!(!expected),
+            Err(e) => prop_assert!(false, "pipeline error: {e}"),
+        }
+    }
+}

@@ -1,0 +1,310 @@
+//! Functional tests for the CDCL solver, cross-checked against the
+//! exhaustive brute-force oracle.
+
+use cdcl::{solve, LearningScheme, RestartPolicy, SolveResult, Solver, SolverConfig};
+use cnf::{Clause, CnfFormula, Lit};
+
+fn f(clauses: &[Vec<i32>]) -> CnfFormula {
+    CnfFormula::from_dimacs_clauses(clauses)
+}
+
+/// Pigeonhole principle PHP(n+1, n): n+1 pigeons into n holes — UNSAT.
+fn php(holes: usize) -> CnfFormula {
+    let pigeons = holes + 1;
+    let mut formula = CnfFormula::new();
+    let var = |p: usize, h: usize| (p * holes + h + 1) as i32;
+    for p in 0..pigeons {
+        formula.add_dimacs_clause(&(0..holes).map(|h| var(p, h)).collect::<Vec<_>>());
+    }
+    for h in 0..holes {
+        for p1 in 0..pigeons {
+            for p2 in p1 + 1..pigeons {
+                formula.add_dimacs_clause(&[-var(p1, h), -var(p2, h)]);
+            }
+        }
+    }
+    formula
+}
+
+#[test]
+fn sat_on_trivial_formulas() {
+    assert!(solve(&f(&[]), SolverConfig::default()).is_sat());
+    assert!(solve(&f(&[vec![1]]), SolverConfig::default()).is_sat());
+    assert!(solve(&f(&[vec![1, 2], vec![-1, 2]]), SolverConfig::default()).is_sat());
+}
+
+#[test]
+fn sat_model_satisfies_formula() {
+    let formula = f(&[vec![1, 2, 3], vec![-1, -2], vec![-2, -3], vec![2, 3]]);
+    match solve(&formula, SolverConfig::default()) {
+        SolveResult::Sat(model) => assert!(formula.is_satisfied_by(&model)),
+        other => panic!("expected SAT, got {other:?}"),
+    }
+}
+
+#[test]
+fn unsat_on_conflicting_units() {
+    let result = solve(&f(&[vec![1], vec![-1]]), SolverConfig::default());
+    assert!(result.is_unsat());
+    let proof = result.into_proof().expect("logged");
+    assert!(proof.is_refutation());
+}
+
+#[test]
+fn unsat_on_empty_clause() {
+    let mut formula = f(&[vec![1, 2]]);
+    formula.add_clause(Clause::empty());
+    let result = solve(&formula, SolverConfig::default());
+    assert!(result.is_unsat());
+    assert!(result.into_proof().expect("logged").is_refutation());
+}
+
+#[test]
+fn unsat_via_propagation_only() {
+    // units force a conflict through a 3-clause without any decision
+    let formula = f(&[vec![1], vec![2], vec![-1, -2, 3], vec![-3]]);
+    let result = solve(&formula, SolverConfig::default());
+    assert!(result.is_unsat());
+    let proof = result.into_proof().expect("logged");
+    assert!(proof.is_refutation());
+    assert_eq!(proof.len(), 1, "only the terminal step is needed");
+    assert!(proof.steps[0].num_resolutions > 0);
+}
+
+#[test]
+fn unsat_xor_square() {
+    let formula = f(&[vec![1, 2], vec![-1, -2], vec![1, -2], vec![-1, 2]]);
+    let result = solve(&formula, SolverConfig::default());
+    assert!(result.is_unsat());
+    let proof = result.into_proof().expect("logged");
+    assert!(proof.is_refutation());
+    assert!(!proof.steps.is_empty());
+}
+
+#[test]
+fn php_unsat_under_every_scheme() {
+    for scheme in [
+        LearningScheme::FirstUip,
+        LearningScheme::Decision,
+        LearningScheme::Mixed { period: 4 },
+    ] {
+        let config = SolverConfig::new().learning_scheme(scheme);
+        let result = solve(&php(4), config);
+        assert!(result.is_unsat(), "php(4) must be UNSAT under {scheme}");
+        assert!(result.into_proof().expect("logged").is_refutation());
+    }
+}
+
+#[test]
+fn php_unsat_without_berkmin_heuristic() {
+    let config = SolverConfig::new().berkmin_decisions(false);
+    assert!(solve(&php(4), config).is_unsat());
+}
+
+#[test]
+fn php_unsat_with_fixed_restarts_and_no_reduce() {
+    let config = SolverConfig::new()
+        .restart_policy(RestartPolicy::Fixed { interval: 10 })
+        .enable_reduce(false);
+    assert!(solve(&php(5), config).is_unsat());
+}
+
+#[test]
+fn decision_scheme_learns_global_clauses() {
+    let mut solver = Solver::new(
+        &php(4),
+        SolverConfig::new().learning_scheme(LearningScheme::Decision),
+    );
+    assert!(solver.solve().is_unsat());
+    assert!(solver.stats().global_clauses > 0);
+    assert_eq!(solver.stats().local_clauses, 0);
+}
+
+#[test]
+fn mixed_scheme_learns_both_kinds() {
+    let mut solver = Solver::new(
+        &php(5),
+        SolverConfig::new().learning_scheme(LearningScheme::Mixed { period: 3 }),
+    );
+    assert!(solver.solve().is_unsat());
+    let stats = *solver.stats();
+    assert!(stats.global_clauses > 0, "{stats}");
+    assert!(stats.local_clauses > 0, "{stats}");
+}
+
+#[test]
+fn decision_clauses_cost_more_resolutions() {
+    let mut local = Solver::new(&php(5), SolverConfig::default());
+    assert!(local.solve().is_unsat());
+    let mut global =
+        Solver::new(&php(5), SolverConfig::new().learning_scheme(LearningScheme::Decision));
+    assert!(global.solve().is_unsat());
+    let res_per_clause_local =
+        local.stats().resolutions as f64 / local.stats().conflicts.max(1) as f64;
+    let res_per_clause_global =
+        global.stats().resolutions as f64 / global.stats().conflicts.max(1) as f64;
+    assert!(
+        res_per_clause_global > res_per_clause_local,
+        "global clauses should take more resolutions per clause \
+         ({res_per_clause_global} vs {res_per_clause_local})"
+    );
+}
+
+#[test]
+fn proof_logging_can_be_disabled() {
+    let result = solve(&php(3), SolverConfig::new().log_proof(false));
+    assert!(result.is_unsat());
+    assert!(result.into_proof().is_none());
+}
+
+#[test]
+fn stats_accumulate() {
+    let mut solver = Solver::new(&php(4), SolverConfig::default());
+    assert!(solver.solve().is_unsat());
+    let stats = solver.stats();
+    assert!(stats.conflicts > 0);
+    assert!(stats.decisions > 0);
+    assert!(stats.propagations > 0);
+    assert!(stats.resolutions > 0);
+    assert!(stats.proof_literals > 0);
+}
+
+#[test]
+fn conflict_budget_reports_unknown() {
+    let result = solve(&php(7), SolverConfig::new().max_conflicts(Some(3)));
+    assert!(matches!(result, SolveResult::Unknown));
+}
+
+#[test]
+fn proof_clause_count_matches_conflicts() {
+    let mut solver = Solver::new(&php(4), SolverConfig::default());
+    let result = solver.solve();
+    let proof = result.into_proof().expect("logged");
+    // every conflict logs exactly one step (the terminal conflict logs
+    // the empty clause)
+    assert_eq!(proof.len() as u64, solver.stats().conflicts);
+}
+
+#[test]
+fn chains_recorded_when_requested() {
+    let config = SolverConfig::new().log_resolution_chains(true);
+    let result = solve(&php(4), config);
+    let proof = result.into_proof().expect("logged");
+    assert!(proof.has_chains());
+    for step in &proof.steps {
+        let chain = step.antecedents.as_ref().expect("chain present");
+        // a chain of k+1 clauses performs k resolutions
+        assert_eq!(chain.len() as u64, step.num_resolutions + 1, "{step:?}");
+    }
+}
+
+#[test]
+fn larger_pigeonhole_instances_complete() {
+    for holes in [6, 7] {
+        let result = solve(&php(holes), SolverConfig::default());
+        assert!(result.is_unsat(), "php({holes})");
+    }
+}
+
+#[test]
+fn repeated_solve_returns_same_verdict() {
+    let mut sat_solver = Solver::new(&f(&[vec![1, 2]]), SolverConfig::default());
+    assert!(sat_solver.solve().is_sat());
+    assert!(sat_solver.solve().is_sat());
+}
+
+#[test]
+fn minimization_shortens_proofs_and_stays_correct() {
+    let formula = php(6);
+    let mut plain = Solver::new(&formula, SolverConfig::default());
+    assert!(plain.solve().is_unsat());
+    let mut minimized = Solver::new(&formula, SolverConfig::new().minimize_learned(true));
+    let result = minimized.solve();
+    assert!(result.is_unsat());
+    assert!(
+        minimized.stats().minimized_literals > 0,
+        "php6 offers redundant literals to remove"
+    );
+    // fewer proof literals per clause on average
+    let plain_avg =
+        plain.stats().proof_literals as f64 / plain.stats().conflicts.max(1) as f64;
+    let min_avg = minimized.stats().proof_literals as f64
+        / minimized.stats().conflicts.max(1) as f64;
+    assert!(
+        min_avg <= plain_avg,
+        "minimised clauses should be shorter on average ({min_avg} vs {plain_avg})"
+    );
+}
+
+#[test]
+fn minimized_chains_still_rederive_clauses_exactly() {
+    let config = SolverConfig::new()
+        .minimize_learned(true)
+        .log_resolution_chains(true);
+    let result = solve(&php(4), config);
+    let proof = result.into_proof().expect("UNSAT");
+    assert!(proof.has_chains());
+    for step in &proof.steps {
+        let chain = step.antecedents.as_ref().expect("chains");
+        assert_eq!(chain.len() as u64, step.num_resolutions + 1);
+    }
+}
+
+#[test]
+fn incremental_clause_addition_narrows_models() {
+    let formula = f(&[vec![1, 2, 3]]);
+    let mut solver = Solver::new(&formula, SolverConfig::default());
+    assert!(solver.solve().is_sat());
+    // forbid x1 and x2: only x3 remains
+    solver.add_clause(&[Lit::from_dimacs(-1)]);
+    solver.add_clause(&[Lit::from_dimacs(-2)]);
+    match solver.solve() {
+        SolveResult::Sat(model) => {
+            assert!(model.is_true(Lit::from_dimacs(3)));
+            assert!(model.is_true(Lit::from_dimacs(-1)));
+        }
+        other => panic!("expected SAT, got {other:?}"),
+    }
+    // forbid x3 too: UNSAT, but the proof is tainted (None)
+    solver.add_clause(&[Lit::from_dimacs(-3)]);
+    match solver.solve() {
+        SolveResult::Unsat(proof) => assert!(proof.is_none(), "tainted trace"),
+        other => panic!("expected UNSAT, got {other:?}"),
+    }
+}
+
+#[test]
+fn add_clause_mid_search_state_is_consistent() {
+    // add clauses between solves with assumptions in the mix
+    let mut formula = f(&[vec![1, 2], vec![-1, 3], vec![-2, 3]]);
+    formula.ensure_var(cnf::Var::new(3)); // declare x4 up front
+    let mut solver = Solver::new(&formula, SolverConfig::default());
+    assert!(solver.solve().is_sat());
+    solver.add_clause(&[Lit::from_dimacs(-3), Lit::from_dimacs(4)]);
+    match solver.solve_with_assumptions(&[Lit::from_dimacs(-4)]) {
+        cdcl::AssumptionResult::UnsatUnderAssumptions { failed, .. } => {
+            // ¬4 fails: 3 is forced, then 4 is forced
+            assert!(failed.lits().iter().all(|l| *l == Lit::from_dimacs(4)));
+        }
+        cdcl::AssumptionResult::Sat(m) => {
+            panic!("¬4 should be impossible: {m}")
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn add_empty_clause_makes_unsat() {
+    let formula = f(&[vec![1, 2]]);
+    let mut solver = Solver::new(&formula, SolverConfig::default());
+    solver.add_clause(&[]);
+    assert!(solver.solve().is_unsat());
+}
+
+#[test]
+#[should_panic(expected = "out of range")]
+fn add_clause_rejects_unknown_vars() {
+    let formula = f(&[vec![1]]);
+    let mut solver = Solver::new(&formula, SolverConfig::default());
+    solver.add_clause(&[Lit::from_dimacs(9)]);
+}

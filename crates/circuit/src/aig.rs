@@ -1,0 +1,622 @@
+//! And-Inverter Graphs with structural hashing.
+//!
+//! The canonical intermediate representation of equivalence-checking
+//! front-ends [4, 8]: every gate is a 2-input AND, inversion is a
+//! complement bit on edges, and *structural hashing* merges syntactically
+//! identical gates on construction. Converting a netlist to an AIG
+//! before Tseitin encoding shrinks the CNF the SAT solver (and therefore
+//! the proof checker) has to process.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use cnf::{Clause, CnfFormula, Var};
+
+use crate::netlist::{Gate, Netlist};
+
+/// An edge into an AIG node: a node index plus a complement bit.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AigEdge(u32);
+
+impl AigEdge {
+    fn new(node: u32, complement: bool) -> Self {
+        AigEdge(node << 1 | u32::from(complement))
+    }
+
+    /// The node this edge points to.
+    #[must_use]
+    pub fn node(self) -> usize {
+        (self.0 >> 1) as usize
+    }
+
+    /// Whether the edge inverts the node's value.
+    #[must_use]
+    pub fn is_complemented(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// The complemented edge (logical NOT — free in an AIG).
+    #[must_use]
+    pub fn complement(self) -> Self {
+        AigEdge(self.0 ^ 1)
+    }
+}
+
+impl fmt::Debug for AigEdge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_complemented() {
+            write!(f, "!a{}", self.node())
+        } else {
+            write!(f, "a{}", self.node())
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum AigNode {
+    /// Node 0: constant false.
+    ConstFalse,
+    /// A primary input (index into the input list).
+    Input(usize),
+    /// A 2-input AND of two edges.
+    And(AigEdge, AigEdge),
+}
+
+/// An And-Inverter Graph.
+///
+/// # Examples
+///
+/// ```
+/// use circuit::Aig;
+///
+/// let mut aig = Aig::new();
+/// let a = aig.input();
+/// let b = aig.input();
+/// let g1 = aig.and2(a, b);
+/// let g2 = aig.and2(b, a); // structurally identical
+/// assert_eq!(g1, g2, "strashing merges commuted ANDs");
+/// assert_eq!(aig.num_ands(), 1);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Aig {
+    nodes: Vec<AigNode>,
+    strash: HashMap<(AigEdge, AigEdge), u32>,
+    num_inputs: usize,
+    outputs: Vec<(String, AigEdge)>,
+}
+
+impl Aig {
+    /// Creates an AIG containing only the constant node.
+    #[must_use]
+    pub fn new() -> Self {
+        Aig {
+            nodes: vec![AigNode::ConstFalse],
+            strash: HashMap::new(),
+            num_inputs: 0,
+            outputs: Vec::new(),
+        }
+    }
+
+    /// The constant-false edge.
+    #[must_use]
+    pub fn false_edge(&self) -> AigEdge {
+        AigEdge::new(0, false)
+    }
+
+    /// The constant-true edge.
+    #[must_use]
+    pub fn true_edge(&self) -> AigEdge {
+        AigEdge::new(0, true)
+    }
+
+    /// Adds a primary input.
+    pub fn input(&mut self) -> AigEdge {
+        let idx = self.num_inputs;
+        self.num_inputs += 1;
+        let node = self.push(AigNode::Input(idx));
+        AigEdge::new(node, false)
+    }
+
+    fn push(&mut self, node: AigNode) -> u32 {
+        let id = u32::try_from(self.nodes.len()).expect("aig fits in u32");
+        self.nodes.push(node);
+        id
+    }
+
+    /// AND of two edges, with constant folding and structural hashing.
+    pub fn and2(&mut self, a: AigEdge, b: AigEdge) -> AigEdge {
+        // constant folding
+        if a == self.false_edge() || b == self.false_edge() || a == b.complement() {
+            return self.false_edge();
+        }
+        if a == self.true_edge() {
+            return b;
+        }
+        if b == self.true_edge() || a == b {
+            return a;
+        }
+        // canonical operand order for hashing
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        if let Some(&node) = self.strash.get(&(a, b)) {
+            return AigEdge::new(node, false);
+        }
+        let node = self.push(AigNode::And(a, b));
+        self.strash.insert((a, b), node);
+        AigEdge::new(node, false)
+    }
+
+    /// OR by De Morgan.
+    pub fn or2(&mut self, a: AigEdge, b: AigEdge) -> AigEdge {
+        self.and2(a.complement(), b.complement()).complement()
+    }
+
+    /// XOR from two ANDs.
+    pub fn xor2(&mut self, a: AigEdge, b: AigEdge) -> AigEdge {
+        let l = self.and2(a, b.complement());
+        let r = self.and2(a.complement(), b);
+        self.or2(l, r)
+    }
+
+    /// Multiplexer `sel ? a : b`.
+    pub fn mux(&mut self, sel: AigEdge, a: AigEdge, b: AigEdge) -> AigEdge {
+        let t = self.and2(sel, a);
+        let e = self.and2(sel.complement(), b);
+        self.or2(t, e)
+    }
+
+    /// Registers a named output.
+    pub fn set_output(&mut self, name: impl Into<String>, edge: AigEdge) {
+        self.outputs.push((name.into(), edge));
+    }
+
+    /// Named outputs.
+    #[must_use]
+    pub fn outputs(&self) -> &[(String, AigEdge)] {
+        &self.outputs
+    }
+
+    /// Number of primary inputs.
+    #[must_use]
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// Number of AND nodes — the standard AIG size metric.
+    #[must_use]
+    pub fn num_ands(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, AigNode::And(_, _)))
+            .count()
+    }
+
+    /// Total node count (constant + inputs + ANDs).
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Evaluates the AIG on the given input values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the number of inputs.
+    #[must_use]
+    pub fn evaluate(&self, inputs: &[bool]) -> AigValues {
+        assert_eq!(inputs.len(), self.num_inputs, "wrong number of input values");
+        let mut values = vec![false; self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            values[i] = match *node {
+                AigNode::ConstFalse => false,
+                AigNode::Input(k) => inputs[k],
+                AigNode::And(a, b) => {
+                    (values[a.node()] ^ a.is_complemented())
+                        && (values[b.node()] ^ b.is_complemented())
+                }
+            };
+        }
+        AigValues { values }
+    }
+
+    /// The edges of the primary inputs, in creation order.
+    #[must_use]
+    pub fn input_edges(&self) -> Vec<AigEdge> {
+        let mut edges = vec![None; self.num_inputs];
+        for (i, node) in self.nodes.iter().enumerate() {
+            if let AigNode::Input(k) = node {
+                edges[*k] = Some(AigEdge::new(i as u32, false));
+            }
+        }
+        edges.into_iter().map(|e| e.expect("every input has a node")).collect()
+    }
+
+    /// The uncomplemented edge of the node at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn node_edge(&self, index: usize) -> AigEdge {
+        assert!(index < self.nodes.len(), "node index out of range");
+        AigEdge::new(index as u32, false)
+    }
+
+    /// Iterates the uncomplemented edge of every node, in topological
+    /// order (constant, inputs, then ANDs) — the node universe a SAT
+    /// sweep partitions into equivalence classes.
+    pub fn edges(&self) -> impl Iterator<Item = AigEdge> {
+        (0..self.nodes.len() as u32).map(|n| AigEdge::new(n, false))
+    }
+
+    /// The fan-in edges of the AND node at `index`, or `None` for the
+    /// constant and input nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn and_fanins(&self, index: usize) -> Option<(AigEdge, AigEdge)> {
+        match self.nodes[index] {
+            AigNode::And(a, b) => Some((a, b)),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` when the input nodes occupy positions
+    /// `1..=num_inputs` (i.e. all inputs were created before any AND) —
+    /// the layout the AIGER writer requires.
+    #[must_use]
+    pub fn inputs_are_leading(&self) -> bool {
+        self.nodes
+            .iter()
+            .skip(1)
+            .take(self.num_inputs)
+            .all(|n| matches!(n, AigNode::Input(_)))
+    }
+
+    /// Evaluates 64 input patterns at once, bit-parallel: `inputs[i]`
+    /// packs 64 values of input `i`, one per bit; the result packs 64
+    /// values per node. This is the workhorse of SAT sweeping, where
+    /// random-simulation signatures partition nodes into candidate
+    /// equivalence classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the number of inputs.
+    #[must_use]
+    pub fn evaluate64(&self, inputs: &[u64]) -> Vec<u64> {
+        assert_eq!(inputs.len(), self.num_inputs, "wrong number of input words");
+        let mut values = vec![0u64; self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            values[i] = match *node {
+                AigNode::ConstFalse => 0,
+                AigNode::Input(k) => inputs[k],
+                AigNode::And(a, b) => {
+                    let va = values[a.node()] ^ if a.is_complemented() { u64::MAX } else { 0 };
+                    let vb = values[b.node()] ^ if b.is_complemented() { u64::MAX } else { 0 };
+                    va & vb
+                }
+            };
+        }
+        values
+    }
+
+    /// Tseitin-encodes the AIG: one CNF variable per node, three clauses
+    /// per AND. Returns the formula and the node→variable map; the
+    /// constant node's variable is pinned false.
+    #[must_use]
+    pub fn encode(&self) -> AigEncoding {
+        let mut formula = CnfFormula::new();
+        let vars: Vec<Var> = (0..self.nodes.len()).map(|_| formula.new_var()).collect();
+        for (i, node) in self.nodes.iter().enumerate() {
+            let y = vars[i].positive();
+            match *node {
+                AigNode::ConstFalse => formula.add_clause(Clause::unit(!y)),
+                AigNode::Input(_) => {}
+                AigNode::And(a, b) => {
+                    let la = vars[a.node()].lit(!a.is_complemented());
+                    let lb = vars[b.node()].lit(!b.is_complemented());
+                    formula.add_clause(Clause::binary(!y, la));
+                    formula.add_clause(Clause::binary(!y, lb));
+                    formula.add_clause(Clause::new(vec![y, !la, !lb]));
+                }
+            }
+        }
+        AigEncoding { formula, vars }
+    }
+}
+
+/// Evaluated node values of an [`Aig`].
+#[derive(Clone, Debug)]
+pub struct AigValues {
+    values: Vec<bool>,
+}
+
+impl AigValues {
+    /// The value carried by an edge.
+    #[must_use]
+    pub fn edge(&self, e: AigEdge) -> bool {
+        self.values[e.node()] ^ e.is_complemented()
+    }
+}
+
+/// CNF encoding of an [`Aig`].
+#[derive(Clone, Debug)]
+pub struct AigEncoding {
+    formula: CnfFormula,
+    vars: Vec<Var>,
+}
+
+impl AigEncoding {
+    /// The accumulated formula.
+    #[must_use]
+    pub fn formula(&self) -> &CnfFormula {
+        &self.formula
+    }
+
+    /// The accumulated formula (consuming).
+    #[must_use]
+    pub fn into_formula(self) -> CnfFormula {
+        self.formula
+    }
+
+    /// The literal representing an edge.
+    #[must_use]
+    pub fn lit(&self, e: AigEdge) -> cnf::Lit {
+        self.vars[e.node()].lit(!e.is_complemented())
+    }
+
+    /// Constrains an edge to a fixed value.
+    pub fn assert_edge(&mut self, e: AigEdge, value: bool) {
+        let lit = if value { self.lit(e) } else { !self.lit(e) };
+        self.formula.add_clause(Clause::unit(lit));
+    }
+}
+
+/// Converts the combinational logic of a netlist into an AIG, with
+/// structural hashing and constant folding applied on the fly. Latch
+/// outputs become fresh AIG inputs appended after the primary inputs —
+/// the usual "cut at the registers" view.
+///
+/// Returns the AIG and, for each netlist node, its AIG edge. The
+/// netlist's named outputs are carried over.
+#[must_use]
+pub fn netlist_to_aig(netlist: &Netlist) -> (Aig, Vec<AigEdge>) {
+    let mut aig = Aig::new();
+    let mut map: Vec<AigEdge> = Vec::with_capacity(netlist.num_nodes());
+    // primary inputs first so indices line up
+    let mut input_edges = Vec::with_capacity(netlist.num_inputs());
+    for _ in 0..netlist.num_inputs() {
+        input_edges.push(aig.input());
+    }
+    for gate in netlist.gates() {
+        let edge = match *gate {
+            Gate::Input(i) => input_edges[i],
+            Gate::Const(b) => {
+                if b {
+                    aig.true_edge()
+                } else {
+                    aig.false_edge()
+                }
+            }
+            Gate::Not(x) => map[x.index()].complement(),
+            Gate::And(a, b) => aig.and2(map[a.index()], map[b.index()]),
+            Gate::Or(a, b) => aig.or2(map[a.index()], map[b.index()]),
+            Gate::Xor(a, b) => aig.xor2(map[a.index()], map[b.index()]),
+            Gate::Latch(_) => aig.input(), // cut at registers
+        };
+        map.push(edge);
+    }
+    for (name, node) in netlist.outputs() {
+        aig.set_output(name.clone(), map[node.index()]);
+    }
+    (aig, map)
+}
+
+/// Encodes a netlist to CNF *through* an AIG — structural hashing and
+/// constant folding first, Tseitin second — asserting `node` to `value`.
+/// Produces an equisatisfiable but typically much smaller formula than
+/// [`encode`](crate::encode) on the raw netlist.
+#[must_use]
+pub fn encode_via_aig(
+    netlist: &Netlist,
+    node: crate::netlist::NodeId,
+    value: bool,
+) -> CnfFormula {
+    let (aig, map) = netlist_to_aig(netlist);
+    let mut enc = aig.encode();
+    enc.assert_edge(map[node.index()], value);
+    enc.into_formula()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blocks::{barrel_shifter_decoded, ripple_carry_adder};
+    use crate::sim::Simulator;
+
+    #[test]
+    fn folding_rules() {
+        let mut aig = Aig::new();
+        let a = aig.input();
+        let f = aig.false_edge();
+        let t = aig.true_edge();
+        assert_eq!(aig.and2(a, f), f);
+        assert_eq!(aig.and2(t, a), a);
+        assert_eq!(aig.and2(a, a), a);
+        assert_eq!(aig.and2(a, a.complement()), f);
+        assert_eq!(aig.num_ands(), 0, "all folded");
+    }
+
+    #[test]
+    fn strashing_merges_duplicates() {
+        let mut aig = Aig::new();
+        let a = aig.input();
+        let b = aig.input();
+        let c = aig.input();
+        let x1 = aig.and2(a, b);
+        let x2 = aig.and2(b, a);
+        assert_eq!(x1, x2);
+        let y1 = aig.or2(x1, c);
+        let y2 = aig.or2(x2, c);
+        assert_eq!(y1, y2);
+        // xor built twice shares everything
+        let z1 = aig.xor2(a, b);
+        let z2 = aig.xor2(b, a);
+        assert_eq!(z1, z2);
+    }
+
+    #[test]
+    fn evaluation_matches_semantics() {
+        let mut aig = Aig::new();
+        let a = aig.input();
+        let b = aig.input();
+        let and = aig.and2(a, b);
+        let or = aig.or2(a, b);
+        let xor = aig.xor2(a, b);
+        let m = aig.mux(a, b, xor);
+        for (va, vb) in [(false, false), (false, true), (true, false), (true, true)] {
+            let v = aig.evaluate(&[va, vb]);
+            assert_eq!(v.edge(and), va && vb);
+            assert_eq!(v.edge(or), va || vb);
+            assert_eq!(v.edge(xor), va ^ vb);
+            assert_eq!(v.edge(m), if va { vb } else { va ^ vb });
+            assert_eq!(v.edge(a.complement()), !va);
+        }
+    }
+
+    #[test]
+    fn netlist_conversion_preserves_function() {
+        let mut n = Netlist::new();
+        let a = n.inputs(3);
+        let b = n.inputs(3);
+        let (sum, cout) = ripple_carry_adder(&mut n, &a, &b);
+        for (i, &s) in sum.iter().enumerate() {
+            n.set_output(format!("s{i}"), s);
+        }
+        n.set_output("cout", cout);
+        let (aig, map) = netlist_to_aig(&n);
+        let sim = Simulator::new(&n);
+        for bits in 0u32..64 {
+            let inputs: Vec<bool> = (0..6).map(|i| bits >> i & 1 == 1).collect();
+            let vn = sim.evaluate(&inputs);
+            let va = aig.evaluate(&inputs);
+            for (_, node) in n.outputs() {
+                assert_eq!(vn.node(*node), va.edge(map[node.index()]), "{bits:b}");
+            }
+        }
+    }
+
+    #[test]
+    fn strashing_shrinks_redundant_structures() {
+        // the decoded barrel shifter instantiates the same decoder terms
+        // over and over — strashing must collapse a large fraction
+        let mut n = Netlist::new();
+        let a = n.inputs(8);
+        let sh = n.inputs(3);
+        let out = barrel_shifter_decoded(&mut n, &a, &sh);
+        for (i, &o) in out.iter().enumerate() {
+            n.set_output(format!("o{i}"), o);
+        }
+        let (aig, _) = netlist_to_aig(&n);
+        assert!(
+            aig.num_ands() * 2 < n.num_nodes(),
+            "AIG ({} ands) should be much smaller than the netlist ({} nodes)",
+            aig.num_ands(),
+            n.num_nodes()
+        );
+    }
+
+    #[test]
+    fn encoding_is_consistent_with_evaluation() {
+        let mut aig = Aig::new();
+        let a = aig.input();
+        let b = aig.input();
+        let x = aig.xor2(a, b);
+        aig.set_output("x", x);
+        for (va, vb) in [(false, false), (false, true), (true, false), (true, true)] {
+            let expect = aig.evaluate(&[va, vb]).edge(x);
+            let mut enc = aig.encode();
+            enc.assert_edge(a, va);
+            enc.assert_edge(b, vb);
+            enc.assert_edge(x, !expect);
+            assert!(
+                !enc.formula().brute_force_satisfiable(),
+                "wrong output value must be unsatisfiable"
+            );
+            let mut enc2 = aig.encode();
+            enc2.assert_edge(a, va);
+            enc2.assert_edge(b, vb);
+            enc2.assert_edge(x, expect);
+            assert!(enc2.formula().brute_force_satisfiable());
+        }
+    }
+
+    #[test]
+    fn encode_via_aig_is_equisatisfiable_and_smaller() {
+        use crate::miter::build_miter;
+        use crate::blocks::carry_select_adder;
+        let width = 4;
+        let (netlist, diff) = build_miter(
+            2 * width,
+            |n, io| {
+                let (s, c) = ripple_carry_adder(n, &io[..width], &io[width..]);
+                let mut out = s; out.push(c); out
+            },
+            |n, io| {
+                let (s, c) = carry_select_adder(n, &io[..width], &io[width..], 2);
+                let mut out = s; out.push(c); out
+            },
+        );
+        let via_aig = encode_via_aig(&netlist, diff, true);
+        let mut plain = crate::tseitin::encode(&netlist);
+        plain.assert_node(diff, true);
+        let plain = plain.into_formula();
+        assert!(via_aig.num_clauses() < plain.num_clauses(),
+            "aig {} vs plain {}", via_aig.num_clauses(), plain.num_clauses());
+        // both UNSAT (equivalent adders)
+        assert!(cdcl::solve(&via_aig, cdcl::SolverConfig::default()).is_unsat());
+        assert!(cdcl::solve(&plain, cdcl::SolverConfig::default()).is_unsat());
+    }
+
+    #[test]
+    fn evaluate64_agrees_with_scalar_evaluation() {
+        let mut aig = Aig::new();
+        let a = aig.input();
+        let b = aig.input();
+        let c = aig.input();
+        let g1 = aig.and2(a, b);
+        let g2 = aig.xor2(g1, c);
+        let g3 = aig.mux(c, a, g2);
+        // pack all 8 input combinations into the low bits of one word
+        let words: Vec<u64> = (0..3)
+            .map(|i| {
+                (0u64..8).fold(0, |acc, bits| acc | ((bits >> i & 1) << bits))
+            })
+            .collect();
+        let wide = aig.evaluate64(&words);
+        for bits in 0..8u64 {
+            let scalar: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
+            let v = aig.evaluate(&scalar);
+            for e in [g1, g2, g3] {
+                let wide_bit = (wide[e.node()] >> bits) & 1 == 1;
+                assert_eq!(
+                    wide_bit ^ e.is_complemented(),
+                    v.edge(e),
+                    "edge {e:?} at {bits:b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn latches_become_cut_inputs() {
+        let mut n = Netlist::new();
+        let q = n.latch(false);
+        let nq = n.not(q);
+        n.connect_next(q, nq);
+        n.set_output("q", q);
+        let (aig, _) = netlist_to_aig(&n);
+        assert_eq!(aig.num_inputs(), 1, "latch output becomes an input");
+    }
+}

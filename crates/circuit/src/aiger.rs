@@ -1,0 +1,419 @@
+//! AIGER ASCII (`aag`) format support.
+//!
+//! AIGER is the interchange format of the hardware model-checking
+//! community; supporting it lets real benchmark circuits flow into this
+//! workspace's pipeline. The ASCII variant is implemented:
+//!
+//! ```text
+//! aag M I L O A
+//! <I input literal lines>
+//! <L latch lines: current next [init]>
+//! <O output literal lines>
+//! <A and lines: lhs rhs0 rhs1>
+//! ```
+//!
+//! Literals are `2·var (+1 if negated)`; literal 0 is constant false,
+//! literal 1 constant true. Latch reset defaults to 0 per the AIGER 1.9
+//! convention; an optional third field gives 0/1 (symbolic resets are
+//! not supported).
+
+use std::error::Error;
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+use crate::aig::{Aig, AigEdge};
+
+/// An error produced while parsing an AIGER file.
+#[derive(Debug)]
+pub enum ParseAigerError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Missing or malformed `aag` header.
+    BadHeader {
+        /// The header line as read.
+        text: String,
+    },
+    /// A malformed body line.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// The offending text.
+        text: String,
+    },
+    /// An AND's left-hand side is not an even, fresh literal, or a
+    /// right-hand side refers to an undefined variable.
+    BadAnd {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// The file uses a feature this reader does not support (symbolic
+    /// latch resets, binary `aig` format).
+    Unsupported {
+        /// Description of the unsupported feature.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for ParseAigerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseAigerError::Io(e) => write!(f, "i/o error: {e}"),
+            ParseAigerError::BadHeader { text } => {
+                write!(f, "malformed aag header {text:?}")
+            }
+            ParseAigerError::BadLine { line, text } => {
+                write!(f, "line {line}: malformed line {text:?}")
+            }
+            ParseAigerError::BadAnd { line } => {
+                write!(f, "line {line}: invalid and-gate definition")
+            }
+            ParseAigerError::Unsupported { what } => write!(f, "unsupported: {what}"),
+        }
+    }
+}
+
+impl Error for ParseAigerError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ParseAigerError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ParseAigerError {
+    fn from(e: io::Error) -> Self {
+        ParseAigerError::Io(e)
+    }
+}
+
+/// A latch read from an AIGER file (cut open as an extra input in the
+/// returned combinational [`Aig`]).
+#[derive(Clone, Copy, Debug)]
+pub struct AigerLatch {
+    /// The edge representing the latch's current state.
+    pub state: AigEdge,
+    /// The edge computing the next state.
+    pub next: AigEdge,
+    /// Reset value.
+    pub init: bool,
+}
+
+/// The result of [`parse_aiger`].
+#[derive(Clone, Debug)]
+pub struct AigerFile {
+    /// The combinational AIG (latches appear as extra inputs appended
+    /// after the primary inputs, in latch order).
+    pub aig: Aig,
+    /// Number of *primary* inputs (the first `num_inputs` AIG inputs).
+    pub num_inputs: usize,
+    /// The latches.
+    pub latches: Vec<AigerLatch>,
+    /// Output edges, in file order.
+    pub outputs: Vec<AigEdge>,
+}
+
+/// Parses an AIGER ASCII (`aag`) file.
+///
+/// # Errors
+///
+/// Returns [`ParseAigerError`] on I/O failure or malformed input.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // half adder: sum = i0 ^ i1 (via 3 ands), carry = i0 & i1
+/// let text = "aag 5 2 0 2 3\n2\n4\n10\n6\n6 2 4\n8 3 5\n10 7 9\n";
+/// let file = circuit::parse_aiger(text.as_bytes())?;
+/// assert_eq!(file.num_inputs, 2);
+/// assert_eq!(file.outputs.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_aiger<R: BufRead>(reader: R) -> Result<AigerFile, ParseAigerError> {
+    let mut lines = reader.lines().enumerate();
+    let header = loop {
+        match lines.next() {
+            Some((_, line)) => {
+                let line = line?;
+                if !line.trim().is_empty() {
+                    break line;
+                }
+            }
+            None => {
+                return Err(ParseAigerError::BadHeader { text: String::new() })
+            }
+        }
+    };
+    let fields: Vec<&str> = header.split_whitespace().collect();
+    if fields.first() == Some(&"aig") {
+        return Err(ParseAigerError::Unsupported { what: "binary aig format" });
+    }
+    if fields.len() != 6 || fields[0] != "aag" {
+        return Err(ParseAigerError::BadHeader { text: header.clone() });
+    }
+    let nums: Vec<usize> = fields[1..]
+        .iter()
+        .map(|t| t.parse::<usize>())
+        .collect::<Result<_, _>>()
+        .map_err(|_| ParseAigerError::BadHeader { text: header.clone() })?;
+    let (max_var, num_inputs, num_latches, num_outputs, num_ands) =
+        (nums[0], nums[1], nums[2], nums[3], nums[4]);
+
+    let mut next_line = |expect: &str| -> Result<(usize, String), ParseAigerError> {
+        for (lineno, line) in lines.by_ref() {
+            let line = line?;
+            if line.trim().is_empty() || line.trim_start().starts_with('c') {
+                // 'c' begins the comment section in AIGER; stop reading
+                if line.trim_start().starts_with('c') {
+                    return Err(ParseAigerError::BadLine {
+                        line: lineno + 1,
+                        text: format!("unexpected end of {expect} section"),
+                    });
+                }
+                continue;
+            }
+            return Ok((lineno + 1, line));
+        }
+        Err(ParseAigerError::BadLine { line: 0, text: format!("missing {expect} line") })
+    };
+
+    // variable → AIG edge map; var 0 = constant
+    let mut aig = Aig::new();
+    let mut var_edge: Vec<Option<AigEdge>> = vec![None; max_var + 1];
+    var_edge[0] = Some(aig.false_edge());
+
+    let edge_of = |var_edge: &[Option<AigEdge>], lit: usize| -> Option<AigEdge> {
+        let base = (*var_edge.get(lit / 2)?)?;
+        Some(if lit % 2 == 1 { base.complement() } else { base })
+    };
+
+    // inputs
+    for _ in 0..num_inputs {
+        let (lineno, line) = next_line("input")?;
+        let lit: usize = line.trim().parse().map_err(|_| ParseAigerError::BadLine {
+            line: lineno,
+            text: line.clone(),
+        })?;
+        if lit % 2 != 0 || lit / 2 > max_var {
+            return Err(ParseAigerError::BadLine { line: lineno, text: line });
+        }
+        let e = aig.input();
+        var_edge[lit / 2] = Some(e);
+    }
+    // latches: states become extra inputs; next-state literals resolved
+    // after the AND section
+    let mut latch_raw = Vec::with_capacity(num_latches);
+    for _ in 0..num_latches {
+        let (lineno, line) = next_line("latch")?;
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() < 2 || fields.len() > 3 {
+            return Err(ParseAigerError::BadLine { line: lineno, text: line });
+        }
+        let state: usize = fields[0]
+            .parse()
+            .map_err(|_| ParseAigerError::BadLine { line: lineno, text: line.clone() })?;
+        let next: usize = fields[1]
+            .parse()
+            .map_err(|_| ParseAigerError::BadLine { line: lineno, text: line.clone() })?;
+        let init = match fields.get(2) {
+            None | Some(&"0") => false,
+            Some(&"1") => true,
+            Some(_) => {
+                return Err(ParseAigerError::Unsupported {
+                    what: "symbolic latch reset",
+                })
+            }
+        };
+        if state % 2 != 0 || state / 2 > max_var {
+            return Err(ParseAigerError::BadLine { line: lineno, text: line });
+        }
+        let e = aig.input();
+        var_edge[state / 2] = Some(e);
+        latch_raw.push((e, next, init, lineno));
+    }
+    // outputs (literals resolved after ANDs)
+    let mut output_raw = Vec::with_capacity(num_outputs);
+    for _ in 0..num_outputs {
+        let (lineno, line) = next_line("output")?;
+        let lit: usize = line.trim().parse().map_err(|_| ParseAigerError::BadLine {
+            line: lineno,
+            text: line.clone(),
+        })?;
+        output_raw.push((lit, lineno));
+    }
+    // ands (AIGER requires topological order: rhs vars already defined)
+    for _ in 0..num_ands {
+        let (lineno, line) = next_line("and")?;
+        let fields: Vec<usize> = line
+            .split_whitespace()
+            .map(|t| t.parse::<usize>())
+            .collect::<Result<_, _>>()
+            .map_err(|_| ParseAigerError::BadLine { line: lineno, text: line.clone() })?;
+        let [lhs, rhs0, rhs1] = fields.as_slice() else {
+            return Err(ParseAigerError::BadLine { line: lineno, text: line });
+        };
+        if lhs % 2 != 0 || lhs / 2 > max_var || var_edge[lhs / 2].is_some() {
+            return Err(ParseAigerError::BadAnd { line: lineno });
+        }
+        let a = edge_of(&var_edge, *rhs0)
+            .ok_or(ParseAigerError::BadAnd { line: lineno })?;
+        let b = edge_of(&var_edge, *rhs1)
+            .ok_or(ParseAigerError::BadAnd { line: lineno })?;
+        var_edge[lhs / 2] = Some(aig.and2(a, b));
+    }
+
+    // resolve deferred literals
+    let mut latches = Vec::with_capacity(num_latches);
+    for (state, next_lit, init, lineno) in latch_raw {
+        let next = edge_of(&var_edge, next_lit)
+            .ok_or(ParseAigerError::BadLine { line: lineno, text: "latch next".into() })?;
+        latches.push(AigerLatch { state, next, init });
+    }
+    let mut outputs = Vec::with_capacity(num_outputs);
+    for (i, (lit, lineno)) in output_raw.into_iter().enumerate() {
+        let e = edge_of(&var_edge, lit)
+            .ok_or(ParseAigerError::BadLine { line: lineno, text: "output".into() })?;
+        aig.set_output(format!("o{i}"), e);
+        outputs.push(e);
+    }
+
+    Ok(AigerFile { aig, num_inputs, latches, outputs })
+}
+
+/// Writes a combinational [`Aig`] in AIGER ASCII format (no latches —
+/// this workspace's AIGs cut latches into inputs; outputs come from
+/// [`Aig::outputs`]).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+///
+/// # Panics
+///
+/// Panics if some AND node precedes an input node (AIGER numbers inputs
+/// first; [`netlist_to_aig`](crate::netlist_to_aig) and manual AIGs that
+/// declare inputs up front satisfy this).
+pub fn write_aiger<W: Write>(mut writer: W, aig: &Aig) -> io::Result<()> {
+    // map: AIG node → AIGER variable (constant = 0, inputs, then ANDs)
+    assert!(
+        aig.inputs_are_leading(),
+        "AIGER writer requires all inputs created before any AND \
+         (netlist_to_aig produces this layout)"
+    );
+    let num_inputs = aig.num_inputs();
+    let num_ands = aig.num_ands();
+    let max_var = num_inputs + num_ands;
+    writeln!(
+        writer,
+        "aag {max_var} {num_inputs} 0 {} {num_ands}",
+        aig.outputs().len()
+    )?;
+    // node index → aiger var: node 0 (const) → 0; others in order
+    let var_of_node = |node: usize| -> usize { node };
+    let lit_of = |e: AigEdge| -> usize {
+        2 * var_of_node(e.node()) + usize::from(e.is_complemented())
+    };
+    for i in 0..num_inputs {
+        writeln!(writer, "{}", 2 * (i + 1))?;
+    }
+    for (_, e) in aig.outputs() {
+        writeln!(writer, "{}", lit_of(*e))?;
+    }
+    for e in aig.edges() {
+        if let Some((a, b)) = aig.and_fanins(e.node()) {
+            writeln!(writer, "{} {} {}", lit_of(e), lit_of(a), lit_of(b))?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_half_adder() {
+        let text = "aag 5 2 0 2 3\n2\n4\n10\n6\n6 2 4\n8 3 5\n10 7 9\n";
+        let file = parse_aiger(text.as_bytes()).expect("parse");
+        assert_eq!(file.num_inputs, 2);
+        assert_eq!(file.outputs.len(), 2);
+        assert_eq!(file.aig.num_ands(), 3);
+        // outputs: o0 = xor (lit 10), o1 = and (lit 6)
+        for (a, b) in [(false, false), (false, true), (true, false), (true, true)] {
+            let v = file.aig.evaluate(&[a, b]);
+            assert_eq!(v.edge(file.outputs[0]), a ^ b, "sum at {a}{b}");
+            assert_eq!(v.edge(file.outputs[1]), a && b, "carry at {a}{b}");
+        }
+    }
+
+    #[test]
+    fn parses_latches_as_cut_inputs() {
+        // toggle flip-flop: latch 2 with next = ¬2 (lit 3); output = 2
+        let text = "aag 1 0 1 1 0\n2 3 1\n2\n";
+        let file = parse_aiger(text.as_bytes()).expect("parse");
+        assert_eq!(file.num_inputs, 0);
+        assert_eq!(file.latches.len(), 1);
+        assert!(file.latches[0].init);
+        assert_eq!(file.latches[0].next, file.latches[0].state.complement());
+    }
+
+    #[test]
+    fn constants_work() {
+        // output = constant true (lit 1)
+        let text = "aag 0 0 0 1 0\n1\n";
+        let file = parse_aiger(text.as_bytes()).expect("parse");
+        let v = file.aig.evaluate(&[]);
+        assert!(v.edge(file.outputs[0]));
+    }
+
+    #[test]
+    fn rejects_binary_format_and_bad_headers() {
+        assert!(matches!(
+            parse_aiger(&b"aig 1 0 0 0 0\n"[..]).unwrap_err(),
+            ParseAigerError::Unsupported { .. }
+        ));
+        assert!(matches!(
+            parse_aiger(&b"nonsense\n"[..]).unwrap_err(),
+            ParseAigerError::BadHeader { .. }
+        ));
+        assert!(matches!(
+            parse_aiger(&b""[..]).unwrap_err(),
+            ParseAigerError::BadHeader { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_redefined_and() {
+        // lhs 2 collides with the input literal 2
+        let text = "aag 2 1 0 0 1\n2\n2 1 1\n";
+        assert!(matches!(
+            parse_aiger(text.as_bytes()).unwrap_err(),
+            ParseAigerError::BadAnd { .. }
+        ));
+    }
+
+    #[test]
+    fn roundtrip_through_writer() {
+        let mut aig = Aig::new();
+        let a = aig.input();
+        let b = aig.input();
+        let x = aig.xor2(a, b);
+        let g = aig.and2(a, x.complement());
+        aig.set_output("x", x);
+        aig.set_output("g", g);
+
+        let mut buf = Vec::new();
+        write_aiger(&mut buf, &aig).expect("write");
+        let file = parse_aiger(buf.as_slice()).expect("own output parses");
+        assert_eq!(file.num_inputs, 2);
+        for bits in 0u32..4 {
+            let inputs: Vec<bool> = (0..2).map(|i| bits >> i & 1 == 1).collect();
+            let v1 = aig.evaluate(&inputs);
+            let v2 = file.aig.evaluate(&inputs);
+            assert_eq!(v1.edge(x), v2.edge(file.outputs[0]), "{bits:b}");
+            assert_eq!(v1.edge(g), v2.edge(file.outputs[1]), "{bits:b}");
+        }
+    }
+}

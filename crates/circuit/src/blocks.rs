@@ -1,0 +1,469 @@
+//! Reusable circuit blocks: adders, shifters, ALUs, counters, and LFSRs.
+//!
+//! These synthesize the formal-verification workloads of the paper's §6:
+//! equivalence-checking miters over independently implemented arithmetic
+//! blocks, datapath logic standing in for the Velev pipelined-CPU
+//! obligations, and sequential circuits for BMC.
+
+use crate::netlist::{Netlist, NodeId};
+
+/// An `n`-bit bus, least-significant bit first.
+pub type Bus = Vec<NodeId>;
+
+/// Builds a full adder; returns `(sum, carry_out)`.
+pub fn full_adder(n: &mut Netlist, a: NodeId, b: NodeId, cin: NodeId) -> (NodeId, NodeId) {
+    let axb = n.xor2(a, b);
+    let sum = n.xor2(axb, cin);
+    let t1 = n.and2(a, b);
+    let t2 = n.and2(axb, cin);
+    let cout = n.or2(t1, t2);
+    (sum, cout)
+}
+
+/// Builds an `width`-bit ripple-carry adder over buses `a` and `b`;
+/// returns `(sum_bus, carry_out)`.
+///
+/// # Panics
+///
+/// Panics if the buses differ in width or are empty.
+pub fn ripple_carry_adder(n: &mut Netlist, a: &[NodeId], b: &[NodeId]) -> (Bus, NodeId) {
+    assert_eq!(a.len(), b.len(), "bus width mismatch");
+    assert!(!a.is_empty(), "empty bus");
+    let mut carry = n.constant(false);
+    let mut sum = Vec::with_capacity(a.len());
+    for i in 0..a.len() {
+        let (s, c) = full_adder(n, a[i], b[i], carry);
+        sum.push(s);
+        carry = c;
+    }
+    (sum, carry)
+}
+
+/// Builds a carry-select adder: the bus is split into blocks of
+/// `block_size`; each block is computed twice (carry-in 0 and 1) by
+/// ripple adders and the real carry selects the result. Functionally
+/// identical to [`ripple_carry_adder`] but structurally very different —
+/// exactly what an equivalence-checking miter wants.
+///
+/// # Panics
+///
+/// Panics if the buses differ in width, are empty, or `block_size == 0`.
+pub fn carry_select_adder(
+    n: &mut Netlist,
+    a: &[NodeId],
+    b: &[NodeId],
+    block_size: usize,
+) -> (Bus, NodeId) {
+    assert_eq!(a.len(), b.len(), "bus width mismatch");
+    assert!(!a.is_empty(), "empty bus");
+    assert!(block_size > 0, "block size must be positive");
+    let mut carry = n.constant(false);
+    let mut sum = Vec::with_capacity(a.len());
+    let mut start = 0;
+    while start < a.len() {
+        let end = (start + block_size).min(a.len());
+        let (ab, bb) = (&a[start..end], &b[start..end]);
+        // compute the block under both carry hypotheses
+        let zero = n.constant(false);
+        let one = n.constant(true);
+        let (sum0, cout0) = ripple_block(n, ab, bb, zero);
+        let (sum1, cout1) = ripple_block(n, ab, bb, one);
+        for i in 0..ab.len() {
+            sum.push(n.mux(carry, sum1[i], sum0[i]));
+        }
+        carry = n.mux(carry, cout1, cout0);
+        start = end;
+    }
+    (sum, carry)
+}
+
+fn ripple_block(
+    n: &mut Netlist,
+    a: &[NodeId],
+    b: &[NodeId],
+    cin: NodeId,
+) -> (Bus, NodeId) {
+    let mut carry = cin;
+    let mut sum = Vec::with_capacity(a.len());
+    for i in 0..a.len() {
+        let (s, c) = full_adder(n, a[i], b[i], carry);
+        sum.push(s);
+        carry = c;
+    }
+    (sum, carry)
+}
+
+/// Builds a logarithmic (mux-tree) left barrel shifter: shifts bus `a`
+/// left by the binary amount on `shift` (zero-filled).
+///
+/// # Panics
+///
+/// Panics if `a` is empty.
+pub fn barrel_shifter_log(n: &mut Netlist, a: &[NodeId], shift: &[NodeId]) -> Bus {
+    assert!(!a.is_empty(), "empty bus");
+    let zero = n.constant(false);
+    let mut cur: Bus = a.to_vec();
+    for (stage, &s) in shift.iter().enumerate() {
+        let amount = 1usize << stage;
+        let mut next = Vec::with_capacity(cur.len());
+        for i in 0..cur.len() {
+            let shifted = if i >= amount { cur[i - amount] } else { zero };
+            next.push(n.mux(s, shifted, cur[i]));
+        }
+        cur = next;
+    }
+    cur
+}
+
+/// Builds a decoded ("one-hot") left barrel shifter: a full decoder over
+/// the shift amount selects one of the pre-shifted copies. Functionally
+/// identical to [`barrel_shifter_log`] with zero fill, but structurally
+/// different.
+///
+/// # Panics
+///
+/// Panics if `a` is empty or `shift` has more than 16 bits.
+pub fn barrel_shifter_decoded(n: &mut Netlist, a: &[NodeId], shift: &[NodeId]) -> Bus {
+    assert!(!a.is_empty(), "empty bus");
+    assert!(shift.len() <= 16, "decoder limited to 16 shift bits");
+    let zero = n.constant(false);
+    let width = a.len();
+    let mut result: Bus = vec![zero; width];
+    for amount in 0..(1usize << shift.len()) {
+        // decode: shift == amount
+        let mut cond = Vec::with_capacity(shift.len());
+        for (bit, &s) in shift.iter().enumerate() {
+            if amount >> bit & 1 == 1 {
+                cond.push(s);
+            } else {
+                cond.push(n.not(s));
+            }
+        }
+        let sel = n.and_many(&cond);
+        for i in 0..width {
+            let shifted = if i >= amount { a[i - amount] } else { zero };
+            let term = n.and2(sel, shifted);
+            result[i] = n.or2(result[i], term);
+        }
+    }
+    result
+}
+
+/// The operations of the small datapath ALU.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AluStyle {
+    /// Direct gate-level implementation (the "specification").
+    Reference,
+    /// NAND/NOR-decomposed implementation with a carry-select adder (the
+    /// "pipelined implementation" datapath, after forwarding-mux
+    /// flattening).
+    Optimized,
+}
+
+/// Builds a 4-operation ALU over `width`-bit buses `a` and `b` with a
+/// 2-bit opcode (`00`=add, `01`=and, `10`=or, `11`=xor); returns the
+/// result bus.
+///
+/// The two [`AluStyle`]s compute the same function with different
+/// structure — the equivalence obligation standing in for the paper's
+/// pipelined-microprocessor instances (after the standard flattening of
+/// the pipeline's forwarding logic into a combinational datapath).
+///
+/// # Panics
+///
+/// Panics if the buses differ in width, are empty, or `op` is not 2 bits.
+pub fn alu(
+    n: &mut Netlist,
+    a: &[NodeId],
+    b: &[NodeId],
+    op: &[NodeId],
+    style: AluStyle,
+) -> Bus {
+    assert_eq!(a.len(), b.len(), "bus width mismatch");
+    assert!(!a.is_empty(), "empty bus");
+    assert_eq!(op.len(), 2, "opcode is 2 bits");
+    let (op0, op1) = (op[0], op[1]);
+    let (add_bus, and_bus, or_bus, xor_bus): (Bus, Bus, Bus, Bus) = match style {
+        AluStyle::Reference => {
+            let (sum, _) = ripple_carry_adder(n, a, b);
+            let and_bus = a.iter().zip(b).map(|(&x, &y)| n.and2(x, y)).collect();
+            let or_bus = a.iter().zip(b).map(|(&x, &y)| n.or2(x, y)).collect();
+            let xor_bus = a.iter().zip(b).map(|(&x, &y)| n.xor2(x, y)).collect();
+            (sum, and_bus, or_bus, xor_bus)
+        }
+        AluStyle::Optimized => {
+            let (sum, _) = carry_select_adder(n, a, b, 2);
+            // and = ¬(a nand b); or = ¬(a nor b); xor via nands
+            let and_bus = a
+                .iter()
+                .zip(b)
+                .map(|(&x, &y)| {
+                    let nd = n.nand2(x, y);
+                    n.not(nd)
+                })
+                .collect();
+            let or_bus = a
+                .iter()
+                .zip(b)
+                .map(|(&x, &y)| {
+                    let nr = n.nor2(x, y);
+                    n.not(nr)
+                })
+                .collect();
+            let xor_bus = a
+                .iter()
+                .zip(b)
+                .map(|(&x, &y)| {
+                    // x ⊕ y = (x nand (x nand y)) nand (y nand (x nand y))
+                    let t = n.nand2(x, y);
+                    let l = n.nand2(x, t);
+                    let r = n.nand2(y, t);
+                    n.nand2(l, r)
+                })
+                .collect();
+            (sum, and_bus, or_bus, xor_bus)
+        }
+    };
+    (0..a.len())
+        .map(|i| {
+            let lo = n.mux(op0, and_bus[i], add_bus[i]); // op1=0: add/and
+            let hi = n.mux(op0, xor_bus[i], or_bus[i]); // op1=1: or/xor
+            n.mux(op1, hi, lo)
+        })
+        .collect()
+}
+
+/// Builds a shift-add (schoolbook) multiplier over `width`-bit operands;
+/// returns the `2·width`-bit product bus. The structure mirrors the
+/// `longmult` family of BMC benchmarks: a cascade of conditional adders.
+///
+/// # Panics
+///
+/// Panics if the buses differ in width or are empty.
+pub fn shift_add_multiplier(n: &mut Netlist, a: &[NodeId], b: &[NodeId]) -> Bus {
+    assert_eq!(a.len(), b.len(), "bus width mismatch");
+    assert!(!a.is_empty(), "empty bus");
+    let width = a.len();
+    let zero = n.constant(false);
+    // accumulator of 2·width bits
+    let mut acc: Bus = vec![zero; 2 * width];
+    for (i, &bi) in b.iter().enumerate() {
+        // partial product: a « i, gated by b_i
+        let partial: Bus = (0..2 * width)
+            .map(|k| {
+                if k >= i && k - i < width {
+                    n.and2(a[k - i], bi)
+                } else {
+                    zero
+                }
+            })
+            .collect();
+        let (sum, _carry) = ripple_carry_adder(n, &acc, &partial);
+        acc = sum;
+    }
+    acc
+}
+
+/// Builds a Fibonacci LFSR with the given tap positions; returns the
+/// state bus. The state is initialised to `1` (bit 0 set), and the
+/// feedback is the XOR of the tap bits, so the all-zero state is
+/// unreachable — the BMC safety property used by the `bmc_lfsr` family.
+///
+/// # Panics
+///
+/// Panics if `bits == 0`, `taps` is empty, or a tap is out of range.
+pub fn lfsr(n: &mut Netlist, bits: usize, taps: &[usize]) -> Bus {
+    assert!(bits > 0, "lfsr needs at least one bit");
+    assert!(!taps.is_empty(), "lfsr needs at least one tap");
+    assert!(taps.iter().all(|&t| t < bits), "tap out of range");
+    let state: Bus = (0..bits).map(|i| n.latch(i == 0)).collect();
+    let tap_nodes: Bus = taps.iter().map(|&t| state[t]).collect();
+    let mut feedback = tap_nodes[0];
+    for &t in &tap_nodes[1..] {
+        feedback = n.xor2(feedback, t);
+    }
+    n.connect_next(state[0], feedback);
+    for i in 1..bits {
+        n.connect_next(state[i], state[i - 1]);
+    }
+    state
+}
+
+/// Builds a binary up-counter with wrap-around; returns the state bus.
+/// Initialised to zero.
+///
+/// # Panics
+///
+/// Panics if `bits == 0`.
+pub fn counter(n: &mut Netlist, bits: usize) -> Bus {
+    assert!(bits > 0, "counter needs at least one bit");
+    let state: Bus = (0..bits).map(|_| n.latch(false)).collect();
+    let mut carry = n.constant(true);
+    for i in 0..bits {
+        let next = n.xor2(state[i], carry);
+        n.connect_next(state[i], next);
+        carry = n.and2(carry, state[i]);
+    }
+    state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Simulator;
+
+    fn to_bits(value: u64, width: usize) -> Vec<bool> {
+        (0..width).map(|i| value >> i & 1 == 1).collect()
+    }
+
+    fn from_bits<I: IntoIterator<Item = bool>>(bits: I) -> u64 {
+        bits.into_iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, b)| acc | (u64::from(b) << i))
+    }
+
+    #[test]
+    fn ripple_adder_adds() {
+        let width = 4;
+        let mut n = Netlist::new();
+        let a = n.inputs(width);
+        let b = n.inputs(width);
+        let (sum, cout) = ripple_carry_adder(&mut n, &a, &b);
+        let sim = Simulator::new(&n);
+        for x in 0..16u64 {
+            for y in 0..16u64 {
+                let mut inputs = to_bits(x, width);
+                inputs.extend(to_bits(y, width));
+                let v = sim.evaluate(&inputs);
+                let got = from_bits(sum.iter().map(|&s| v.node(s)))
+                    | (u64::from(v.node(cout)) << width);
+                assert_eq!(got, x + y, "{x}+{y}");
+            }
+        }
+    }
+
+    #[test]
+    fn carry_select_matches_ripple() {
+        let width = 5;
+        let mut n = Netlist::new();
+        let a = n.inputs(width);
+        let b = n.inputs(width);
+        let (s1, c1) = ripple_carry_adder(&mut n, &a, &b);
+        let (s2, c2) = carry_select_adder(&mut n, &a, &b, 2);
+        let sim = Simulator::new(&n);
+        for x in 0..32u64 {
+            for y in 0..32u64 {
+                let mut inputs = to_bits(x, width);
+                inputs.extend(to_bits(y, width));
+                let v = sim.evaluate(&inputs);
+                for i in 0..width {
+                    assert_eq!(v.node(s1[i]), v.node(s2[i]), "{x}+{y} bit {i}");
+                }
+                assert_eq!(v.node(c1), v.node(c2), "{x}+{y} carry");
+            }
+        }
+    }
+
+    #[test]
+    fn shifters_agree_and_shift() {
+        let width = 8;
+        let shift_bits = 3;
+        let mut n = Netlist::new();
+        let a = n.inputs(width);
+        let sh = n.inputs(shift_bits);
+        let log = barrel_shifter_log(&mut n, &a, &sh);
+        let dec = barrel_shifter_decoded(&mut n, &a, &sh);
+        let sim = Simulator::new(&n);
+        for value in [0u64, 1, 0b1011_0101, 0xff] {
+            for amount in 0..8u64 {
+                let mut inputs = to_bits(value, width);
+                inputs.extend(to_bits(amount, shift_bits));
+                let v = sim.evaluate(&inputs);
+                let expect = (value << amount) & 0xff;
+                let got_log = from_bits(log.iter().map(|&s| v.node(s)));
+                let got_dec = from_bits(dec.iter().map(|&s| v.node(s)));
+                assert_eq!(got_log, expect, "log shifter {value} << {amount}");
+                assert_eq!(got_dec, expect, "decoded shifter {value} << {amount}");
+            }
+        }
+    }
+
+    #[test]
+    fn alu_styles_agree() {
+        let width = 3;
+        let mut n = Netlist::new();
+        let a = n.inputs(width);
+        let b = n.inputs(width);
+        let op = n.inputs(2);
+        let r1 = alu(&mut n, &a, &b, &op, AluStyle::Reference);
+        let r2 = alu(&mut n, &a, &b, &op, AluStyle::Optimized);
+        let sim = Simulator::new(&n);
+        for x in 0..8u64 {
+            for y in 0..8u64 {
+                for opc in 0..4u64 {
+                    let mut inputs = to_bits(x, width);
+                    inputs.extend(to_bits(y, width));
+                    inputs.extend(to_bits(opc, 2));
+                    let v = sim.evaluate(&inputs);
+                    let expect = match opc {
+                        0 => (x + y) & 0b111,
+                        1 => x & y,
+                        2 => x | y,
+                        _ => x ^ y,
+                    };
+                    let g1 = from_bits(r1.iter().map(|&s| v.node(s)));
+                    let g2 = from_bits(r2.iter().map(|&s| v.node(s)));
+                    assert_eq!(g1, expect, "ref alu op {opc} on {x},{y}");
+                    assert_eq!(g2, expect, "opt alu op {opc} on {x},{y}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multiplier_multiplies() {
+        let width = 3;
+        let mut n = Netlist::new();
+        let a = n.inputs(width);
+        let b = n.inputs(width);
+        let product = shift_add_multiplier(&mut n, &a, &b);
+        let sim = Simulator::new(&n);
+        for x in 0..8u64 {
+            for y in 0..8u64 {
+                let mut inputs = to_bits(x, width);
+                inputs.extend(to_bits(y, width));
+                let v = sim.evaluate(&inputs);
+                let got = from_bits(product.iter().map(|&s| v.node(s)));
+                assert_eq!(got, x * y, "{x}*{y}");
+            }
+        }
+    }
+
+    #[test]
+    fn lfsr_never_reaches_zero() {
+        let mut n = Netlist::new();
+        let state = lfsr(&mut n, 4, &[3, 2]); // maximal-length taps for 4 bits
+        let mut sim = Simulator::new(&n);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..32 {
+            let v = sim.step(&[]);
+            let value = from_bits(state.iter().map(|&s| v.node(s)));
+            assert_ne!(value, 0, "LFSR must never reach the zero state");
+            seen.insert(value);
+        }
+        assert_eq!(seen.len(), 15, "maximal-length LFSR cycles through 15 states");
+    }
+
+    #[test]
+    fn counter_counts_and_wraps() {
+        let mut n = Netlist::new();
+        let state = counter(&mut n, 3);
+        let mut sim = Simulator::new(&n);
+        let mut values = Vec::new();
+        for _ in 0..10 {
+            let v = sim.step(&[]);
+            values.push(from_bits(state.iter().map(|&s| v.node(s))));
+        }
+        assert_eq!(values, vec![0, 1, 2, 3, 4, 5, 6, 7, 0, 1]);
+    }
+}

@@ -1,0 +1,233 @@
+//! Bounded model checking: time-frame unrolling of sequential netlists.
+//!
+//! The BMC reduction of Biere et al. [2], the source of the paper's
+//! `barrel`/`longmult`/`fifo8` instances: unroll the transition relation
+//! `k` steps from the reset state and assert that a "bad" output fires in
+//! some frame. The CNF is **unsatisfiable iff the safety property holds
+//! for `k` steps** — proof sizes then scale with `k`, which is exactly
+//! the knob Table 3 turns.
+
+use cnf::{Clause, CnfFormula, Lit, Var};
+
+use crate::netlist::{Gate, Netlist, NodeId};
+
+/// A `k`-frame unrolling of a netlist.
+#[derive(Clone, Debug)]
+pub struct Unrolling {
+    formula: CnfFormula,
+    frame_vars: Vec<Vec<Var>>,
+}
+
+impl Unrolling {
+    /// Unrolls `netlist` for `k` time frames (`k ≥ 1`), tying each
+    /// latch to its reset value in frame 0 and to its next-state
+    /// function across consecutive frames. Primary inputs are fresh
+    /// variables in every frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or some latch is not connected.
+    #[must_use]
+    pub fn new(netlist: &Netlist, k: usize) -> Self {
+        assert!(k >= 1, "unrolling needs at least one frame");
+        assert!(
+            netlist.latches().iter().all(|l| l.next.is_some()),
+            "all latches must be connected before unrolling"
+        );
+        let mut formula = CnfFormula::new();
+        let mut frame_vars: Vec<Vec<Var>> = Vec::with_capacity(k);
+        for t in 0..k {
+            let vars: Vec<Var> =
+                (0..netlist.num_nodes()).map(|_| formula.new_var()).collect();
+            for (i, gate) in netlist.gates().iter().enumerate() {
+                let y = vars[i].positive();
+                match *gate {
+                    Gate::Input(_) => {} // fresh per frame
+                    Gate::Const(b) => {
+                        formula.add_clause(Clause::unit(if b { y } else { !y }));
+                    }
+                    Gate::Not(x) => {
+                        let x = vars[x.index()].positive();
+                        formula.add_clause(Clause::binary(!y, !x));
+                        formula.add_clause(Clause::binary(y, x));
+                    }
+                    Gate::And(a, b) => {
+                        let (a, b) = (vars[a.index()].positive(), vars[b.index()].positive());
+                        formula.add_clause(Clause::binary(!y, a));
+                        formula.add_clause(Clause::binary(!y, b));
+                        formula.add_clause(Clause::new(vec![y, !a, !b]));
+                    }
+                    Gate::Or(a, b) => {
+                        let (a, b) = (vars[a.index()].positive(), vars[b.index()].positive());
+                        formula.add_clause(Clause::binary(y, !a));
+                        formula.add_clause(Clause::binary(y, !b));
+                        formula.add_clause(Clause::new(vec![!y, a, b]));
+                    }
+                    Gate::Xor(a, b) => {
+                        let (a, b) = (vars[a.index()].positive(), vars[b.index()].positive());
+                        formula.add_clause(Clause::new(vec![!y, a, b]));
+                        formula.add_clause(Clause::new(vec![!y, !a, !b]));
+                        formula.add_clause(Clause::new(vec![y, !a, b]));
+                        formula.add_clause(Clause::new(vec![y, a, !b]));
+                    }
+                    Gate::Latch(idx) => {
+                        let latch = netlist.latches()[idx];
+                        if t == 0 {
+                            formula.add_clause(Clause::unit(if latch.init {
+                                y
+                            } else {
+                                !y
+                            }));
+                        } else {
+                            let prev_next = frame_vars[t - 1]
+                                [latch.next.expect("connected").index()]
+                            .positive();
+                            // y ↔ prev_next
+                            formula.add_clause(Clause::binary(!y, prev_next));
+                            formula.add_clause(Clause::binary(y, !prev_next));
+                        }
+                    }
+                }
+            }
+            frame_vars.push(vars);
+        }
+        Unrolling { formula, frame_vars }
+    }
+
+    /// Number of frames.
+    #[must_use]
+    pub fn num_frames(&self) -> usize {
+        self.frame_vars.len()
+    }
+
+    /// The CNF variable of `node` in frame `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` or `node` is out of range.
+    #[must_use]
+    pub fn var(&self, t: usize, node: NodeId) -> Var {
+        self.frame_vars[t][node.index()]
+    }
+
+    /// The positive literal of `node` in frame `t`.
+    #[must_use]
+    pub fn lit(&self, t: usize, node: NodeId) -> Lit {
+        self.var(t, node).positive()
+    }
+
+    /// The accumulated formula.
+    #[must_use]
+    pub fn formula(&self) -> &CnfFormula {
+        &self.formula
+    }
+
+    /// Mutable access, for adding the property clauses.
+    pub fn formula_mut(&mut self) -> &mut CnfFormula {
+        &mut self.formula
+    }
+
+    /// The accumulated formula (consuming).
+    #[must_use]
+    pub fn into_formula(self) -> CnfFormula {
+        self.formula
+    }
+}
+
+/// Builds the standard BMC query: `bad` fires in some frame `t < k`.
+/// **Unsatisfiable iff the property `¬bad` holds for the first `k`
+/// steps.**
+///
+/// # Panics
+///
+/// See [`Unrolling::new`].
+#[must_use]
+pub fn bmc_formula(netlist: &Netlist, bad: NodeId, k: usize) -> CnfFormula {
+    let mut unrolling = Unrolling::new(netlist, k);
+    let bad_lits: Vec<Lit> = (0..k).map(|t| unrolling.lit(t, bad)).collect();
+    unrolling.formula_mut().add_clause(Clause::new(bad_lits));
+    unrolling.into_formula()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blocks::{counter, lfsr};
+
+    #[test]
+    fn lfsr_nonzero_property_is_unsat() {
+        // bad = state == 0, unreachable from the one-hot reset
+        let mut n = Netlist::new();
+        let state = lfsr(&mut n, 4, &[3, 2]);
+        let inverted: Vec<_> = state.iter().map(|&s| n.not(s)).collect();
+        let bad = n.and_many(&inverted);
+        n.set_output("bad", bad);
+        for k in [1, 3, 6] {
+            let f = bmc_formula(&n, bad, k);
+            assert!(
+                cdcl::solve(&f, cdcl::SolverConfig::default()).is_unsat(),
+                "LFSR zero state must be unreachable within {k} steps"
+            );
+        }
+    }
+
+    #[test]
+    fn counter_reaches_value_makes_bmc_sat() {
+        // bad = counter == 3; reachable at step 3 (value after 4th tick)
+        let mut n = Netlist::new();
+        let state = counter(&mut n, 2);
+        let bad = n.and_many(&state.clone());
+        n.set_output("bad", bad);
+        // within 3 frames (values 0,1,2) the property holds → UNSAT
+        let f3 = bmc_formula(&n, bad, 3);
+        assert!(cdcl::solve(&f3, cdcl::SolverConfig::default()).is_unsat());
+        // within 4 frames value 3 is reached → SAT
+        let f4 = bmc_formula(&n, bad, 4);
+        assert!(cdcl::solve(&f4, cdcl::SolverConfig::default()).is_sat());
+    }
+
+    #[test]
+    fn frame_zero_pins_reset_values() {
+        let mut n = Netlist::new();
+        let q = n.latch(true);
+        let nq = n.not(q);
+        n.connect_next(q, nq);
+        let u = Unrolling::new(&n, 2);
+        // q is true in frame 0 and false in frame 1: asserting otherwise
+        // must be UNSAT
+        let mut f = u.formula().clone();
+        f.add_clause(Clause::unit(!u.lit(0, q)));
+        assert!(!f.brute_force_satisfiable());
+        let mut g = u.formula().clone();
+        g.add_clause(Clause::unit(u.lit(1, q)));
+        assert!(!g.brute_force_satisfiable());
+        // and the consistent polarity is SAT
+        let mut h = u.formula().clone();
+        h.add_clause(Clause::unit(u.lit(0, q)));
+        h.add_clause(Clause::unit(!u.lit(1, q)));
+        assert!(h.brute_force_satisfiable());
+    }
+
+    #[test]
+    fn inputs_are_free_each_frame() {
+        let mut n = Netlist::new();
+        let i = n.input();
+        let q = n.latch(false);
+        n.connect_next(q, i);
+        let u = Unrolling::new(&n, 2);
+        // input can be 1 in frame 0 and 0 in frame 1
+        let mut f = u.formula().clone();
+        f.add_clause(Clause::unit(u.lit(0, i)));
+        f.add_clause(Clause::unit(!u.lit(1, i)));
+        // then q in frame 1 is forced true
+        f.add_clause(Clause::unit(u.lit(1, q)));
+        assert!(f.brute_force_satisfiable());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one frame")]
+    fn zero_frames_rejected() {
+        let n = Netlist::new();
+        let _ = Unrolling::new(&n, 0);
+    }
+}

@@ -1,0 +1,62 @@
+//! Gate-level circuit substrate: netlists, simulation, Tseitin CNF
+//! encoding, bounded-model-checking unrolling, and equivalence miters.
+//!
+//! The paper evaluates on CNFs from microprocessor verification,
+//! equivalence checking, and bounded model checking; this crate builds
+//! the machinery to *synthesize* workloads of the same shape (the
+//! originals are not publicly archived — see `DESIGN.md` §3 for the
+//! substitution table).
+//!
+//! # Examples
+//!
+//! An equivalence-checking miter over two adder architectures:
+//!
+//! ```
+//! use circuit::{miter_formula, ripple_carry_adder, carry_select_adder};
+//!
+//! let width = 3;
+//! let formula = miter_formula(
+//!     2 * width,
+//!     |n, io| {
+//!         let (sum, c) = ripple_carry_adder(n, &io[..width], &io[width..]);
+//!         let mut out = sum; out.push(c); out
+//!     },
+//!     |n, io| {
+//!         let (sum, c) = carry_select_adder(n, &io[..width], &io[width..], 2);
+//!         let mut out = sum; out.push(c); out
+//!     },
+//! );
+//! // equivalent circuits → UNSAT miter
+//! assert!(cdcl::solve(&formula, cdcl::SolverConfig::default()).is_unsat());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod aig;
+mod aiger;
+mod blocks;
+mod bmc;
+mod miter;
+mod netlist;
+mod sec;
+mod sim;
+mod text;
+mod tseitin;
+
+pub use aig::{encode_via_aig, netlist_to_aig, Aig, AigEdge, AigEncoding, AigValues};
+pub use aiger::{parse_aiger, write_aiger, AigerFile, AigerLatch, ParseAigerError};
+pub use blocks::{
+    alu, barrel_shifter_decoded, barrel_shifter_log, carry_select_adder, counter,
+    full_adder, lfsr, ripple_carry_adder, shift_add_multiplier, AluStyle, Bus,
+};
+pub use bmc::{bmc_formula, Unrolling};
+pub use miter::{build_miter, miter_formula};
+pub use netlist::{Gate, Latch, Netlist, NodeId};
+pub use sec::{build_product_machine, sec_formula};
+pub use sim::{CycleValues, Simulator};
+pub use text::{
+    parse_netlist, parse_netlist_str, to_netlist_string, write_netlist,
+    ParseNetlistError,
+};
+pub use tseitin::{encode, Encoding};

@@ -1,0 +1,383 @@
+//! Gate-level netlists.
+
+use std::fmt;
+
+/// A node in a [`Netlist`], identified by a dense index.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Returns the dense index of this node.
+    #[inline]
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A gate driving a node.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Gate {
+    /// A primary input (index into the input list).
+    Input(usize),
+    /// A constant.
+    Const(bool),
+    /// Inverter.
+    Not(NodeId),
+    /// 2-input AND.
+    And(NodeId, NodeId),
+    /// 2-input OR.
+    Or(NodeId, NodeId),
+    /// 2-input XOR.
+    Xor(NodeId, NodeId),
+    /// A state element (index into the latch list); its value is the
+    /// latch's current state.
+    Latch(usize),
+}
+
+/// A state element: current value read through a [`Gate::Latch`] node,
+/// next value driven by `next`, reset to `init`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Latch {
+    /// The node reading this latch's current state.
+    pub node: NodeId,
+    /// The node computing the next state (must be set before use).
+    pub next: Option<NodeId>,
+    /// Initial (reset) value.
+    pub init: bool,
+}
+
+/// A gate-level netlist with primary inputs, named outputs, and latches.
+///
+/// Construction is by builder-style methods that return [`NodeId`]s:
+///
+/// ```
+/// use circuit::Netlist;
+///
+/// let mut n = Netlist::new();
+/// let a = n.input();
+/// let b = n.input();
+/// let s = n.xor2(a, b);
+/// n.set_output("sum", s);
+/// assert_eq!(n.num_inputs(), 2);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Netlist {
+    gates: Vec<Gate>,
+    inputs: Vec<NodeId>,
+    outputs: Vec<(String, NodeId)>,
+    latches: Vec<Latch>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist.
+    #[must_use]
+    pub fn new() -> Self {
+        Netlist::default()
+    }
+
+    fn push(&mut self, gate: Gate) -> NodeId {
+        let id = NodeId(u32::try_from(self.gates.len()).expect("netlist fits in u32"));
+        self.gates.push(gate);
+        id
+    }
+
+    /// Adds a primary input.
+    pub fn input(&mut self) -> NodeId {
+        let idx = self.inputs.len();
+        let id = self.push(Gate::Input(idx));
+        self.inputs.push(id);
+        id
+    }
+
+    /// Adds `n` primary inputs (a bus).
+    pub fn inputs(&mut self, n: usize) -> Vec<NodeId> {
+        (0..n).map(|_| self.input()).collect()
+    }
+
+    /// Adds a constant node.
+    pub fn constant(&mut self, value: bool) -> NodeId {
+        self.push(Gate::Const(value))
+    }
+
+    /// Adds an inverter.
+    pub fn not(&mut self, x: NodeId) -> NodeId {
+        self.push(Gate::Not(x))
+    }
+
+    /// Adds a 2-input AND.
+    pub fn and2(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.push(Gate::And(a, b))
+    }
+
+    /// Adds a 2-input OR.
+    pub fn or2(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.push(Gate::Or(a, b))
+    }
+
+    /// Adds a 2-input XOR.
+    pub fn xor2(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.push(Gate::Xor(a, b))
+    }
+
+    /// AND over any number of nodes (constant-true for the empty list).
+    pub fn and_many(&mut self, xs: &[NodeId]) -> NodeId {
+        match xs {
+            [] => self.constant(true),
+            [x] => *x,
+            _ => {
+                let mut acc = xs[0];
+                for &x in &xs[1..] {
+                    acc = self.and2(acc, x);
+                }
+                acc
+            }
+        }
+    }
+
+    /// OR over any number of nodes (constant-false for the empty list).
+    pub fn or_many(&mut self, xs: &[NodeId]) -> NodeId {
+        match xs {
+            [] => self.constant(false),
+            [x] => *x,
+            _ => {
+                let mut acc = xs[0];
+                for &x in &xs[1..] {
+                    acc = self.or2(acc, x);
+                }
+                acc
+            }
+        }
+    }
+
+    /// 2-to-1 multiplexer: `sel ? a : b`.
+    pub fn mux(&mut self, sel: NodeId, a: NodeId, b: NodeId) -> NodeId {
+        let ns = self.not(sel);
+        let ta = self.and2(sel, a);
+        let tb = self.and2(ns, b);
+        self.or2(ta, tb)
+    }
+
+    /// NAND, by composition.
+    pub fn nand2(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let x = self.and2(a, b);
+        self.not(x)
+    }
+
+    /// NOR, by composition.
+    pub fn nor2(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let x = self.or2(a, b);
+        self.not(x)
+    }
+
+    /// XNOR (equivalence), by composition.
+    pub fn xnor2(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let x = self.xor2(a, b);
+        self.not(x)
+    }
+
+    /// Adds a latch with the given reset value; drive it later with
+    /// [`Netlist::connect_next`].
+    pub fn latch(&mut self, init: bool) -> NodeId {
+        let idx = self.latches.len();
+        let id = self.push(Gate::Latch(idx));
+        self.latches.push(Latch { node: id, next: None, init });
+        id
+    }
+
+    /// Sets the next-state function of `latch_node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `latch_node` is not a latch.
+    pub fn connect_next(&mut self, latch_node: NodeId, next: NodeId) {
+        let Gate::Latch(idx) = self.gates[latch_node.index()] else {
+            panic!("{latch_node:?} is not a latch");
+        };
+        self.latches[idx].next = Some(next);
+    }
+
+    /// Registers a named output.
+    pub fn set_output(&mut self, name: impl Into<String>, node: NodeId) {
+        self.outputs.push((name.into(), node));
+    }
+
+    /// The gate driving `node`.
+    #[must_use]
+    pub fn gate(&self, node: NodeId) -> Gate {
+        self.gates[node.index()]
+    }
+
+    /// All gates, indexed by node.
+    #[must_use]
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Primary inputs, in creation order.
+    #[must_use]
+    pub fn input_nodes(&self) -> &[NodeId] {
+        &self.inputs
+    }
+
+    /// Named outputs.
+    #[must_use]
+    pub fn outputs(&self) -> &[(String, NodeId)] {
+        &self.outputs
+    }
+
+    /// Looks up an output by name.
+    #[must_use]
+    pub fn output(&self, name: &str) -> Option<NodeId> {
+        self.outputs.iter().find(|(n, _)| n == name).map(|&(_, id)| id)
+    }
+
+    /// The latches.
+    #[must_use]
+    pub fn latches(&self) -> &[Latch] {
+        &self.latches
+    }
+
+    /// Number of primary inputs.
+    #[must_use]
+    pub fn num_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Number of nodes (gates of all kinds).
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Number of latches.
+    #[must_use]
+    pub fn num_latches(&self) -> usize {
+        self.latches.len()
+    }
+
+    /// Returns `true` if the netlist has no latches.
+    #[must_use]
+    pub fn is_combinational(&self) -> bool {
+        self.latches.is_empty()
+    }
+
+    /// Instantiates a copy of `other` inside this netlist, connecting
+    /// its primary inputs to `input_map`. Latches are copied with their
+    /// reset values and next-state functions; `other`'s named outputs
+    /// are *not* copied (use the returned map to wire them up).
+    ///
+    /// Returns, for each node of `other`, the corresponding node here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_map` does not cover all of `other`'s inputs, or
+    /// if some latch of `other` is not connected.
+    pub fn instantiate(&mut self, other: &Netlist, input_map: &[NodeId]) -> Vec<NodeId> {
+        assert_eq!(
+            input_map.len(),
+            other.num_inputs(),
+            "input map must cover every input"
+        );
+        let mut map: Vec<NodeId> = Vec::with_capacity(other.num_nodes());
+        for gate in other.gates() {
+            let node = match *gate {
+                Gate::Input(i) => input_map[i],
+                Gate::Const(b) => self.constant(b),
+                Gate::Not(x) => self.not(map[x.index()]),
+                Gate::And(a, b) => self.and2(map[a.index()], map[b.index()]),
+                Gate::Or(a, b) => self.or2(map[a.index()], map[b.index()]),
+                Gate::Xor(a, b) => self.xor2(map[a.index()], map[b.index()]),
+                Gate::Latch(idx) => self.latch(other.latches[idx].init),
+            };
+            map.push(node);
+        }
+        for latch in other.latches() {
+            let next = latch.next.expect("latch connected before instantiation");
+            self.connect_next(map[latch.node.index()], map[next.index()]);
+        }
+        map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_creates_distinct_nodes() {
+        let mut n = Netlist::new();
+        let a = n.input();
+        let b = n.input();
+        assert_ne!(a, b);
+        let g = n.and2(a, b);
+        assert_eq!(n.gate(g), Gate::And(a, b));
+        assert_eq!(n.num_nodes(), 3);
+        assert_eq!(n.num_inputs(), 2);
+        assert!(n.is_combinational());
+    }
+
+    #[test]
+    fn bus_inputs() {
+        let mut n = Netlist::new();
+        let bus = n.inputs(4);
+        assert_eq!(bus.len(), 4);
+        assert_eq!(n.num_inputs(), 4);
+        assert_eq!(n.input_nodes(), bus.as_slice());
+    }
+
+    #[test]
+    fn outputs_are_named() {
+        let mut n = Netlist::new();
+        let a = n.input();
+        n.set_output("y", a);
+        assert_eq!(n.output("y"), Some(a));
+        assert_eq!(n.output("z"), None);
+        assert_eq!(n.outputs().len(), 1);
+    }
+
+    #[test]
+    fn and_or_many_edge_cases() {
+        let mut n = Netlist::new();
+        let t = n.and_many(&[]);
+        assert_eq!(n.gate(t), Gate::Const(true));
+        let f = n.or_many(&[]);
+        assert_eq!(n.gate(f), Gate::Const(false));
+        let a = n.input();
+        assert_eq!(n.and_many(&[a]), a);
+        assert_eq!(n.or_many(&[a]), a);
+        let b = n.input();
+        let c = n.input();
+        let all = n.and_many(&[a, b, c]);
+        assert!(matches!(n.gate(all), Gate::And(_, _)));
+    }
+
+    #[test]
+    fn latch_wiring() {
+        let mut n = Netlist::new();
+        let q = n.latch(true);
+        let nq = n.not(q);
+        n.connect_next(q, nq); // toggle flip-flop
+        assert_eq!(n.num_latches(), 1);
+        assert!(!n.is_combinational());
+        let latch = n.latches()[0];
+        assert_eq!(latch.node, q);
+        assert_eq!(latch.next, Some(nq));
+        assert!(latch.init);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a latch")]
+    fn connect_next_rejects_non_latch() {
+        let mut n = Netlist::new();
+        let a = n.input();
+        let b = n.input();
+        n.connect_next(a, b);
+    }
+}

@@ -1,0 +1,193 @@
+//! Sequential equivalence checking by product-machine BMC.
+//!
+//! Two sequential circuits with the same interface are equivalent over
+//! `k` steps when, fed the same input sequence from their reset states,
+//! their outputs agree in every cycle. The product machine instantiates
+//! both circuits over shared inputs, XORs corresponding outputs, and BMC
+//! asks whether the difference can fire within `k` frames — UNSAT means
+//! `k`-step equivalence. This is the sequential analogue of the
+//! combinational miter, and the closest model of the paper's pipelined
+//! microprocessor obligations [15].
+
+use cnf::CnfFormula;
+
+use crate::bmc::bmc_formula;
+use crate::netlist::{Netlist, NodeId};
+
+/// Builds the product machine of `left` and `right`, returning the
+/// combined netlist and the difference output (`1` when some pair of
+/// corresponding outputs disagrees in the current cycle).
+///
+/// Output pairing is positional, in `set_output` order.
+///
+/// # Panics
+///
+/// Panics if the circuits differ in input or output arity, have no
+/// outputs, or have unconnected latches.
+pub fn build_product_machine(left: &Netlist, right: &Netlist) -> (Netlist, NodeId) {
+    assert_eq!(left.num_inputs(), right.num_inputs(), "input arity mismatch");
+    assert_eq!(
+        left.outputs().len(),
+        right.outputs().len(),
+        "output arity mismatch"
+    );
+    assert!(!left.outputs().is_empty(), "circuits must declare outputs");
+    let mut product = Netlist::new();
+    let inputs = product.inputs(left.num_inputs());
+    let lmap = product.instantiate(left, &inputs);
+    let rmap = product.instantiate(right, &inputs);
+    let diffs: Vec<NodeId> = left
+        .outputs()
+        .iter()
+        .zip(right.outputs())
+        .map(|((_, l), (_, r))| {
+            product.xor2(lmap[l.index()], rmap[r.index()])
+        })
+        .collect();
+    let diff = product.or_many(&diffs);
+    product.set_output("diff", diff);
+    (product, diff)
+}
+
+/// The sequential-equivalence BMC query: **unsatisfiable iff `left` and
+/// `right` produce identical outputs for every input sequence of length
+/// `k`**, starting from their reset states.
+///
+/// # Panics
+///
+/// See [`build_product_machine`] and
+/// [`Unrolling::new`](crate::Unrolling::new).
+#[must_use]
+pub fn sec_formula(left: &Netlist, right: &Netlist, k: usize) -> CnfFormula {
+    let (product, diff) = build_product_machine(left, right);
+    bmc_formula(&product, diff, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blocks::counter;
+    use crate::sim::Simulator;
+
+    /// Binary up-counter with its bits as outputs.
+    fn binary_counter(bits: usize) -> Netlist {
+        let mut n = Netlist::new();
+        let state = counter(&mut n, bits);
+        for (i, &b) in state.iter().enumerate() {
+            n.set_output(format!("b{i}"), b);
+        }
+        n
+    }
+
+    /// A Gray-code counter whose outputs are converted back to binary —
+    /// functionally identical to [`binary_counter`], structurally very
+    /// different (different state encoding).
+    fn gray_counter_with_decoder(bits: usize) -> Netlist {
+        let mut n = Netlist::new();
+        // keep a binary counter internally and register the GRAY code,
+        // then decode: a realistic retimed/recoded implementation
+        let state = counter(&mut n, bits);
+        // gray = state ^ (state >> 1), registered through latches
+        let gray: Vec<_> = (0..bits)
+            .map(|i| {
+                if i + 1 < bits {
+                    n.xor2(state[i], state[i + 1])
+                } else {
+                    state[i]
+                }
+            })
+            .collect();
+        // decode gray back to binary: b_i = gray_i ^ b_{i+1}
+        let mut binary = vec![gray[bits - 1]; bits];
+        for i in (0..bits - 1).rev() {
+            binary[i] = n.xor2(gray[i], binary[i + 1]);
+        }
+        for (i, &b) in binary.iter().enumerate() {
+            n.set_output(format!("b{i}"), b);
+        }
+        n
+    }
+
+    #[test]
+    fn implementations_agree_in_simulation() {
+        let a = binary_counter(4);
+        let b = gray_counter_with_decoder(4);
+        let mut sim_a = Simulator::new(&a);
+        let mut sim_b = Simulator::new(&b);
+        for step in 0..20 {
+            let va = sim_a.step(&[]);
+            let vb = sim_b.step(&[]);
+            for (name, node) in a.outputs() {
+                let nb = b.output(name).expect("same outputs");
+                assert_eq!(va.node(*node), vb.node(nb), "{name} at step {step}");
+            }
+        }
+    }
+
+    #[test]
+    fn equivalent_machines_give_unsat_sec() {
+        let a = binary_counter(3);
+        let b = gray_counter_with_decoder(3);
+        for k in [1usize, 4, 8] {
+            let f = sec_formula(&a, &b, k);
+            assert!(
+                cdcl::solve(&f, cdcl::SolverConfig::default()).is_unsat(),
+                "counters must be {k}-step equivalent"
+            );
+        }
+    }
+
+    #[test]
+    fn divergent_machine_is_caught_at_the_right_depth() {
+        // a counter that sticks at 3 diverges once the true counter
+        // passes 3 — SEC must be UNSAT below that depth and SAT beyond
+        let a = binary_counter(3);
+        let mut n = Netlist::new();
+        let state = counter(&mut n, 3);
+        // clamp: output = min(state, 3) by forcing bit2 low
+        let zero = n.constant(false);
+        n.set_output("b0", state[0]);
+        n.set_output("b1", state[1]);
+        n.set_output("b2", zero);
+        for latch in 0..3 {
+            // keep latch wiring identical
+            let _ = latch;
+        }
+        let b = n;
+        // values 0..=3 agree (bit2 = 0 there); value 4 (step 4) differs
+        assert!(cdcl::solve(&sec_formula(&a, &b, 4), cdcl::SolverConfig::default())
+            .is_unsat());
+        assert!(cdcl::solve(&sec_formula(&a, &b, 5), cdcl::SolverConfig::default())
+            .is_sat());
+    }
+
+    #[test]
+    #[should_panic(expected = "input arity mismatch")]
+    fn interface_mismatch_panics() {
+        let a = binary_counter(2);
+        let mut b = Netlist::new();
+        let i = b.input();
+        b.set_output("b0", i);
+        b.set_output("b1", i);
+        let _ = build_product_machine(&a, &b);
+    }
+
+    #[test]
+    fn instantiate_maps_nodes_faithfully() {
+        let mut inner = Netlist::new();
+        let x = inner.input();
+        let y = inner.input();
+        let g = inner.and2(x, y);
+        inner.set_output("g", g);
+
+        let mut outer = Netlist::new();
+        let a = outer.input();
+        let na = outer.not(a);
+        let map = outer.instantiate(&inner, &[a, na]);
+        // a ∧ ¬a is constant false
+        let sim = Simulator::new(&outer);
+        for v in [false, true] {
+            assert!(!sim.evaluate(&[v]).node(map[g.index()]));
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Cycle-accurate netlist simulation — the ground-truth oracle for the
+//! encoder, BMC, and miter tests.
+
+use crate::netlist::{Gate, Netlist, NodeId};
+
+/// A simulator holding the latch state of a [`Netlist`].
+///
+/// # Examples
+///
+/// ```
+/// use circuit::{Netlist, Simulator};
+///
+/// let mut n = Netlist::new();
+/// let a = n.input();
+/// let b = n.input();
+/// let s = n.xor2(a, b);
+/// n.set_output("sum", s);
+///
+/// let mut sim = Simulator::new(&n);
+/// let values = sim.step(&[true, false]);
+/// assert!(values.node(s));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Simulator<'a> {
+    netlist: &'a Netlist,
+    state: Vec<bool>,
+}
+
+/// The node values of one simulated cycle.
+#[derive(Clone, Debug)]
+pub struct CycleValues {
+    values: Vec<bool>,
+}
+
+impl CycleValues {
+    /// The value of a node in this cycle.
+    #[must_use]
+    pub fn node(&self, id: NodeId) -> bool {
+        self.values[id.index()]
+    }
+}
+
+impl<'a> Simulator<'a> {
+    /// Creates a simulator with all latches at their reset values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some latch has no next-state function.
+    #[must_use]
+    pub fn new(netlist: &'a Netlist) -> Self {
+        assert!(
+            netlist.latches().iter().all(|l| l.next.is_some()),
+            "all latches must be connected before simulation"
+        );
+        let state = netlist.latches().iter().map(|l| l.init).collect();
+        Simulator { netlist, state }
+    }
+
+    /// The current latch state.
+    #[must_use]
+    pub fn state(&self) -> &[bool] {
+        &self.state
+    }
+
+    /// Evaluates one cycle with the given input values and advances the
+    /// latch state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the number of primary
+    /// inputs, or if the netlist contains a combinational cycle
+    /// (a gate referencing a later node that is not a latch).
+    pub fn step(&mut self, inputs: &[bool]) -> CycleValues {
+        let values = self.evaluate(inputs);
+        self.state = self
+            .netlist
+            .latches()
+            .iter()
+            .map(|l| values.node(l.next.expect("connected")))
+            .collect();
+        values
+    }
+
+    /// Evaluates the combinational logic for the current state without
+    /// advancing it.
+    ///
+    /// # Panics
+    ///
+    /// See [`Simulator::step`].
+    #[must_use]
+    pub fn evaluate(&self, inputs: &[bool]) -> CycleValues {
+        assert_eq!(
+            inputs.len(),
+            self.netlist.num_inputs(),
+            "wrong number of input values"
+        );
+        let mut values = vec![false; self.netlist.num_nodes()];
+        for (i, gate) in self.netlist.gates().iter().enumerate() {
+            let check = |dep: NodeId| {
+                assert!(dep.index() < i, "combinational cycle through node {i}");
+                values[dep.index()]
+            };
+            values[i] = match *gate {
+                Gate::Input(k) => inputs[k],
+                Gate::Const(b) => b,
+                Gate::Not(x) => !check(x),
+                Gate::And(a, b) => check(a) && check(b),
+                Gate::Or(a, b) => check(a) || check(b),
+                Gate::Xor(a, b) => check(a) ^ check(b),
+                Gate::Latch(k) => self.state[k],
+            };
+        }
+        CycleValues { values }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combinational_gates_evaluate() {
+        let mut n = Netlist::new();
+        let a = n.input();
+        let b = n.input();
+        let and = n.and2(a, b);
+        let or = n.or2(a, b);
+        let xor = n.xor2(a, b);
+        let na = n.not(a);
+        let t = n.constant(true);
+
+        let sim = Simulator::new(&n);
+        for (va, vb) in [(false, false), (false, true), (true, false), (true, true)] {
+            let v = sim.evaluate(&[va, vb]);
+            assert_eq!(v.node(and), va && vb);
+            assert_eq!(v.node(or), va || vb);
+            assert_eq!(v.node(xor), va ^ vb);
+            assert_eq!(v.node(na), !va);
+            assert!(v.node(t));
+        }
+    }
+
+    #[test]
+    fn mux_selects() {
+        let mut n = Netlist::new();
+        let s = n.input();
+        let a = n.input();
+        let b = n.input();
+        let m = n.mux(s, a, b);
+        let sim = Simulator::new(&n);
+        assert!(sim.evaluate(&[true, true, false]).node(m));
+        assert!(!sim.evaluate(&[true, false, true]).node(m));
+        assert!(sim.evaluate(&[false, false, true]).node(m));
+        assert!(!sim.evaluate(&[false, true, false]).node(m));
+    }
+
+    #[test]
+    fn toggle_flip_flop_oscillates() {
+        let mut n = Netlist::new();
+        let q = n.latch(false);
+        let nq = n.not(q);
+        n.connect_next(q, nq);
+        let mut sim = Simulator::new(&n);
+        let mut seen = Vec::new();
+        for _ in 0..4 {
+            let v = sim.step(&[]);
+            seen.push(v.node(q));
+        }
+        assert_eq!(seen, vec![false, true, false, true]);
+    }
+
+    #[test]
+    fn counter_counts() {
+        // 2-bit counter: b0' = ¬b0, b1' = b1 ⊕ b0
+        let mut n = Netlist::new();
+        let b0 = n.latch(false);
+        let b1 = n.latch(false);
+        let nb0 = n.not(b0);
+        let carry = n.xor2(b1, b0);
+        n.connect_next(b0, nb0);
+        n.connect_next(b1, carry);
+        let mut sim = Simulator::new(&n);
+        let mut values = Vec::new();
+        for _ in 0..5 {
+            let v = sim.step(&[]);
+            values.push((v.node(b1), v.node(b0)));
+        }
+        assert_eq!(
+            values,
+            vec![
+                (false, false),
+                (false, true),
+                (true, false),
+                (true, true),
+                (false, false)
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong number of input values")]
+    fn input_arity_checked() {
+        let mut n = Netlist::new();
+        n.input();
+        let sim = Simulator::new(&n);
+        let _ = sim.evaluate(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be connected")]
+    fn unconnected_latch_rejected() {
+        let mut n = Netlist::new();
+        n.latch(false);
+        let _ = Simulator::new(&n);
+    }
+}

@@ -1,0 +1,323 @@
+//! A line-oriented text format for netlists, in the spirit of AIGER's
+//! ASCII format: one node per line, in topological (creation) order,
+//! followed by latch connections and named outputs.
+//!
+//! ```text
+//! netlist 4
+//! input
+//! input
+//! xor 0 1
+//! latch 1
+//! next 3 2
+//! output sum 2
+//! ```
+
+use std::error::Error;
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+use crate::netlist::{Gate, Netlist, NodeId};
+
+/// An error produced while parsing the netlist text format.
+#[derive(Debug)]
+pub enum ParseNetlistError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A malformed or unknown line.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// The offending text.
+        text: String,
+    },
+    /// A node reference to a not-yet-defined node.
+    ForwardReference {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// Missing `netlist` header.
+    MissingHeader,
+}
+
+impl fmt::Display for ParseNetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseNetlistError::Io(e) => write!(f, "i/o error: {e}"),
+            ParseNetlistError::BadLine { line, text } => {
+                write!(f, "line {line}: malformed line {text:?}")
+            }
+            ParseNetlistError::ForwardReference { line } => {
+                write!(f, "line {line}: reference to a later node")
+            }
+            ParseNetlistError::MissingHeader => write!(f, "missing `netlist` header"),
+        }
+    }
+}
+
+impl Error for ParseNetlistError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ParseNetlistError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ParseNetlistError {
+    fn from(e: io::Error) -> Self {
+        ParseNetlistError::Io(e)
+    }
+}
+
+/// Writes a netlist in the text format.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_netlist<W: Write>(mut writer: W, netlist: &Netlist) -> io::Result<()> {
+    writeln!(writer, "netlist {}", netlist.num_nodes())?;
+    for gate in netlist.gates() {
+        match *gate {
+            Gate::Input(_) => writeln!(writer, "input")?,
+            Gate::Const(b) => writeln!(writer, "const {}", u8::from(b))?,
+            Gate::Not(x) => writeln!(writer, "not {}", x.index())?,
+            Gate::And(a, b) => writeln!(writer, "and {} {}", a.index(), b.index())?,
+            Gate::Or(a, b) => writeln!(writer, "or {} {}", a.index(), b.index())?,
+            Gate::Xor(a, b) => writeln!(writer, "xor {} {}", a.index(), b.index())?,
+            Gate::Latch(idx) => writeln!(
+                writer,
+                "latch {}",
+                u8::from(netlist.latches()[idx].init)
+            )?,
+        }
+    }
+    for latch in netlist.latches() {
+        if let Some(next) = latch.next {
+            writeln!(writer, "next {} {}", latch.node.index(), next.index())?;
+        }
+    }
+    for (name, node) in netlist.outputs() {
+        writeln!(writer, "output {name} {}", node.index())?;
+    }
+    Ok(())
+}
+
+/// Renders a netlist to a string in the text format.
+#[must_use]
+pub fn to_netlist_string(netlist: &Netlist) -> String {
+    let mut buf = Vec::new();
+    write_netlist(&mut buf, netlist).expect("writing to Vec cannot fail");
+    String::from_utf8(buf).expect("netlist text is ASCII")
+}
+
+/// Parses a netlist from the text format.
+///
+/// # Errors
+///
+/// Returns [`ParseNetlistError`] on I/O failure or malformed input.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let text = "netlist 3\ninput\ninput\nand 0 1\noutput y 2\n";
+/// let n = circuit::parse_netlist(text.as_bytes())?;
+/// assert_eq!(n.num_inputs(), 2);
+/// assert!(n.output("y").is_some());
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_netlist<R: BufRead>(reader: R) -> Result<Netlist, ParseNetlistError> {
+    let mut netlist = Netlist::new();
+    let mut nodes: Vec<NodeId> = Vec::new();
+    let mut seen_header = false;
+
+    let resolve = |nodes: &[NodeId], token: &str, line: usize| -> Result<NodeId, ParseNetlistError> {
+        let idx: usize = token.parse().map_err(|_| ParseNetlistError::BadLine {
+            line,
+            text: token.to_string(),
+        })?;
+        nodes
+            .get(idx)
+            .copied()
+            .ok_or(ParseNetlistError::ForwardReference { line })
+    };
+
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let lineno = lineno + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let bad = || ParseNetlistError::BadLine { line: lineno, text: line.clone() };
+        let mut tokens = trimmed.split_whitespace();
+        let keyword = tokens.next().ok_or_else(bad)?;
+        let args: Vec<&str> = tokens.collect();
+        if !seen_header {
+            if keyword != "netlist" || args.len() != 1 {
+                return Err(ParseNetlistError::MissingHeader);
+            }
+            seen_header = true;
+            continue;
+        }
+        match (keyword, args.as_slice()) {
+            ("input", []) => nodes.push(netlist.input()),
+            ("const", [v]) => match *v {
+                "0" => nodes.push(netlist.constant(false)),
+                "1" => nodes.push(netlist.constant(true)),
+                _ => return Err(bad()),
+            },
+            ("not", [x]) => {
+                let x = resolve(&nodes, x, lineno)?;
+                nodes.push(netlist.not(x));
+            }
+            ("and" | "or" | "xor", [a, b]) => {
+                let a = resolve(&nodes, a, lineno)?;
+                let b = resolve(&nodes, b, lineno)?;
+                nodes.push(match keyword {
+                    "and" => netlist.and2(a, b),
+                    "or" => netlist.or2(a, b),
+                    _ => netlist.xor2(a, b),
+                });
+            }
+            ("latch", [v]) => match *v {
+                "0" => nodes.push(netlist.latch(false)),
+                "1" => nodes.push(netlist.latch(true)),
+                _ => return Err(bad()),
+            },
+            ("next", [l, n]) => {
+                let l = resolve(&nodes, l, lineno)?;
+                let n = resolve(&nodes, n, lineno)?;
+                if !matches!(netlist.gate(l), Gate::Latch(_)) {
+                    return Err(bad());
+                }
+                netlist.connect_next(l, n);
+            }
+            ("output", [name, n]) => {
+                let n = resolve(&nodes, n, lineno)?;
+                netlist.set_output(*name, n);
+            }
+            _ => return Err(bad()),
+        }
+    }
+    if !seen_header {
+        return Err(ParseNetlistError::MissingHeader);
+    }
+    Ok(netlist)
+}
+
+/// Parses a netlist from a string slice.
+///
+/// # Errors
+///
+/// See [`parse_netlist`].
+pub fn parse_netlist_str(text: &str) -> Result<Netlist, ParseNetlistError> {
+    parse_netlist(text.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blocks::{lfsr, ripple_carry_adder};
+    use crate::sim::Simulator;
+
+    fn roundtrip(netlist: &Netlist) -> Netlist {
+        let text = to_netlist_string(netlist);
+        parse_netlist_str(&text).expect("own output parses")
+    }
+
+    #[test]
+    fn adder_roundtrips_and_simulates_identically() {
+        let mut n = Netlist::new();
+        let a = n.inputs(3);
+        let b = n.inputs(3);
+        let (sum, cout) = ripple_carry_adder(&mut n, &a, &b);
+        for (i, s) in sum.iter().enumerate() {
+            n.set_output(format!("s{i}"), *s);
+        }
+        n.set_output("cout", cout);
+
+        let m = roundtrip(&n);
+        assert_eq!(m.num_nodes(), n.num_nodes());
+        assert_eq!(m.num_inputs(), n.num_inputs());
+        assert_eq!(m.outputs().len(), n.outputs().len());
+
+        let sim_n = Simulator::new(&n);
+        let sim_m = Simulator::new(&m);
+        for bits in 0u32..64 {
+            let inputs: Vec<bool> = (0..6).map(|i| bits >> i & 1 == 1).collect();
+            let vn = sim_n.evaluate(&inputs);
+            let vm = sim_m.evaluate(&inputs);
+            for (name, node) in n.outputs() {
+                let mnode = m.output(name).expect("same outputs");
+                assert_eq!(vn.node(*node), vm.node(mnode), "{name} at {bits:b}");
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_roundtrip_preserves_latches() {
+        let mut n = Netlist::new();
+        let state = lfsr(&mut n, 5, &[4, 2]);
+        n.set_output("b0", state[0]);
+        let m = roundtrip(&n);
+        assert_eq!(m.num_latches(), 5);
+        let mut sim_n = Simulator::new(&n);
+        let mut sim_m = Simulator::new(&m);
+        for step in 0..20 {
+            let vn = sim_n.step(&[]);
+            let vm = sim_m.step(&[]);
+            let node_n = n.output("b0").expect("named");
+            let node_m = m.output("b0").expect("named");
+            assert_eq!(vn.node(node_n), vm.node(node_m), "step {step}");
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# a comment\nnetlist 2\n\ninput\n# mid comment\nnot 0\n";
+        let n = parse_netlist_str(text).expect("parse");
+        assert_eq!(n.num_nodes(), 2);
+    }
+
+    #[test]
+    fn missing_header_rejected() {
+        assert!(matches!(
+            parse_netlist_str("input\n").unwrap_err(),
+            ParseNetlistError::MissingHeader
+        ));
+        assert!(matches!(
+            parse_netlist_str("").unwrap_err(),
+            ParseNetlistError::MissingHeader
+        ));
+    }
+
+    #[test]
+    fn forward_reference_rejected() {
+        let err = parse_netlist_str("netlist 2\nnot 1\ninput\n").unwrap_err();
+        assert!(matches!(err, ParseNetlistError::ForwardReference { line: 2 }));
+    }
+
+    #[test]
+    fn malformed_lines_rejected_with_position() {
+        for (text, expect) in [
+            ("netlist 1\nfrobnicate\n", 2),
+            ("netlist 1\nconst 2\n", 2),
+            ("netlist 2\ninput\nand 0\n", 3),
+            ("netlist 2\ninput\nnext 0 0\n", 3), // next on a non-latch
+        ] {
+            let err = parse_netlist_str(text).unwrap_err();
+            assert!(
+                matches!(err, ParseNetlistError::BadLine { line, .. } if line == expect),
+                "{text:?} gave {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn error_display_mentions_line() {
+        let err = parse_netlist_str("netlist 1\nbogus\n").unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+}

@@ -1,0 +1,244 @@
+//! Tseitin encoding of netlists into CNF.
+//!
+//! Each node gets a CNF variable; each gate contributes the clauses of
+//! its defining equivalence. This is the standard reduction used by the
+//! equivalence-checking and BMC front-ends the paper evaluates on
+//! [2, 4, 8].
+
+use cnf::{CnfFormula, Lit, Var};
+
+use crate::netlist::{Gate, Netlist, NodeId};
+
+/// The result of encoding a netlist: the clauses plus the mapping from
+/// nodes (and latch states) to CNF variables.
+#[derive(Clone, Debug)]
+pub struct Encoding {
+    formula: CnfFormula,
+    node_vars: Vec<Var>,
+}
+
+impl Encoding {
+    /// The accumulated formula (consuming).
+    #[must_use]
+    pub fn into_formula(self) -> CnfFormula {
+        self.formula
+    }
+
+    /// The accumulated formula.
+    #[must_use]
+    pub fn formula(&self) -> &CnfFormula {
+        &self.formula
+    }
+
+    /// Mutable access, for adding constraints on top of the encoding.
+    pub fn formula_mut(&mut self) -> &mut CnfFormula {
+        &mut self.formula
+    }
+
+    /// The CNF variable of a node.
+    #[must_use]
+    pub fn var(&self, node: NodeId) -> Var {
+        self.node_vars[node.index()]
+    }
+
+    /// The positive literal of a node.
+    #[must_use]
+    pub fn lit(&self, node: NodeId) -> Lit {
+        self.var(node).positive()
+    }
+
+    /// Constrains a node to a fixed value.
+    pub fn assert_node(&mut self, node: NodeId, value: bool) {
+        let lit = self.var(node).lit(value);
+        self.formula.add_clause(cnf::Clause::unit(lit));
+    }
+}
+
+/// Encodes the combinational logic of `netlist`.
+///
+/// Latch-output nodes become *free variables* (callers constrain them:
+/// the BMC unroller ties them across time frames; a combinational query
+/// leaves them open, modelling an arbitrary state).
+///
+/// # Examples
+///
+/// ```
+/// use circuit::{encode, Netlist};
+///
+/// let mut n = Netlist::new();
+/// let a = n.input();
+/// let b = n.input();
+/// let g = n.and2(a, b);
+/// let mut enc = encode(&n);
+/// enc.assert_node(g, true);
+/// // (a ∧ b) is satisfiable
+/// assert!(enc.formula().brute_force_satisfiable());
+/// ```
+#[must_use]
+pub fn encode(netlist: &Netlist) -> Encoding {
+    let mut formula = CnfFormula::new();
+    let node_vars: Vec<Var> =
+        (0..netlist.num_nodes()).map(|_| formula.new_var()).collect();
+    let mut enc = Encoding { formula, node_vars };
+    for (i, gate) in netlist.gates().iter().enumerate() {
+        let y = enc.node_vars[i].positive();
+        match *gate {
+            // inputs and latch outputs are free variables
+            Gate::Input(_) | Gate::Latch(_) => {}
+            Gate::Const(b) => {
+                enc.formula.add_clause(cnf::Clause::unit(if b { y } else { !y }));
+            }
+            Gate::Not(x) => {
+                let x = enc.lit(x);
+                // y ↔ ¬x
+                enc.formula.add_clause(cnf::Clause::binary(!y, !x));
+                enc.formula.add_clause(cnf::Clause::binary(y, x));
+            }
+            Gate::And(a, b) => {
+                let (a, b) = (enc.lit(a), enc.lit(b));
+                // y ↔ a∧b
+                enc.formula.add_clause(cnf::Clause::binary(!y, a));
+                enc.formula.add_clause(cnf::Clause::binary(!y, b));
+                enc.formula.add_clause(cnf::Clause::new(vec![y, !a, !b]));
+            }
+            Gate::Or(a, b) => {
+                let (a, b) = (enc.lit(a), enc.lit(b));
+                // y ↔ a∨b
+                enc.formula.add_clause(cnf::Clause::binary(y, !a));
+                enc.formula.add_clause(cnf::Clause::binary(y, !b));
+                enc.formula.add_clause(cnf::Clause::new(vec![!y, a, b]));
+            }
+            Gate::Xor(a, b) => {
+                let (a, b) = (enc.lit(a), enc.lit(b));
+                // y ↔ a⊕b
+                enc.formula.add_clause(cnf::Clause::new(vec![!y, a, b]));
+                enc.formula.add_clause(cnf::Clause::new(vec![!y, !a, !b]));
+                enc.formula.add_clause(cnf::Clause::new(vec![y, !a, b]));
+                enc.formula.add_clause(cnf::Clause::new(vec![y, a, !b]));
+            }
+        }
+    }
+    enc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Simulator;
+
+    /// Exhaustively checks that the encoding agrees with the simulator
+    /// on every input assignment: the encoding with inputs fixed must be
+    /// satisfiable exactly by the simulated node values.
+    fn assert_encoding_matches_sim(netlist: &Netlist) {
+        let sim = Simulator::new(netlist);
+        let n = netlist.num_inputs();
+        assert!(n <= 8, "test helper limited to 8 inputs");
+        for bits in 0u32..(1 << n) {
+            let inputs: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+            let values = sim.evaluate(&inputs);
+            let mut enc = encode(netlist);
+            for (i, &node) in netlist.input_nodes().iter().enumerate() {
+                enc.assert_node(node, inputs[i]);
+            }
+            // constrain all outputs to the simulated values: must be SAT
+            for &(_, node) in netlist.outputs().iter() {
+                enc.assert_node(node, values.node(node));
+            }
+            assert!(
+                enc.formula().brute_force_satisfiable(),
+                "encoding rejects correct values for inputs {bits:b}"
+            );
+            // flipping any output makes it UNSAT
+            for &(_, node) in netlist.outputs().iter() {
+                let mut enc2 = encode(netlist);
+                for (i, &inode) in netlist.input_nodes().iter().enumerate() {
+                    enc2.assert_node(inode, inputs[i]);
+                }
+                enc2.assert_node(node, !values.node(node));
+                assert!(
+                    !enc2.formula().brute_force_satisfiable(),
+                    "encoding allows wrong value for inputs {bits:b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gate_encodings_match_simulation() {
+        let mut n = Netlist::new();
+        let a = n.input();
+        let b = n.input();
+        let c = n.input();
+        let g1 = n.and2(a, b);
+        let g2 = n.or2(g1, c);
+        let g3 = n.xor2(g2, a);
+        let g4 = n.not(g3);
+        let m = n.mux(c, g4, g1);
+        n.set_output("y", m);
+        assert_encoding_matches_sim(&n);
+    }
+
+    #[test]
+    fn constants_are_pinned() {
+        let mut n = Netlist::new();
+        let t = n.constant(true);
+        let f = n.constant(false);
+        n.set_output("t", t);
+        n.set_output("f", f);
+        let enc = encode(&n);
+        // both asserted values forced: asserting the opposite is UNSAT
+        let mut e1 = encode(&n);
+        e1.assert_node(t, false);
+        assert!(!e1.formula().brute_force_satisfiable());
+        let mut e2 = encode(&n);
+        e2.assert_node(f, true);
+        assert!(!e2.formula().brute_force_satisfiable());
+        assert!(enc.formula().brute_force_satisfiable());
+    }
+
+    #[test]
+    fn latch_nodes_are_free() {
+        let mut n = Netlist::new();
+        let q = n.latch(false);
+        let nq = n.not(q);
+        n.connect_next(q, nq);
+        let enc = encode(&n);
+        // both q=0 and q=1 are consistent with the combinational encoding
+        for v in [true, false] {
+            let mut e = encode(&n);
+            e.assert_node(q, v);
+            assert!(e.formula().brute_force_satisfiable());
+        }
+        drop(enc);
+    }
+
+    #[test]
+    fn encoding_var_mapping_is_dense() {
+        let mut n = Netlist::new();
+        let a = n.input();
+        let g = n.not(a);
+        let enc = encode(&n);
+        assert_ne!(enc.var(a), enc.var(g));
+        assert_eq!(enc.formula().num_vars(), 2);
+        assert_eq!(enc.lit(a), enc.var(a).positive());
+    }
+
+    #[test]
+    fn eval_clause_sanity_on_xor() {
+        // direct spot-check of the xor clauses
+        let mut n = Netlist::new();
+        let a = n.input();
+        let b = n.input();
+        let x = n.xor2(a, b);
+        let mut enc = encode(&n);
+        enc.assert_node(a, true);
+        enc.assert_node(b, true);
+        enc.assert_node(x, true);
+        assert!(!enc.formula().brute_force_satisfiable());
+        let mut enc2 = encode(&n);
+        enc2.assert_node(a, true);
+        enc2.assert_node(b, false);
+        enc2.assert_node(x, true);
+        assert!(enc2.formula().brute_force_satisfiable());
+    }
+}

@@ -1,0 +1,347 @@
+//! Partial assignments over a fixed set of variables.
+
+use std::fmt;
+use std::ops::Not;
+
+use crate::clause::Clause;
+use crate::lit::{Lit, Var};
+
+/// A three-valued truth value: true, false, or unassigned.
+///
+/// # Examples
+///
+/// ```
+/// use cnf::LBool;
+///
+/// assert_eq!(!LBool::True, LBool::False);
+/// assert_eq!(!LBool::Unassigned, LBool::Unassigned);
+/// assert_eq!(LBool::from(true), LBool::True);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum LBool {
+    /// Assigned true.
+    True,
+    /// Assigned false.
+    False,
+    /// Not assigned.
+    #[default]
+    Unassigned,
+}
+
+impl LBool {
+    /// Returns `true` iff assigned (either polarity).
+    #[inline]
+    #[must_use]
+    pub fn is_assigned(self) -> bool {
+        self != LBool::Unassigned
+    }
+
+    /// Converts to `Option<bool>`: `None` if unassigned.
+    #[inline]
+    #[must_use]
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            LBool::True => Some(true),
+            LBool::False => Some(false),
+            LBool::Unassigned => None,
+        }
+    }
+}
+
+impl From<bool> for LBool {
+    #[inline]
+    fn from(b: bool) -> Self {
+        if b {
+            LBool::True
+        } else {
+            LBool::False
+        }
+    }
+}
+
+impl Not for LBool {
+    type Output = LBool;
+
+    #[inline]
+    fn not(self) -> LBool {
+        match self {
+            LBool::True => LBool::False,
+            LBool::False => LBool::True,
+            LBool::Unassigned => LBool::Unassigned,
+        }
+    }
+}
+
+impl fmt::Display for LBool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LBool::True => write!(f, "1"),
+            LBool::False => write!(f, "0"),
+            LBool::Unassigned => write!(f, "?"),
+        }
+    }
+}
+
+/// A partial assignment: a map from variables to [`LBool`].
+///
+/// Used by the propagation engines, the solver, and the proof checker.
+/// Indexing is dense by variable; the assignment grows on demand when
+/// [`Assignment::ensure_var`] is called.
+///
+/// # Examples
+///
+/// ```
+/// use cnf::{Assignment, LBool, Lit};
+///
+/// let mut a = Assignment::new(3);
+/// let x1 = Lit::from_dimacs(1);
+/// a.assign(x1);
+/// assert_eq!(a.lit_value(x1), LBool::True);
+/// assert_eq!(a.lit_value(!x1), LBool::False);
+/// assert_eq!(a.num_assigned(), 1);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Assignment {
+    values: Vec<LBool>,
+    num_assigned: usize,
+}
+
+impl Assignment {
+    /// Creates an all-unassigned assignment over `num_vars` variables.
+    #[must_use]
+    pub fn new(num_vars: usize) -> Self {
+        Assignment { values: vec![LBool::Unassigned; num_vars], num_assigned: 0 }
+    }
+
+    /// Number of variables tracked.
+    #[inline]
+    #[must_use]
+    pub fn num_vars(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Number of currently assigned variables.
+    #[inline]
+    #[must_use]
+    pub fn num_assigned(&self) -> usize {
+        self.num_assigned
+    }
+
+    /// Grows the assignment so that `var` is in range.
+    pub fn ensure_var(&mut self, var: Var) {
+        if var.idx() >= self.values.len() {
+            self.values.resize(var.idx() + 1, LBool::Unassigned);
+        }
+    }
+
+    /// Returns the value of a variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is out of range.
+    #[inline]
+    #[must_use]
+    pub fn var_value(&self, var: Var) -> LBool {
+        self.values[var.idx()]
+    }
+
+    /// Returns the value of a literal under the current assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the literal's variable is out of range.
+    #[inline]
+    #[must_use]
+    pub fn lit_value(&self, lit: Lit) -> LBool {
+        let v = self.values[lit.var().idx()];
+        if lit.is_positive() {
+            v
+        } else {
+            !v
+        }
+    }
+
+    /// Returns `true` if `lit` is assigned true.
+    #[inline]
+    #[must_use]
+    pub fn is_true(&self, lit: Lit) -> bool {
+        self.lit_value(lit) == LBool::True
+    }
+
+    /// Returns `true` if `lit` is assigned false.
+    #[inline]
+    #[must_use]
+    pub fn is_false(&self, lit: Lit) -> bool {
+        self.lit_value(lit) == LBool::False
+    }
+
+    /// Returns `true` if `lit`'s variable is unassigned.
+    #[inline]
+    #[must_use]
+    pub fn is_unassigned(&self, lit: Lit) -> bool {
+        self.lit_value(lit) == LBool::Unassigned
+    }
+
+    /// Makes `lit` true.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if the variable is already assigned — callers
+    /// are expected to check first; double assignment is always a logic
+    /// error in a trail-based engine.
+    #[inline]
+    pub fn assign(&mut self, lit: Lit) {
+        debug_assert!(
+            self.is_unassigned(lit),
+            "double assignment of {lit}",
+        );
+        self.values[lit.var().idx()] = LBool::from(lit.is_positive());
+        self.num_assigned += 1;
+    }
+
+    /// Removes the assignment of `var`.
+    #[inline]
+    pub fn unassign(&mut self, var: Var) {
+        if self.values[var.idx()].is_assigned() {
+            self.num_assigned -= 1;
+        }
+        self.values[var.idx()] = LBool::Unassigned;
+    }
+
+    /// Resets every variable to unassigned.
+    pub fn clear(&mut self) {
+        self.values.fill(LBool::Unassigned);
+        self.num_assigned = 0;
+    }
+
+    /// Evaluates a clause: `True` if some literal is true, `False` if all
+    /// literals are false, `Unassigned` otherwise.
+    ///
+    /// The empty clause evaluates to `False`.
+    #[must_use]
+    pub fn eval_clause(&self, clause: &Clause) -> LBool {
+        let mut undecided = false;
+        for &l in clause.lits() {
+            match self.lit_value(l) {
+                LBool::True => return LBool::True,
+                LBool::Unassigned => undecided = true,
+                LBool::False => {}
+            }
+        }
+        if undecided {
+            LBool::Unassigned
+        } else {
+            LBool::False
+        }
+    }
+
+    /// Returns the literals assigned true, in variable order — a model
+    /// fragment suitable for printing.
+    #[must_use]
+    pub fn to_lits(&self) -> Vec<Lit> {
+        self.values
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| {
+                v.to_bool().map(|b| Var::new(i as u32).lit(b))
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for Assignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, l) in self.to_lits().iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", l.to_dimacs())?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lbool_negation_and_conversion() {
+        assert_eq!(!LBool::True, LBool::False);
+        assert_eq!(!LBool::False, LBool::True);
+        assert_eq!(!LBool::Unassigned, LBool::Unassigned);
+        assert_eq!(LBool::True.to_bool(), Some(true));
+        assert_eq!(LBool::Unassigned.to_bool(), None);
+        assert_eq!(LBool::from(false), LBool::False);
+        assert_eq!(LBool::default(), LBool::Unassigned);
+    }
+
+    #[test]
+    fn assign_and_query() {
+        let mut a = Assignment::new(4);
+        let l = Lit::from_dimacs(-3);
+        assert!(a.is_unassigned(l));
+        a.assign(l);
+        assert!(a.is_true(l));
+        assert!(a.is_false(!l));
+        assert_eq!(a.var_value(Var::from_dimacs(3)), LBool::False);
+        assert_eq!(a.num_assigned(), 1);
+        a.unassign(l.var());
+        assert!(a.is_unassigned(l));
+        assert_eq!(a.num_assigned(), 0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "double assignment")]
+    fn double_assign_panics_in_debug() {
+        let mut a = Assignment::new(1);
+        a.assign(Lit::from_dimacs(1));
+        a.assign(Lit::from_dimacs(-1));
+    }
+
+    #[test]
+    fn clause_evaluation() {
+        let mut a = Assignment::new(3);
+        let c = Clause::from_dimacs(&[1, 2, -3]);
+        assert_eq!(a.eval_clause(&c), LBool::Unassigned);
+        a.assign(Lit::from_dimacs(-1));
+        a.assign(Lit::from_dimacs(-2));
+        assert_eq!(a.eval_clause(&c), LBool::Unassigned);
+        a.assign(Lit::from_dimacs(3));
+        assert_eq!(a.eval_clause(&c), LBool::False);
+        a.unassign(Var::from_dimacs(3));
+        a.assign(Lit::from_dimacs(-3));
+        assert_eq!(a.eval_clause(&c), LBool::True);
+        assert_eq!(a.eval_clause(&Clause::empty()), LBool::False);
+    }
+
+    #[test]
+    fn grows_on_demand() {
+        let mut a = Assignment::new(0);
+        a.ensure_var(Var::new(9));
+        assert_eq!(a.num_vars(), 10);
+        a.assign(Var::new(9).positive());
+        assert!(a.is_true(Var::new(9).positive()));
+    }
+
+    #[test]
+    fn to_lits_and_display() {
+        let mut a = Assignment::new(3);
+        a.assign(Lit::from_dimacs(1));
+        a.assign(Lit::from_dimacs(-3));
+        assert_eq!(a.to_lits(), vec![Lit::from_dimacs(1), Lit::from_dimacs(-3)]);
+        assert_eq!(a.to_string(), "{1, -3}");
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut a = Assignment::new(2);
+        a.assign(Lit::from_dimacs(1));
+        a.assign(Lit::from_dimacs(2));
+        a.clear();
+        assert_eq!(a.num_assigned(), 0);
+        assert!(a.is_unassigned(Lit::from_dimacs(1)));
+    }
+}

@@ -1,0 +1,368 @@
+//! Clauses: disjunctions of literals.
+
+use std::fmt;
+use std::ops::{Deref, Index};
+
+use crate::lit::{Lit, Var};
+
+/// A clause — a disjunction of literals.
+///
+/// The empty clause is unsatisfiable; a clause with one literal is a
+/// *unit* clause (the paper's building block: a proof terminates with a
+/// *final conflicting pair* of unit clauses).
+///
+/// `Clause` is an owned, immutable-after-construction sequence of
+/// literals. It dereferences to `[Lit]`, so all slice methods apply.
+///
+/// # Examples
+///
+/// ```
+/// use cnf::{Clause, Lit};
+///
+/// let c = Clause::from_dimacs(&[1, -2, 3]);
+/// assert_eq!(c.len(), 3);
+/// assert!(c.contains(Lit::from_dimacs(-2)));
+/// assert!(!c.is_unit());
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Clause {
+    lits: Box<[Lit]>,
+}
+
+impl Clause {
+    /// Creates a clause from the given literals, in the given order.
+    ///
+    /// Duplicate literals are allowed (some generators produce them);
+    /// call [`Clause::normalized`] to deduplicate and sort.
+    #[must_use]
+    pub fn new(lits: impl Into<Vec<Lit>>) -> Self {
+        Clause { lits: lits.into().into_boxed_slice() }
+    }
+
+    /// Creates the empty clause.
+    #[must_use]
+    pub fn empty() -> Self {
+        Clause { lits: Box::new([]) }
+    }
+
+    /// Creates a unit clause.
+    #[must_use]
+    pub fn unit(lit: Lit) -> Self {
+        Clause { lits: Box::new([lit]) }
+    }
+
+    /// Creates a binary clause.
+    #[must_use]
+    pub fn binary(a: Lit, b: Lit) -> Self {
+        Clause { lits: Box::new([a, b]) }
+    }
+
+    /// Creates a clause from signed DIMACS names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any name is zero.
+    #[must_use]
+    pub fn from_dimacs(names: &[i32]) -> Self {
+        Clause::new(names.iter().map(|&n| Lit::from_dimacs(n)).collect::<Vec<_>>())
+    }
+
+    /// Returns the literals of this clause.
+    #[inline]
+    #[must_use]
+    pub fn lits(&self) -> &[Lit] {
+        &self.lits
+    }
+
+    /// Returns `true` if this is the empty clause.
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lits.is_empty()
+    }
+
+    /// Returns `true` if this clause has exactly one literal.
+    #[inline]
+    #[must_use]
+    pub fn is_unit(&self) -> bool {
+        self.lits.len() == 1
+    }
+
+    /// Returns `true` if `lit` occurs in this clause.
+    #[inline]
+    #[must_use]
+    pub fn contains(&self, lit: Lit) -> bool {
+        self.lits.contains(&lit)
+    }
+
+    /// Returns `true` if the clause contains both polarities of some
+    /// variable (and is therefore trivially satisfied).
+    ///
+    /// The resolution-proof checker rejects tautologous resolvents, per
+    /// §5 of the paper.
+    #[must_use]
+    pub fn is_tautology(&self) -> bool {
+        // O(n log n) without allocation for the common short clause.
+        let mut codes: Vec<u32> = self.lits.iter().map(|l| l.code()).collect();
+        codes.sort_unstable();
+        codes.windows(2).any(|w| w[0] ^ 1 == w[1] && w[0] >> 1 == w[1] >> 1)
+    }
+
+    /// Returns a copy with duplicate literals removed and literals sorted
+    /// by code. Tautologies are *kept* (both polarities remain); use
+    /// [`Clause::is_tautology`] to detect them.
+    #[must_use]
+    pub fn normalized(&self) -> Clause {
+        let mut lits: Vec<Lit> = self.lits.to_vec();
+        lits.sort_unstable();
+        lits.dedup();
+        Clause::new(lits)
+    }
+
+    /// Returns `true` if `self` and `other` contain the same set of
+    /// literals, ignoring order and duplicates.
+    #[must_use]
+    pub fn same_lits(&self, other: &Clause) -> bool {
+        self.normalized() == other.normalized()
+    }
+
+    /// Returns the largest variable occurring in the clause, or `None`
+    /// for the empty clause.
+    #[must_use]
+    pub fn max_var(&self) -> Option<Var> {
+        self.lits.iter().map(|l| l.var()).max()
+    }
+
+    /// Resolves this clause with `other` on `pivot`.
+    ///
+    /// `self` must contain the positive literal of `pivot` and `other`
+    /// the negative one (or vice versa — the orientation is detected).
+    /// Returns `None` if the clauses cannot be resolved on `pivot`.
+    ///
+    /// The resolvent keeps literal order (self's literals first) and
+    /// removes duplicates.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cnf::{Clause, Var};
+    ///
+    /// let c1 = Clause::from_dimacs(&[1, 2]);
+    /// let c2 = Clause::from_dimacs(&[-1, 3]);
+    /// let r = c1.resolve_on(&c2, Var::new(0)).expect("resolvable");
+    /// assert!(r.same_lits(&Clause::from_dimacs(&[2, 3])));
+    /// ```
+    #[must_use]
+    pub fn resolve_on(&self, other: &Clause, pivot: Var) -> Option<Clause> {
+        let pos = pivot.positive();
+        let neg = pivot.negative();
+        let (a, b) = if self.contains(pos) && other.contains(neg) {
+            (pos, neg)
+        } else if self.contains(neg) && other.contains(pos) {
+            (neg, pos)
+        } else {
+            return None;
+        };
+        let mut lits: Vec<Lit> =
+            self.lits.iter().copied().filter(|&l| l != a).collect();
+        for &l in other.lits.iter() {
+            if l != b && !lits.contains(&l) {
+                lits.push(l);
+            }
+        }
+        Some(Clause::new(lits))
+    }
+
+    /// Returns the unique resolution pivot of `self` and `other`: the
+    /// variable that occurs with opposite polarities in the two clauses,
+    /// provided there is *exactly one* such variable (the paper's
+    /// condition 1 for a correct resolution-graph proof).
+    ///
+    /// Returns `None` if there is no such variable or more than one.
+    #[must_use]
+    pub fn resolution_pivot(&self, other: &Clause) -> Option<Var> {
+        let mut pivot = None;
+        for &l in self.lits.iter() {
+            if other.contains(!l) {
+                let v = l.var();
+                match pivot {
+                    None => pivot = Some(v),
+                    Some(p) if p == v => {}
+                    Some(_) => return None,
+                }
+            }
+        }
+        pivot
+    }
+}
+
+impl Deref for Clause {
+    type Target = [Lit];
+
+    fn deref(&self) -> &[Lit] {
+        &self.lits
+    }
+}
+
+impl Index<usize> for Clause {
+    type Output = Lit;
+
+    fn index(&self, i: usize) -> &Lit {
+        &self.lits[i]
+    }
+}
+
+impl<'a> IntoIterator for &'a Clause {
+    type Item = &'a Lit;
+    type IntoIter = std::slice::Iter<'a, Lit>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.lits.iter()
+    }
+}
+
+impl FromIterator<Lit> for Clause {
+    fn from_iter<I: IntoIterator<Item = Lit>>(iter: I) -> Self {
+        Clause::new(iter.into_iter().collect::<Vec<_>>())
+    }
+}
+
+impl From<Vec<Lit>> for Clause {
+    fn from(lits: Vec<Lit>) -> Self {
+        Clause::new(lits)
+    }
+}
+
+impl From<&[Lit]> for Clause {
+    fn from(lits: &[Lit]) -> Self {
+        Clause::new(lits.to_vec())
+    }
+}
+
+macro_rules! fmt_clause_body {
+    () => {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "(")?;
+            for (i, l) in self.lits.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " ∨ ")?;
+                }
+                write!(f, "{}", l.to_dimacs())?;
+            }
+            if self.lits.is_empty() {
+                write!(f, "⊥")?;
+            }
+            write!(f, ")")
+        }
+    };
+}
+
+impl fmt::Debug for Clause {
+    fmt_clause_body!();
+}
+
+impl fmt::Display for Clause {
+    fmt_clause_body!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_unit_binary_constructors() {
+        assert!(Clause::empty().is_empty());
+        let u = Clause::unit(Lit::from_dimacs(4));
+        assert!(u.is_unit());
+        let b = Clause::binary(Lit::from_dimacs(1), Lit::from_dimacs(-2));
+        assert_eq!(b.len(), 2);
+        assert_eq!(Clause::default(), Clause::empty());
+    }
+
+    #[test]
+    fn tautology_detection() {
+        assert!(Clause::from_dimacs(&[1, -1]).is_tautology());
+        assert!(Clause::from_dimacs(&[2, 3, -3, 1]).is_tautology());
+        assert!(!Clause::from_dimacs(&[1, 2, 3]).is_tautology());
+        assert!(!Clause::empty().is_tautology());
+        // duplicates are not tautologies
+        assert!(!Clause::from_dimacs(&[1, 1]).is_tautology());
+    }
+
+    #[test]
+    fn normalized_sorts_and_dedups() {
+        let c = Clause::from_dimacs(&[3, -1, 3, 2]);
+        let n = c.normalized();
+        assert_eq!(n.len(), 3);
+        let mut codes: Vec<u32> = n.iter().map(|l| l.code()).collect();
+        let mut sorted = codes.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(codes, sorted);
+        codes.dedup();
+        assert_eq!(codes.len(), 3);
+    }
+
+    #[test]
+    fn resolution_on_pivot() {
+        let c1 = Clause::from_dimacs(&[1, 2, 3]);
+        let c2 = Clause::from_dimacs(&[-1, 2, 4]);
+        let r = c1.resolve_on(&c2, Var::new(0)).expect("resolvable");
+        assert!(r.same_lits(&Clause::from_dimacs(&[2, 3, 4])));
+        // orientation is symmetric
+        let r2 = c2.resolve_on(&c1, Var::new(0)).expect("resolvable");
+        assert!(r.same_lits(&r2));
+    }
+
+    #[test]
+    fn resolution_fails_without_opposite_literals() {
+        let c1 = Clause::from_dimacs(&[1, 2]);
+        let c2 = Clause::from_dimacs(&[1, 3]);
+        assert!(c1.resolve_on(&c2, Var::new(0)).is_none());
+        assert!(c1.resolve_on(&c2, Var::new(5)).is_none());
+    }
+
+    #[test]
+    fn resolving_conflicting_units_gives_empty_clause() {
+        let a = Clause::unit(Lit::from_dimacs(7));
+        let b = Clause::unit(Lit::from_dimacs(-7));
+        let r = a.resolve_on(&b, Var::from_dimacs(7)).expect("resolvable");
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn unique_pivot_detection() {
+        let c1 = Clause::from_dimacs(&[1, 2, 3]);
+        let c2 = Clause::from_dimacs(&[-1, 4]);
+        assert_eq!(c1.resolution_pivot(&c2), Some(Var::new(0)));
+        // two clashing variables → tautologous resolvent → no unique pivot
+        let c3 = Clause::from_dimacs(&[-1, -2]);
+        assert_eq!(c1.resolution_pivot(&c3), None);
+        // no clash
+        let c4 = Clause::from_dimacs(&[2, 3]);
+        assert_eq!(c1.resolution_pivot(&c4), None);
+    }
+
+    #[test]
+    fn max_var() {
+        assert_eq!(Clause::empty().max_var(), None);
+        assert_eq!(
+            Clause::from_dimacs(&[1, -9, 4]).max_var(),
+            Some(Var::from_dimacs(9))
+        );
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let c = Clause::from_dimacs(&[1, -2]);
+        assert_eq!(format!("{c}"), "(1 ∨ -2)");
+        assert_eq!(format!("{c:?}"), "(1 ∨ -2)");
+        assert_eq!(format!("{}", Clause::empty()), "(⊥)");
+    }
+
+    #[test]
+    fn collects_from_iterator() {
+        let c: Clause = [1, -2, 3].iter().map(|&n| Lit::from_dimacs(n)).collect();
+        assert_eq!(c.len(), 3);
+    }
+}

@@ -1,0 +1,311 @@
+//! DIMACS CNF reading and writing.
+//!
+//! The standard interchange format for SAT instances: a `p cnf VARS
+//! CLAUSES` header, `c` comment lines, and clauses as whitespace-separated
+//! signed variable names terminated by `0`.
+//!
+//! The parser is lenient where real benchmark files are sloppy: clauses
+//! may span lines, the header may understate the variable count, and a
+//! final clause without a terminating `0` is accepted at end of input.
+
+use std::error::Error;
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+use crate::clause::Clause;
+use crate::formula::CnfFormula;
+use crate::lit::Lit;
+
+/// An error produced while parsing DIMACS input.
+#[derive(Debug)]
+pub enum ParseDimacsError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A token was not an integer or keyword.
+    BadToken {
+        /// 1-based line number.
+        line: usize,
+        /// The offending token.
+        token: String,
+    },
+    /// A malformed `p` header line.
+    BadHeader {
+        /// 1-based line number.
+        line: usize,
+        /// The full header line.
+        text: String,
+    },
+    /// More than one `p` header line.
+    DuplicateHeader {
+        /// 1-based line number of the second header.
+        line: usize,
+    },
+    /// A literal was out of the `i32` DIMACS range.
+    LiteralOutOfRange {
+        /// 1-based line number.
+        line: usize,
+    },
+}
+
+impl fmt::Display for ParseDimacsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseDimacsError::Io(e) => write!(f, "i/o error: {e}"),
+            ParseDimacsError::BadToken { line, token } => {
+                write!(f, "line {line}: unexpected token {token:?}")
+            }
+            ParseDimacsError::BadHeader { line, text } => {
+                write!(f, "line {line}: malformed header {text:?}")
+            }
+            ParseDimacsError::DuplicateHeader { line } => {
+                write!(f, "line {line}: duplicate p header")
+            }
+            ParseDimacsError::LiteralOutOfRange { line } => {
+                write!(f, "line {line}: literal out of range")
+            }
+        }
+    }
+}
+
+impl Error for ParseDimacsError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ParseDimacsError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ParseDimacsError {
+    fn from(e: io::Error) -> Self {
+        ParseDimacsError::Io(e)
+    }
+}
+
+/// Parses a DIMACS CNF file from a reader.
+///
+/// A `&mut R` may be passed wherever an owned reader is inconvenient.
+///
+/// # Errors
+///
+/// Returns [`ParseDimacsError`] on I/O failure or malformed input.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let text = "c tiny\np cnf 2 2\n1 2 0\n-1 -2 0\n";
+/// let f = cnf::parse_dimacs(text.as_bytes())?;
+/// assert_eq!(f.num_vars(), 2);
+/// assert_eq!(f.num_clauses(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_dimacs<R: BufRead>(reader: R) -> Result<CnfFormula, ParseDimacsError> {
+    let mut formula = CnfFormula::new();
+    let mut current: Vec<Lit> = Vec::new();
+    let mut seen_header = false;
+
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let lineno = lineno + 1;
+        let trimmed = line.trim_start();
+        if trimmed.is_empty() || trimmed.starts_with('c') || trimmed.starts_with('%') {
+            continue;
+        }
+        if trimmed.starts_with('p') {
+            if seen_header {
+                return Err(ParseDimacsError::DuplicateHeader { line: lineno });
+            }
+            seen_header = true;
+            let mut parts = trimmed.split_whitespace();
+            let (p, kind, vars) = (parts.next(), parts.next(), parts.next());
+            let clauses = parts.next();
+            let ok = p == Some("p")
+                && kind == Some("cnf")
+                && vars.is_some_and(|v| v.parse::<usize>().is_ok())
+                && clauses.is_some_and(|c| c.parse::<usize>().is_ok())
+                && parts.next().is_none();
+            if !ok {
+                return Err(ParseDimacsError::BadHeader { line: lineno, text: line.clone() });
+            }
+            let declared: usize =
+                vars.expect("checked above").parse().expect("checked above");
+            for _ in 0..declared {
+                formula.new_var();
+            }
+            continue;
+        }
+        for token in trimmed.split_whitespace() {
+            let value: i64 = token
+                .parse()
+                .map_err(|_| ParseDimacsError::BadToken { line: lineno, token: token.into() })?;
+            if value == 0 {
+                formula.add_clause(Clause::new(std::mem::take(&mut current)));
+            } else {
+                if value.unsigned_abs() > i32::MAX as u64 {
+                    return Err(ParseDimacsError::LiteralOutOfRange { line: lineno });
+                }
+                current.push(Lit::from_dimacs(value as i32));
+            }
+        }
+    }
+    if !current.is_empty() {
+        formula.add_clause(Clause::new(current));
+    }
+    Ok(formula)
+}
+
+/// Parses a DIMACS CNF file from a string slice.
+///
+/// # Errors
+///
+/// Returns [`ParseDimacsError`] on malformed input.
+pub fn parse_dimacs_str(text: &str) -> Result<CnfFormula, ParseDimacsError> {
+    parse_dimacs(text.as_bytes())
+}
+
+/// Writes a formula in DIMACS CNF format, one clause per line.
+///
+/// A `&mut W` may be passed wherever an owned writer is inconvenient.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_dimacs<W: Write>(mut writer: W, formula: &CnfFormula) -> io::Result<()> {
+    writeln!(writer, "p cnf {} {}", formula.num_vars(), formula.num_clauses())?;
+    for clause in formula.iter() {
+        for lit in clause.lits() {
+            write!(writer, "{} ", lit.to_dimacs())?;
+        }
+        writeln!(writer, "0")?;
+    }
+    Ok(())
+}
+
+/// Renders a formula to a DIMACS string.
+#[must_use]
+pub fn to_dimacs_string(formula: &CnfFormula) -> String {
+    let mut buf = Vec::new();
+    write_dimacs(&mut buf, formula).expect("writing to Vec cannot fail");
+    String::from_utf8(buf).expect("DIMACS output is ASCII")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_basic_file() {
+        let f = parse_dimacs_str("p cnf 3 2\n1 -3 0\n2 3 -1 0\n").expect("parse");
+        assert_eq!(f.num_vars(), 3);
+        assert_eq!(f.num_clauses(), 2);
+        assert_eq!(f[0], Clause::from_dimacs(&[1, -3]));
+        assert_eq!(f[1], Clause::from_dimacs(&[2, 3, -1]));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let f = parse_dimacs_str("c hello\n\nc world\np cnf 1 1\nc mid\n1 0\n")
+            .expect("parse");
+        assert_eq!(f.num_clauses(), 1);
+    }
+
+    #[test]
+    fn clause_may_span_lines_and_share_lines() {
+        let f = parse_dimacs_str("p cnf 3 2\n1 2\n3 0 -1\n-2 0\n").expect("parse");
+        assert_eq!(f.num_clauses(), 2);
+        assert_eq!(f[0], Clause::from_dimacs(&[1, 2, 3]));
+        assert_eq!(f[1], Clause::from_dimacs(&[-1, -2]));
+    }
+
+    #[test]
+    fn missing_final_zero_accepted() {
+        let f = parse_dimacs_str("p cnf 2 1\n1 2").expect("parse");
+        assert_eq!(f.num_clauses(), 1);
+    }
+
+    #[test]
+    fn headerless_input_accepted() {
+        let f = parse_dimacs_str("1 2 0\n-1 0\n").expect("parse");
+        assert_eq!(f.num_clauses(), 2);
+        assert_eq!(f.num_vars(), 2);
+    }
+
+    #[test]
+    fn header_can_overdeclare_vars() {
+        let f = parse_dimacs_str("p cnf 10 1\n1 0\n").expect("parse");
+        assert_eq!(f.num_vars(), 10);
+    }
+
+    #[test]
+    fn clauses_can_exceed_header_vars() {
+        let f = parse_dimacs_str("p cnf 1 1\n5 0\n").expect("parse");
+        assert_eq!(f.num_vars(), 5);
+    }
+
+    #[test]
+    fn empty_clause_parses() {
+        let f = parse_dimacs_str("p cnf 1 1\n0\n").expect("parse");
+        assert_eq!(f.num_clauses(), 1);
+        assert!(f[0].is_empty());
+    }
+
+    #[test]
+    fn bad_token_reports_line() {
+        let err = parse_dimacs_str("p cnf 1 1\n1 x 0\n").unwrap_err();
+        match err {
+            ParseDimacsError::BadToken { line, token } => {
+                assert_eq!(line, 2);
+                assert_eq!(token, "x");
+            }
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn bad_header_detected() {
+        assert!(matches!(
+            parse_dimacs_str("p cnf three 2\n").unwrap_err(),
+            ParseDimacsError::BadHeader { line: 1, .. }
+        ));
+        assert!(matches!(
+            parse_dimacs_str("p dnf 1 1\n").unwrap_err(),
+            ParseDimacsError::BadHeader { .. }
+        ));
+    }
+
+    #[test]
+    fn duplicate_header_rejected() {
+        assert!(matches!(
+            parse_dimacs_str("p cnf 1 1\np cnf 1 1\n").unwrap_err(),
+            ParseDimacsError::DuplicateHeader { line: 2 }
+        ));
+    }
+
+    #[test]
+    fn out_of_range_literal_rejected() {
+        let text = format!("p cnf 1 1\n{} 0\n", i64::from(i32::MAX) + 1);
+        assert!(matches!(
+            parse_dimacs_str(&text).unwrap_err(),
+            ParseDimacsError::LiteralOutOfRange { line: 2 }
+        ));
+    }
+
+    #[test]
+    fn write_then_parse_roundtrip() {
+        let f = CnfFormula::from_dimacs_clauses(&[vec![1, -2, 3], vec![-3], vec![2]]);
+        let text = to_dimacs_string(&f);
+        assert!(text.starts_with("p cnf 3 3\n"));
+        let g = parse_dimacs_str(&text).expect("parse");
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let err = parse_dimacs_str("p cnf 1 1\n1 x 0\n").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 2"), "{msg}");
+        assert!(msg.contains('x'), "{msg}");
+    }
+}

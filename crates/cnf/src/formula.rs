@@ -1,0 +1,348 @@
+//! CNF formulas: conjunctions of clauses.
+
+use std::fmt;
+use std::ops::Index;
+
+use crate::assignment::{Assignment, LBool};
+use crate::clause::Clause;
+use crate::lit::{Lit, Var};
+
+/// A formula in conjunctive normal form.
+///
+/// Tracks the number of variables explicitly (DIMACS headers may declare
+/// variables that never occur in a clause), growing it automatically when
+/// clauses over larger variables are added.
+///
+/// # Examples
+///
+/// ```
+/// use cnf::{Clause, CnfFormula};
+///
+/// let mut f = CnfFormula::new();
+/// f.add_clause(Clause::from_dimacs(&[1, -2]));
+/// f.add_clause(Clause::from_dimacs(&[2, 3]));
+/// assert_eq!(f.num_clauses(), 2);
+/// assert_eq!(f.num_vars(), 3);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct CnfFormula {
+    clauses: Vec<Clause>,
+    num_vars: usize,
+}
+
+impl CnfFormula {
+    /// Creates an empty formula with no variables.
+    #[must_use]
+    pub fn new() -> Self {
+        CnfFormula::default()
+    }
+
+    /// Creates an empty formula declaring `num_vars` variables.
+    #[must_use]
+    pub fn with_vars(num_vars: usize) -> Self {
+        CnfFormula { clauses: Vec::new(), num_vars }
+    }
+
+    /// Creates a formula from clauses given as DIMACS name slices.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cnf::CnfFormula;
+    ///
+    /// let f = CnfFormula::from_dimacs_clauses(&[vec![1, 2], vec![-1, -2]]);
+    /// assert_eq!(f.num_clauses(), 2);
+    /// ```
+    #[must_use]
+    pub fn from_dimacs_clauses(clauses: &[Vec<i32>]) -> Self {
+        let mut f = CnfFormula::new();
+        for c in clauses {
+            f.add_clause(Clause::from_dimacs(c));
+        }
+        f
+    }
+
+    /// Number of declared variables.
+    #[inline]
+    #[must_use]
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of clauses.
+    #[inline]
+    #[must_use]
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Returns `true` if the formula contains no clauses.
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.clauses.is_empty()
+    }
+
+    /// Total number of literal occurrences over all clauses — the
+    /// "conflict clause proof size" metric of the paper's Table 2.
+    #[must_use]
+    pub fn num_lits(&self) -> usize {
+        self.clauses.iter().map(|c| c.len()).sum()
+    }
+
+    /// Declares that variables up to and including `var` exist.
+    pub fn ensure_var(&mut self, var: Var) {
+        self.num_vars = self.num_vars.max(var.idx() + 1);
+    }
+
+    /// Reserves `n` fresh variables and returns them.
+    pub fn new_vars(&mut self, n: usize) -> Vec<Var> {
+        let start = self.num_vars;
+        self.num_vars += n;
+        (start..start + n).map(|i| Var::new(i as u32)).collect()
+    }
+
+    /// Reserves one fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var::new(self.num_vars as u32);
+        self.num_vars += 1;
+        v
+    }
+
+    /// Appends a clause, growing the variable count if needed.
+    pub fn add_clause(&mut self, clause: Clause) {
+        if let Some(v) = clause.max_var() {
+            self.ensure_var(v);
+        }
+        self.clauses.push(clause);
+    }
+
+    /// Appends a clause given by DIMACS names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any name is zero.
+    pub fn add_dimacs_clause(&mut self, names: &[i32]) {
+        self.add_clause(Clause::from_dimacs(names));
+    }
+
+    /// Returns the clauses as a slice.
+    #[inline]
+    #[must_use]
+    pub fn clauses(&self) -> &[Clause] {
+        &self.clauses
+    }
+
+    /// Returns the clause at `index`, if in range.
+    #[must_use]
+    pub fn get(&self, index: usize) -> Option<&Clause> {
+        self.clauses.get(index)
+    }
+
+    /// Iterates over the clauses.
+    pub fn iter(&self) -> std::slice::Iter<'_, Clause> {
+        self.clauses.iter()
+    }
+
+    /// Returns `true` if `assignment` satisfies every clause.
+    ///
+    /// Used in tests as the ground-truth check for SAT answers; for an
+    /// UNSAT answer the ground truth is a verified proof, which is what
+    /// the `proofver` crate provides.
+    #[must_use]
+    pub fn is_satisfied_by(&self, assignment: &Assignment) -> bool {
+        self.clauses.iter().all(|c| assignment.eval_clause(c) == LBool::True)
+    }
+
+    /// Exhaustively decides satisfiability by trying all `2^n`
+    /// assignments. Only usable for tiny formulas; the test oracle for
+    /// both the solver and the checker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the formula has more than 24 variables.
+    #[must_use]
+    pub fn brute_force_satisfiable(&self) -> bool {
+        assert!(self.num_vars <= 24, "brute force limited to 24 variables");
+        let n = self.num_vars;
+        'outer: for bits in 0u64..(1u64 << n) {
+            for c in &self.clauses {
+                let sat = c.lits().iter().any(|&l| {
+                    let val = bits >> l.var().idx() & 1 == 1;
+                    val == l.is_positive()
+                });
+                if !sat {
+                    continue 'outer;
+                }
+            }
+            return true;
+        }
+        false
+    }
+
+    /// Builds a sub-formula containing the clauses at the given indices
+    /// (in index order). Used to materialise extracted unsatisfiable
+    /// cores.
+    ///
+    /// The variable count is preserved so literals keep their names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    #[must_use]
+    pub fn subformula(&self, indices: &[usize]) -> CnfFormula {
+        let mut sorted: Vec<usize> = indices.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let clauses = sorted.iter().map(|&i| self.clauses[i].clone()).collect();
+        CnfFormula { clauses, num_vars: self.num_vars }
+    }
+
+    /// Returns all literals of all clauses (with repetition).
+    pub fn all_lits(&self) -> impl Iterator<Item = Lit> + '_ {
+        self.clauses.iter().flat_map(|c| c.lits().iter().copied())
+    }
+}
+
+impl Index<usize> for CnfFormula {
+    type Output = Clause;
+
+    fn index(&self, i: usize) -> &Clause {
+        &self.clauses[i]
+    }
+}
+
+impl Extend<Clause> for CnfFormula {
+    fn extend<I: IntoIterator<Item = Clause>>(&mut self, iter: I) {
+        for c in iter {
+            self.add_clause(c);
+        }
+    }
+}
+
+impl FromIterator<Clause> for CnfFormula {
+    fn from_iter<I: IntoIterator<Item = Clause>>(iter: I) -> Self {
+        let mut f = CnfFormula::new();
+        f.extend(iter);
+        f
+    }
+}
+
+impl<'a> IntoIterator for &'a CnfFormula {
+    type Item = &'a Clause;
+    type IntoIter = std::slice::Iter<'a, Clause>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.clauses.iter()
+    }
+}
+
+impl fmt::Display for CnfFormula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, c) in self.clauses.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        if self.clauses.is_empty() {
+            write!(f, "⊤")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn var_count_tracks_clauses() {
+        let mut f = CnfFormula::new();
+        assert_eq!(f.num_vars(), 0);
+        f.add_dimacs_clause(&[1, -5]);
+        assert_eq!(f.num_vars(), 5);
+        f.add_dimacs_clause(&[2]);
+        assert_eq!(f.num_vars(), 5);
+        f.ensure_var(Var::new(9));
+        assert_eq!(f.num_vars(), 10);
+    }
+
+    #[test]
+    fn fresh_variables_are_distinct() {
+        let mut f = CnfFormula::with_vars(2);
+        let a = f.new_var();
+        let vs = f.new_vars(3);
+        assert_eq!(a, Var::new(2));
+        assert_eq!(vs, vec![Var::new(3), Var::new(4), Var::new(5)]);
+        assert_eq!(f.num_vars(), 6);
+    }
+
+    #[test]
+    fn literal_count_is_table2_metric() {
+        let f = CnfFormula::from_dimacs_clauses(&[vec![1, 2, 3], vec![-1], vec![2, -3]]);
+        assert_eq!(f.num_lits(), 6);
+    }
+
+    #[test]
+    fn satisfaction_check() {
+        let f = CnfFormula::from_dimacs_clauses(&[vec![1, 2], vec![-1, 2]]);
+        let mut a = Assignment::new(2);
+        a.assign(Lit::from_dimacs(2));
+        assert!(f.is_satisfied_by(&a));
+        let mut b = Assignment::new(2);
+        b.assign(Lit::from_dimacs(1));
+        b.assign(Lit::from_dimacs(-2));
+        assert!(!f.is_satisfied_by(&b));
+    }
+
+    #[test]
+    fn brute_force_oracle() {
+        // x1 & -x1 is unsat
+        let f = CnfFormula::from_dimacs_clauses(&[vec![1], vec![-1]]);
+        assert!(!f.brute_force_satisfiable());
+        // 2-colourability of a triangle as naive CNF is unsat
+        let tri = CnfFormula::from_dimacs_clauses(&[
+            vec![1, 2],
+            vec![-1, -2],
+            vec![2, 3],
+            vec![-2, -3],
+            vec![1, 3],
+            vec![-1, -3],
+        ]);
+        assert!(!tri.brute_force_satisfiable());
+        let sat = CnfFormula::from_dimacs_clauses(&[vec![1, 2], vec![-1, -2]]);
+        assert!(sat.brute_force_satisfiable());
+        // empty formula is trivially satisfiable
+        assert!(CnfFormula::new().brute_force_satisfiable());
+        // formula with the empty clause is not
+        let mut e = CnfFormula::new();
+        e.add_clause(Clause::empty());
+        assert!(!e.brute_force_satisfiable());
+    }
+
+    #[test]
+    fn subformula_selects_and_dedups_indices() {
+        let f = CnfFormula::from_dimacs_clauses(&[vec![1], vec![2], vec![3]]);
+        let s = f.subformula(&[2, 0, 2]);
+        assert_eq!(s.num_clauses(), 2);
+        assert_eq!(s[0], Clause::from_dimacs(&[1]));
+        assert_eq!(s[1], Clause::from_dimacs(&[3]));
+        assert_eq!(s.num_vars(), f.num_vars());
+    }
+
+    #[test]
+    fn display_joins_with_conjunction() {
+        let f = CnfFormula::from_dimacs_clauses(&[vec![1], vec![-2, 3]]);
+        assert_eq!(f.to_string(), "(1) ∧ (-2 ∨ 3)");
+        assert_eq!(CnfFormula::new().to_string(), "⊤");
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let f: CnfFormula =
+            [Clause::from_dimacs(&[1]), Clause::from_dimacs(&[2, -1])].into_iter().collect();
+        assert_eq!(f.num_clauses(), 2);
+        assert_eq!(f.num_vars(), 2);
+    }
+}

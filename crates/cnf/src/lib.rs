@@ -1,0 +1,48 @@
+//! Core CNF data structures for the `satverify` workspace.
+//!
+//! This crate is the substrate shared by the BCP engines ([`bcp`]), the
+//! CDCL solver ([`cdcl`]), the proof checker ([`proofver`]), and the
+//! workload generators: variables and literals ([`Var`], [`Lit`]),
+//! clauses ([`Clause`]), formulas ([`CnfFormula`]), partial assignments
+//! ([`Assignment`], [`LBool`]), and DIMACS I/O ([`parse_dimacs`],
+//! [`write_dimacs`]).
+//!
+//! [`bcp`]: https://docs.rs/bcp
+//! [`cdcl`]: https://docs.rs/cdcl
+//! [`proofver`]: https://docs.rs/proofver
+//!
+//! # Examples
+//!
+//! Build the formula `(x1 ∨ x2) ∧ (¬x1 ∨ x2) ∧ ¬x2` and evaluate it:
+//!
+//! ```
+//! use cnf::{Assignment, Clause, CnfFormula, LBool, Lit};
+//!
+//! let mut f = CnfFormula::new();
+//! f.add_dimacs_clause(&[1, 2]);
+//! f.add_dimacs_clause(&[-1, 2]);
+//! f.add_dimacs_clause(&[-2]);
+//!
+//! let mut a = Assignment::new(f.num_vars());
+//! a.assign(Lit::from_dimacs(2));
+//! assert_eq!(a.eval_clause(&f[2]), LBool::False);
+//! assert!(!f.is_satisfied_by(&a));
+//! assert!(!f.brute_force_satisfiable());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod assignment;
+mod clause;
+mod dimacs;
+mod formula;
+mod lit;
+
+pub use assignment::{Assignment, LBool};
+pub use clause::Clause;
+pub use dimacs::{
+    parse_dimacs, parse_dimacs_str, to_dimacs_string, write_dimacs, ParseDimacsError,
+};
+pub use formula::CnfFormula;
+pub use lit::{Lit, Var};

@@ -1,0 +1,343 @@
+//! Variables and literals.
+//!
+//! A [`Var`] is a propositional variable, numbered densely from zero. A
+//! [`Lit`] is a variable together with a polarity. Literals are encoded in
+//! a single `u32` as `var << 1 | sign` so that the two literals of a
+//! variable are adjacent — the layout used by every modern SAT solver,
+//! because it lets watch lists and saved-phase arrays be indexed by
+//! `lit.code()` directly.
+
+use std::fmt;
+use std::num::NonZeroI32;
+use std::ops::Not;
+
+/// A propositional variable.
+///
+/// Variables are identified by a dense zero-based index. The external
+/// (DIMACS) name of variable `Var::new(i)` is `i + 1`.
+///
+/// # Examples
+///
+/// ```
+/// use cnf::Var;
+///
+/// let v = Var::new(4);
+/// assert_eq!(v.index(), 4);
+/// assert_eq!(v.to_dimacs(), 5);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(u32);
+
+impl Var {
+    /// The maximum supported variable index.
+    ///
+    /// Bounded so that a literal (`index << 1 | sign`) still fits in a
+    /// `u32` and a DIMACS name (`index + 1`) still fits in an `i32`.
+    pub const MAX_INDEX: u32 = (i32::MAX as u32) - 1;
+
+    /// Creates the variable with the given zero-based index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds [`Var::MAX_INDEX`].
+    #[inline]
+    #[must_use]
+    pub fn new(index: u32) -> Self {
+        assert!(index <= Self::MAX_INDEX, "variable index {index} out of range");
+        Var(index)
+    }
+
+    /// Returns the zero-based index of this variable.
+    #[inline]
+    #[must_use]
+    pub fn index(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the index as a `usize`, for direct use in slice indexing.
+    #[inline]
+    #[must_use]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the one-based DIMACS name of this variable.
+    #[inline]
+    #[must_use]
+    pub fn to_dimacs(self) -> i32 {
+        self.0 as i32 + 1
+    }
+
+    /// Creates a variable from its one-based DIMACS name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name <= 0`.
+    #[inline]
+    #[must_use]
+    pub fn from_dimacs(name: i32) -> Self {
+        assert!(name > 0, "DIMACS variable name must be positive, got {name}");
+        Var((name - 1) as u32)
+    }
+
+    /// Returns the positive literal of this variable.
+    #[inline]
+    #[must_use]
+    pub fn positive(self) -> Lit {
+        Lit::new(self, true)
+    }
+
+    /// Returns the negative literal of this variable.
+    #[inline]
+    #[must_use]
+    pub fn negative(self) -> Lit {
+        Lit::new(self, false)
+    }
+
+    /// Returns the literal of this variable with the given polarity.
+    #[inline]
+    #[must_use]
+    pub fn lit(self, positive: bool) -> Lit {
+        Lit::new(self, positive)
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Var({})", self.0)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.to_dimacs())
+    }
+}
+
+/// A literal: a variable with a polarity.
+///
+/// Encoded as `var << 1 | sign` where `sign == 1` means the *positive*
+/// literal. The encoding is exposed through [`Lit::code`] so that arrays
+/// indexed by literal (watch lists, marks) can be allocated `2 * vars`
+/// entries.
+///
+/// # Examples
+///
+/// ```
+/// use cnf::{Lit, Var};
+///
+/// let a = Lit::from_dimacs(3);
+/// assert_eq!(a.var(), Var::new(2));
+/// assert!(a.is_positive());
+/// assert_eq!(!a, Lit::from_dimacs(-3));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// Creates a literal over `var` with the given polarity.
+    #[inline]
+    #[must_use]
+    pub fn new(var: Var, positive: bool) -> Self {
+        Lit(var.0 << 1 | u32::from(positive))
+    }
+
+    /// Creates a literal from its raw code (`var << 1 | sign`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the encoded variable index exceeds [`Var::MAX_INDEX`].
+    #[inline]
+    #[must_use]
+    pub fn from_code(code: u32) -> Self {
+        assert!(code >> 1 <= Var::MAX_INDEX, "literal code {code} out of range");
+        Lit(code)
+    }
+
+    /// Returns the raw code of this literal.
+    #[inline]
+    #[must_use]
+    pub fn code(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the code as a `usize`, for direct use in slice indexing.
+    #[inline]
+    #[must_use]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the variable of this literal.
+    #[inline]
+    #[must_use]
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// Returns `true` if this is the positive literal of its variable.
+    #[inline]
+    #[must_use]
+    pub fn is_positive(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Returns `true` if this is the negative literal of its variable.
+    #[inline]
+    #[must_use]
+    pub fn is_negative(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// Creates a literal from a signed DIMACS name (`3` → `x3`, `-3` → `¬x3`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name == 0` (zero is the DIMACS clause terminator, not a
+    /// literal).
+    #[inline]
+    #[must_use]
+    pub fn from_dimacs(name: i32) -> Self {
+        assert!(name != 0, "0 is not a DIMACS literal");
+        let var = Var::from_dimacs(name.unsigned_abs() as i32);
+        Lit::new(var, name > 0)
+    }
+
+    /// Returns the signed DIMACS name of this literal.
+    #[inline]
+    #[must_use]
+    pub fn to_dimacs(self) -> i32 {
+        let v = self.var().to_dimacs();
+        if self.is_positive() {
+            v
+        } else {
+            -v
+        }
+    }
+
+    /// Returns the DIMACS name as a guaranteed-nonzero integer.
+    #[inline]
+    #[must_use]
+    pub fn to_nonzero_dimacs(self) -> NonZeroI32 {
+        // A DIMACS name is never zero by construction.
+        NonZeroI32::new(self.to_dimacs()).expect("DIMACS literal is nonzero")
+    }
+}
+
+impl Not for Lit {
+    type Output = Lit;
+
+    #[inline]
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl From<Var> for Lit {
+    #[inline]
+    fn from(var: Var) -> Lit {
+        var.positive()
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Lit({})", self.to_dimacs())
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_negative() {
+            write!(f, "¬")?;
+        }
+        write!(f, "{}", self.var())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn var_roundtrips_through_dimacs() {
+        for i in [0u32, 1, 2, 41, 1000] {
+            let v = Var::new(i);
+            assert_eq!(Var::from_dimacs(v.to_dimacs()), v);
+            assert_eq!(v.to_dimacs(), i as i32 + 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn var_index_out_of_range_panics() {
+        let _ = Var::new(Var::MAX_INDEX + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn var_from_nonpositive_dimacs_panics() {
+        let _ = Var::from_dimacs(0);
+    }
+
+    #[test]
+    fn lit_encoding_is_var_shl_one_or_sign() {
+        let v = Var::new(7);
+        assert_eq!(v.positive().code(), 15);
+        assert_eq!(v.negative().code(), 14);
+        assert_eq!(Lit::from_code(15), v.positive());
+    }
+
+    #[test]
+    fn negation_flips_polarity_only() {
+        let l = Lit::from_dimacs(5);
+        assert_eq!((!l).var(), l.var());
+        assert!(l.is_positive());
+        assert!((!l).is_negative());
+        assert_eq!(!!l, l);
+    }
+
+    #[test]
+    fn lit_dimacs_roundtrip() {
+        for name in [1, -1, 2, -2, 17, -99] {
+            let l = Lit::from_dimacs(name);
+            assert_eq!(l.to_dimacs(), name);
+            assert_eq!(l.to_nonzero_dimacs().get(), name);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a DIMACS literal")]
+    fn lit_from_zero_panics() {
+        let _ = Lit::from_dimacs(0);
+    }
+
+    #[test]
+    fn literals_of_a_var_are_adjacent_codes() {
+        let v = Var::new(3);
+        assert_eq!(v.negative().code() + 1, v.positive().code());
+        assert_eq!(v.positive().code() >> 1, v.index());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Lit::from_dimacs(3).to_string(), "x3");
+        assert_eq!(Lit::from_dimacs(-3).to_string(), "¬x3");
+        assert_eq!(Var::new(2).to_string(), "x3");
+    }
+
+    #[test]
+    fn lit_from_var_is_positive() {
+        let v = Var::new(9);
+        assert_eq!(Lit::from(v), v.positive());
+        assert_eq!(v.lit(false), v.negative());
+    }
+
+    #[test]
+    fn ordering_follows_codes() {
+        let a = Var::new(0).negative();
+        let b = Var::new(0).positive();
+        let c = Var::new(1).negative();
+        assert!(a < b && b < c);
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests for the CNF substrate.
+
+use cnf::{parse_dimacs_str, to_dimacs_string, Clause, CnfFormula, Lit, Var};
+use proptest::prelude::*;
+
+/// A strategy producing valid DIMACS literal names over `n` variables.
+fn dimacs_lit(n: i32) -> impl Strategy<Value = i32> {
+    (1..=n).prop_flat_map(|v| prop_oneof![Just(v), Just(-v)])
+}
+
+fn clause_strategy(max_var: i32, max_len: usize) -> impl Strategy<Value = Vec<i32>> {
+    prop::collection::vec(dimacs_lit(max_var), 0..=max_len)
+}
+
+fn formula_strategy(max_var: i32) -> impl Strategy<Value = CnfFormula> {
+    prop::collection::vec(clause_strategy(max_var, 6), 0..24)
+        .prop_map(|cs| CnfFormula::from_dimacs_clauses(&cs))
+}
+
+proptest! {
+    #[test]
+    fn lit_dimacs_roundtrip(name in dimacs_lit(10_000)) {
+        let l = Lit::from_dimacs(name);
+        prop_assert_eq!(l.to_dimacs(), name);
+        prop_assert_eq!(Lit::from_code(l.code()), l);
+    }
+
+    #[test]
+    fn lit_negation_involutive(name in dimacs_lit(10_000)) {
+        let l = Lit::from_dimacs(name);
+        prop_assert_eq!(!!l, l);
+        prop_assert_ne!(!l, l);
+        prop_assert_eq!((!l).var(), l.var());
+    }
+
+    #[test]
+    fn var_ordering_matches_lit_ordering(a in 0u32..100_000, b in 0u32..100_000) {
+        let (va, vb) = (Var::new(a), Var::new(b));
+        prop_assert_eq!(va.cmp(&vb), va.positive().cmp(&vb.positive()));
+        prop_assert_eq!(va.cmp(&vb), va.negative().cmp(&vb.negative()));
+    }
+
+    #[test]
+    fn dimacs_roundtrip(f in formula_strategy(12)) {
+        let text = to_dimacs_string(&f);
+        let g = parse_dimacs_str(&text).expect("own output parses");
+        prop_assert_eq!(f, g);
+    }
+
+    #[test]
+    fn normalized_is_idempotent(lits in clause_strategy(12, 8)) {
+        let c = Clause::from_dimacs(&lits);
+        let n = c.normalized();
+        prop_assert_eq!(n.normalized(), n.clone());
+        // normalization preserves the literal set
+        for &l in c.lits() {
+            prop_assert!(n.contains(l));
+        }
+    }
+
+    #[test]
+    fn resolution_result_omits_pivot(
+        mut a in clause_strategy(10, 5),
+        mut b in clause_strategy(10, 5),
+        pivot in 1i32..=10,
+    ) {
+        a.retain(|&l| l.abs() != pivot);
+        b.retain(|&l| l.abs() != pivot);
+        a.push(pivot);
+        b.push(-pivot);
+        let ca = Clause::from_dimacs(&a);
+        let cb = Clause::from_dimacs(&b);
+        let r = ca.resolve_on(&cb, Var::from_dimacs(pivot)).expect("resolvable");
+        let pv = Var::from_dimacs(pivot);
+        prop_assert!(!r.contains(pv.positive()));
+        prop_assert!(!r.contains(pv.negative()));
+        // every literal of the resolvent comes from a parent
+        for &l in r.lits() {
+            prop_assert!(ca.contains(l) || cb.contains(l));
+        }
+    }
+
+    #[test]
+    fn tautology_iff_clashing_pair(lits in clause_strategy(6, 8)) {
+        let c = Clause::from_dimacs(&lits);
+        let clashing = lits.iter().any(|&x| lits.contains(&-x));
+        prop_assert_eq!(c.is_tautology(), clashing);
+    }
+
+    #[test]
+    fn subformula_of_all_indices_is_identity(f in formula_strategy(8)) {
+        let idx: Vec<usize> = (0..f.num_clauses()).collect();
+        prop_assert_eq!(f.subformula(&idx), f.clone());
+    }
+}

@@ -1,0 +1,93 @@
+//! The mutilated chessboard.
+
+use cnf::CnfFormula;
+
+/// The mutilated-chessboard problem: tile an `n × n` board with two
+/// opposite corners removed by dominoes. One variable per edge between
+/// adjacent remaining cells; each cell must be covered exactly once.
+/// Unsatisfiable for even `n` (the removed corners share a colour), and
+/// famously hard for resolution.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `n` is odd.
+///
+/// # Examples
+///
+/// ```
+/// let f = cnfgen::mutilated_chessboard(4);
+/// assert!(!f.brute_force_satisfiable());
+/// ```
+#[must_use]
+pub fn mutilated_chessboard(n: usize) -> CnfFormula {
+    assert!(n >= 2, "board needs at least 2×2 cells");
+    assert!(n % 2 == 0, "odd boards are trivially untileable; use even n");
+    let removed = |r: usize, c: usize| (r == 0 && c == 0) || (r == n - 1 && c == n - 1);
+
+    // enumerate edges between live cells
+    let mut edges: Vec<((usize, usize), (usize, usize))> = Vec::new();
+    for r in 0..n {
+        for c in 0..n {
+            if removed(r, c) {
+                continue;
+            }
+            if c + 1 < n && !removed(r, c + 1) {
+                edges.push(((r, c), (r, c + 1)));
+            }
+            if r + 1 < n && !removed(r + 1, c) {
+                edges.push(((r, c), (r + 1, c)));
+            }
+        }
+    }
+    let mut formula = CnfFormula::with_vars(edges.len());
+    let edge_var = |idx: usize| (idx + 1) as i32;
+
+    // per-cell incident edge lists
+    for r in 0..n {
+        for c in 0..n {
+            if removed(r, c) {
+                continue;
+            }
+            let incident: Vec<i32> = edges
+                .iter()
+                .enumerate()
+                .filter(|(_, &(a, b))| a == (r, c) || b == (r, c))
+                .map(|(i, _)| edge_var(i))
+                .collect();
+            // at least one
+            formula.add_dimacs_clause(&incident);
+            // at most one (pairwise)
+            for i in 0..incident.len() {
+                for j in i + 1..incident.len() {
+                    formula.add_dimacs_clause(&[-incident[i], -incident[j]]);
+                }
+            }
+        }
+    }
+    formula
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_boards_are_unsat() {
+        assert!(!mutilated_chessboard(2).brute_force_satisfiable());
+    }
+
+    #[test]
+    fn var_count_matches_edges() {
+        // 2×2 board minus opposite corners: two live cells, not adjacent
+        // (they are diagonal) → 0 edges… the at-least-one clauses are empty
+        let f = mutilated_chessboard(2);
+        assert_eq!(f.num_vars(), 0);
+        assert_eq!(f.num_clauses(), 2); // two empty clauses
+    }
+
+    #[test]
+    #[should_panic(expected = "odd boards")]
+    fn odd_board_rejected() {
+        let _ = mutilated_chessboard(3);
+    }
+}

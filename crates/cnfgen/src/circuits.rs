@@ -1,0 +1,332 @@
+//! Circuit-derived CNF families: the formal-verification workloads of
+//! the paper's §6, synthesized with the `circuit` crate.
+
+use circuit::{
+    alu, barrel_shifter_decoded, barrel_shifter_log, bmc_formula, carry_select_adder,
+    miter_formula, ripple_carry_adder, shift_add_multiplier, AluStyle, Netlist,
+};
+use cnf::CnfFormula;
+
+/// Equivalence miter of a ripple-carry adder against a carry-select
+/// adder over `width`-bit operands — **unsatisfiable**. Stands in for
+/// the paper's ISCAS equivalence-checking instances (`c7552`).
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+#[must_use]
+pub fn eqv_adder(width: usize) -> CnfFormula {
+    assert!(width > 0, "adder width must be positive");
+    miter_formula(
+        2 * width,
+        move |n, io| {
+            let (sum, cout) = ripple_carry_adder(n, &io[..width], &io[width..]);
+            let mut out = sum;
+            out.push(cout);
+            out
+        },
+        move |n, io| {
+            let (sum, cout) = carry_select_adder(n, &io[..width], &io[width..], 3);
+            let mut out = sum;
+            out.push(cout);
+            out
+        },
+    )
+}
+
+/// Equivalence miter of the logarithmic barrel shifter against the
+/// decoded one over a `width`-bit bus with `shift_bits` of shift amount
+/// — **unsatisfiable**. Stands in for the PicoJava datapath instances.
+///
+/// # Panics
+///
+/// Panics if `width == 0` or `shift_bits == 0`.
+#[must_use]
+pub fn eqv_shifter(width: usize, shift_bits: usize) -> CnfFormula {
+    assert!(width > 0 && shift_bits > 0, "degenerate shifter");
+    miter_formula(
+        width + shift_bits,
+        move |n, io| barrel_shifter_log(n, &io[..width], &io[width..]),
+        move |n, io| barrel_shifter_decoded(n, &io[..width], &io[width..]),
+    )
+}
+
+/// Equivalence miter of the reference ALU datapath against its
+/// NAND/NOR-decomposed, carry-select implementation — **unsatisfiable**.
+/// Stands in for the Velev pipelined-microprocessor obligations (after
+/// the standard flattening of pipeline forwarding into a combinational
+/// datapath); scale with `width`.
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+#[must_use]
+pub fn pipe_cpu(width: usize) -> CnfFormula {
+    assert!(width > 0, "datapath width must be positive");
+    miter_formula(
+        2 * width + 2,
+        move |n, io| {
+            alu(n, &io[..width], &io[width..2 * width], &io[2 * width..], AluStyle::Reference)
+        },
+        move |n, io| {
+            alu(n, &io[..width], &io[width..2 * width], &io[2 * width..], AluStyle::Optimized)
+        },
+    )
+}
+
+/// A *buggy* variant of [`pipe_cpu`]: the optimized datapath corrupts
+/// its top result bit with the opcode — **satisfiable** (the miter finds
+/// the discrepancy). Used to test SAT outcomes on realistic circuits.
+///
+/// # Panics
+///
+/// Panics if `width < 2`.
+#[must_use]
+pub fn pipe_cpu_buggy(width: usize) -> CnfFormula {
+    assert!(width >= 2, "bug needs at least two bits");
+    miter_formula(
+        2 * width + 2,
+        move |n, io| {
+            alu(n, &io[..width], &io[width..2 * width], &io[2 * width..], AluStyle::Reference)
+        },
+        move |n, io| {
+            let mut out = alu(
+                n,
+                &io[..width],
+                &io[width..2 * width],
+                &io[2 * width..],
+                AluStyle::Optimized,
+            );
+            // corrupt the top bit: xor with the opcode's low bit
+            let top = out[width - 1];
+            out[width - 1] = n.xor2(top, io[2 * width]);
+            out
+        },
+    )
+}
+
+/// Commutativity miter of the shift-add multiplier:
+/// `a·b` against `b·a` — **unsatisfiable**, and notoriously hard for
+/// resolution-based solvers even at small widths. Stands in for the
+/// paper's `longmult` instances (which unroll a sequential multiplier).
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+#[must_use]
+pub fn eqv_mult(width: usize) -> CnfFormula {
+    assert!(width > 0, "multiplier width must be positive");
+    miter_formula(
+        2 * width,
+        move |n, io| shift_add_multiplier(n, &io[..width], &io[width..]),
+        move |n, io| shift_add_multiplier(n, &io[width..], &io[..width]),
+    )
+}
+
+/// BMC of an *enabled* LFSR (the shift only advances when the free
+/// `enable` input is high): the zero state is unreachable from the
+/// one-hot reset within `k` steps — **unsatisfiable** for every `k`.
+/// The free input makes each frame genuinely nondeterministic, so the
+/// solver must search rather than merely propagate. Stands in for the
+/// `barrel`/`longmult` BMC instances; scale with both `bits` and `k`.
+///
+/// # Panics
+///
+/// Panics if `bits < 2` or `k == 0`.
+#[must_use]
+pub fn bmc_lfsr(bits: usize, k: usize) -> CnfFormula {
+    assert!(bits >= 2, "lfsr needs at least 2 bits");
+    assert!(k >= 1, "need at least one frame");
+    let mut n = Netlist::new();
+    let en = n.input();
+    let state: Vec<_> = (0..bits).map(|i| n.latch(i == 0)).collect();
+    // taps include the top bit, making the zero state unreachable
+    let feedback = n.xor2(state[bits - 1], state[bits / 2]);
+    let next0 = n.mux(en, feedback, state[0]);
+    n.connect_next(state[0], next0);
+    for i in 1..bits {
+        let shifted = n.mux(en, state[i - 1], state[i]);
+        n.connect_next(state[i], shifted);
+    }
+    let inverted: Vec<_> = state.iter().map(|&s| n.not(s)).collect();
+    let bad = n.and_many(&inverted);
+    n.set_output("bad", bad);
+    bmc_formula(&n, bad, k)
+}
+
+/// BMC of an *enabled* counter (increments only when the free `enable`
+/// input is high): after `k` frames the count is at most `k − 1`, so
+/// `count == k` is unreachable — **unsatisfiable**, with difficulty and
+/// proof size growing with `k`. The free input forces real search.
+/// Stands in for the `fifo8` family of Table 3.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `k ≥ 2^bits`.
+#[must_use]
+pub fn bmc_counter(bits: usize, k: usize) -> CnfFormula {
+    assert!(k >= 1, "need at least one frame");
+    assert!(k < (1usize << bits), "target must be representable");
+    let mut n = Netlist::new();
+    let en = n.input();
+    let state: Vec<_> = (0..bits).map(|_| n.latch(false)).collect();
+    let mut carry = en;
+    for i in 0..bits {
+        let inc = n.xor2(state[i], carry);
+        n.connect_next(state[i], inc);
+        carry = n.and2(carry, state[i]);
+    }
+    // bad = (state == k)
+    let eq_bits: Vec<_> = state
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| if k >> i & 1 == 1 { s } else { n.not(s) })
+        .collect();
+    let bad = n.and_many(&eq_bits);
+    n.set_output("bad", bad);
+    bmc_formula(&n, bad, k)
+}
+
+/// Builds the 2-stage pipelined ALU datapath: operands and opcode are
+/// registered, the ALU (in the given style) computes, and the result is
+/// registered — output latency two cycles.
+fn pipelined_alu(width: usize, style: AluStyle) -> Netlist {
+    let mut n = Netlist::new();
+    let a = n.inputs(width);
+    let b = n.inputs(width);
+    let op = n.inputs(2);
+    // stage 1: input registers
+    let reg = |n: &mut Netlist, xs: &[circuit::NodeId]| -> Vec<circuit::NodeId> {
+        xs.iter()
+            .map(|&x| {
+                let q = n.latch(false);
+                n.connect_next(q, x);
+                q
+            })
+            .collect()
+    };
+    let ra = reg(&mut n, &a);
+    let rb = reg(&mut n, &b);
+    let rop = reg(&mut n, &op);
+    // stage 2: compute and register the result
+    let result = alu(&mut n, &ra, &rb, &rop, style);
+    let rout = reg(&mut n, &result);
+    for (i, &q) in rout.iter().enumerate() {
+        n.set_output(format!("r{i}"), q);
+    }
+    n
+}
+
+/// The sequential specification: inputs delayed through two register
+/// stages, then the reference ALU combinationally — the ISA-level view
+/// of the same two-cycle-latency datapath.
+fn delayed_reference_alu(width: usize) -> Netlist {
+    let mut n = Netlist::new();
+    let a = n.inputs(width);
+    let b = n.inputs(width);
+    let op = n.inputs(2);
+    let delay2 = |n: &mut Netlist, xs: &[circuit::NodeId]| -> Vec<circuit::NodeId> {
+        xs.iter()
+            .map(|&x| {
+                let q1 = n.latch(false);
+                n.connect_next(q1, x);
+                let q2 = n.latch(false);
+                n.connect_next(q2, q1);
+                q2
+            })
+            .collect()
+    };
+    let da = delay2(&mut n, &a);
+    let db = delay2(&mut n, &b);
+    let dop = delay2(&mut n, &op);
+    let result = alu(&mut n, &da, &db, &dop, AluStyle::Reference);
+    for (i, &r) in result.iter().enumerate() {
+        n.set_output(format!("r{i}"), r);
+    }
+    n
+}
+
+/// Sequential equivalence of the 2-stage pipelined (NAND/NOR-optimised)
+/// ALU datapath against its delayed ISA-level specification, unrolled
+/// `k` cycles — **unsatisfiable**. The closest model of the paper\'s
+/// Velev pipelined-microprocessor obligations: a real pipeline with
+/// state, checked against a reference machine, so the unrolled CNF must
+/// prove the two ALU implementations equal on every value the pipeline
+/// registers can carry within `k` cycles.
+///
+/// # Panics
+///
+/// Panics if `width == 0` or `k == 0`.
+#[must_use]
+pub fn pipe_cpu_seq(width: usize, k: usize) -> CnfFormula {
+    assert!(width > 0, "datapath width must be positive");
+    assert!(k >= 1, "need at least one cycle");
+    let implementation = pipelined_alu(width, AluStyle::Optimized);
+    let specification = delayed_reference_alu(width);
+    circuit::sec_formula(&implementation, &specification, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdcl::{solve, SolverConfig};
+
+    fn is_unsat(f: &CnfFormula) -> bool {
+        solve(f, SolverConfig::default()).is_unsat()
+    }
+
+    #[test]
+    fn adder_miters_are_unsat() {
+        for width in [2, 4, 6] {
+            assert!(is_unsat(&eqv_adder(width)), "eqv_adder({width})");
+        }
+    }
+
+    #[test]
+    fn shifter_miters_are_unsat() {
+        assert!(is_unsat(&eqv_shifter(4, 2)));
+        assert!(is_unsat(&eqv_shifter(8, 3)));
+    }
+
+    #[test]
+    fn cpu_datapath_miter_is_unsat() {
+        for width in [2, 4] {
+            assert!(is_unsat(&pipe_cpu(width)), "pipe_cpu({width})");
+        }
+    }
+
+    #[test]
+    fn buggy_datapath_miter_is_sat() {
+        let f = pipe_cpu_buggy(3);
+        match solve(&f, SolverConfig::default()) {
+            cdcl::SolveResult::Sat(model) => assert!(f.is_satisfied_by(&model)),
+            other => panic!("expected SAT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multiplier_commutativity_miter_is_unsat() {
+        assert!(is_unsat(&eqv_mult(2)));
+        assert!(is_unsat(&eqv_mult(3)));
+    }
+
+    #[test]
+    fn bmc_families_are_unsat() {
+        assert!(is_unsat(&bmc_lfsr(4, 3)));
+        assert!(is_unsat(&bmc_lfsr(6, 8)));
+        assert!(is_unsat(&bmc_counter(4, 5)));
+        assert!(is_unsat(&bmc_counter(5, 12)));
+    }
+
+    #[test]
+    #[should_panic(expected = "representable")]
+    fn counter_target_must_fit() {
+        let _ = bmc_counter(3, 8);
+    }
+
+    #[test]
+    fn pipelined_datapath_sec_is_unsat() {
+        assert!(is_unsat(&pipe_cpu_seq(2, 3)));
+        assert!(is_unsat(&pipe_cpu_seq(3, 4)));
+    }
+}

@@ -1,0 +1,152 @@
+//! The instance registry: named UNSAT instances standing in for the
+//! paper's benchmark rows (see `DESIGN.md` §3 for the substitution
+//! table).
+
+use cnf::CnfFormula;
+
+use crate::chessboard::mutilated_chessboard;
+use crate::circuits::{
+    bmc_counter, bmc_lfsr, eqv_adder, eqv_mult, eqv_shifter, pipe_cpu, pipe_cpu_seq,
+};
+use crate::pebbling::pebbling_pyramid;
+use crate::php::pigeonhole;
+use crate::random_ksat::random_ksat;
+use crate::tseitin_graph::tseitin_grid;
+
+/// A named benchmark instance.
+#[derive(Clone, Debug)]
+pub struct NamedInstance {
+    /// Instance name, e.g. `pipe_cpu12`.
+    pub name: String,
+    /// The application domain of the paper's corresponding family.
+    pub domain: &'static str,
+    /// The CNF formula (always unsatisfiable in the default registry).
+    pub formula: CnfFormula,
+}
+
+impl NamedInstance {
+    fn new(name: impl Into<String>, domain: &'static str, formula: CnfFormula) -> Self {
+        NamedInstance { name: name.into(), domain, formula }
+    }
+}
+
+/// The default benchmark suite used by the Table 1 / Table 2 harnesses.
+///
+/// Sizes are chosen so the whole suite solves and verifies in seconds on
+/// a laptop while still producing proofs with tens of thousands of
+/// clauses — the paper's trends (tested %, core %, proof-size ratios)
+/// are scale-free.
+#[must_use]
+pub fn table_suite() -> Vec<NamedInstance> {
+    vec![
+        // microprocessor datapath verification (for Velev's pipe/vliw)
+        NamedInstance::new("pipe_cpu8", "cpu verification", pipe_cpu(8)),
+        NamedInstance::new("pipe_cpu16", "cpu verification", pipe_cpu(16)),
+        NamedInstance::new("pipe_cpu24", "cpu verification", pipe_cpu(24)),
+        NamedInstance::new("pipe_seq8_6", "cpu verification", pipe_cpu_seq(8, 6)),
+        // combinational equivalence checking (for PicoJava exmp7x, c7552)
+        NamedInstance::new("eqv_add16", "equivalence checking", eqv_adder(16)),
+        NamedInstance::new("eqv_add32", "equivalence checking", eqv_adder(32)),
+        NamedInstance::new("eqv_shift16", "equivalence checking", eqv_shifter(16, 4)),
+        NamedInstance::new("eqv_shift32", "equivalence checking", eqv_shifter(32, 5)),
+        NamedInstance::new("eqv_mult6", "equivalence checking", eqv_mult(6)),
+        // bounded model checking (for barrel/longmult/w10)
+        NamedInstance::new("bmc_lfsr16_20", "bounded model checking", bmc_lfsr(16, 20)),
+        NamedInstance::new("bmc_lfsr32_32", "bounded model checking", bmc_lfsr(32, 32)),
+        NamedInstance::new("bmc_cnt8_40", "bounded model checking", bmc_counter(8, 40)),
+        NamedInstance::new("bmc_cnt8_80", "bounded model checking", bmc_counter(8, 80)),
+        NamedInstance::new("bmc_cnt8_120", "bounded model checking", bmc_counter(8, 120)),
+        // hard combinatorics (for the SAT-2002 w10 mix)
+        NamedInstance::new("php8", "combinatorial", pigeonhole(8)),
+        NamedInstance::new("tseitin4x4", "combinatorial", tseitin_grid(4, 4)),
+        NamedInstance::new("tseitin4x5", "combinatorial", tseitin_grid(4, 5)),
+        NamedInstance::new("chess10", "combinatorial", mutilated_chessboard(10)),
+        NamedInstance::new("pebbling24", "combinatorial", pebbling_pyramid(24)),
+        NamedInstance::new(
+            "rand3sat_120",
+            "random",
+            random_ksat(3, 120, 640, RAND3SAT_SEED_120),
+        ),
+        NamedInstance::new(
+            "rand3sat_150",
+            "random",
+            random_ksat(3, 150, 800, RAND3SAT_SEED_150),
+        ),
+    ]
+}
+
+/// Seeds pinned (by the test suite) to produce UNSAT random instances.
+pub const RAND3SAT_SEED_120: u64 = 20030310;
+/// See [`RAND3SAT_SEED_120`].
+pub const RAND3SAT_SEED_150: u64 = 20030311;
+
+/// The growing family for Table 3: the BMC counter at increasing unroll
+/// depths, mirroring the paper's `fifo8_{200,300,400}` scaling study.
+/// The Table 3 harness solves these with the decision ("global")
+/// learning scheme, whose resolution graphs blow up with depth — the
+/// effect the paper's table demonstrates.
+#[must_use]
+pub fn table3_suite() -> Vec<NamedInstance> {
+    [20usize, 40, 60, 80]
+        .into_iter()
+        .map(|k| {
+            NamedInstance::new(
+                format!("bmc_cnt8_{k}"),
+                "bounded model checking",
+                bmc_counter(8, k),
+            )
+        })
+        .collect()
+}
+
+/// A small suite for quick smoke tests and CI.
+#[must_use]
+pub fn smoke_suite() -> Vec<NamedInstance> {
+    vec![
+        NamedInstance::new("pipe_cpu4", "cpu verification", pipe_cpu(4)),
+        NamedInstance::new("eqv_add6", "equivalence checking", eqv_adder(6)),
+        NamedInstance::new("bmc_lfsr8_8", "bounded model checking", bmc_lfsr(8, 8)),
+        NamedInstance::new("php5", "combinatorial", pigeonhole(5)),
+        NamedInstance::new("tseitin3x3", "combinatorial", tseitin_grid(3, 3)),
+        NamedInstance::new("chess6", "combinatorial", mutilated_chessboard(6)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suites_are_nonempty_and_uniquely_named() {
+        for suite in [table_suite(), table3_suite(), smoke_suite()] {
+            assert!(!suite.is_empty());
+            let mut names: Vec<&str> = suite.iter().map(|i| i.name.as_str()).collect();
+            names.sort_unstable();
+            let before = names.len();
+            names.dedup();
+            assert_eq!(names.len(), before, "duplicate instance names");
+            for inst in &suite {
+                assert!(inst.formula.num_clauses() > 0, "{} is empty", inst.name);
+            }
+        }
+    }
+
+    #[test]
+    fn smoke_suite_is_unsat() {
+        for inst in smoke_suite() {
+            let result = cdcl::solve(&inst.formula, cdcl::SolverConfig::default());
+            assert!(result.is_unsat(), "{} must be UNSAT", inst.name);
+        }
+    }
+
+    #[test]
+    fn pinned_random_seeds_are_unsat() {
+        for (vars, clauses, seed) in
+            [(120, 640, RAND3SAT_SEED_120), (150, 800, RAND3SAT_SEED_150)]
+        {
+            let f = random_ksat(3, vars, clauses, seed);
+            let result = cdcl::solve(&f, cdcl::SolverConfig::default());
+            assert!(result.is_unsat(), "seed {seed} must give an UNSAT instance");
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! CNF benchmark generators.
+//!
+//! Every family here is a deterministic, parameterised stand-in for one
+//! of the benchmark groups in Goldberg & Novikov's §6 evaluation (whose
+//! industrial CNFs are not publicly archived — the substitution table
+//! lives in `DESIGN.md` §3):
+//!
+//! | paper family | generator |
+//! |---|---|
+//! | Velev `pipe`/`vliw` (CPU verification) | [`pipe_cpu`] |
+//! | PicoJava `exmp7x`, ISCAS `c7552` (equivalence) | [`eqv_adder`], [`eqv_shifter`] |
+//! | `barrel`/`longmult`/`fifo8` (BMC) | [`bmc_lfsr`], [`bmc_counter`] |
+//! | SAT-2002 `w10_*` (hard mix) | [`pigeonhole`], [`tseitin_grid`], [`mutilated_chessboard`], [`pebbling_pyramid`], [`random_ksat`] |
+//!
+//! The [`table_suite`], [`table3_suite`], and [`smoke_suite`] registries
+//! bundle pinned instances for the table-reproduction harnesses.
+//!
+//! # Examples
+//!
+//! ```
+//! let f = cnfgen::pigeonhole(4);
+//! assert_eq!(f.num_vars(), 20);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chessboard;
+mod circuits;
+mod families;
+mod pebbling;
+mod php;
+mod random_ksat;
+mod tseitin_graph;
+
+pub use chessboard::mutilated_chessboard;
+pub use circuits::{
+    bmc_counter, bmc_lfsr, eqv_adder, eqv_mult, eqv_shifter, pipe_cpu,
+    pipe_cpu_buggy, pipe_cpu_seq,
+};
+pub use families::{
+    smoke_suite, table3_suite, table_suite, NamedInstance, RAND3SAT_SEED_120,
+    RAND3SAT_SEED_150,
+};
+pub use pebbling::pebbling_pyramid;
+pub use php::{pigeonhole, pigeonhole_sat};
+pub use random_ksat::random_ksat;
+pub use tseitin_graph::tseitin_grid;

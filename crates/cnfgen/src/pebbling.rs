@@ -1,0 +1,93 @@
+//! Pebbling contradictions on pyramid graphs.
+
+use cnf::CnfFormula;
+
+/// The pebbling contradiction on a pyramid of `height` levels, with two
+/// variables per node (the "xorified" form that defeats pure unit
+/// propagation): sources hold `(v₁ ∨ v₂)`, each internal node is implied
+/// by its two children, and the apex is refuted.
+///
+/// Unsatisfiable; easy for CDCL with learning, hard for tree-like
+/// resolution — a proof-complexity classic that exercises long
+/// implication chains in the checker.
+///
+/// # Panics
+///
+/// Panics if `height == 0`.
+///
+/// # Examples
+///
+/// ```
+/// let f = cnfgen::pebbling_pyramid(2);
+/// assert!(!f.brute_force_satisfiable());
+/// ```
+#[must_use]
+pub fn pebbling_pyramid(height: usize) -> CnfFormula {
+    assert!(height > 0, "pyramid needs at least one level");
+    // level 0 is the base with `height` nodes; level l has height−l
+    // nodes; the apex is at level height−1.
+    let mut formula = CnfFormula::new();
+    // node (l, i) → pair of DIMACS vars
+    let node_index = |l: usize, i: usize| {
+        // offset = sum_{j<l} (height - j)
+        let offset: usize = (0..l).map(|j| height - j).sum();
+        offset + i
+    };
+    let vars = |l: usize, i: usize| {
+        let k = node_index(l, i);
+        ((2 * k + 1) as i32, (2 * k + 2) as i32)
+    };
+    // sources
+    for i in 0..height {
+        let (v1, v2) = vars(0, i);
+        formula.add_dimacs_clause(&[v1, v2]);
+    }
+    // internal implications: children (l-1, i) and (l-1, i+1)
+    for l in 1..height {
+        for i in 0..height - l {
+            let (a1, a2) = vars(l - 1, i);
+            let (b1, b2) = vars(l - 1, i + 1);
+            let (v1, v2) = vars(l, i);
+            for a in [a1, a2] {
+                for b in [b1, b2] {
+                    formula.add_dimacs_clause(&[-a, -b, v1, v2]);
+                }
+            }
+        }
+    }
+    // refute the apex
+    let (t1, t2) = vars(height - 1, 0);
+    formula.add_dimacs_clause(&[-t1]);
+    formula.add_dimacs_clause(&[-t2]);
+    formula
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_pyramids_are_unsat() {
+        assert!(!pebbling_pyramid(1).brute_force_satisfiable());
+        assert!(!pebbling_pyramid(2).brute_force_satisfiable());
+        assert!(!pebbling_pyramid(3).brute_force_satisfiable());
+    }
+
+    #[test]
+    fn counts() {
+        // height 3: nodes 3+2+1 = 6 → 12 vars;
+        // clauses: 3 sources + (2+1)*4 implications + 2 apex units
+        let f = pebbling_pyramid(3);
+        assert_eq!(f.num_vars(), 12);
+        assert_eq!(f.num_clauses(), 3 + 12 + 2);
+    }
+
+    #[test]
+    fn dropping_apex_refutation_makes_it_sat() {
+        let f = pebbling_pyramid(2);
+        // remove the two final unit clauses
+        let indices: Vec<usize> = (0..f.num_clauses() - 2).collect();
+        let g = f.subformula(&indices);
+        assert!(g.brute_force_satisfiable());
+    }
+}

@@ -1,0 +1,91 @@
+//! Pigeonhole formulas.
+
+use cnf::CnfFormula;
+
+/// The pigeonhole principle PHP(m, n): `m = holes + 1` pigeons into
+/// `holes` holes. Variable `p·holes + h + 1` means "pigeon `p` sits in
+/// hole `h`". Unsatisfiable, minimally so (every clause is in the core),
+/// and exponentially hard for resolution — a classic stress test for
+/// proof generation and checking.
+///
+/// # Panics
+///
+/// Panics if `holes == 0`.
+///
+/// # Examples
+///
+/// ```
+/// let f = cnfgen::pigeonhole(3);
+/// assert_eq!(f.num_vars(), 12); // 4 pigeons × 3 holes
+/// assert!(!f.brute_force_satisfiable());
+/// ```
+#[must_use]
+pub fn pigeonhole(holes: usize) -> CnfFormula {
+    assert!(holes > 0, "need at least one hole");
+    let pigeons = holes + 1;
+    let mut formula = CnfFormula::new();
+    let var = |p: usize, h: usize| (p * holes + h + 1) as i32;
+    // every pigeon sits somewhere
+    for p in 0..pigeons {
+        formula.add_dimacs_clause(&(0..holes).map(|h| var(p, h)).collect::<Vec<_>>());
+    }
+    // no two pigeons share a hole
+    for h in 0..holes {
+        for p1 in 0..pigeons {
+            for p2 in p1 + 1..pigeons {
+                formula.add_dimacs_clause(&[-var(p1, h), -var(p2, h)]);
+            }
+        }
+    }
+    formula
+}
+
+/// A *satisfiable* variant with as many pigeons as holes — used to test
+/// that generators and the pipeline handle SAT outcomes.
+///
+/// # Panics
+///
+/// Panics if `holes == 0`.
+#[must_use]
+pub fn pigeonhole_sat(holes: usize) -> CnfFormula {
+    assert!(holes > 0, "need at least one hole");
+    let mut formula = CnfFormula::new();
+    let var = |p: usize, h: usize| (p * holes + h + 1) as i32;
+    for p in 0..holes {
+        formula.add_dimacs_clause(&(0..holes).map(|h| var(p, h)).collect::<Vec<_>>());
+    }
+    for h in 0..holes {
+        for p1 in 0..holes {
+            for p2 in p1 + 1..holes {
+                formula.add_dimacs_clause(&[-var(p1, h), -var(p2, h)]);
+            }
+        }
+    }
+    formula
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn php_shape() {
+        let f = pigeonhole(3);
+        // 4 at-least-one clauses + 3 holes × C(4,2)=6 pairs
+        assert_eq!(f.num_clauses(), 4 + 3 * 6);
+        assert_eq!(f.num_vars(), 12);
+    }
+
+    #[test]
+    fn php_small_is_unsat() {
+        assert!(!pigeonhole(1).brute_force_satisfiable());
+        assert!(!pigeonhole(2).brute_force_satisfiable());
+        assert!(!pigeonhole(3).brute_force_satisfiable());
+    }
+
+    #[test]
+    fn php_sat_variant_is_sat() {
+        assert!(pigeonhole_sat(2).brute_force_satisfiable());
+        assert!(pigeonhole_sat(3).brute_force_satisfiable());
+    }
+}

@@ -1,0 +1,90 @@
+//! Seeded random k-SAT.
+
+use cnf::{Clause, CnfFormula, Lit};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a random k-SAT formula with `num_clauses` clauses of width
+/// `k` over `num_vars` variables, deterministically from `seed`.
+/// Clauses never repeat a variable.
+///
+/// At clause/variable ratios well above the satisfiability threshold
+/// (≈ 4.27 for 3-SAT) the result is almost surely unsatisfiable; the
+/// registry pins seeds whose instances were confirmed UNSAT.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `k > num_vars`.
+///
+/// # Examples
+///
+/// ```
+/// let f = cnfgen::random_ksat(3, 20, 120, 42);
+/// assert_eq!(f.num_clauses(), 120);
+/// assert_eq!(f.num_vars(), 20);
+/// // deterministic: same seed, same formula
+/// assert_eq!(f, cnfgen::random_ksat(3, 20, 120, 42));
+/// ```
+#[must_use]
+pub fn random_ksat(k: usize, num_vars: usize, num_clauses: usize, seed: u64) -> CnfFormula {
+    assert!(k > 0, "clause width must be positive");
+    assert!(k <= num_vars, "clause width exceeds variable count");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut formula = CnfFormula::with_vars(num_vars);
+    for _ in 0..num_clauses {
+        let mut vars: Vec<u32> = Vec::with_capacity(k);
+        while vars.len() < k {
+            let v = rng.gen_range(0..num_vars as u32);
+            if !vars.contains(&v) {
+                vars.push(v);
+            }
+        }
+        let lits: Vec<Lit> = vars
+            .into_iter()
+            .map(|v| cnf::Var::new(v).lit(rng.gen_bool(0.5)))
+            .collect();
+        formula.add_clause(Clause::new(lits));
+    }
+    formula
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = random_ksat(3, 30, 100, 7);
+        let b = random_ksat(3, 30, 100, 7);
+        let c = random_ksat(3, 30, 100, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn clause_shape() {
+        let f = random_ksat(3, 10, 50, 1);
+        for clause in f.iter() {
+            assert_eq!(clause.len(), 3);
+            // no repeated variables
+            let mut vars: Vec<_> = clause.lits().iter().map(|l| l.var()).collect();
+            vars.sort();
+            vars.dedup();
+            assert_eq!(vars.len(), 3);
+        }
+    }
+
+    #[test]
+    fn high_ratio_small_instance_is_unsat() {
+        // ratio 8 on 12 vars: overwhelmingly unsat; seed chosen and
+        // pinned by this very test
+        let f = random_ksat(3, 12, 96, 123);
+        assert!(!f.brute_force_satisfiable());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds variable count")]
+    fn rejects_k_greater_than_vars() {
+        let _ = random_ksat(5, 3, 1, 0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Tseitin parity formulas on toroidal grids.
+
+use cnf::{CnfFormula, Lit};
+
+/// A Tseitin parity formula on an `n × m` toroidal grid.
+///
+/// One variable per edge; each vertex constrains the XOR of its four
+/// incident edges to equal its *charge*. The formula is unsatisfiable
+/// iff the total charge is odd (here: exactly one vertex charged), and
+/// is a classic hard instance for resolution-based solvers.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `m < 2` (a torus needs distinct neighbours).
+///
+/// # Examples
+///
+/// ```
+/// let f = cnfgen::tseitin_grid(2, 2);
+/// assert!(!f.brute_force_satisfiable());
+/// ```
+#[must_use]
+pub fn tseitin_grid(n: usize, m: usize) -> CnfFormula {
+    assert!(n >= 2 && m >= 2, "torus needs at least 2×2 vertices");
+    // Edge numbering: horizontal edge (i,j)→(i,j+1 mod m) gets index
+    // i*m + j; vertical edge (i,j)→(i+1 mod n, j) gets n*m + i*m + j.
+    let h_edge = |i: usize, j: usize| (i * m + j) as i32 + 1;
+    let v_edge = |i: usize, j: usize| (n * m + i * m + j) as i32 + 1;
+
+    let mut formula = CnfFormula::new();
+    for i in 0..n {
+        for j in 0..m {
+            // incident edges: right, left, down, up
+            let edges = [
+                h_edge(i, j),
+                h_edge(i, (j + m - 1) % m),
+                v_edge(i, j),
+                v_edge((i + n - 1) % n, j),
+            ];
+            let charge = i == 0 && j == 0; // single odd vertex
+            add_parity_clauses(&mut formula, &edges, charge);
+        }
+    }
+    formula
+}
+
+/// Adds the CNF expansion of `e₁ ⊕ … ⊕ eₖ = charge` (2^{k-1} clauses).
+fn add_parity_clauses(formula: &mut CnfFormula, edges: &[i32], charge: bool) {
+    let k = edges.len();
+    for mask in 0u32..(1 << k) {
+        // forbid assignments whose parity differs from the charge: a
+        // clause negating each such full assignment
+        let ones = mask.count_ones() as usize;
+        let parity = ones % 2 == 1;
+        if parity == charge {
+            continue;
+        }
+        let clause: Vec<Lit> = edges
+            .iter()
+            .enumerate()
+            .map(|(idx, &e)| {
+                // the forbidden assignment sets edge true iff bit set;
+                // negate it in the clause
+                if mask >> idx & 1 == 1 {
+                    Lit::from_dimacs(-e)
+                } else {
+                    Lit::from_dimacs(e)
+                }
+            })
+            .collect();
+        formula.add_clause(clause.into());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_charge_grid_is_unsat() {
+        assert!(!tseitin_grid(2, 2).brute_force_satisfiable());
+        assert!(!tseitin_grid(2, 3).brute_force_satisfiable());
+    }
+
+    #[test]
+    fn clause_and_var_counts() {
+        let f = tseitin_grid(2, 2);
+        assert_eq!(f.num_vars(), 8); // 2·n·m edges
+        assert_eq!(f.num_clauses(), 4 * 8); // n·m vertices × 2^{4-1}
+    }
+
+    #[test]
+    fn parity_clause_expansion() {
+        let mut f = CnfFormula::new();
+        add_parity_clauses(&mut f, &[1, 2], false); // x1 ⊕ x2 = 0
+        // forbidden: (1,0) and (0,1)
+        assert_eq!(f.num_clauses(), 2);
+        // x1=1,x2=0 must violate some clause
+        let mut a = cnf::Assignment::new(2);
+        a.assign(Lit::from_dimacs(1));
+        a.assign(Lit::from_dimacs(-2));
+        assert!(!f.is_satisfied_by(&a));
+        let mut b = cnf::Assignment::new(2);
+        b.assign(Lit::from_dimacs(1));
+        b.assign(Lit::from_dimacs(2));
+        assert!(f.is_satisfied_by(&b));
+    }
+}

@@ -1,0 +1,255 @@
+//! Binary serialisation of conflict-clause proofs.
+//!
+//! Proof files dominate the disk footprint of the paper's workflow (the
+//! `7pipe` proof is 257 MB in text form), so a compact binary format
+//! matters. Encoding: the 4-byte magic `CCP1`, then each clause as a
+//! sequence of LEB128 varints — literal `l` maps to
+//! `(var_index + 1) << 1 | sign`, which is ≥ 2, leaving `0` free as the
+//! clause terminator. Identical in spirit to the binary DRAT encoding.
+
+use std::error::Error;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use cnf::{Clause, Lit, Var};
+
+use crate::proof::ConflictClauseProof;
+
+/// Magic bytes opening a binary proof file.
+pub const MAGIC: [u8; 4] = *b"CCP1";
+
+/// An error produced while decoding a binary proof.
+#[derive(Debug)]
+pub enum DecodeProofError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The input does not start with [`MAGIC`].
+    BadMagic,
+    /// A varint ran past 32 bits or the input ended inside one.
+    BadVarint {
+        /// Byte offset where decoding failed.
+        offset: usize,
+    },
+    /// Input ended in the middle of a clause.
+    UnterminatedClause,
+}
+
+impl fmt::Display for DecodeProofError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeProofError::Io(e) => write!(f, "i/o error: {e}"),
+            DecodeProofError::BadMagic => write!(f, "missing CCP1 magic"),
+            DecodeProofError::BadVarint { offset } => {
+                write!(f, "malformed varint at byte {offset}")
+            }
+            DecodeProofError::UnterminatedClause => {
+                write!(f, "unterminated clause at end of input")
+            }
+        }
+    }
+}
+
+impl Error for DecodeProofError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DecodeProofError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for DecodeProofError {
+    fn from(e: io::Error) -> Self {
+        DecodeProofError::Io(e)
+    }
+}
+
+fn lit_code(lit: Lit) -> u32 {
+    (lit.var().index() + 1) << 1 | u32::from(lit.is_positive())
+}
+
+fn lit_from_code(code: u32) -> Lit {
+    let var = Var::new((code >> 1) - 1);
+    var.lit(code & 1 == 1)
+}
+
+fn write_varint<W: Write>(writer: &mut W, mut value: u32) -> io::Result<()> {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            return writer.write_all(&[byte]);
+        }
+        writer.write_all(&[byte | 0x80])?;
+    }
+}
+
+/// Encodes a proof in the binary format.
+///
+/// A `&mut W` may be passed wherever an owned writer is inconvenient.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn encode_proof<W: Write>(mut writer: W, proof: &ConflictClauseProof) -> io::Result<()> {
+    writer.write_all(&MAGIC)?;
+    for clause in proof.iter() {
+        for &lit in clause.lits() {
+            write_varint(&mut writer, lit_code(lit))?;
+        }
+        writer.write_all(&[0])?;
+    }
+    Ok(())
+}
+
+/// Encodes a proof to a byte vector.
+#[must_use]
+pub fn encode_proof_to_vec(proof: &ConflictClauseProof) -> Vec<u8> {
+    let mut buf = Vec::new();
+    encode_proof(&mut buf, proof).expect("writing to Vec cannot fail");
+    buf
+}
+
+/// Decodes a proof from the binary format.
+///
+/// A `&mut R` may be passed wherever an owned reader is inconvenient.
+///
+/// # Errors
+///
+/// Returns [`DecodeProofError`] on I/O failure or malformed input.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use cnf::Clause;
+/// use proofver::{decode_proof, encode_proof_to_vec, ConflictClauseProof};
+///
+/// let proof = ConflictClauseProof::new(vec![Clause::from_dimacs(&[1, -2])]);
+/// let bytes = encode_proof_to_vec(&proof);
+/// assert_eq!(decode_proof(bytes.as_slice())?, proof);
+/// # Ok(())
+/// # }
+/// ```
+pub fn decode_proof<R: Read>(mut reader: R) -> Result<ConflictClauseProof, DecodeProofError> {
+    let mut bytes = Vec::new();
+    reader.read_to_end(&mut bytes)?;
+    if bytes.len() < 4 || bytes[..4] != MAGIC {
+        return Err(DecodeProofError::BadMagic);
+    }
+    let mut clauses = Vec::new();
+    let mut current: Vec<Lit> = Vec::new();
+    let mut pos = 4usize;
+    while pos < bytes.len() {
+        if bytes[pos] == 0 {
+            clauses.push(Clause::new(std::mem::take(&mut current)));
+            pos += 1;
+            continue;
+        }
+        let start = pos;
+        let mut value: u32 = 0;
+        let mut shift = 0u32;
+        loop {
+            if pos >= bytes.len() || shift > 28 {
+                return Err(DecodeProofError::BadVarint { offset: start });
+            }
+            let byte = bytes[pos];
+            pos += 1;
+            value |= u32::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                break;
+            }
+            shift += 7;
+        }
+        if value < 2 {
+            return Err(DecodeProofError::BadVarint { offset: start });
+        }
+        current.push(lit_from_code(value));
+    }
+    if !current.is_empty() {
+        return Err(DecodeProofError::UnterminatedClause);
+    }
+    Ok(ConflictClauseProof::new(clauses))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn proof(clauses: &[Vec<i32>]) -> ConflictClauseProof {
+        clauses.iter().map(|c| Clause::from_dimacs(c)).collect()
+    }
+
+    #[test]
+    fn roundtrip_small() {
+        let p = proof(&[vec![1, -2, 3], vec![-1], vec![]]);
+        let bytes = encode_proof_to_vec(&p);
+        assert_eq!(decode_proof(bytes.as_slice()).expect("decode"), p);
+    }
+
+    #[test]
+    fn roundtrip_large_vars_need_multibyte_varints() {
+        let p = proof(&[vec![1_000_000, -2_000_000]]);
+        let bytes = encode_proof_to_vec(&p);
+        assert_eq!(decode_proof(bytes.as_slice()).expect("decode"), p);
+    }
+
+    #[test]
+    fn empty_proof_is_just_magic() {
+        let p = ConflictClauseProof::default();
+        let bytes = encode_proof_to_vec(&p);
+        assert_eq!(bytes, MAGIC);
+        assert_eq!(decode_proof(bytes.as_slice()).expect("decode"), p);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        assert!(matches!(
+            decode_proof(&b"XXXX\x00"[..]).unwrap_err(),
+            DecodeProofError::BadMagic
+        ));
+        assert!(matches!(
+            decode_proof(&b"CC"[..]).unwrap_err(),
+            DecodeProofError::BadMagic
+        ));
+    }
+
+    #[test]
+    fn rejects_truncated_varint() {
+        let mut bytes = MAGIC.to_vec();
+        bytes.push(0x80); // continuation bit with no following byte
+        assert!(matches!(
+            decode_proof(bytes.as_slice()).unwrap_err(),
+            DecodeProofError::BadVarint { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_unterminated_clause() {
+        let mut bytes = MAGIC.to_vec();
+        bytes.push(4); // a literal with no terminator
+        assert!(matches!(
+            decode_proof(bytes.as_slice()).unwrap_err(),
+            DecodeProofError::UnterminatedClause
+        ));
+    }
+
+    #[test]
+    fn binary_is_smaller_than_text_on_long_proofs() {
+        let clauses: Vec<Vec<i32>> =
+            (1..200).map(|i| vec![i, -(i + 1), i + 2, -(i + 3)]).collect();
+        let p = proof(&clauses);
+        let text_len = crate::format::to_proof_string(&p).len();
+        let bin_len = encode_proof_to_vec(&p).len();
+        assert!(bin_len < text_len, "binary {bin_len} vs text {text_len}");
+    }
+
+    #[test]
+    fn lit_code_mapping_is_bijective() {
+        for name in [1, -1, 2, -2, 1000, -99999] {
+            let l = Lit::from_dimacs(name);
+            assert_eq!(lit_from_code(lit_code(l)), l);
+            assert!(lit_code(l) >= 2);
+        }
+    }
+}

@@ -1,0 +1,771 @@
+//! The conflict-clause proof verification procedures.
+//!
+//! This module implements §3 (`Proof_verification1`) and §4
+//! (`Proof_verification2`) of the paper. Both view `F*` as a
+//! chronologically ordered stack of conflict clauses and pop clauses off
+//! the top: to check a clause `C` with falsifying assignment `R`, run
+//! `BCP((F ∪ F*) | R)` — where `F*` is what remains below `C` on the
+//! stack — and require a conflict. `Proof_verification2` additionally
+//! *marks* the clauses responsible for each conflict, skips unmarked
+//! (redundant) conflict clauses, and extracts an unsatisfiable core of
+//! `F` from the marks.
+//!
+//! The checker deliberately shares no search code with the solver: its
+//! only nontrivial machinery is the watched-literal BCP engine, which the
+//! paper argues is "well established" and stable enough to trust.
+
+use std::time::Instant;
+
+use bcp::{Attach, ClauseDb, ClauseRef, Conflict, Reason, WatchedPropagator};
+use cnf::{Clause, CnfFormula, Lit, Var};
+
+use crate::core_extract::UnsatCore;
+use crate::error::VerifyError;
+use crate::proof::ConflictClauseProof;
+use crate::report::VerificationReport;
+
+/// Which verification procedure to run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum CheckMode {
+    /// `Proof_verification1`: check every conflict clause, newest first.
+    All,
+    /// `Proof_verification2`: check only clauses marked as contributing
+    /// to the final conflict (the default — strictly less work, same
+    /// guarantee for the refutation).
+    #[default]
+    MarkedOnly,
+    /// Check every conflict clause in *chronological* order — the paper's
+    /// §3 remark that "if one checks the correctness of all the clauses
+    /// of F*, the order in which clauses are processed does not matter".
+    /// Accepts and rejects exactly the same proofs as [`CheckMode::All`];
+    /// marking (and thus the core) can differ, since conflict cones are
+    /// discovered in a different order.
+    AllForward,
+}
+
+/// The successful result of a verification run.
+#[derive(Clone, Debug)]
+pub struct Verification {
+    /// Aggregate statistics (Table 1 / Table 2 inputs).
+    pub report: VerificationReport,
+    /// The unsatisfiable core of the original formula (§4).
+    pub core: UnsatCore,
+    /// For each proof step, whether it was marked as contributing to the
+    /// refutation — the input to proof trimming.
+    pub marked_steps: Vec<bool>,
+}
+
+/// Verifies `proof` against `formula` with `Proof_verification2`
+/// (marking + core extraction).
+///
+/// # Errors
+///
+/// * [`VerifyError::NotImplied`] — some checked conflict clause is not
+///   derivable by BCP from the clauses preceding it; the error pinpoints
+///   the clause.
+/// * [`VerifyError::NotARefutation`] — the formula plus the complete
+///   proof does not propagate to a conflict, so unsatisfiability was
+///   never established.
+///
+/// # Examples
+///
+/// ```
+/// use cnf::{Clause, CnfFormula};
+/// use proofver::verify;
+///
+/// let f = CnfFormula::from_dimacs_clauses(&[
+///     vec![1, 2], vec![-1, -2], vec![1, -2], vec![-1, 2],
+/// ]);
+/// // a valid conflict-clause proof: (¬x2 from clauses 2,1), then units
+/// let proof = vec![
+///     Clause::from_dimacs(&[2]),
+///     Clause::from_dimacs(&[-2]),
+/// ].into();
+/// let result = verify(&f, &proof)?;
+/// assert_eq!(result.core.len(), 4);
+/// # Ok::<(), proofver::VerifyError>(())
+/// ```
+pub fn verify(
+    formula: &CnfFormula,
+    proof: &ConflictClauseProof,
+) -> Result<Verification, VerifyError> {
+    Checker::new(formula, proof).run(CheckMode::MarkedOnly)
+}
+
+/// Verifies `proof` against `formula` with `Proof_verification1`
+/// (every clause is checked; marking still runs so a core is produced).
+///
+/// # Errors
+///
+/// See [`verify`].
+pub fn verify_all(
+    formula: &CnfFormula,
+    proof: &ConflictClauseProof,
+) -> Result<Verification, VerifyError> {
+    Checker::new(formula, proof).run(CheckMode::All)
+}
+
+/// Verifies that `F ∪ F* ⊨ target`: each conflict clause of `proof` is
+/// checked as in [`verify`], and the *target* clause takes the place of
+/// the final refutation — its negation, propagated over the formula plus
+/// the whole proof, must conflict.
+///
+/// This is the building block for checking answers of *incremental*
+/// queries (solving under assumptions): an UNSAT-under-assumptions
+/// answer comes with a clause over the failed assumptions, which is
+/// exactly such a target.
+///
+/// # Errors
+///
+/// See [`verify`]; `NotARefutation` means the target is not derivable.
+///
+/// # Examples
+///
+/// ```
+/// use cnf::{Clause, CnfFormula};
+/// use proofver::verify_implication;
+///
+/// // F = (¬1 ∨ 2) ∧ (¬2 ∨ 3): F ⊨ (¬1 ∨ 3)
+/// let f = CnfFormula::from_dimacs_clauses(&[vec![-1, 2], vec![-2, 3]]);
+/// let target = Clause::from_dimacs(&[-1, 3]);
+/// let v = verify_implication(&f, &Default::default(), &target)?;
+/// assert_eq!(v.core.len(), 2);
+/// # Ok::<(), proofver::VerifyError>(())
+/// ```
+pub fn verify_implication(
+    formula: &CnfFormula,
+    proof: &ConflictClauseProof,
+    target: &Clause,
+) -> Result<Verification, VerifyError> {
+    Checker::new(formula, proof).run_with_target(CheckMode::MarkedOnly, Some(target))
+}
+
+enum CheckOutcome {
+    Conflict(Conflict),
+    Tautology,
+    NoConflict,
+}
+
+/// The proof checker, exposed for callers that want to reuse the arena
+/// across modes or inspect intermediate state.
+#[derive(Debug)]
+pub struct Checker<'a> {
+    proof: &'a ConflictClauseProof,
+    db: ClauseDb,
+    prop: WatchedPropagator,
+    /// Unit clauses by arena index (they cannot be watched; each check
+    /// enqueues the active ones explicitly).
+    units: Vec<(ClauseRef, Lit)>,
+    /// Empty clauses (immediate conflicts whenever active).
+    empties: Vec<ClauseRef>,
+    /// Marked clauses, indexed by arena position.
+    marked: Vec<bool>,
+    /// Scratch: variables touched by the current marking pass.
+    seen: Vec<bool>,
+    num_original: usize,
+}
+
+impl<'a> Checker<'a> {
+    /// Builds the checker arena: the original clauses first, then the
+    /// conflict clauses in chronological order.
+    #[must_use]
+    pub fn new(formula: &'a CnfFormula, proof: &'a ConflictClauseProof) -> Self {
+        let num_vars = formula
+            .num_vars()
+            .max(proof.max_var().map_or(0, |v| v.idx() + 1));
+        let mut db = ClauseDb::new();
+        let mut prop = WatchedPropagator::new(num_vars);
+        let mut units = Vec::new();
+        let mut empties = Vec::new();
+
+        // Only F is attached here; proof clauses are attached by `run`
+        // *after* the root propagation, so the lazy watch cleanup never
+        // sees a proof clause while it is below the activity horizon it
+        // will later rise above.
+        for clause in formula.iter().chain(proof.iter()) {
+            let learned = db.len() >= formula.num_clauses();
+            let r = db.add_clause(clause.lits(), learned);
+            if learned {
+                match db.clause_len(r) {
+                    0 => empties.push(r),
+                    1 => units.push((r, db.lits(r)[0])),
+                    _ => {}
+                }
+            } else {
+                match prop.attach_clause(&mut db, r) {
+                    Attach::Watched => {}
+                    Attach::Unit(l) => units.push((r, l)),
+                    Attach::Empty => empties.push(r),
+                }
+            }
+        }
+
+        let marked = vec![false; db.len()];
+        Checker {
+            proof,
+            db,
+            prop,
+            units,
+            empties,
+            marked,
+            seen: vec![false; num_vars],
+            num_original: formula.num_clauses(),
+        }
+    }
+
+    /// Runs the selected verification procedure.
+    ///
+    /// # Errors
+    ///
+    /// See [`verify`].
+    pub fn run(self, mode: CheckMode) -> Result<Verification, VerifyError> {
+        self.run_with_target(mode, None)
+    }
+
+    /// Like [`Checker::run`], but instead of requiring the proof to
+    /// derive a root conflict (the empty clause), requires it to derive
+    /// `target`: the final check assumes `¬target` and must conflict.
+    /// With `target = None` this is ordinary refutation checking.
+    ///
+    /// # Errors
+    ///
+    /// See [`verify`]; [`VerifyError::NotARefutation`] here means the
+    /// target clause is not derivable by BCP from `F ∪ F*`.
+    pub fn run_with_target(
+        mut self,
+        mode: CheckMode,
+        target: Option<&Clause>,
+    ) -> Result<Verification, VerifyError> {
+        let start = Instant::now();
+        let mut num_checked = 0usize;
+        // the target may mention variables beyond the formula's universe
+        if let Some(v) = target.and_then(Clause::max_var) {
+            self.prop.ensure_vars(v.idx() + 1);
+            if self.seen.len() <= v.idx() {
+                self.seen.resize(v.idx() + 1, false);
+            }
+        }
+        let target_assumptions: Vec<Lit> = target
+            .map(|c| c.lits().iter().map(|&l| !l).collect())
+            .unwrap_or_default();
+
+        // Root level: the original formula is active in *every* check,
+        // so its units and their propagation cascade are established
+        // once, at decision level 0, and survive between checks — each
+        // check then only pays for the assumptions and the conflict
+        // clauses' contribution.
+        if let Some(conflict) = self.propagate_root() {
+            // F conflicts by unit propagation alone: every check would
+            // conflict on this same cone, so nothing else needs testing.
+            self.mark_from_conflict(conflict);
+            return Ok(self.finish(0, start));
+        }
+
+        // The terminal check: BCP over F ∪ F* under the negated target
+        // (no assumptions for a refutation) must conflict. This subsumes
+        // the paper's "mark the final conflicting pair" initialisation:
+        // the clauses responsible for the conflict become the initial
+        // marks. If a refutation proof ends with an explicit empty
+        // clause, this is exactly its check.
+        let terminal_limit = match self.proof.clauses().last() {
+            Some(c) if c.is_empty() && target.is_none() => {
+                self.num_original + self.proof.len() - 1
+            }
+            _ => self.num_original + self.proof.len(),
+        };
+
+        // Backward checking shrinks the active horizon monotonically, so
+        // all proof clauses can be watched up front (lazy cleanup sheds
+        // them as they are popped). Forward checking grows the horizon,
+        // which lazy cleanup cannot tolerate — each clause is attached
+        // only after its own check instead.
+        let forward = mode == CheckMode::AllForward;
+        if !forward {
+            for step in 0..self.proof.len() {
+                let r = ClauseRef::from_index(self.num_original + step);
+                self.attach_proof_clause(r);
+            }
+            match self.bcp_under_assumptions(&target_assumptions, terminal_limit) {
+                CheckOutcome::Conflict(conflict) => self.mark_from_conflict(conflict),
+                CheckOutcome::Tautology => {} // tautological target: trivially implied
+                CheckOutcome::NoConflict => return Err(VerifyError::NotARefutation),
+            }
+        }
+
+        // Pop F* in reverse chronological order (or walk it forward —
+        // §3: for all-clause checking the order does not matter).
+        let order: Vec<usize> = if forward {
+            (0..self.proof.len()).collect()
+        } else {
+            (0..self.proof.len()).rev().collect()
+        };
+        for step in order {
+            let arena_index = self.num_original + step;
+            let clause = &self.proof.clauses()[step];
+            let skip = if clause.is_empty() && arena_index == terminal_limit {
+                // the terminal check covers exactly this clause's check
+                true
+            } else {
+                // redundant conflict clauses are skipped in marked mode (§4)
+                mode == CheckMode::MarkedOnly && !self.marked[arena_index]
+            };
+            if !skip {
+                num_checked += 1;
+                // An empty clause mid-proof has the empty falsifying
+                // assignment: BCP over the *preceding* clauses alone must
+                // already conflict.
+                let assumptions: Vec<Lit> = clause.lits().iter().map(|&l| !l).collect();
+                match self.bcp_under_assumptions(&assumptions, arena_index) {
+                    CheckOutcome::Conflict(conflict) => self.mark_from_conflict(conflict),
+                    // A tautological conflict clause is trivially implied;
+                    // no clause of F or F* was needed, nothing new marked.
+                    CheckOutcome::Tautology => {}
+                    CheckOutcome::NoConflict => {
+                        return Err(VerifyError::NotImplied {
+                            step,
+                            clause: clause.clone(),
+                        })
+                    }
+                }
+            }
+            if forward {
+                let r = ClauseRef::from_index(arena_index);
+                self.attach_proof_clause(r);
+            }
+        }
+
+        if forward {
+            match self.bcp_under_assumptions(&target_assumptions, terminal_limit) {
+                CheckOutcome::Conflict(conflict) => self.mark_from_conflict(conflict),
+                CheckOutcome::Tautology => {} // tautological target
+                CheckOutcome::NoConflict => return Err(VerifyError::NotARefutation),
+            }
+        }
+
+        Ok(self.finish(num_checked, start))
+    }
+
+    /// Checks exactly the given steps (in decreasing index order),
+    /// regardless of marking, and returns the mark bitmap over the whole
+    /// arena plus the number of checks performed. Used by the parallel
+    /// all-clause checker; the terminal/refutation check is the caller's
+    /// responsibility.
+    ///
+    /// # Errors
+    ///
+    /// [`VerifyError::NotImplied`] for the largest failing step in the
+    /// range.
+    pub(crate) fn check_steps(
+        mut self,
+        mut steps: Vec<usize>,
+    ) -> Result<(Vec<bool>, usize), VerifyError> {
+        if let Some(conflict) = self.propagate_root() {
+            self.mark_from_conflict(conflict);
+            return Ok((self.marked, 0));
+        }
+        // attach every proof clause; the horizon only shrinks because
+        // steps are visited in decreasing order
+        for step in 0..self.proof.len() {
+            let r = ClauseRef::from_index(self.num_original + step);
+            self.attach_proof_clause(r);
+        }
+        steps.sort_unstable_by(|a, b| b.cmp(a));
+        let mut num_checked = 0usize;
+        for step in steps {
+            let clause = &self.proof.clauses()[step];
+            let arena_index = self.num_original + step;
+            num_checked += 1;
+            let assumptions: Vec<Lit> = clause.lits().iter().map(|&l| !l).collect();
+            match self.bcp_under_assumptions(&assumptions, arena_index) {
+                CheckOutcome::Conflict(conflict) => self.mark_from_conflict(conflict),
+                CheckOutcome::Tautology => {}
+                CheckOutcome::NoConflict => {
+                    return Err(VerifyError::NotImplied { step, clause: clause.clone() })
+                }
+            }
+        }
+        Ok((self.marked, num_checked))
+    }
+
+    /// Runs only the root propagation and the terminal (refutation)
+    /// check, returning the initial mark bitmap. Used by the parallel
+    /// checker, which fans the per-clause checks out to workers.
+    ///
+    /// # Errors
+    ///
+    /// [`VerifyError::NotARefutation`] when `F ∪ F*` does not propagate
+    /// to a conflict.
+    pub(crate) fn check_terminal(mut self) -> Result<Vec<bool>, VerifyError> {
+        if let Some(conflict) = self.propagate_root() {
+            self.mark_from_conflict(conflict);
+            return Ok(self.marked);
+        }
+        let terminal_limit = match self.proof.clauses().last() {
+            Some(c) if c.is_empty() => self.num_original + self.proof.len() - 1,
+            _ => self.num_original + self.proof.len(),
+        };
+        for step in 0..self.proof.len() {
+            let r = ClauseRef::from_index(self.num_original + step);
+            self.attach_proof_clause(r);
+        }
+        match self.bcp_under_assumptions(&[], terminal_limit) {
+            CheckOutcome::Conflict(conflict) => self.mark_from_conflict(conflict),
+            CheckOutcome::Tautology => unreachable!("no assumptions, no clash"),
+            CheckOutcome::NoConflict => return Err(VerifyError::NotARefutation),
+        }
+        Ok(self.marked)
+    }
+
+    fn finish(&mut self, num_checked: usize, start: Instant) -> Verification {
+        let elapsed = start.elapsed();
+        let core_indices: Vec<usize> =
+            (0..self.num_original).filter(|&i| self.marked[i]).collect();
+        let core = UnsatCore::new(core_indices, self.num_original);
+        let marked_steps: Vec<bool> = (0..self.proof.len())
+            .map(|i| self.marked[self.num_original + i])
+            .collect();
+
+        let report = VerificationReport {
+            num_original: self.num_original,
+            num_conflict_clauses: self.proof.len(),
+            num_checked,
+            proof_literals: self.proof.num_literals(),
+            core_size: core.len(),
+            verify_time: elapsed,
+            propagations: self.prop.trail().len() as u64, // final trail only
+            clause_visits: self.prop.num_clause_visits(),
+        };
+        Verification { report, core, marked_steps }
+    }
+
+    /// Establishes the permanent root level: the units of the original
+    /// formula and everything they propagate through `F` alone. Returns
+    /// a conflict if `F` refutes itself by propagation (including an
+    /// empty clause in `F`).
+    fn propagate_root(&mut self) -> Option<Conflict> {
+        self.db.set_active_limit(Some(self.num_original));
+        if let Some(&r) = self.empties.iter().find(|r| r.index() < self.num_original) {
+            return Some(Conflict { clause: r });
+        }
+        for i in 0..self.units.len() {
+            let (r, l) = self.units[i];
+            if r.index() >= self.num_original {
+                continue;
+            }
+            if let Err(conflict) = self.prop.enqueue_propagated(l, r) {
+                return Some(conflict);
+            }
+        }
+        self.prop.propagate(&mut self.db)
+    }
+
+    /// Attaches one proof clause *after* the persistent root level is in
+    /// place. Watched literals must be non-false, so the literals are
+    /// reordered; a clause that is unit under the root assignments joins
+    /// the per-check unit list (it may NOT extend the root trail — that
+    /// would leak its consequence into checks of earlier clauses), and a
+    /// clause falsified outright by root assignments acts like an empty
+    /// clause for every check that has it active.
+    fn attach_proof_clause(&mut self, r: ClauseRef) {
+        if self.db.clause_len(r) < 2 {
+            return; // units/empties were collected at construction
+        }
+        // classification must see only the persistent root assignments,
+        // not a preceding check's assumptions
+        self.prop.backtrack_to(0);
+        let assignment = self.prop.assignment();
+        let lits = self.db.lits_mut(r);
+        lits.sort_by_key(|&l| assignment.lit_value(l) == cnf::LBool::False);
+        let non_false = lits
+            .iter()
+            .filter(|&&l| assignment.lit_value(l) != cnf::LBool::False)
+            .count();
+        let first = lits[0];
+        match non_false {
+            0 => self.empties.push(r),
+            1 => {
+                self.prop.attach_clause(&mut self.db, r);
+                self.units.push((r, first));
+            }
+            _ => {
+                self.prop.attach_clause(&mut self.db, r);
+            }
+        }
+    }
+
+    /// One verification check: assume the given literals, enqueue the
+    /// active unit clauses of `F*`, and propagate over the clauses with
+    /// arena index `< limit`. `F`'s contribution persists at the root
+    /// level from [`Checker::propagate_root`].
+    fn bcp_under_assumptions(&mut self, assumptions: &[Lit], limit: usize) -> CheckOutcome {
+        self.db.set_active_limit(Some(limit));
+        // An active empty clause conflicts before any propagation.
+        // (Empty clauses of F were handled by the root propagation.)
+        if let Some(&r) = self.empties.iter().find(|r| r.index() < limit) {
+            return CheckOutcome::Conflict(Conflict { clause: r });
+        }
+        self.prop.backtrack_to(0);
+        self.prop.push_level();
+        for &l in assumptions {
+            if !self.prop.assume(l) {
+                // ¬l is already true: either by an earlier assumption of
+                // this very check — the clause under test is a tautology,
+                // trivially implied with no clause involved — or by the
+                // persistent root propagation of F, in which case the
+                // falsifying assignment conflicts with ¬l's reason clause.
+                return match self.prop.reason(l.var()) {
+                    Reason::Propagated(r) => {
+                        CheckOutcome::Conflict(Conflict { clause: r })
+                    }
+                    _ => CheckOutcome::Tautology,
+                };
+            }
+        }
+        for i in 0..self.units.len() {
+            let (r, l) = self.units[i];
+            if r.index() < self.num_original || r.index() >= limit || self.db.is_deleted(r)
+            {
+                continue;
+            }
+            if let Err(conflict) = self.prop.enqueue_propagated(l, r) {
+                return CheckOutcome::Conflict(conflict);
+            }
+        }
+        match self.prop.propagate(&mut self.db) {
+            Some(conflict) => CheckOutcome::Conflict(conflict),
+            None => CheckOutcome::NoConflict,
+        }
+    }
+
+    /// The paper's `Conflict_analysis` (§4): mark every clause of `F`
+    /// and `F*` responsible for the conflict just found, by walking the
+    /// deduced assignments in reverse order from the conflicting pair.
+    fn mark_from_conflict(&mut self, conflict: Conflict) {
+        self.marked[conflict.clause.index()] = true;
+        let mut touched: Vec<Var> = Vec::new();
+        for &q in self.db.lits(conflict.clause) {
+            if !self.seen[q.var().idx()] {
+                self.seen[q.var().idx()] = true;
+                touched.push(q.var());
+            }
+        }
+        for idx in (0..self.prop.trail().len()).rev() {
+            let lit = self.prop.trail()[idx];
+            if !self.seen[lit.var().idx()] {
+                continue;
+            }
+            match self.prop.reason(lit.var()) {
+                // assumption literals belong to the clause under test
+                Reason::Assumed | Reason::Decision => {}
+                Reason::Propagated(c) => {
+                    self.marked[c.index()] = true;
+                    for &q in self.db.lits(c) {
+                        if q != lit && !self.seen[q.var().idx()] {
+                            self.seen[q.var().idx()] = true;
+                            touched.push(q.var());
+                        }
+                    }
+                }
+            }
+        }
+        for v in touched {
+            self.seen[v.idx()] = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnf::Clause;
+
+    fn f(clauses: &[Vec<i32>]) -> CnfFormula {
+        CnfFormula::from_dimacs_clauses(clauses)
+    }
+
+    fn proof(clauses: &[Vec<i32>]) -> ConflictClauseProof {
+        clauses.iter().map(|c| Clause::from_dimacs(c)).collect()
+    }
+
+    /// The XOR square: (1∨2)(−1∨−2)(1∨−2)(−1∨2) — UNSAT.
+    fn xor_square() -> CnfFormula {
+        f(&[vec![1, 2], vec![-1, -2], vec![1, -2], vec![-1, 2]])
+    }
+
+    #[test]
+    fn accepts_final_pair_proof() {
+        // BCP check of (2): assume ¬2; clauses (1∨2) → 1, (−1∨2) → conflict.
+        let p = proof(&[vec![2], vec![-2]]);
+        let v = verify(&xor_square(), &p).expect("valid proof");
+        assert_eq!(v.report.num_checked, 2);
+        assert_eq!(v.core.len(), 4, "all four clauses are needed");
+    }
+
+    #[test]
+    fn accepts_empty_clause_terminal() {
+        let p = proof(&[vec![2], vec![-2], vec![]]);
+        let v = verify(&xor_square(), &p).expect("valid proof");
+        assert!(v.marked_steps[0] && v.marked_steps[1]);
+    }
+
+    #[test]
+    fn rejects_underivable_clause() {
+        // (3) is not implied by the xor square (x3 unconstrained)
+        let p = proof(&[vec![3], vec![2], vec![-2]]);
+        let err = verify_all(&xor_square(), &p).expect_err("bogus step");
+        match err {
+            VerifyError::NotImplied { step, clause } => {
+                assert_eq!(step, 0);
+                assert_eq!(clause, Clause::from_dimacs(&[3]));
+            }
+            other => panic!("wrong error {other}"),
+        }
+    }
+
+    #[test]
+    fn verify2_skips_redundant_clause_that_verify1_rejects() {
+        // (3) is bogus (x3 is unconstrained) but also redundant: it can
+        // propagate nothing used in deriving the final pair, so verify2
+        // never checks it, while verify1 checks and rejects it.
+        // Note x3 appears in no other clause, so the unit (3) stays
+        // outside every conflict cone.
+        let p = proof(&[vec![3], vec![2], vec![-2]]);
+        let v = verify(&xor_square(), &p).expect("marked-only run skips (3)");
+        assert_eq!(v.report.num_checked, 2);
+        assert!(!v.marked_steps[0]);
+        assert!(verify_all(&xor_square(), &p).is_err());
+    }
+
+    #[test]
+    fn rejects_non_refutation() {
+        // (1 ∨ 2) adds no unit, so F ∪ F* propagates nothing: no conflict
+        let p = proof(&[vec![1, 2]]);
+        assert_eq!(
+            verify(&xor_square(), &p).expect_err("no refutation"),
+            VerifyError::NotARefutation
+        );
+        // empty proof over a satisfiable formula
+        let sat = f(&[vec![1, 2]]);
+        assert_eq!(
+            verify(&sat, &ConflictClauseProof::default()).expect_err("sat"),
+            VerifyError::NotARefutation
+        );
+    }
+
+    #[test]
+    fn single_unit_proof_refutes_by_propagation_alone() {
+        // (2) together with F already propagates to a conflict, so the
+        // terminal check succeeds without an explicit pair — the
+        // generalisation of the paper's final-conflicting-pair rule.
+        let p = proof(&[vec![2]]);
+        let v = verify(&xor_square(), &p).expect("valid refutation");
+        assert_eq!(v.report.num_checked, 1);
+    }
+
+    #[test]
+    fn empty_proof_ok_when_formula_conflicts_at_root() {
+        let trivial = f(&[vec![1], vec![-1]]);
+        let v = verify(&trivial, &ConflictClauseProof::default()).expect("root conflict");
+        assert_eq!(v.core.len(), 2);
+        assert_eq!(v.report.num_checked, 0);
+    }
+
+    #[test]
+    fn empty_clause_in_formula_gives_empty_core_check() {
+        let mut formula = f(&[vec![1, 2]]);
+        formula.add_clause(Clause::empty());
+        let v = verify(&formula, &ConflictClauseProof::default()).expect("trivial");
+        // the empty clause itself is the core
+        assert_eq!(v.core.indices(), &[1]);
+    }
+
+    #[test]
+    fn core_excludes_untouched_clauses() {
+        // xor square + an irrelevant clause (3 ∨ 4)
+        let mut formula = xor_square();
+        formula.add_dimacs_clause(&[3, 4]);
+        let p = proof(&[vec![2], vec![-2]]);
+        let v = verify(&formula, &p).expect("valid");
+        assert_eq!(v.core.len(), 4);
+        assert!(!v.core.contains(4), "(3∨4) is not in the core");
+    }
+
+    #[test]
+    fn duplicate_unit_conflict_clauses_are_fine() {
+        let p = proof(&[vec![2], vec![2], vec![-2]]);
+        // second (2) is redundant but harmless; terminal pair is (2),(−2)
+        let v = verify(&xor_square(), &p).expect("valid");
+        assert!(v.report.num_checked >= 2);
+    }
+
+    #[test]
+    fn longer_derivation_chain() {
+        // php(2): 3 pigeons, 2 holes
+        let formula = f(&[
+            vec![1, 2],
+            vec![3, 4],
+            vec![5, 6],
+            vec![-1, -3],
+            vec![-1, -5],
+            vec![-3, -5],
+            vec![-2, -4],
+            vec![-2, -6],
+            vec![-4, -6],
+        ]);
+        // hand-built RUP refutation for php(2)
+        let p = proof(&[vec![-1, -4], vec![-1], vec![-3], vec![5], vec![]]);
+        // check each by hand reasoning:
+        //   (¬1∨¬4): assume 1,4 → ¬3(4),¬5(5? from ¬1∨¬5 needs 1) …
+        let v = verify(&formula, &p);
+        assert!(v.is_ok(), "{v:?}");
+    }
+
+    #[test]
+    fn tautological_proof_clause_is_accepted() {
+        let mut p = proof(&[vec![2, -2]]); // tautology: trivially implied
+        p.push(Clause::from_dimacs(&[2]));
+        p.push(Clause::from_dimacs(&[-2]));
+        let v = verify_all(&xor_square(), &p);
+        assert!(v.is_ok(), "{v:?}");
+    }
+
+    #[test]
+    fn proof_clause_over_fresh_variable_extends_engine() {
+        // conflict clause mentioning a variable absent from F: weird but
+        // legal as long as the check conflicts (x9 ∨ 2 is RUP here: assume
+        // ¬x9, ¬2 → clauses (1∨2) → 1 → (−1∨2) conflict).
+        let p = proof(&[vec![9, 2], vec![2], vec![-2]]);
+        let v = verify_all(&xor_square(), &p);
+        assert!(v.is_ok(), "{v:?}");
+    }
+
+    #[test]
+    fn proof_clauses_unit_under_root_assignments_propagate() {
+        // Regression found by the deep soak: F's unit (5) is propagated
+        // into the persistent root level; the proof's binary clauses
+        // (¬6∨¬5) and (6∨¬5) are attached *afterwards* and are unit
+        // under that root assignment — they must still participate in
+        // the check of (¬5). (Duplicated literals in F exercise the
+        // degenerate watched pairs as well.)
+        let formula = f(&[vec![-6, -6, -5], vec![6, 6, -5], vec![5]]);
+        let p = proof(&[vec![-6, -5], vec![6, -5], vec![-5], vec![]]);
+        let v = verify_all(&formula, &p);
+        assert!(v.is_ok(), "{v:?}");
+        let v = verify(&formula, &p);
+        assert!(v.is_ok(), "{v:?}");
+        use crate::checker::CheckMode;
+        let v = Checker::new(&formula, &p).run(CheckMode::AllForward);
+        assert!(v.is_ok(), "{v:?}");
+    }
+
+    #[test]
+    fn report_counts_are_consistent() {
+        let p = proof(&[vec![2], vec![-2]]);
+        let v = verify(&xor_square(), &p).expect("valid");
+        assert_eq!(v.report.num_conflict_clauses, 2);
+        assert_eq!(v.report.num_original, 4);
+        assert_eq!(v.report.proof_literals, 2);
+        assert_eq!(v.report.core_size, v.core.len());
+        assert!(v.report.tested_fraction() > 0.99);
+    }
+}

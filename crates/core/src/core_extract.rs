@@ -1,0 +1,157 @@
+//! Unsatisfiable cores.
+
+use std::fmt;
+
+use cnf::CnfFormula;
+
+/// An unsatisfiable core: the subset of clauses of the original formula
+/// that were marked during proof verification (§4 of the paper).
+///
+/// "If a clause of `F` is left unmarked after applying the
+/// `Proof_verification2` procedure it means that this clause has never
+/// been employed in deducing a useful clause of `F*`. So it can be
+/// removed from `F` without affecting the unsatisfiability of the
+/// latter."
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct UnsatCore {
+    indices: Vec<usize>,
+    num_original: usize,
+}
+
+impl UnsatCore {
+    /// Creates a core from the (sorted, deduplicated) marked clause
+    /// indices of a formula with `num_original` clauses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    #[must_use]
+    pub fn new(mut indices: Vec<usize>, num_original: usize) -> Self {
+        indices.sort_unstable();
+        indices.dedup();
+        assert!(
+            indices.last().is_none_or(|&i| i < num_original),
+            "core index out of range"
+        );
+        UnsatCore { indices, num_original }
+    }
+
+    /// The clause indices (into the original formula) forming the core,
+    /// in increasing order.
+    #[must_use]
+    pub fn indices(&self) -> &[usize] {
+        &self.indices
+    }
+
+    /// Number of clauses in the core.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Returns `true` if the core is empty (only possible when the
+    /// original formula contained the empty clause — nothing else needs
+    /// marking).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// Number of clauses in the original formula.
+    #[must_use]
+    pub fn num_original(&self) -> usize {
+        self.num_original
+    }
+
+    /// The fraction of the original formula in the core — the
+    /// "Unsatisfiable core %" column of Table 1.
+    #[must_use]
+    pub fn fraction(&self) -> f64 {
+        if self.num_original == 0 {
+            0.0
+        } else {
+            self.indices.len() as f64 / self.num_original as f64
+        }
+    }
+
+    /// Returns `true` if `index` is in the core.
+    #[must_use]
+    pub fn contains(&self, index: usize) -> bool {
+        self.indices.binary_search(&index).is_ok()
+    }
+
+    /// Materialises the core as a standalone CNF formula.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `formula` is not the formula the core was extracted
+    /// from (fewer clauses than the recorded indices require).
+    #[must_use]
+    pub fn to_formula(&self, formula: &CnfFormula) -> CnfFormula {
+        assert_eq!(
+            formula.num_clauses(),
+            self.num_original,
+            "core does not belong to this formula"
+        );
+        formula.subformula(&self.indices)
+    }
+}
+
+impl fmt::Display for UnsatCore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unsat core: {} of {} clauses ({:.1}%)",
+            self.len(),
+            self.num_original,
+            self.fraction() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_and_dedups() {
+        let core = UnsatCore::new(vec![3, 1, 3, 0], 5);
+        assert_eq!(core.indices(), &[0, 1, 3]);
+        assert_eq!(core.len(), 3);
+        assert!(core.contains(1));
+        assert!(!core.contains(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_indices() {
+        let _ = UnsatCore::new(vec![5], 5);
+    }
+
+    #[test]
+    fn fraction_and_display() {
+        let core = UnsatCore::new(vec![0, 1], 4);
+        assert!((core.fraction() - 0.5).abs() < 1e-12);
+        assert!(core.to_string().contains("2 of 4"));
+        let empty = UnsatCore::new(vec![], 0);
+        assert_eq!(empty.fraction(), 0.0);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn materialises_subformula() {
+        let f = CnfFormula::from_dimacs_clauses(&[vec![1], vec![2], vec![3]]);
+        let core = UnsatCore::new(vec![0, 2], 3);
+        let sub = core.to_formula(&f);
+        assert_eq!(sub.num_clauses(), 2);
+        assert_eq!(sub[1], cnf::Clause::from_dimacs(&[3]));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not belong")]
+    fn formula_mismatch_panics() {
+        let f = CnfFormula::from_dimacs_clauses(&[vec![1]]);
+        let core = UnsatCore::new(vec![0], 3);
+        let _ = core.to_formula(&f);
+    }
+}

@@ -1,0 +1,459 @@
+//! Deletion-aware conflict-clause proofs.
+//!
+//! The paper notes (§2) that SAT solvers remove clauses "once in a
+//! while", and its checker compensates by propagating over *all* of
+//! `F*` — which, as §3 observes, can even accept proofs a buggy solver
+//! produced by luck, and makes each BCP pass do more work than the
+//! solver's own. Annotating the proof with the solver's deletion events
+//! lets the checker mirror the solver's working set exactly. This is the
+//! extension that the later DRUP format standardised (`d` lines).
+//!
+//! An [`AnnotatedProof`] is a sequence of [`ProofEvent`]s — clause
+//! additions (conflict clauses, chronological) interleaved with
+//! deletions (referring to earlier clauses, original or learned).
+//! Verification walks the events *backward*: deletions encountered while
+//! walking back resurrect their clause, additions deactivate and check
+//! theirs.
+
+use bcp::{Attach, ClauseDb, ClauseRef, Conflict, Reason, WatchedPropagator};
+use cnf::{Clause, CnfFormula, Lit};
+
+use crate::core_extract::UnsatCore;
+use crate::error::VerifyError;
+
+/// One event of an annotated proof.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ProofEvent {
+    /// A conflict clause is added (a step of `F*`).
+    Add(Clause),
+    /// An earlier clause is deleted. `Original(i)` refers to the `i`-th
+    /// clause of the formula; `Learned(j)` to the `j`-th added clause.
+    Delete(ProofClauseRef),
+}
+
+/// A clause reference within an annotated proof.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum ProofClauseRef {
+    /// Index into the original formula.
+    Original(usize),
+    /// Index into the sequence of added clauses.
+    Learned(usize),
+}
+
+/// A conflict-clause proof annotated with deletion events.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct AnnotatedProof {
+    events: Vec<ProofEvent>,
+}
+
+impl AnnotatedProof {
+    /// Creates an annotated proof from its event sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a deletion refers to a clause not yet added, or deletes
+    /// the same clause twice.
+    #[must_use]
+    pub fn new(events: Vec<ProofEvent>) -> Self {
+        let mut added = 0usize;
+        let mut deleted = std::collections::HashSet::new();
+        for (i, e) in events.iter().enumerate() {
+            match e {
+                ProofEvent::Add(_) => added += 1,
+                ProofEvent::Delete(r) => {
+                    if let ProofClauseRef::Learned(j) = r {
+                        assert!(*j < added, "event {i} deletes future clause {j}");
+                    }
+                    assert!(deleted.insert(*r), "event {i} deletes {r:?} twice");
+                }
+            }
+        }
+        AnnotatedProof { events }
+    }
+
+    /// The events, in chronological order.
+    #[must_use]
+    pub fn events(&self) -> &[ProofEvent] {
+        &self.events
+    }
+
+    /// Number of added clauses.
+    #[must_use]
+    pub fn num_adds(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, ProofEvent::Add(_)))
+            .count()
+    }
+
+    /// Number of deletion events.
+    #[must_use]
+    pub fn num_deletes(&self) -> usize {
+        self.events.len() - self.num_adds()
+    }
+
+    /// Verifies the proof against `formula` with deletion-aware
+    /// `Proof_verification2` semantics: each added clause is checked
+    /// (when marked) against exactly the clauses *live* at its addition
+    /// point, and the marked original clauses form an unsatisfiable
+    /// core.
+    ///
+    /// # Errors
+    ///
+    /// See [`crate::verify`]; additionally each check uses the smaller,
+    /// deletion-accurate active set, so proofs that exploited deleted
+    /// clauses are (correctly) rejected.
+    pub fn verify(
+        &self,
+        formula: &CnfFormula,
+    ) -> Result<AnnotatedVerification, VerifyError> {
+        DeletionChecker::new(formula, self).run()
+    }
+}
+
+/// The result of a successful [`AnnotatedProof::verify`].
+#[derive(Clone, Debug)]
+pub struct AnnotatedVerification {
+    /// The unsatisfiable core of the original formula.
+    pub core: UnsatCore,
+    /// Added clauses actually checked.
+    pub num_checked: usize,
+    /// For each *add* event (in order), whether it was marked.
+    pub marked_adds: Vec<bool>,
+}
+
+enum Outcome {
+    Conflict(Conflict),
+    Tautology,
+    NoConflict,
+}
+
+struct DeletionChecker<'a> {
+    proof: &'a AnnotatedProof,
+    db: ClauseDb,
+    prop: WatchedPropagator,
+    /// arena ref of each add event (indexed by add order)
+    add_refs: Vec<ClauseRef>,
+    /// unit clauses (arena ref, literal); liveness via `db.is_deleted`
+    units: Vec<(ClauseRef, Lit)>,
+    empties: Vec<ClauseRef>,
+    marked: Vec<bool>,
+    seen: Vec<bool>,
+    num_original: usize,
+}
+
+impl<'a> DeletionChecker<'a> {
+    fn new(formula: &CnfFormula, proof: &'a AnnotatedProof) -> Self {
+        let max_proof_var = proof
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                ProofEvent::Add(c) => c.max_var(),
+                ProofEvent::Delete(_) => None,
+            })
+            .max();
+        let num_vars = formula
+            .num_vars()
+            .max(max_proof_var.map_or(0, |v| v.idx() + 1));
+        let mut db = ClauseDb::new();
+        let mut prop = WatchedPropagator::new(num_vars);
+        let mut units = Vec::new();
+        let mut empties = Vec::new();
+
+        for clause in formula.iter() {
+            let r = db.add_clause(clause.lits(), false);
+            match prop.attach_clause(&mut db, r) {
+                Attach::Watched => {}
+                Attach::Unit(l) => units.push((r, l)),
+                Attach::Empty => empties.push(r),
+            }
+        }
+        let mut add_refs = Vec::new();
+        for event in &proof.events {
+            match event {
+                ProofEvent::Add(clause) => {
+                    let r = db.add_clause(clause.lits(), true);
+                    match prop.attach_clause(&mut db, r) {
+                        Attach::Watched => {}
+                        Attach::Unit(l) => units.push((r, l)),
+                        Attach::Empty => empties.push(r),
+                    }
+                    add_refs.push(r);
+                }
+                ProofEvent::Delete(target) => {
+                    let r = resolve(*target, formula.num_clauses(), &add_refs);
+                    // detach eagerly so a later (backward-walk)
+                    // re-attach cannot duplicate watch entries
+                    prop.detach_clause(&db, r);
+                    db.delete_clause(r);
+                }
+            }
+        }
+        let marked = vec![false; db.len()];
+        DeletionChecker {
+            proof,
+            db,
+            prop,
+            add_refs,
+            units,
+            empties,
+            marked,
+            seen: vec![false; num_vars],
+            num_original: formula.num_clauses(),
+        }
+    }
+
+    fn run(mut self) -> Result<AnnotatedVerification, VerifyError> {
+        let mut num_checked = 0usize;
+
+        // A trailing empty clause is the claim being established — it
+        // must not witness its own check. Deactivate it up front; the
+        // terminal check below (over everything before it) is exactly
+        // its check.
+        if let Some(&last) = self.add_refs.last() {
+            if self.db.clause_len(last) == 0 && !self.db.is_deleted(last) {
+                self.db.delete_clause(last);
+            }
+        }
+
+        // Terminal check over the final live set.
+        match self.bcp_under_assumptions(&[]) {
+            Outcome::Conflict(conflict) => self.mark_from_conflict(conflict),
+            Outcome::Tautology => unreachable!("no assumptions, no clash"),
+            Outcome::NoConflict => return Err(VerifyError::NotARefutation),
+        }
+
+        // Walk events backward.
+        let mut add_index = self.add_refs.len();
+        for event_pos in (0..self.proof.events.len()).rev() {
+            match &self.proof.events[event_pos] {
+                ProofEvent::Delete(target) => {
+                    // stepping back across a deletion resurrects the clause
+                    let r = resolve(*target, self.num_original, &self.add_refs);
+                    self.db.undelete_clause(r);
+                    if self.db.clause_len(r) >= 2 {
+                        self.prop.attach_clause(&mut self.db, r);
+                    }
+                }
+                ProofEvent::Add(clause) => {
+                    add_index -= 1;
+                    let r = self.add_refs[add_index];
+                    // deactivate the clause being checked
+                    if !self.db.is_deleted(r) {
+                        self.prop.detach_clause(&self.db, r);
+                        self.db.delete_clause(r);
+                    }
+                    let step_marked = self.marked[r.index()];
+                    let is_trailing_empty =
+                        clause.is_empty() && add_index == self.add_refs.len() - 1;
+                    if is_trailing_empty || !step_marked {
+                        continue;
+                    }
+                    num_checked += 1;
+                    let assumptions: Vec<Lit> =
+                        clause.lits().iter().map(|&l| !l).collect();
+                    match self.bcp_under_assumptions(&assumptions) {
+                        Outcome::Conflict(conflict) => self.mark_from_conflict(conflict),
+                        Outcome::Tautology => {}
+                        Outcome::NoConflict => {
+                            return Err(VerifyError::NotImplied {
+                                step: add_index,
+                                clause: clause.clone(),
+                            })
+                        }
+                    }
+                }
+            }
+        }
+
+        let core_indices: Vec<usize> =
+            (0..self.num_original).filter(|&i| self.marked[i]).collect();
+        let marked_adds: Vec<bool> =
+            self.add_refs.iter().map(|r| self.marked[r.index()]).collect();
+        Ok(AnnotatedVerification {
+            core: UnsatCore::new(core_indices, self.num_original),
+            num_checked,
+            marked_adds,
+        })
+    }
+
+    /// One check over the currently live clauses.
+    fn bcp_under_assumptions(&mut self, assumptions: &[Lit]) -> Outcome {
+        if let Some(&r) = self.empties.iter().find(|r| !self.db.is_deleted(**r)) {
+            return Outcome::Conflict(Conflict { clause: r });
+        }
+        self.prop.reset();
+        self.prop.push_level();
+        for &l in assumptions {
+            if !self.prop.assume(l) {
+                // tautological clause under test: trivially implied,
+                // nothing extra to mark
+                return Outcome::Tautology;
+            }
+        }
+        for i in 0..self.units.len() {
+            let (r, l) = self.units[i];
+            if self.db.is_deleted(r) {
+                continue;
+            }
+            if let Err(conflict) = self.prop.enqueue_propagated(l, r) {
+                return Outcome::Conflict(conflict);
+            }
+        }
+        match self.prop.propagate(&mut self.db) {
+            Some(conflict) => Outcome::Conflict(conflict),
+            None => Outcome::NoConflict,
+        }
+    }
+
+    fn mark_from_conflict(&mut self, conflict: Conflict) {
+        self.marked[conflict.clause.index()] = true;
+        let mut touched: Vec<cnf::Var> = Vec::new();
+        for &q in self.db.lits(conflict.clause) {
+            if !self.seen[q.var().idx()] {
+                self.seen[q.var().idx()] = true;
+                touched.push(q.var());
+            }
+        }
+        for idx in (0..self.prop.trail().len()).rev() {
+            let lit = self.prop.trail()[idx];
+            if !self.seen[lit.var().idx()] {
+                continue;
+            }
+            match self.prop.reason(lit.var()) {
+                Reason::Assumed | Reason::Decision => {}
+                Reason::Propagated(c) => {
+                    self.marked[c.index()] = true;
+                    for &q in self.db.lits(c) {
+                        if q != lit && !self.seen[q.var().idx()] {
+                            self.seen[q.var().idx()] = true;
+                            touched.push(q.var());
+                        }
+                    }
+                }
+            }
+        }
+        for v in touched {
+            self.seen[v.idx()] = false;
+        }
+    }
+}
+
+fn resolve(target: ProofClauseRef, num_original: usize, add_refs: &[ClauseRef]) -> ClauseRef {
+    match target {
+        ProofClauseRef::Original(i) => {
+            assert!(i < num_original, "delete of out-of-range original clause {i}");
+            ClauseRef::from_index(i)
+        }
+        ProofClauseRef::Learned(j) => add_refs[j],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_square() -> CnfFormula {
+        CnfFormula::from_dimacs_clauses(&[vec![1, 2], vec![-1, -2], vec![1, -2], vec![-1, 2]])
+    }
+
+    fn add(names: &[i32]) -> ProofEvent {
+        ProofEvent::Add(Clause::from_dimacs(names))
+    }
+
+    #[test]
+    fn plain_proof_verifies_with_no_deletions() {
+        let proof = AnnotatedProof::new(vec![add(&[2]), add(&[-2])]);
+        let v = proof.verify(&xor_square()).expect("valid");
+        assert_eq!(v.core.len(), 4);
+        assert_eq!(v.num_checked, 2);
+        assert_eq!(proof.num_adds(), 2);
+        assert_eq!(proof.num_deletes(), 0);
+    }
+
+    #[test]
+    fn deleted_clause_is_unavailable_to_later_checks() {
+        // (2) is added then deleted; (−2)'s check may not use it, and
+        // the terminal propagation over the live set lacks the pair —
+        // the proof fails as a refutation…
+        let proof = AnnotatedProof::new(vec![
+            add(&[2]),
+            ProofEvent::Delete(ProofClauseRef::Learned(0)),
+            add(&[-2]),
+        ]);
+        // live set at the end: F + (−2); BCP: ¬2 → (1,2)→1 →(−1,2) conflict
+        // so the refutation still completes — deletion of (2) is harmless
+        let v = proof.verify(&xor_square()).expect("valid");
+        assert!(v.num_checked >= 1);
+    }
+
+    #[test]
+    fn check_uses_live_set_at_addition_point() {
+        // Clause (3) is RUP only *with* the learned (2) alive:
+        //   assume ¬3 with unit (2): (¬2∨3∨5) → 5, (¬2∨3∨¬5) → conflict;
+        //   assume ¬3 over F alone: every clause keeps ≥2 free literals,
+        //   so propagation stalls and there is no conflict.
+        let f = CnfFormula::from_dimacs_clauses(&[
+            vec![1, 2],
+            vec![-1, 2],
+            vec![-2, 3, 5],
+            vec![-2, 3, -5],
+            vec![-2, -3, 6],
+            vec![-2, -3, -6],
+        ]);
+        let proof_ok = AnnotatedProof::new(vec![add(&[2]), add(&[3])]);
+        proof_ok.verify(&f).expect("valid without deletion");
+
+        let events_bad = vec![
+            add(&[2]),
+            ProofEvent::Delete(ProofClauseRef::Learned(0)),
+            add(&[3]), // no longer RUP: (2) is gone at this point
+            add(&[2]), // re-add so the terminal check still conflicts
+        ];
+        let proof_bad = AnnotatedProof::new(events_bad);
+        let err = proof_bad.verify(&f).expect_err("deleted dependency");
+        match err {
+            VerifyError::NotImplied { step, .. } => assert_eq!(step, 1),
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn deleting_original_clauses_is_supported() {
+        // delete an F clause that the proof does not need
+        let mut f = xor_square();
+        f.add_dimacs_clause(&[5, 6]); // irrelevant
+        let proof = AnnotatedProof::new(vec![
+            ProofEvent::Delete(ProofClauseRef::Original(4)),
+            add(&[2]),
+            add(&[-2]),
+        ]);
+        let v = proof.verify(&f).expect("valid");
+        assert!(!v.core.contains(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "deletes future clause")]
+    fn forward_deletion_rejected() {
+        let _ = AnnotatedProof::new(vec![ProofEvent::Delete(ProofClauseRef::Learned(0))]);
+    }
+
+    #[test]
+    #[should_panic(expected = "twice")]
+    fn double_deletion_rejected() {
+        let _ = AnnotatedProof::new(vec![
+            add(&[1]),
+            ProofEvent::Delete(ProofClauseRef::Learned(0)),
+            ProofEvent::Delete(ProofClauseRef::Learned(0)),
+        ]);
+    }
+
+    #[test]
+    fn truncated_annotated_proof_is_rejected() {
+        let proof = AnnotatedProof::new(vec![add(&[1, 2])]);
+        assert_eq!(
+            proof.verify(&xor_square()).expect_err("no refutation"),
+            VerifyError::NotARefutation
+        );
+    }
+}

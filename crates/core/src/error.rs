@@ -1,0 +1,63 @@
+//! Error types of the proof checker.
+
+use std::error::Error;
+use std::fmt;
+
+use cnf::Clause;
+
+/// A verification failure.
+///
+/// Per the paper's §1: "if the procedure returns `proof_is_not_correct`,
+/// … one can point to a clause of the proof whose deduction is
+/// questionable" — the error carries that clause and its position.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum VerifyError {
+    /// Falsifying the clause at `step` and running BCP over the formula
+    /// plus the earlier conflict clauses did not produce a conflict: the
+    /// clause is not a consequence obtainable by unit propagation, so the
+    /// deduction is questionable.
+    NotImplied {
+        /// Zero-based chronological index into the proof.
+        step: usize,
+        /// The offending conflict clause.
+        clause: Clause,
+    },
+    /// The formula together with the full proof does not propagate to a
+    /// conflict — the proof never derives unsatisfiability (no final
+    /// conflicting pair / empty clause is justified).
+    NotARefutation,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::NotImplied { step, clause } => write!(
+                f,
+                "proof is not correct: conflict clause #{step} {clause} is not \
+                 derivable by unit propagation from the preceding clauses"
+            ),
+            VerifyError::NotARefutation => write!(
+                f,
+                "proof is not a refutation: the formula plus all conflict \
+                 clauses does not propagate to a conflict"
+            ),
+        }
+    }
+}
+
+impl Error for VerifyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_points_at_the_clause() {
+        let e = VerifyError::NotImplied { step: 7, clause: Clause::from_dimacs(&[1, -2]) };
+        let text = e.to_string();
+        assert!(text.contains("#7"), "{text}");
+        assert!(text.contains("(1 ∨ -2)"), "{text}");
+        let n = VerifyError::NotARefutation.to_string();
+        assert!(n.contains("refutation"), "{n}");
+    }
+}

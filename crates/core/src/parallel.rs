@@ -1,0 +1,185 @@
+//! Parallel all-clause proof checking.
+//!
+//! `Proof_verification1` checks every conflict clause, and each check is
+//! independent given the clause arena — an embarrassingly parallel
+//! workload the paper's 500 MHz single-core machine could not exploit.
+//! Each worker owns a private arena copy and checks a contiguous slice
+//! of the proof; per-worker marks are unioned for the core (per-check
+//! marking does not depend on check order, so the union equals the
+//! sequential result).
+
+use std::time::Instant;
+
+use cnf::CnfFormula;
+
+use crate::checker::{Checker, Verification};
+use crate::core_extract::UnsatCore;
+use crate::error::VerifyError;
+use crate::proof::ConflictClauseProof;
+use crate::report::VerificationReport;
+
+/// Verifies `proof` like [`verify_all`](crate::verify_all), but with
+/// `num_threads` workers checking disjoint slices of the proof in
+/// parallel. Marks (and therefore the unsatisfiable core) are the union
+/// of the workers' marks — identical to the sequential all-clause
+/// core. Memory grows by one arena copy per worker, and wall-clock
+/// gains require actual hardware parallelism (a single-core host pays a
+/// small scheduling overhead instead).
+///
+/// # Errors
+///
+/// See [`verify_all`](crate::verify_all); if several slices contain
+/// failures, the error with the largest step index is reported (matching
+/// the sequential reverse-chronological order).
+pub fn verify_all_parallel(
+    formula: &CnfFormula,
+    proof: &ConflictClauseProof,
+    num_threads: usize,
+) -> Result<Verification, VerifyError> {
+    let start = Instant::now();
+    let num_threads = num_threads.max(1).min(proof.len().max(1));
+
+    // terminal / refutation check first (cheap, single-threaded)
+    let terminal_marks = Checker::new(formula, proof).check_terminal()?;
+
+    // slice the steps contiguously; a trailing empty clause is covered
+    // by the terminal check above, like in the sequential procedures
+    let checkable = match proof.clauses().last() {
+        Some(c) if c.is_empty() => proof.len() - 1,
+        _ => proof.len(),
+    };
+    let chunk = checkable.div_ceil(num_threads).max(1);
+    let slices: Vec<Vec<usize>> = (0..num_threads)
+        .map(|t| {
+            let lo = t * chunk;
+            let hi = ((t + 1) * chunk).min(checkable);
+            (lo..hi.max(lo)).collect()
+        })
+        .filter(|s: &Vec<usize>| !s.is_empty())
+        .collect();
+
+    let results: Vec<Result<(Vec<bool>, usize), VerifyError>> =
+        crossbeam::scope(|scope| {
+            let handles: Vec<_> = slices
+                .into_iter()
+                .map(|steps| {
+                    scope.spawn(move |_| {
+                        Checker::new(formula, proof).check_steps(steps)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("checker worker panicked"))
+                .collect()
+        })
+        .expect("crossbeam scope");
+
+    // merge: propagate the largest-step failure; otherwise union marks
+    let mut merged_marks = vec![false; formula.num_clauses() + proof.len()];
+    let mut num_checked = 0usize;
+    let mut worst: Option<VerifyError> = None;
+    for result in results {
+        match result {
+            Ok((marks, checked)) => {
+                for (m, bit) in merged_marks.iter_mut().zip(&marks) {
+                    *m |= *bit;
+                }
+                num_checked += checked;
+            }
+            Err(e @ VerifyError::NotImplied { .. }) => {
+                let step_of = |err: &VerifyError| match err {
+                    VerifyError::NotImplied { step, .. } => *step,
+                    VerifyError::NotARefutation => 0,
+                };
+                if worst.as_ref().is_none_or(|w| step_of(w) < step_of(&e)) {
+                    worst = Some(e);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    if let Some(e) = worst {
+        return Err(e);
+    }
+    // include the terminal check's marks
+    for (m, bit) in merged_marks.iter_mut().zip(&terminal_marks) {
+        *m |= *bit;
+    }
+
+    let core_indices: Vec<usize> =
+        (0..formula.num_clauses()).filter(|&i| merged_marks[i]).collect();
+    let core = UnsatCore::new(core_indices, formula.num_clauses());
+    let marked_steps: Vec<bool> =
+        merged_marks[formula.num_clauses()..].to_vec();
+    let report = VerificationReport {
+        num_original: formula.num_clauses(),
+        num_conflict_clauses: proof.len(),
+        num_checked,
+        proof_literals: proof.num_literals(),
+        core_size: core.len(),
+        verify_time: start.elapsed(),
+        propagations: 0,
+        clause_visits: 0,
+    };
+    Ok(Verification { report, core, marked_steps })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::verify_all;
+    use cnf::Clause;
+
+    fn xor_square() -> CnfFormula {
+        CnfFormula::from_dimacs_clauses(&[vec![1, 2], vec![-1, -2], vec![1, -2], vec![-1, 2]])
+    }
+
+    fn proof(clauses: &[Vec<i32>]) -> ConflictClauseProof {
+        clauses.iter().map(|c| Clause::from_dimacs(c)).collect()
+    }
+
+    #[test]
+    fn parallel_accepts_valid_proofs_with_same_core() {
+        let p = proof(&[vec![2], vec![-2]]);
+        for threads in [1, 2, 4] {
+            let par = verify_all_parallel(&xor_square(), &p, threads).expect("valid");
+            let seq = verify_all(&xor_square(), &p).expect("valid");
+            assert_eq!(par.core.indices(), seq.core.indices(), "{threads} threads");
+            assert_eq!(par.report.num_checked, seq.report.num_checked);
+        }
+    }
+
+    #[test]
+    fn parallel_rejects_with_largest_failing_step() {
+        // two bogus clauses at steps 0 and 2; sequential reverse order
+        // reports step 2 first
+        let p = proof(&[vec![7], vec![2], vec![8], vec![-2]]);
+        let seq = verify_all(&xor_square(), &p).expect_err("bogus");
+        let par = verify_all_parallel(&xor_square(), &p, 3).expect_err("bogus");
+        match (&seq, &par) {
+            (
+                VerifyError::NotImplied { step: s1, .. },
+                VerifyError::NotImplied { step: s2, .. },
+            ) => assert_eq!(s1, s2, "same step reported"),
+            other => panic!("wrong errors {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parallel_empty_proof() {
+        let trivial = CnfFormula::from_dimacs_clauses(&[vec![1], vec![-1]]);
+        let v = verify_all_parallel(&trivial, &ConflictClauseProof::default(), 4)
+            .expect("root conflict");
+        assert_eq!(v.core.len(), 2);
+    }
+
+    #[test]
+    fn parallel_detects_non_refutation() {
+        let p = proof(&[vec![1, 2]]);
+        assert_eq!(
+            verify_all_parallel(&xor_square(), &p, 2).expect_err("no refutation"),
+            VerifyError::NotARefutation
+        );
+    }
+}

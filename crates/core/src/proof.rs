@@ -1,0 +1,203 @@
+//! The conflict-clause proof object.
+
+use std::fmt;
+
+use cnf::{Clause, Lit, Var};
+
+/// A proof of unsatisfiability represented as a chronologically ordered
+/// sequence of conflict clauses — the paper's `F*`.
+///
+/// The paper's proofs terminate with a *final conflicting pair* of unit
+/// clauses `x`, `¬x`. Modern traces (including those of the `cdcl` crate)
+/// terminate with an explicit empty clause. [`ConflictClauseProof`]
+/// accepts both, and [`ConflictClauseProof::terminal`] reports which
+/// convention a given proof uses.
+///
+/// # Examples
+///
+/// ```
+/// use cnf::Clause;
+/// use proofver::{ConflictClauseProof, Terminal};
+///
+/// let proof = ConflictClauseProof::new(vec![
+///     Clause::from_dimacs(&[2]),
+///     Clause::from_dimacs(&[-2]),
+/// ]);
+/// assert_eq!(proof.len(), 2);
+/// assert_eq!(proof.terminal(), Terminal::FinalPair(cnf::Lit::from_dimacs(2)));
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct ConflictClauseProof {
+    clauses: Vec<Clause>,
+}
+
+/// How a proof signals completion of the refutation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Terminal {
+    /// The last clause is the empty clause.
+    EmptyClause,
+    /// The last two clauses are complementary unit clauses; the literal
+    /// of the second-to-last clause is carried.
+    FinalPair(Lit),
+    /// Neither convention applies; the checker will still attempt the
+    /// final conflict check over `F ∪ F*` (and fail if the clauses do
+    /// not yield a root conflict).
+    None,
+}
+
+impl ConflictClauseProof {
+    /// Creates a proof from conflict clauses in chronological order
+    /// (first deduced first).
+    #[must_use]
+    pub fn new(clauses: Vec<Clause>) -> Self {
+        ConflictClauseProof { clauses }
+    }
+
+    /// Number of conflict clauses.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Returns `true` if the proof has no clauses.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.clauses.is_empty()
+    }
+
+    /// The clauses, in chronological order.
+    #[must_use]
+    pub fn clauses(&self) -> &[Clause] {
+        &self.clauses
+    }
+
+    /// Iterates over the clauses in chronological order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Clause> {
+        self.clauses.iter()
+    }
+
+    /// Appends a conflict clause (for incremental proof construction).
+    pub fn push(&mut self, clause: Clause) {
+        self.clauses.push(clause);
+    }
+
+    /// Total number of literals over all clauses — the "Confl. clause
+    /// proof size" column of the paper's Table 2.
+    #[must_use]
+    pub fn num_literals(&self) -> usize {
+        self.clauses.iter().map(|c| c.len()).sum()
+    }
+
+    /// The largest variable mentioned, if any clause is nonempty.
+    #[must_use]
+    pub fn max_var(&self) -> Option<Var> {
+        self.clauses.iter().filter_map(Clause::max_var).max()
+    }
+
+    /// Detects the termination convention of this proof.
+    #[must_use]
+    pub fn terminal(&self) -> Terminal {
+        if let Some(last) = self.clauses.last() {
+            if last.is_empty() {
+                return Terminal::EmptyClause;
+            }
+            if self.clauses.len() >= 2 {
+                let prev = &self.clauses[self.clauses.len() - 2];
+                if last.is_unit() && prev.is_unit() && prev[0] == !last[0] {
+                    return Terminal::FinalPair(prev[0]);
+                }
+            }
+        }
+        Terminal::None
+    }
+}
+
+impl From<Vec<Clause>> for ConflictClauseProof {
+    fn from(clauses: Vec<Clause>) -> Self {
+        ConflictClauseProof::new(clauses)
+    }
+}
+
+impl FromIterator<Clause> for ConflictClauseProof {
+    fn from_iter<I: IntoIterator<Item = Clause>>(iter: I) -> Self {
+        ConflictClauseProof::new(iter.into_iter().collect())
+    }
+}
+
+impl<'a> IntoIterator for &'a ConflictClauseProof {
+    type Item = &'a Clause;
+    type IntoIter = std::slice::Iter<'a, Clause>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.clauses.iter()
+    }
+}
+
+impl fmt::Display for ConflictClauseProof {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "conflict-clause proof, {} clauses:", self.len())?;
+        for c in &self.clauses {
+            writeln!(f, "  {c}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminal_empty_clause() {
+        let p = ConflictClauseProof::new(vec![
+            Clause::from_dimacs(&[1, 2]),
+            Clause::empty(),
+        ]);
+        assert_eq!(p.terminal(), Terminal::EmptyClause);
+    }
+
+    #[test]
+    fn terminal_final_pair() {
+        let p = ConflictClauseProof::new(vec![
+            Clause::from_dimacs(&[1, 2]),
+            Clause::from_dimacs(&[-3]),
+            Clause::from_dimacs(&[3]),
+        ]);
+        assert_eq!(p.terminal(), Terminal::FinalPair(Lit::from_dimacs(-3)));
+    }
+
+    #[test]
+    fn terminal_none_for_non_refutation_shape() {
+        let p = ConflictClauseProof::new(vec![Clause::from_dimacs(&[1, 2])]);
+        assert_eq!(p.terminal(), Terminal::None);
+        assert_eq!(ConflictClauseProof::default().terminal(), Terminal::None);
+        // two units of the same polarity are not a pair
+        let q = ConflictClauseProof::new(vec![
+            Clause::from_dimacs(&[3]),
+            Clause::from_dimacs(&[3]),
+        ]);
+        assert_eq!(q.terminal(), Terminal::None);
+    }
+
+    #[test]
+    fn metrics() {
+        let p = ConflictClauseProof::new(vec![
+            Clause::from_dimacs(&[1, 2, 3]),
+            Clause::from_dimacs(&[-4]),
+        ]);
+        assert_eq!(p.num_literals(), 4);
+        assert_eq!(p.max_var(), Some(Var::from_dimacs(4)));
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn collects_and_iterates() {
+        let p: ConflictClauseProof =
+            vec![Clause::from_dimacs(&[1])].into_iter().collect();
+        assert_eq!(p.iter().count(), 1);
+        let mut q = ConflictClauseProof::default();
+        q.push(Clause::from_dimacs(&[2]));
+        assert_eq!(q.len(), 1);
+    }
+}

@@ -1,0 +1,419 @@
+//! Resolution-graph proofs — the representation the paper compares
+//! against (§5), due to Zhang and McMillan [7, 12].
+//!
+//! A resolution graph is a DAG whose sources are clauses of the original
+//! formula and whose internal nodes each resolve two parent nodes.
+//! Verification assigns clauses to internal nodes bottom-up, requiring
+//! each resolution to have *exactly one* clashing variable (a resolution
+//! producing a tautologous clause is invalid) and the final node to be
+//! the empty clause.
+
+use std::error::Error;
+use std::fmt;
+
+use cnf::{Clause, Var};
+
+/// A node of a resolution graph: either a source (clause of `F`) or an
+/// internal resolution node.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum NodeId {
+    /// Index into the source clauses.
+    Source(usize),
+    /// Index into the internal nodes.
+    Internal(usize),
+}
+
+/// A resolution-graph proof.
+///
+/// Internal node `i` resolves the clauses of its two parents; parents
+/// must be sources or internal nodes with index `< i`.
+///
+/// # Examples
+///
+/// ```
+/// use cnf::Clause;
+/// use proofver::{NodeId, ResolutionProof};
+///
+/// // (x) and (¬x) resolve to the empty clause.
+/// let mut proof = ResolutionProof::new(vec![
+///     Clause::from_dimacs(&[1]),
+///     Clause::from_dimacs(&[-1]),
+/// ]);
+/// proof.add_internal(NodeId::Source(0), NodeId::Source(1));
+/// let checked = proof.check()?;
+/// assert_eq!(checked.empty_node, 0);
+/// # Ok::<(), proofver::ResolutionError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ResolutionProof {
+    sources: Vec<Clause>,
+    internals: Vec<(NodeId, NodeId)>,
+}
+
+/// The outcome of a successful [`ResolutionProof::check`].
+#[derive(Clone, Debug)]
+pub struct CheckedResolution {
+    /// The clause derived at each internal node.
+    pub derived: Vec<Clause>,
+    /// The first internal node deriving the empty clause.
+    pub empty_node: usize,
+}
+
+/// A defect found while checking a resolution-graph proof.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ResolutionError {
+    /// An internal node references a node at or above its own position.
+    ForwardReference {
+        /// The offending internal node.
+        node: usize,
+    },
+    /// The parents of a node share no clashing variable.
+    NoPivot {
+        /// The offending internal node.
+        node: usize,
+    },
+    /// The parents clash on more than one variable, so the resolvent
+    /// would be tautologous (§5: the proof is correct only "if the
+    /// resolution of each pair of parent clauses produces a
+    /// non-tautologous clause").
+    TautologousResolvent {
+        /// The offending internal node.
+        node: usize,
+    },
+    /// No internal node derives the empty clause.
+    NoEmptyClause,
+}
+
+impl fmt::Display for ResolutionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResolutionError::ForwardReference { node } => {
+                write!(f, "internal node {node} references a later node")
+            }
+            ResolutionError::NoPivot { node } => {
+                write!(f, "internal node {node}: parents share no clashing variable")
+            }
+            ResolutionError::TautologousResolvent { node } => {
+                write!(f, "internal node {node}: resolvent would be tautologous")
+            }
+            ResolutionError::NoEmptyClause => {
+                write!(f, "no node derives the empty clause")
+            }
+        }
+    }
+}
+
+impl Error for ResolutionError {}
+
+impl ResolutionProof {
+    /// Creates a proof over the given source clauses with no internal
+    /// nodes yet.
+    #[must_use]
+    pub fn new(sources: Vec<Clause>) -> Self {
+        ResolutionProof { sources, internals: Vec::new() }
+    }
+
+    /// Adds an internal node resolving `left` and `right`; returns its id.
+    pub fn add_internal(&mut self, left: NodeId, right: NodeId) -> NodeId {
+        self.internals.push((left, right));
+        NodeId::Internal(self.internals.len() - 1)
+    }
+
+    /// Source clauses.
+    #[must_use]
+    pub fn sources(&self) -> &[Clause] {
+        &self.sources
+    }
+
+    /// Number of internal (resolution) nodes — the "Resolution graph
+    /// size" metric of Table 2.
+    #[must_use]
+    pub fn num_internal_nodes(&self) -> usize {
+        self.internals.len()
+    }
+
+    /// Total node count including sources.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.sources.len() + self.internals.len()
+    }
+
+    /// Verifies the proof (§5): assigns clauses to internal nodes in
+    /// order, requiring each resolution to have a unique pivot, and
+    /// requires some node to derive the empty clause.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ResolutionError`] encountered.
+    pub fn check(&self) -> Result<CheckedResolution, ResolutionError> {
+        let mut derived: Vec<Clause> = Vec::with_capacity(self.internals.len());
+        let mut empty_node = None;
+        for (i, &(l, r)) in self.internals.iter().enumerate() {
+            let left = self.clause_of(l, &derived, i)?;
+            let right = self.clause_of(r, &derived, i)?;
+            // A unique pivot exists iff the parents clash on exactly one
+            // variable; parents clashing on several variables would give
+            // a tautologous resolvent, which §5 forbids.
+            let pivot: Var = left.resolution_pivot(right).ok_or_else(|| {
+                if left.lits().iter().any(|&l| right.contains(!l)) {
+                    ResolutionError::TautologousResolvent { node: i }
+                } else {
+                    ResolutionError::NoPivot { node: i }
+                }
+            })?;
+            let resolvent = left
+                .resolve_on(right, pivot)
+                .expect("unique pivot implies resolvability");
+            if resolvent.is_empty() && empty_node.is_none() {
+                empty_node = Some(i);
+            }
+            derived.push(resolvent);
+        }
+        match empty_node {
+            Some(empty_node) => Ok(CheckedResolution { derived, empty_node }),
+            None => Err(ResolutionError::NoEmptyClause),
+        }
+    }
+
+    fn clause_of<'a>(
+        &'a self,
+        id: NodeId,
+        derived: &'a [Clause],
+        current: usize,
+    ) -> Result<&'a Clause, ResolutionError> {
+        match id {
+            NodeId::Source(s) => self
+                .sources
+                .get(s)
+                .ok_or(ResolutionError::ForwardReference { node: current }),
+            NodeId::Internal(k) if k < current => Ok(&derived[k]),
+            NodeId::Internal(_) => {
+                Err(ResolutionError::ForwardReference { node: current })
+            }
+        }
+    }
+}
+
+/// A reference used by [`resolution_proof_from_chains`]: either a source
+/// clause or the result of an earlier chain.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ChainRef {
+    /// Index into the source clauses.
+    Source(usize),
+    /// Index of an earlier chain (its final resolvent).
+    Learned(usize),
+}
+
+/// Builds a resolution-graph proof from per-clause antecedent chains, as
+/// recorded by a CDCL solver: chain `[c₀, c₁, …, cₖ]` derives the clause
+/// by resolving `c₀` with `c₁`, the result with `c₂`, and so on (trivial
+/// resolution). A chain of length 1 derives its antecedent unchanged
+/// (an alias, creating no internal node).
+///
+/// # Panics
+///
+/// Panics if a chain is empty or references a later chain.
+#[must_use]
+pub fn resolution_proof_from_chains(
+    sources: Vec<Clause>,
+    chains: &[Vec<ChainRef>],
+) -> ResolutionProof {
+    let mut proof = ResolutionProof::new(sources);
+    let mut final_node: Vec<NodeId> = Vec::with_capacity(chains.len());
+    for (i, chain) in chains.iter().enumerate() {
+        assert!(!chain.is_empty(), "chain {i} is empty");
+        let resolve_ref = |r: ChainRef| -> NodeId {
+            match r {
+                ChainRef::Source(s) => NodeId::Source(s),
+                ChainRef::Learned(j) => {
+                    assert!(j < i, "chain {i} references later chain {j}");
+                    final_node[j]
+                }
+            }
+        };
+        let mut acc = resolve_ref(chain[0]);
+        for &next in &chain[1..] {
+            acc = proof.add_internal(acc, resolve_ref(next));
+        }
+        final_node.push(acc);
+    }
+    proof
+}
+
+impl ResolutionProof {
+    /// Renders the proof as a Graphviz DOT digraph: source nodes are
+    /// boxes labelled with their clauses, internal nodes are ellipses,
+    /// and edges run from parents to resolvents. Handy for inspecting
+    /// small proofs (`dot -Tsvg proof.dot`).
+    #[must_use]
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("digraph resolution {\n  rankdir=TB;\n");
+        for (i, clause) in self.sources.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  s{i} [shape=box, label=\"{}\"];",
+                dot_label(clause)
+            );
+        }
+        let derived = self.check().ok().map(|c| c.derived);
+        for (i, &(l, r)) in self.internals.iter().enumerate() {
+            let label = derived
+                .as_ref()
+                .map_or_else(|| format!("n{i}"), |d| dot_label(&d[i]));
+            let _ = writeln!(out, "  n{i} [label=\"{label}\"];");
+            for parent in [l, r] {
+                let name = match parent {
+                    NodeId::Source(s) => format!("s{s}"),
+                    NodeId::Internal(k) => format!("n{k}"),
+                };
+                let _ = writeln!(out, "  {name} -> n{i};");
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn dot_label(clause: &Clause) -> String {
+    if clause.is_empty() {
+        return "⊥".to_string();
+    }
+    clause
+        .lits()
+        .iter()
+        .map(|l| l.to_dimacs().to_string())
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(names: &[i32]) -> Clause {
+        Clause::from_dimacs(names)
+    }
+
+    #[test]
+    fn minimal_refutation_checks() {
+        let mut p = ResolutionProof::new(vec![c(&[1]), c(&[-1])]);
+        p.add_internal(NodeId::Source(0), NodeId::Source(1));
+        let checked = p.check().expect("valid");
+        assert_eq!(checked.empty_node, 0);
+        assert!(checked.derived[0].is_empty());
+        assert_eq!(p.num_internal_nodes(), 1);
+        assert_eq!(p.num_nodes(), 3);
+    }
+
+    #[test]
+    fn xor_square_resolution_refutation() {
+        // (1 2)(−1 −2)(1 −2)(−1 2)
+        let mut p = ResolutionProof::new(vec![
+            c(&[1, 2]),
+            c(&[-1, -2]),
+            c(&[1, -2]),
+            c(&[-1, 2]),
+        ]);
+        let n2 = p.add_internal(NodeId::Source(0), NodeId::Source(2)); // pivot 2 → (1)
+        let n_not1 = p.add_internal(NodeId::Source(1), NodeId::Source(3)); // pivot 2 → (¬1)
+        p.add_internal(n2, n_not1); // → empty
+        let checked = p.check().expect("valid");
+        assert!(checked.derived[0].same_lits(&c(&[1])));
+        assert!(checked.derived[1].same_lits(&c(&[-1])));
+        assert_eq!(checked.empty_node, 2);
+    }
+
+    #[test]
+    fn rejects_no_pivot() {
+        let mut p = ResolutionProof::new(vec![c(&[1, 2]), c(&[1, 3])]);
+        p.add_internal(NodeId::Source(0), NodeId::Source(1));
+        assert_eq!(p.check().unwrap_err(), ResolutionError::NoPivot { node: 0 });
+    }
+
+    #[test]
+    fn rejects_double_pivot() {
+        // (1 2) vs (−1 −2): two clashes → tautologous resolvent
+        let mut p = ResolutionProof::new(vec![c(&[1, 2]), c(&[-1, -2])]);
+        p.add_internal(NodeId::Source(0), NodeId::Source(1));
+        assert_eq!(
+            p.check().unwrap_err(),
+            ResolutionError::TautologousResolvent { node: 0 }
+        );
+    }
+
+    #[test]
+    fn rejects_forward_reference() {
+        let mut p = ResolutionProof::new(vec![c(&[1]), c(&[-1])]);
+        p.add_internal(NodeId::Internal(1), NodeId::Source(0));
+        p.add_internal(NodeId::Source(0), NodeId::Source(1));
+        assert_eq!(
+            p.check().unwrap_err(),
+            ResolutionError::ForwardReference { node: 0 }
+        );
+    }
+
+    #[test]
+    fn rejects_incomplete_proof() {
+        let mut p = ResolutionProof::new(vec![c(&[1, 2]), c(&[-1, 2])]);
+        p.add_internal(NodeId::Source(0), NodeId::Source(1)); // derives (2)
+        assert_eq!(p.check().unwrap_err(), ResolutionError::NoEmptyClause);
+    }
+
+    #[test]
+    fn chains_build_linear_resolutions() {
+        let sources = vec![c(&[1, 2]), c(&[-1, -2]), c(&[1, -2]), c(&[-1, 2])];
+        use ChainRef::{Learned, Source};
+        let chains = vec![
+            vec![Source(0), Source(2)],            // (1)
+            vec![Source(1), Source(3)],            // (¬1)
+            vec![Learned(0), Learned(1)],          // ⊥
+        ];
+        let p = resolution_proof_from_chains(sources, &chains);
+        assert_eq!(p.num_internal_nodes(), 3);
+        let checked = p.check().expect("valid");
+        assert_eq!(checked.empty_node, 2);
+    }
+
+    #[test]
+    fn length_one_chain_is_an_alias() {
+        let sources = vec![c(&[1]), c(&[-1])];
+        use ChainRef::{Learned, Source};
+        let chains = vec![
+            vec![Source(0)],                       // alias of (1)
+            vec![Learned(0), Source(1)],           // ⊥
+        ];
+        let p = resolution_proof_from_chains(sources, &chains);
+        assert_eq!(p.num_internal_nodes(), 1, "alias creates no node");
+        assert!(p.check().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "references later chain")]
+    fn chain_forward_reference_panics() {
+        let _ = resolution_proof_from_chains(
+            vec![c(&[1])],
+            &[vec![ChainRef::Learned(1)], vec![ChainRef::Source(0)]],
+        );
+    }
+
+    #[test]
+    fn dot_export_mentions_every_node() {
+        let mut p = ResolutionProof::new(vec![c(&[1]), c(&[-1])]);
+        p.add_internal(NodeId::Source(0), NodeId::Source(1));
+        let dot = p.to_dot();
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("s0 ["), "{dot}");
+        assert!(dot.contains("s1 ["), "{dot}");
+        assert!(dot.contains("n0 ["), "{dot}");
+        assert!(dot.contains("s0 -> n0"), "{dot}");
+        assert!(dot.contains('⊥'), "{dot}");
+    }
+
+    #[test]
+    fn error_display() {
+        let e = ResolutionError::NoPivot { node: 3 };
+        assert!(e.to_string().contains("node 3"));
+        assert!(ResolutionError::NoEmptyClause.to_string().contains("empty"));
+    }
+}

@@ -1,0 +1,162 @@
+//! Proof statistics — the quantities behind the paper's §5/§6 size
+//! discussion ("a conflict clause proof F* contains a large number of
+//! long clauses, which is exactly the case when using watched literals
+//! is especially effective").
+
+use std::fmt;
+
+use crate::proof::ConflictClauseProof;
+
+/// Length statistics of a conflict-clause proof.
+///
+/// # Examples
+///
+/// ```
+/// use cnf::Clause;
+/// use proofver::{ConflictClauseProof, ProofStats};
+///
+/// let proof = ConflictClauseProof::new(vec![
+///     Clause::from_dimacs(&[1, 2, 3]),
+///     Clause::from_dimacs(&[-1]),
+/// ]);
+/// let stats = ProofStats::of(&proof);
+/// assert_eq!(stats.num_clauses, 2);
+/// assert_eq!(stats.max_len, 3);
+/// assert_eq!(stats.num_units, 1);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ProofStats {
+    /// Number of clauses.
+    pub num_clauses: usize,
+    /// Total literals (Table 2's size metric).
+    pub num_literals: usize,
+    /// Shortest clause length.
+    pub min_len: usize,
+    /// Longest clause length.
+    pub max_len: usize,
+    /// Mean clause length.
+    pub mean_len: f64,
+    /// Median clause length.
+    pub median_len: usize,
+    /// Unit clauses.
+    pub num_units: usize,
+    /// Clauses with ≥ 10 literals — "long" clauses in the §6 sense.
+    pub num_long: usize,
+    /// Length histogram: buckets `[1, 2, 3–4, 5–8, 9–16, 17–32, >32]`.
+    pub histogram: [usize; 7],
+}
+
+impl ProofStats {
+    /// Computes statistics over `proof`.
+    #[must_use]
+    pub fn of(proof: &ConflictClauseProof) -> Self {
+        let mut lens: Vec<usize> = proof.iter().map(|c| c.len()).collect();
+        if lens.is_empty() {
+            return ProofStats::default();
+        }
+        lens.sort_unstable();
+        let num_clauses = lens.len();
+        let num_literals: usize = lens.iter().sum();
+        let mut histogram = [0usize; 7];
+        for &l in &lens {
+            let bucket = match l {
+                0 | 1 => 0,
+                2 => 1,
+                3..=4 => 2,
+                5..=8 => 3,
+                9..=16 => 4,
+                17..=32 => 5,
+                _ => 6,
+            };
+            histogram[bucket] += 1;
+        }
+        ProofStats {
+            num_clauses,
+            num_literals,
+            min_len: lens[0],
+            max_len: lens[num_clauses - 1],
+            mean_len: num_literals as f64 / num_clauses as f64,
+            median_len: lens[num_clauses / 2],
+            num_units: lens.iter().filter(|&&l| l == 1).count(),
+            num_long: lens.iter().filter(|&&l| l >= 10).count(),
+            histogram,
+        }
+    }
+
+    /// Fraction of clauses with ≥ 10 literals.
+    #[must_use]
+    pub fn long_fraction(&self) -> f64 {
+        if self.num_clauses == 0 {
+            0.0
+        } else {
+            self.num_long as f64 / self.num_clauses as f64
+        }
+    }
+}
+
+impl fmt::Display for ProofStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} clauses, {} literals; len min/median/mean/max = {}/{}/{:.1}/{}; \
+             {} units, {:.0}% long (≥10)",
+            self.num_clauses,
+            self.num_literals,
+            self.min_len,
+            self.median_len,
+            self.mean_len,
+            self.max_len,
+            self.num_units,
+            self.long_fraction() * 100.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnf::Clause;
+
+    fn proof(lens: &[usize]) -> ConflictClauseProof {
+        lens.iter()
+            .map(|&l| {
+                Clause::new((1..=l as i32).map(cnf::Lit::from_dimacs).collect::<Vec<_>>())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_proof() {
+        let s = ProofStats::of(&ConflictClauseProof::default());
+        assert_eq!(s.num_clauses, 0);
+        assert_eq!(s.long_fraction(), 0.0);
+    }
+
+    #[test]
+    fn basic_metrics() {
+        let s = ProofStats::of(&proof(&[1, 2, 3, 10, 40]));
+        assert_eq!(s.num_clauses, 5);
+        assert_eq!(s.num_literals, 56);
+        assert_eq!(s.min_len, 1);
+        assert_eq!(s.max_len, 40);
+        assert_eq!(s.median_len, 3);
+        assert_eq!(s.num_units, 1);
+        assert_eq!(s.num_long, 2);
+        assert!((s.mean_len - 11.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let s = ProofStats::of(&proof(&[1, 2, 3, 4, 5, 8, 9, 16, 17, 32, 33]));
+        assert_eq!(s.histogram, [1, 1, 2, 2, 2, 2, 1]);
+        assert_eq!(s.histogram.iter().sum::<usize>(), s.num_clauses);
+    }
+
+    #[test]
+    fn display_mentions_key_numbers() {
+        let s = ProofStats::of(&proof(&[2, 4]));
+        let text = s.to_string();
+        assert!(text.contains("2 clauses"), "{text}");
+        assert!(text.contains("6 literals"), "{text}");
+    }
+}

@@ -1,0 +1,119 @@
+//! Proof trimming.
+//!
+//! `Proof_verification2` marks exactly the conflict clauses that
+//! contribute to deducing the final conflict; the rest are redundant
+//! (§4). Dropping them yields a smaller proof that is still verifiable —
+//! every check of a marked clause used only marked earlier clauses (and
+//! clauses of `F`), so the marking is closed under dependency.
+
+use cnf::CnfFormula;
+
+use crate::checker::{verify, Verification};
+use crate::error::VerifyError;
+use crate::proof::ConflictClauseProof;
+
+/// Restricts `proof` to the steps flagged in `marked_steps`, preserving
+/// chronological order.
+///
+/// # Panics
+///
+/// Panics if `marked_steps.len() != proof.len()`.
+#[must_use]
+pub fn trim_proof(proof: &ConflictClauseProof, marked_steps: &[bool]) -> ConflictClauseProof {
+    assert_eq!(
+        marked_steps.len(),
+        proof.len(),
+        "mark vector does not match proof length"
+    );
+    proof
+        .iter()
+        .zip(marked_steps)
+        .filter_map(|(c, &keep)| (keep || c.is_empty()).then(|| c.clone()))
+        .collect()
+}
+
+/// Verifies `proof` and returns both the verification result and the
+/// trimmed proof containing only contributing clauses.
+///
+/// # Errors
+///
+/// Propagates any [`VerifyError`] from verification.
+///
+/// # Examples
+///
+/// ```
+/// use cnf::{Clause, CnfFormula};
+/// use proofver::verify_and_trim;
+///
+/// let f = CnfFormula::from_dimacs_clauses(&[
+///     vec![1, 2], vec![-1, -2], vec![1, -2], vec![-1, 2],
+/// ]);
+/// // (9 ∨ 2) is valid but redundant; the final pair never uses it
+/// let proof = vec![
+///     Clause::from_dimacs(&[9, 2]),
+///     Clause::from_dimacs(&[2]),
+///     Clause::from_dimacs(&[-2]),
+/// ].into();
+/// let (verification, trimmed) = verify_and_trim(&f, &proof)?;
+/// assert_eq!(trimmed.len(), 2, "the redundant clause is dropped");
+/// assert!(verification.report.num_checked <= 3);
+/// # Ok::<(), proofver::VerifyError>(())
+/// ```
+pub fn verify_and_trim(
+    formula: &CnfFormula,
+    proof: &ConflictClauseProof,
+) -> Result<(Verification, ConflictClauseProof), VerifyError> {
+    let verification = verify(formula, proof)?;
+    let trimmed = trim_proof(proof, &verification.marked_steps);
+    Ok((verification, trimmed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnf::Clause;
+
+    fn xor_square() -> CnfFormula {
+        CnfFormula::from_dimacs_clauses(&[vec![1, 2], vec![-1, -2], vec![1, -2], vec![-1, 2]])
+    }
+
+    fn proof(clauses: &[Vec<i32>]) -> ConflictClauseProof {
+        clauses.iter().map(|c| Clause::from_dimacs(c)).collect()
+    }
+
+    #[test]
+    fn trims_redundant_clauses() {
+        // (9 ∨ 2) is a valid RUP clause (assume ¬9, ¬2 → conflict via F)
+        // but inert afterwards: x9 occurs nowhere else, so propagating
+        // ¬9 from it never enters a conflict cone.
+        let p = proof(&[vec![9, 2], vec![2], vec![-2]]);
+        let (v, trimmed) = verify_and_trim(&xor_square(), &p).expect("valid");
+        assert_eq!(trimmed.len(), 2);
+        assert!(!v.marked_steps[0]);
+        // the trimmed proof verifies on its own
+        assert!(verify(&xor_square(), &trimmed).is_ok());
+    }
+
+    #[test]
+    fn keeps_terminal_empty_clause() {
+        let p = proof(&[vec![9, 2], vec![2], vec![-2], vec![]]);
+        let (_, trimmed) = verify_and_trim(&xor_square(), &p).expect("valid");
+        assert!(trimmed.clauses().last().expect("nonempty").is_empty());
+        assert_eq!(trimmed.len(), 3);
+    }
+
+    #[test]
+    fn trim_of_fully_marked_proof_is_identity() {
+        let p = proof(&[vec![2], vec![-2]]);
+        let (v, trimmed) = verify_and_trim(&xor_square(), &p).expect("valid");
+        assert!(v.marked_steps.iter().all(|&m| m));
+        assert_eq!(trimmed, p);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn mismatched_marks_panic() {
+        let p = proof(&[vec![1]]);
+        let _ = trim_proof(&p, &[true, false]);
+    }
+}

@@ -1,0 +1,85 @@
+//! Property tests for the proof formats: roundtrips on arbitrary proofs,
+//! and parser robustness on arbitrary byte soup (errors, never panics).
+
+use cnf::Clause;
+use proofver::{
+    decode_proof, encode_proof_to_vec, parse_proof_str, to_proof_string,
+    ConflictClauseProof,
+};
+use proptest::prelude::*;
+
+fn dimacs_lit() -> impl Strategy<Value = i32> {
+    (1i32..=500).prop_flat_map(|v| prop_oneof![Just(v), Just(-v)])
+}
+
+fn proof_strategy() -> impl Strategy<Value = ConflictClauseProof> {
+    prop::collection::vec(prop::collection::vec(dimacs_lit(), 0..8), 0..30).prop_map(
+        |clauses| {
+            clauses
+                .into_iter()
+                .map(|c| Clause::from_dimacs(&c))
+                .collect()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(500))]
+
+    #[test]
+    fn text_roundtrip(proof in proof_strategy()) {
+        let text = to_proof_string(&proof);
+        let parsed = parse_proof_str(&text).expect("own output parses");
+        prop_assert_eq!(parsed, proof);
+    }
+
+    #[test]
+    fn binary_roundtrip(proof in proof_strategy()) {
+        let bytes = encode_proof_to_vec(&proof);
+        let decoded = decode_proof(bytes.as_slice()).expect("own output decodes");
+        prop_assert_eq!(decoded, proof);
+    }
+
+    #[test]
+    fn binary_never_larger_than_twice_literal_count_plus_overhead(
+        proof in proof_strategy()
+    ) {
+        // each literal is ≤ 2 varint bytes at these variable counts,
+        // plus one terminator per clause and the 4-byte magic
+        let bytes = encode_proof_to_vec(&proof);
+        let bound = 4 + proof.num_literals() * 2 + proof.len();
+        prop_assert!(bytes.len() <= bound, "{} > {}", bytes.len(), bound);
+    }
+
+    #[test]
+    fn text_parser_never_panics(input in "\\PC*") {
+        let _ = parse_proof_str(&input);
+    }
+
+    #[test]
+    fn binary_decoder_never_panics(input in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = decode_proof(input.as_slice());
+    }
+
+    #[test]
+    fn dimacs_parser_never_panics(input in "\\PC*") {
+        let _ = cnf::parse_dimacs_str(&input);
+    }
+
+    #[test]
+    fn dimacs_numeric_soup_never_panics(
+        tokens in prop::collection::vec(-1000i64..1000, 0..64)
+    ) {
+        let text: String = tokens
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join(" ");
+        if let Ok(f) = cnf::parse_dimacs_str(&text) {
+            // whatever parses must re-serialise and re-parse stably
+            let text2 = cnf::to_dimacs_string(&f);
+            let g = cnf::parse_dimacs_str(&text2).expect("own output parses");
+            prop_assert_eq!(f, g);
+        }
+    }
+}

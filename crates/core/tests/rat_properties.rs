@@ -1,0 +1,98 @@
+//! Property tests for the RAT checker: cross-validated against
+//! brute-force semantics of blocked clauses and satisfiability
+//! preservation.
+
+use cnf::{Clause, CnfFormula, Lit, Var};
+use proofver::{check_drat_steps, verify_drat, ConflictClauseProof};
+use proptest::prelude::*;
+
+fn dimacs_lit(n: i32) -> impl Strategy<Value = i32> {
+    (1..=n).prop_flat_map(|v| prop_oneof![Just(v), Just(-v)])
+}
+
+fn formula_strategy(max_var: i32) -> impl Strategy<Value = CnfFormula> {
+    prop::collection::vec(prop::collection::vec(dimacs_lit(max_var), 1..=3), 1..20)
+        .prop_map(|cs| CnfFormula::from_dimacs_clauses(&cs))
+}
+
+/// Ground truth: `clause` is blocked on `pivot` w.r.t. `formula` when
+/// every resolvent with a ¬pivot clause is tautologous.
+fn is_blocked(formula: &CnfFormula, clause: &Clause, pivot: Lit) -> bool {
+    formula.iter().all(|d| {
+        if !d.contains(!pivot) {
+            return true;
+        }
+        clause
+            .lits()
+            .iter()
+            .any(|&x| x != pivot && d.contains(!x))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    #[test]
+    fn blocked_clauses_are_always_accepted(
+        f in formula_strategy(6),
+        clause_names in prop::collection::vec(dimacs_lit(6), 1..4),
+    ) {
+        // put each candidate literal in pivot position and test only the
+        // ones that are blocked by the brute-force definition
+        let base = Clause::from_dimacs(&clause_names).normalized();
+        if base.is_tautology() {
+            return Ok(());
+        }
+        for (i, &pivot) in base.lits().iter().enumerate() {
+            if !is_blocked(&f, &base, pivot) {
+                continue;
+            }
+            // rotate the pivot to the front (DRAT pivots on lits[0])
+            let mut lits = base.lits().to_vec();
+            lits.swap(0, i);
+            let proof = ConflictClauseProof::new(vec![Clause::new(lits)]);
+            prop_assert!(
+                check_drat_steps(&f, &proof).is_ok(),
+                "blocked clause {} (pivot {}) rejected",
+                base,
+                pivot
+            );
+        }
+    }
+
+    #[test]
+    fn accepted_steps_preserve_satisfiability(
+        f in formula_strategy(6),
+        clause_names in prop::collection::vec(dimacs_lit(6), 1..4),
+    ) {
+        // if the checker accepts [C], then SAT(F) ⇒ SAT(F ∧ C): adding
+        // an accepted RAT/RUP clause never flips a SAT formula to UNSAT
+        let clause = Clause::from_dimacs(&clause_names);
+        let proof = ConflictClauseProof::new(vec![clause.clone()]);
+        if check_drat_steps(&f, &proof).is_ok() && f.brute_force_satisfiable() {
+            let mut extended = f.clone();
+            extended.ensure_var(Var::new(5));
+            extended.add_clause(clause.clone());
+            prop_assert!(
+                extended.brute_force_satisfiable(),
+                "accepted step {} flipped a SAT formula to UNSAT",
+                clause
+            );
+        }
+    }
+
+    #[test]
+    fn drat_and_rup_agree_on_rup_only_proofs(
+        f in formula_strategy(6),
+    ) {
+        // for solver-generated (RUP-only) proofs, acceptance must match
+        if let Some(trace) =
+            cdcl::solve(&f, cdcl::SolverConfig::default()).into_proof()
+        {
+            let proof = ConflictClauseProof::new(trace.clauses());
+            let rup = proofver::verify(&f, &proof).is_ok();
+            let drat = verify_drat(&f, &proof).is_ok();
+            prop_assert_eq!(rup, drat, "checkers disagree on a solver proof");
+        }
+    }
+}

@@ -1,0 +1,421 @@
+//! The `satverify` command-line tool: solve DIMACS files with verified
+//! answers, check proofs, extract cores, trim proofs, and generate
+//! benchmark instances.
+//!
+//! Exit codes follow the SAT-competition convention where applicable:
+//! `10` = SAT, `20` = UNSAT (verified), `0` = success for non-solving
+//! commands, `1` = failure (bad proof, unverifiable answer), `2` = usage
+//! error.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read};
+use std::process::ExitCode;
+
+use cdcl::{LearningScheme, SolverConfig};
+use cnf::{parse_dimacs, write_dimacs, CnfFormula};
+use proofver::{
+    decode_proof, encode_proof, parse_proof, verify, verify_all, write_proof,
+    ConflictClauseProof, ProofStats, MAGIC,
+};
+use satverify::{
+    minimal_core_of_verified, minimize_core, solve_and_verify,
+    solve_and_verify_preprocessed, PipelineOutcome, SimplifyConfig,
+};
+
+const USAGE: &str = "\
+satverify — SAT solving with independently verified answers
+(Goldberg & Novikov, DATE 2003)
+
+USAGE:
+    satverify solve <cnf> [--proof <out>] [--binary] [--scheme <s>]
+                          [--max-conflicts <n>] [--preprocess]
+        solve a DIMACS file; on UNSAT the proof is verified before the
+        answer is reported, and optionally written to <out>.
+        --preprocess runs subsumption + variable elimination first (the
+        stitched proof still verifies against the original formula).
+        schemes: 1uip (default), decision, mixed:<period>
+
+    satverify check <cnf> <proof> [--all]
+        verify a conflict-clause proof (text or binary, auto-detected);
+        --all checks every clause (Proof_verification1)
+
+    satverify drat <cnf> <proof>
+        verify a proof that may contain RAT steps (DRAT semantics)
+
+    satverify core <cnf> [--minimize|--mus] [--out <file>]
+        solve, verify, and print/write the unsatisfiable core;
+        --minimize iterates re-solving to a fixpoint, --mus extracts a
+        minimal unsatisfiable subset via incremental assumptions
+
+    satverify trim <cnf> <proof-in> <proof-out> [--binary]
+        verify a proof and write back only the contributing clauses
+
+    satverify aig <aag-file> [--output <i>]
+        parse an AIGER ASCII circuit, assert output <i> (default 0) true,
+        and solve the resulting CNF with a verified answer — UNSAT means
+        the output is constant false (e.g. a proven miter)
+
+    satverify gen <family> <args..> [--out <file>]
+        families: php <holes> | tseitin <n> <m> | chess <n> |
+                  pebbling <h> | rand3sat <vars> <clauses> <seed> |
+                  eqv-adder <w> | eqv-shifter <w> <s> | pipe-cpu <w> |
+                  bmc-counter <bits> <k> | bmc-lfsr <bits> <k>
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let Some(command) = args.first() else {
+        eprint!("{USAGE}");
+        return Ok(ExitCode::from(2));
+    };
+    let rest = &args[1..];
+    match command.as_str() {
+        "solve" => cmd_solve(rest),
+        "check" => cmd_check(rest),
+        "drat" => cmd_drat(rest),
+        "core" => cmd_core(rest),
+        "trim" => cmd_trim(rest),
+        "gen" => cmd_gen(rest),
+        "aig" => cmd_aig(rest),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!("unknown command {other:?}; try `satverify help`")),
+    }
+}
+
+fn load_formula(path: &str) -> Result<CnfFormula, String> {
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    parse_dimacs(BufReader::new(file)).map_err(|e| format!("{path}: {e}"))
+}
+
+fn load_proof(path: &str) -> Result<ConflictClauseProof, String> {
+    let mut file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let mut head = [0u8; 4];
+    let n = file.read(&mut head).map_err(|e| format!("{path}: {e}"))?;
+    let file = File::open(path).map_err(|e| format!("cannot reopen {path}: {e}"))?;
+    if n == 4 && head == MAGIC {
+        decode_proof(BufReader::new(file)).map_err(|e| format!("{path}: {e}"))
+    } else {
+        parse_proof(BufReader::new(file)).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+fn parse_scheme(text: &str) -> Result<LearningScheme, String> {
+    match text {
+        "1uip" => Ok(LearningScheme::FirstUip),
+        "decision" => Ok(LearningScheme::Decision),
+        _ => text
+            .strip_prefix("mixed:")
+            .and_then(|p| p.parse::<u32>().ok())
+            .map(|period| LearningScheme::Mixed { period })
+            .ok_or_else(|| format!("bad scheme {text:?} (1uip|decision|mixed:<n>)")),
+    }
+}
+
+/// Pulls `--flag value` out of an argument list; returns remaining
+/// positional arguments.
+fn take_option(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let pos = args.iter().position(|a| a == flag)?;
+    if pos + 1 >= args.len() {
+        return None;
+    }
+    let value = args.remove(pos + 1);
+    args.remove(pos);
+    Some(value)
+}
+
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    if let Some(pos) = args.iter().position(|a| a == flag) {
+        args.remove(pos);
+        true
+    } else {
+        false
+    }
+}
+
+fn cmd_solve(args: &[String]) -> Result<ExitCode, String> {
+    let mut args = args.to_vec();
+    let proof_out = take_option(&mut args, "--proof");
+    let binary = take_flag(&mut args, "--binary");
+    let preprocess = take_flag(&mut args, "--preprocess");
+    let scheme = match take_option(&mut args, "--scheme") {
+        Some(s) => parse_scheme(&s)?,
+        None => LearningScheme::FirstUip,
+    };
+    let max_conflicts = take_option(&mut args, "--max-conflicts")
+        .map(|v| v.parse::<u64>().map_err(|_| format!("bad --max-conflicts {v:?}")))
+        .transpose()?;
+    let [path] = args.as_slice() else {
+        return Err("usage: satverify solve <cnf> [options]".into());
+    };
+    let formula = load_formula(path)?;
+    let config = SolverConfig::new()
+        .learning_scheme(scheme)
+        .max_conflicts(max_conflicts);
+    let outcome = if preprocess {
+        solve_and_verify_preprocessed(&formula, SimplifyConfig::default(), config)
+    } else {
+        solve_and_verify(&formula, config)
+    };
+    match outcome.map_err(|e| e.to_string())? {
+        PipelineOutcome::Sat(model) => {
+            println!("s SATISFIABLE");
+            print!("v");
+            for lit in model.to_lits() {
+                print!(" {}", lit.to_dimacs());
+            }
+            println!(" 0");
+            Ok(ExitCode::from(10))
+        }
+        PipelineOutcome::Unsat(run) => {
+            println!("s UNSATISFIABLE");
+            println!(
+                "c proof verified: {} ({} clauses, {} literals)",
+                run.verification.report,
+                run.proof.len(),
+                run.proof.num_literals()
+            );
+            if let Some(out) = proof_out {
+                write_proof_file(&run.proof, &out, binary)?;
+                println!("c proof written to {out}");
+            }
+            Ok(ExitCode::from(20))
+        }
+    }
+}
+
+fn write_proof_file(
+    proof: &ConflictClauseProof,
+    path: &str,
+    binary: bool,
+) -> Result<(), String> {
+    let file = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+    let mut writer = BufWriter::new(file);
+    if binary {
+        encode_proof(&mut writer, proof).map_err(|e| format!("{path}: {e}"))
+    } else {
+        write_proof(&mut writer, proof).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
+    let mut args = args.to_vec();
+    let all = take_flag(&mut args, "--all");
+    let [cnf_path, proof_path] = args.as_slice() else {
+        return Err("usage: satverify check <cnf> <proof> [--all]".into());
+    };
+    let formula = load_formula(cnf_path)?;
+    let proof = load_proof(proof_path)?;
+    let result = if all { verify_all(&formula, &proof) } else { verify(&formula, &proof) };
+    match result {
+        Ok(v) => {
+            println!("s VERIFIED");
+            println!("c {}", v.report);
+            println!("c proof: {}", ProofStats::of(&proof));
+            Ok(ExitCode::SUCCESS)
+        }
+        Err(e) => {
+            println!("s NOT VERIFIED");
+            println!("c {e}");
+            Ok(ExitCode::from(1))
+        }
+    }
+}
+
+fn cmd_drat(args: &[String]) -> Result<ExitCode, String> {
+    let [cnf_path, proof_path] = args else {
+        return Err("usage: satverify drat <cnf> <proof>".into());
+    };
+    let formula = load_formula(cnf_path)?;
+    let proof = load_proof(proof_path)?;
+    match proofver::verify_drat(&formula, &proof) {
+        Ok(stats) => {
+            println!("s VERIFIED");
+            println!(
+                "c {} RUP steps, {} RAT steps ({} resolvent checks)",
+                stats.num_rup, stats.num_rat, stats.num_resolvent_checks
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        Err(e) => {
+            println!("s NOT VERIFIED");
+            println!("c {e}");
+            Ok(ExitCode::from(1))
+        }
+    }
+}
+
+fn cmd_core(args: &[String]) -> Result<ExitCode, String> {
+    let mut args = args.to_vec();
+    let minimize = take_flag(&mut args, "--minimize");
+    let mus = take_flag(&mut args, "--mus");
+    let out = take_option(&mut args, "--out");
+    let [path] = args.as_slice() else {
+        return Err("usage: satverify core <cnf> [--minimize|--mus] [--out <file>]".into());
+    };
+    let formula = load_formula(path)?;
+    let (indices, core_formula) = if mus {
+        let core = minimal_core_of_verified(&formula, SolverConfig::default())
+            .map_err(|e| e.to_string())?;
+        println!("c minimal core after {} incremental queries", core.num_queries);
+        let core_formula = core.to_formula(&formula);
+        (core.indices, core_formula)
+    } else if minimize {
+        let core = minimize_core(&formula, SolverConfig::default(), 16)
+            .map_err(|e| e.to_string())?;
+        println!("c core trajectory: {:?}", core.trajectory);
+        (core.indices.clone(), core.formula)
+    } else {
+        match solve_and_verify(&formula, SolverConfig::default())
+            .map_err(|e| e.to_string())?
+        {
+            PipelineOutcome::Sat(_) => {
+                println!("s SATISFIABLE");
+                return Ok(ExitCode::from(10));
+            }
+            PipelineOutcome::Unsat(run) => {
+                let core = run.verification.core;
+                let core_formula = core.to_formula(&formula);
+                (core.indices().to_vec(), core_formula)
+            }
+        }
+    };
+    println!(
+        "c core: {} of {} clauses",
+        indices.len(),
+        formula.num_clauses()
+    );
+    println!("c indices: {indices:?}");
+    if let Some(out) = out {
+        let file = File::create(&out).map_err(|e| format!("cannot create {out}: {e}"))?;
+        write_dimacs(BufWriter::new(file), &core_formula)
+            .map_err(|e| format!("{out}: {e}"))?;
+        println!("c core written to {out}");
+    }
+    Ok(ExitCode::from(20))
+}
+
+fn cmd_trim(args: &[String]) -> Result<ExitCode, String> {
+    let mut args = args.to_vec();
+    let binary = take_flag(&mut args, "--binary");
+    let [cnf_path, proof_in, proof_out] = args.as_slice() else {
+        return Err("usage: satverify trim <cnf> <proof-in> <proof-out> [--binary]".into());
+    };
+    let formula = load_formula(cnf_path)?;
+    let proof = load_proof(proof_in)?;
+    let (v, trimmed) =
+        proofver::verify_and_trim(&formula, &proof).map_err(|e| e.to_string())?;
+    println!(
+        "c trimmed {} -> {} clauses ({} checked)",
+        proof.len(),
+        trimmed.len(),
+        v.report.num_checked
+    );
+    write_proof_file(&trimmed, proof_out, binary)?;
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_aig(args: &[String]) -> Result<ExitCode, String> {
+    let mut args = args.to_vec();
+    let output_index = take_option(&mut args, "--output")
+        .map(|v| v.parse::<usize>().map_err(|_| format!("bad --output {v:?}")))
+        .transpose()?
+        .unwrap_or(0);
+    let [path] = args.as_slice() else {
+        return Err("usage: satverify aig <aag-file> [--output <i>]".into());
+    };
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let parsed = satverify::circuit::parse_aiger(BufReader::new(file))
+        .map_err(|e| format!("{path}: {e}"))?;
+    let Some(&output) = parsed.outputs.get(output_index) else {
+        return Err(format!(
+            "output index {output_index} out of range (circuit has {})",
+            parsed.outputs.len()
+        ));
+    };
+    if !parsed.latches.is_empty() {
+        eprintln!(
+            "c note: {} latches treated as free inputs (combinational view)",
+            parsed.latches.len()
+        );
+    }
+    let mut enc = parsed.aig.encode();
+    enc.assert_edge(output, true);
+    let formula = enc.into_formula();
+    println!(
+        "c {} inputs, {} ands, {} clauses",
+        parsed.aig.num_inputs(),
+        parsed.aig.num_ands(),
+        formula.num_clauses()
+    );
+    match solve_and_verify(&formula, SolverConfig::default()).map_err(|e| e.to_string())? {
+        PipelineOutcome::Sat(_) => {
+            println!("s SATISFIABLE");
+            println!("c output {output_index} can be 1");
+            Ok(ExitCode::from(10))
+        }
+        PipelineOutcome::Unsat(run) => {
+            println!("s UNSATISFIABLE");
+            println!("c output {output_index} is constant 0 (verified: {})",
+                run.verification.report);
+            Ok(ExitCode::from(20))
+        }
+    }
+}
+
+fn cmd_gen(args: &[String]) -> Result<ExitCode, String> {
+    let mut args = args.to_vec();
+    let out = take_option(&mut args, "--out");
+    let Some((family, params)) = args.split_first() else {
+        return Err("usage: satverify gen <family> <args..> [--out <file>]".into());
+    };
+    let p = |i: usize| -> Result<usize, String> {
+        params
+            .get(i)
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| format!("{family}: missing/bad argument {i}"))
+    };
+    let formula = match family.as_str() {
+        "php" => cnfgen::pigeonhole(p(0)?),
+        "tseitin" => cnfgen::tseitin_grid(p(0)?, p(1)?),
+        "chess" => cnfgen::mutilated_chessboard(p(0)?),
+        "pebbling" => cnfgen::pebbling_pyramid(p(0)?),
+        "rand3sat" => cnfgen::random_ksat(3, p(0)?, p(1)?, p(2)? as u64),
+        "eqv-adder" => cnfgen::eqv_adder(p(0)?),
+        "eqv-shifter" => cnfgen::eqv_shifter(p(0)?, p(1)?),
+        "pipe-cpu" => cnfgen::pipe_cpu(p(0)?),
+        "bmc-counter" => cnfgen::bmc_counter(p(0)?, p(1)?),
+        "bmc-lfsr" => cnfgen::bmc_lfsr(p(0)?, p(1)?),
+        other => return Err(format!("unknown family {other:?}")),
+    };
+    match out {
+        Some(out) => {
+            let file =
+                File::create(&out).map_err(|e| format!("cannot create {out}: {e}"))?;
+            write_dimacs(BufWriter::new(file), &formula)
+                .map_err(|e| format!("{out}: {e}"))?;
+            eprintln!(
+                "c wrote {} vars, {} clauses to {out}",
+                formula.num_vars(),
+                formula.num_clauses()
+            );
+        }
+        None => {
+            let stdout = std::io::stdout();
+            write_dimacs(stdout.lock(), &formula).map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}

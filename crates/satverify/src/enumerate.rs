@@ -1,0 +1,190 @@
+//! Verified model enumeration (All-SAT).
+//!
+//! Repeatedly solve, record the model, and add a *blocking clause*
+//! excluding it — the incremental interface makes each iteration reuse
+//! everything learned so far. Every reported model is re-checked against
+//! the formula, and the final "no more models" claim is established by a
+//! fresh, fully *verified* UNSAT run over the formula plus all blocking
+//! clauses (incremental additions invalidate in-flight proof logging, so
+//! the completeness proof is regenerated from scratch).
+
+use cdcl::{SolveResult, Solver, SolverConfig};
+use cnf::{Assignment, Clause, CnfFormula, Lit, Var};
+
+use crate::pipeline::{solve_and_verify, PipelineError, PipelineOutcome};
+
+/// The result of [`enumerate_models`].
+#[derive(Clone, Debug)]
+pub struct Enumeration {
+    /// The distinct total models found, in discovery order.
+    pub models: Vec<Assignment>,
+    /// `true` when the enumeration is exhaustive — established by a
+    /// verified UNSAT proof over the blocked formula. `false` when the
+    /// `limit` stopped the search early.
+    pub complete: bool,
+}
+
+/// Enumerates up to `limit` *total* models of `formula` (assignments to
+/// every declared variable, so a formula with unconstrained variables
+/// has one model per combination of their values).
+///
+/// # Errors
+///
+/// * [`PipelineError::BadModel`] if the solver returns a non-model;
+/// * [`PipelineError::Verify`] if the final completeness proof fails;
+/// * [`PipelineError::BudgetExhausted`] if a conflict budget runs out.
+///
+/// # Examples
+///
+/// ```
+/// use cdcl::SolverConfig;
+/// use cnf::CnfFormula;
+/// use satverify::enumerate_models;
+///
+/// // x1 ∨ x2 has three total models
+/// let f = CnfFormula::from_dimacs_clauses(&[vec![1, 2]]);
+/// let e = enumerate_models(&f, SolverConfig::default(), 10)?;
+/// assert_eq!(e.models.len(), 3);
+/// assert!(e.complete);
+/// # Ok::<(), satverify::PipelineError>(())
+/// ```
+pub fn enumerate_models(
+    formula: &CnfFormula,
+    config: SolverConfig,
+    limit: usize,
+) -> Result<Enumeration, PipelineError> {
+    let mut solver = Solver::new(formula, config.clone());
+    let mut models = Vec::new();
+    let mut blocking: Vec<Clause> = Vec::new();
+
+    loop {
+        match solver.solve() {
+            SolveResult::Sat(model) => {
+                if !formula.is_satisfied_by(&model) {
+                    return Err(PipelineError::BadModel);
+                }
+                // block this exact total assignment
+                let block: Vec<Lit> = (0..formula.num_vars())
+                    .map(|i| {
+                        let v = Var::new(i as u32);
+                        let value = model
+                            .var_value(v)
+                            .to_bool()
+                            .expect("SAT models are total");
+                        v.lit(!value)
+                    })
+                    .collect();
+                solver.add_clause(&block);
+                blocking.push(Clause::new(block));
+                models.push(model);
+                if models.len() >= limit {
+                    return Ok(Enumeration { models, complete: false });
+                }
+            }
+            SolveResult::Unsat(_) => break,
+            SolveResult::Unknown => return Err(PipelineError::BudgetExhausted),
+        }
+    }
+
+    // completeness: verify a fresh proof over formula + blocking clauses
+    let mut blocked = formula.clone();
+    for c in &blocking {
+        blocked.add_clause(c.clone());
+    }
+    match solve_and_verify(&blocked, config)? {
+        PipelineOutcome::Unsat(_) => Ok(Enumeration { models, complete: true }),
+        PipelineOutcome::Sat(_) => Err(PipelineError::BadModel),
+    }
+}
+
+/// Counts the total models of `formula` (up to `limit`).
+///
+/// # Errors
+///
+/// See [`enumerate_models`].
+pub fn count_models(
+    formula: &CnfFormula,
+    config: SolverConfig,
+    limit: usize,
+) -> Result<usize, PipelineError> {
+    Ok(enumerate_models(formula, config, limit)?.models.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_force_count(formula: &CnfFormula) -> usize {
+        let n = formula.num_vars();
+        assert!(n <= 16);
+        (0u32..(1 << n))
+            .filter(|bits| {
+                formula.iter().all(|c| {
+                    c.lits()
+                        .iter()
+                        .any(|&l| (bits >> l.var().idx() & 1 == 1) == l.is_positive())
+                })
+            })
+            .count()
+    }
+
+    #[test]
+    fn counts_match_brute_force() {
+        for clauses in [
+            vec![vec![1, 2]],
+            vec![vec![1, 2], vec![-1, -2]],
+            vec![vec![1], vec![2, 3], vec![-2, -3]],
+            vec![vec![1, 2, 3]],
+        ] {
+            let f = CnfFormula::from_dimacs_clauses(&clauses);
+            let expected = brute_force_count(&f);
+            let e = enumerate_models(&f, SolverConfig::default(), 1000).expect("ok");
+            assert_eq!(e.models.len(), expected, "{clauses:?}");
+            assert!(e.complete);
+            // all models distinct and genuine
+            for (i, m) in e.models.iter().enumerate() {
+                assert!(f.is_satisfied_by(m));
+                for other in &e.models[i + 1..] {
+                    assert_ne!(m, other, "duplicate model");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unsat_formula_has_zero_models() {
+        let f = CnfFormula::from_dimacs_clauses(&[vec![1], vec![-1]]);
+        let e = enumerate_models(&f, SolverConfig::default(), 10).expect("ok");
+        assert!(e.models.is_empty());
+        assert!(e.complete);
+    }
+
+    #[test]
+    fn limit_stops_early_and_reports_incomplete() {
+        // unconstrained 4 variables: 16 total models
+        let f = CnfFormula::from_dimacs_clauses(&[vec![1, -1, 2, 3, 4]]);
+        let e = enumerate_models(&f, SolverConfig::default(), 5).expect("ok");
+        assert_eq!(e.models.len(), 5);
+        assert!(!e.complete);
+    }
+
+    #[test]
+    fn count_models_helper() {
+        let f = CnfFormula::from_dimacs_clauses(&[vec![1, 2], vec![-1, 2]]);
+        // models: x2=1 with x1 free → 2
+        assert_eq!(count_models(&f, SolverConfig::default(), 100).expect("ok"), 2);
+    }
+
+    #[test]
+    fn pigeonhole_sat_model_count() {
+        // pigeonhole_sat(3): 3 pigeons, 3 holes → 3! = 6 placements;
+        // but extra models where a pigeon occupies several holes are
+        // forbidden only pairwise per hole… count against brute force
+        let f = cnfgen::pigeonhole_sat(2);
+        let expected = brute_force_count(&f);
+        assert_eq!(
+            count_models(&f, SolverConfig::default(), 1000).expect("ok"),
+            expected
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! End-to-end SAT solving with independently verified answers.
+//!
+//! This is the umbrella crate of the workspace reproducing **Goldberg &
+//! Novikov, "Verification of Proofs of Unsatisfiability for CNF
+//! Formulas" (DATE 2003)**. It re-exports the component crates and
+//! provides the one-call pipeline [`solve_and_verify`]:
+//!
+//! 1. solve with the BerkMin-style CDCL solver ([`cdcl`]), recording
+//!    every conflict clause;
+//! 2. on UNSAT, check the conflict-clause proof with the paper's
+//!    `Proof_verification2` ([`proofver`]), extracting an unsatisfiable
+//!    core as a by-product;
+//! 3. on SAT, re-check the model against the formula.
+//!
+//! Either way, a buggy solver cannot make you accept a wrong answer.
+//!
+//! # Examples
+//!
+//! ```
+//! use cdcl::SolverConfig;
+//! use satverify::{solve_and_verify, PipelineOutcome};
+//!
+//! let formula = cnfgen::eqv_adder(4); // adder equivalence miter: UNSAT
+//! let run = solve_and_verify(&formula, SolverConfig::default())?
+//!     .into_unsat()
+//!     .expect("equivalent circuits give an UNSAT miter");
+//! println!("core: {}", run.verification.core);
+//! # Ok::<(), satverify::PipelineError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod enumerate;
+mod minimize;
+mod mus;
+mod pipeline;
+mod simplify;
+mod sweep;
+
+pub use enumerate::{count_models, enumerate_models, Enumeration};
+pub use minimize::{minimize_core, MinimizedCore};
+pub use mus::{minimal_core, minimal_core_of_verified, MinimalCore};
+pub use sweep::{sweep, ProvedEquivalence, SweepResult};
+pub use simplify::{
+    preprocess, solve_and_verify_preprocessed, Preprocessed, ReconstructionStep,
+    SimplifyConfig,
+};
+pub use pipeline::{
+    annotated_from_trace, proof_from_trace, resolution_from_trace, solve_and_verify,
+    PipelineError, PipelineOutcome, UnsatRun,
+};
+
+// Re-export the component crates under stable names.
+pub use bcp;
+pub use cdcl;
+pub use circuit;
+pub use cnf;
+pub use cnfgen;
+pub use proofver;

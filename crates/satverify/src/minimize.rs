@@ -1,0 +1,144 @@
+//! Unsatisfiable-core minimisation.
+//!
+//! The core extracted by `Proof_verification2` is sound but not minimal:
+//! it contains every original clause that participated in *some* check's
+//! conflict. Re-solving the core and re-extracting often shrinks it
+//! further, because the solver finds a different (smaller) refutation of
+//! the sub-formula. Iterating to a fixpoint is the classic follow-on to
+//! the paper (Zhang & Malik 2003) and converges quickly in practice.
+
+use cdcl::SolverConfig;
+use cnf::CnfFormula;
+
+use crate::pipeline::{solve_and_verify, PipelineError, PipelineOutcome};
+
+/// The result of a [`minimize_core`] run.
+#[derive(Clone, Debug)]
+pub struct MinimizedCore {
+    /// Indices into the *original* formula forming the final core.
+    pub indices: Vec<usize>,
+    /// The final core as a formula.
+    pub formula: CnfFormula,
+    /// Core size after each iteration (strictly decreasing, then stable).
+    pub trajectory: Vec<usize>,
+}
+
+impl MinimizedCore {
+    /// Number of clauses in the final core.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Returns `true` if the core is empty (the original formula
+    /// contained the empty clause).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+}
+
+/// Iteratively re-solves and re-extracts the unsatisfiable core of
+/// `formula` until it stops shrinking (or `max_rounds` is hit).
+///
+/// Each intermediate core is *verified* — the answer chain is as
+/// trustworthy as a single verified run.
+///
+/// # Errors
+///
+/// Propagates [`PipelineError`]; also returns
+/// [`PipelineError::BadModel`]-style failure if an intermediate core
+/// unexpectedly turns out satisfiable (impossible for a correct checker;
+/// kept as a defensive error path rather than a panic).
+///
+/// # Examples
+///
+/// ```
+/// use cdcl::SolverConfig;
+/// use satverify::minimize_core;
+///
+/// // pigeonhole plus irrelevant ballast clauses
+/// let mut f = cnfgen::pigeonhole(4);
+/// let n = f.num_clauses();
+/// f.add_dimacs_clause(&[100, 101]);
+/// f.add_dimacs_clause(&[-100, 102]);
+///
+/// let core = minimize_core(&f, SolverConfig::default(), 8)?;
+/// assert_eq!(core.len(), n, "ballast is gone, php core is minimal");
+/// # Ok::<(), satverify::PipelineError>(())
+/// ```
+pub fn minimize_core(
+    formula: &CnfFormula,
+    config: SolverConfig,
+    max_rounds: usize,
+) -> Result<MinimizedCore, PipelineError> {
+    // indices[i] = position of current clause i in the ORIGINAL formula
+    let mut indices: Vec<usize> = (0..formula.num_clauses()).collect();
+    let mut current = formula.clone();
+    let mut trajectory = Vec::new();
+
+    for _ in 0..max_rounds.max(1) {
+        let run = match solve_and_verify(&current, config.clone())? {
+            PipelineOutcome::Unsat(run) => run,
+            PipelineOutcome::Sat(_) => return Err(PipelineError::BadModel),
+        };
+        let core = run.verification.core;
+        trajectory.push(core.len());
+        if core.len() == current.num_clauses() {
+            break; // fixpoint
+        }
+        indices = core.indices().iter().map(|&i| indices[i]).collect();
+        current = core.to_formula(&current);
+    }
+    Ok(MinimizedCore { indices, formula: current, trajectory })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ballast_is_removed() {
+        let mut f = cnfgen::pigeonhole(4);
+        let php_clauses = f.num_clauses();
+        // satisfiable ballast over fresh variables
+        f.add_dimacs_clause(&[100, 101]);
+        f.add_dimacs_clause(&[-101, 102]);
+        f.add_dimacs_clause(&[-102]);
+        let core = minimize_core(&f, SolverConfig::default(), 8).expect("ok");
+        assert_eq!(core.len(), php_clauses);
+        // indices refer to the original formula and exclude the ballast
+        assert!(core.indices.iter().all(|&i| i < php_clauses));
+        assert!(cdcl::solve(&core.formula, SolverConfig::default()).is_unsat());
+    }
+
+    #[test]
+    fn trajectory_is_monotone_nonincreasing() {
+        let mut f = cnfgen::pigeonhole(5);
+        for ballast in 0..10 {
+            f.add_dimacs_clause(&[200 + ballast, 300 + ballast]);
+        }
+        let core = minimize_core(&f, SolverConfig::default(), 8).expect("ok");
+        assert!(
+            core.trajectory.windows(2).all(|w| w[1] <= w[0]),
+            "{:?}",
+            core.trajectory
+        );
+        assert!(!core.is_empty());
+    }
+
+    #[test]
+    fn minimal_instance_is_a_one_round_fixpoint() {
+        let f = cnfgen::pigeonhole(4);
+        let core = minimize_core(&f, SolverConfig::default(), 8).expect("ok");
+        assert_eq!(core.len(), f.num_clauses());
+        assert_eq!(core.trajectory.len(), 1);
+    }
+
+    #[test]
+    fn round_cap_respected() {
+        let f = cnfgen::pigeonhole(4);
+        let core = minimize_core(&f, SolverConfig::default(), 1).expect("ok");
+        assert_eq!(core.trajectory.len(), 1);
+    }
+}

@@ -1,0 +1,309 @@
+//! Minimal unsatisfiable subsets via assumption-based incremental
+//! solving.
+//!
+//! The paper's §4 core is whatever `Proof_verification2` happens to
+//! mark; it is unsatisfiable but rarely minimal. The classic follow-on
+//! uses *selector variables*: clause `Cᵢ` becomes `Cᵢ ∨ ¬sᵢ`, and
+//! solving under assumptions `{sᵢ}` turns clause-set membership into
+//! assumption membership. The failed-assumption clause of an UNSAT
+//! answer names a core; deleting one selector at a time and re-solving
+//! *incrementally* (all learned clauses are reused across calls) shrinks
+//! it to a minimal one. Every UNSAT answer along the way is verified
+//! through [`proofver::verify_implication`].
+
+use cdcl::{AssumptionResult, Solver, SolverConfig};
+use cnf::{Clause, CnfFormula, Lit};
+use proofver::{verify_implication, ConflictClauseProof};
+
+use crate::pipeline::PipelineError;
+
+/// A verified minimal unsatisfiable subset (MUS).
+#[derive(Clone, Debug)]
+pub struct MinimalCore {
+    /// Indices into the original formula, in increasing order. Removing
+    /// *any* of these clauses makes the remainder satisfiable.
+    pub indices: Vec<usize>,
+    /// Incremental solver calls spent.
+    pub num_queries: usize,
+}
+
+impl MinimalCore {
+    /// Number of clauses in the MUS.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// True when the original formula contained an empty clause (the
+    /// only way a MUS can be a single empty clause is still len 1 — an
+    /// empty MUS cannot occur for an unsatisfiable formula).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// Materialises the MUS as a formula.
+    #[must_use]
+    pub fn to_formula(&self, formula: &CnfFormula) -> CnfFormula {
+        formula.subformula(&self.indices)
+    }
+}
+
+/// The selector-augmented formula: clause `Cᵢ` becomes `Cᵢ ∨ ¬sᵢ` with a
+/// fresh selector variable `sᵢ` per clause.
+fn augment_with_selectors(formula: &CnfFormula) -> (CnfFormula, Vec<Lit>) {
+    let mut augmented = CnfFormula::with_vars(formula.num_vars());
+    let selectors: Vec<Lit> = (0..formula.num_clauses())
+        .map(|_| augmented.new_var().positive())
+        .collect();
+    // note: selector vars come first after the original block to keep
+    // original literal names unchanged
+    for (clause, &s) in formula.iter().zip(&selectors) {
+        let mut lits = clause.lits().to_vec();
+        lits.push(!s);
+        augmented.add_clause(Clause::new(lits));
+    }
+    (augmented, selectors)
+}
+
+/// Extracts a *minimal* unsatisfiable subset of `formula` by
+/// destructive deletion over selector assumptions, verifying every
+/// UNSAT-under-assumptions answer against the proof checker.
+///
+/// # Errors
+///
+/// * [`PipelineError::BadModel`] if the formula is satisfiable (there is
+///   no core to extract) or an intermediate answer fails verification;
+/// * [`PipelineError::BudgetExhausted`] if `config.max_conflicts` runs
+///   out in some query.
+///
+/// # Examples
+///
+/// ```
+/// use cdcl::SolverConfig;
+/// use cnf::CnfFormula;
+/// use satverify::minimal_core;
+///
+/// // an UNSAT chain plus two irrelevant clauses
+/// let f = CnfFormula::from_dimacs_clauses(&[
+///     vec![1], vec![-1, 2], vec![-2], vec![3, 4], vec![-3, 4],
+/// ]);
+/// let mus = minimal_core(&f, SolverConfig::default())?;
+/// assert_eq!(mus.indices, vec![0, 1, 2]);
+/// # Ok::<(), satverify::PipelineError>(())
+/// ```
+pub fn minimal_core(
+    formula: &CnfFormula,
+    config: SolverConfig,
+) -> Result<MinimalCore, PipelineError> {
+    let config = config.log_proof(true);
+    let (augmented, selectors) = augment_with_selectors(formula);
+    let mut solver = Solver::new(&augmented, config);
+    let mut num_queries = 0usize;
+    // accumulated proof across incremental calls, for verification
+    let mut lemmas: Vec<Clause> = Vec::new();
+
+    // helper: one verified incremental query
+    let query = |solver: &mut Solver,
+                     lemmas: &mut Vec<Clause>,
+                     assumptions: &[Lit]|
+     -> Result<Option<Clause>, PipelineError> {
+        match solver.solve_with_assumptions(assumptions) {
+            AssumptionResult::Sat(model) => {
+                if augmented.is_satisfied_by(&model) {
+                    Ok(None)
+                } else {
+                    Err(PipelineError::BadModel)
+                }
+            }
+            AssumptionResult::UnsatUnderAssumptions { failed, proof } => {
+                lemmas.extend(proof.expect("logging forced on").clauses());
+                let accumulated = ConflictClauseProof::new(lemmas.clone());
+                verify_implication(&augmented, &accumulated, &failed)?;
+                Ok(Some(failed))
+            }
+            AssumptionResult::Unsat(proof) => {
+                // cannot happen for selector-augmented formulas (setting
+                // all selectors false satisfies everything), but handle
+                // it as "empty failed clause" for robustness
+                lemmas.extend(proof.expect("logging forced on").clauses());
+                Ok(Some(Clause::empty()))
+            }
+            AssumptionResult::Unknown => Err(PipelineError::BudgetExhausted),
+        }
+    };
+
+    // initial core from the failed-assumption clause
+    num_queries += 1;
+    let Some(failed) = query(&mut solver, &mut lemmas, &selectors)? else {
+        return Err(PipelineError::BadModel); // satisfiable: no core
+    };
+    let mut core: Vec<usize> = failed
+        .lits()
+        .iter()
+        .map(|l| selector_index(formula, *l))
+        .collect();
+    core.sort_unstable();
+    core.dedup();
+
+    // destructive deletion to a fixpoint
+    let mut i = 0;
+    while i < core.len() {
+        let candidate = core[i];
+        let assumptions: Vec<Lit> = core
+            .iter()
+            .filter(|&&c| c != candidate)
+            .map(|&c| selectors[c])
+            .collect();
+        num_queries += 1;
+        match query(&mut solver, &mut lemmas, &assumptions)? {
+            Some(failed) => {
+                // still UNSAT without `candidate`: shrink to the (possibly
+                // much smaller) new failed set and restart scanning
+                let mut next: Vec<usize> = failed
+                    .lits()
+                    .iter()
+                    .map(|l| selector_index(formula, *l))
+                    .collect();
+                next.sort_unstable();
+                next.dedup();
+                core = next;
+                i = 0;
+            }
+            None => i += 1, // candidate is necessary — keep it
+        }
+    }
+    Ok(MinimalCore { indices: core, num_queries })
+}
+
+/// Maps a failed-clause literal (a negated selector) back to its clause
+/// index.
+fn selector_index(formula: &CnfFormula, lit: Lit) -> usize {
+    let idx = lit.var().idx();
+    debug_assert!(idx >= formula.num_vars(), "literal is not a selector");
+    idx - formula.num_vars()
+}
+
+/// Convenience: the paper's §4 core (from proof verification) followed
+/// by MUS minimisation — the best of both worlds: the cheap verified
+/// core narrows the search, the selector loop makes it minimal.
+///
+/// # Errors
+///
+/// See [`minimal_core`] and [`crate::solve_and_verify`].
+pub fn minimal_core_of_verified(
+    formula: &CnfFormula,
+    config: SolverConfig,
+) -> Result<MinimalCore, PipelineError> {
+    // first narrow with the by-product core (usually much smaller input)
+    let run = match crate::solve_and_verify(formula, config.clone())? {
+        crate::PipelineOutcome::Unsat(run) => run,
+        crate::PipelineOutcome::Sat(_) => return Err(PipelineError::BadModel),
+    };
+    let coarse = run.verification.core;
+    let sub = coarse.to_formula(formula);
+    let mus_of_sub = minimal_core(&sub, config)?;
+    let indices: Vec<usize> = mus_of_sub
+        .indices
+        .iter()
+        .map(|&i| coarse.indices()[i])
+        .collect();
+    Ok(MinimalCore { indices, num_queries: mus_of_sub.num_queries + 1 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdcl::solve;
+
+    fn assert_is_mus(formula: &CnfFormula, mus: &MinimalCore) {
+        let sub = mus.to_formula(formula);
+        assert!(
+            solve(&sub, SolverConfig::default()).is_unsat(),
+            "MUS must be unsatisfiable"
+        );
+        for drop in 0..mus.indices.len() {
+            let kept: Vec<usize> = mus
+                .indices
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != drop)
+                .map(|(_, &i)| i)
+                .collect();
+            let weakened = formula.subformula(&kept);
+            assert!(
+                solve(&weakened, SolverConfig::default()).is_sat(),
+                "MUS minus clause {} must be satisfiable",
+                mus.indices[drop]
+            );
+        }
+    }
+
+    #[test]
+    fn chain_with_ballast() {
+        let f = CnfFormula::from_dimacs_clauses(&[
+            vec![1],
+            vec![-1, 2],
+            vec![-2],
+            vec![3, 4],
+            vec![-3, 4],
+        ]);
+        let mus = minimal_core(&f, SolverConfig::default()).expect("unsat");
+        assert_eq!(mus.indices, vec![0, 1, 2]);
+        assert_is_mus(&f, &mus);
+    }
+
+    #[test]
+    fn pigeonhole_is_already_minimal() {
+        let f = cnfgen::pigeonhole(4);
+        let mus = minimal_core(&f, SolverConfig::default()).expect("unsat");
+        assert_eq!(mus.len(), f.num_clauses(), "php is minimally unsatisfiable");
+        assert_is_mus(&f, &mus);
+    }
+
+    #[test]
+    fn overlapping_cores_yield_some_minimal_one() {
+        // two independent contradictions: x1-chain and x2-chain; a MUS
+        // is one of them, not both
+        let f = CnfFormula::from_dimacs_clauses(&[
+            vec![1],
+            vec![-1],
+            vec![2],
+            vec![-2],
+        ]);
+        let mus = minimal_core(&f, SolverConfig::default()).expect("unsat");
+        assert_eq!(mus.len(), 2);
+        assert_is_mus(&f, &mus);
+    }
+
+    #[test]
+    fn satisfiable_input_is_an_error() {
+        let f = CnfFormula::from_dimacs_clauses(&[vec![1, 2]]);
+        assert!(minimal_core(&f, SolverConfig::default()).is_err());
+    }
+
+    #[test]
+    fn combined_extractor_agrees() {
+        let mut f = cnfgen::pigeonhole(4);
+        f.add_dimacs_clause(&[100, 101]);
+        f.add_dimacs_clause(&[-100]);
+        let php_clauses = f.num_clauses() - 2;
+        let mus = minimal_core_of_verified(&f, SolverConfig::default()).expect("unsat");
+        assert_eq!(mus.len(), php_clauses);
+        assert_is_mus(&f, &mus);
+    }
+
+    #[test]
+    fn xor_square_mus() {
+        let mut f = CnfFormula::from_dimacs_clauses(&[
+            vec![1, 2],
+            vec![-1, -2],
+            vec![1, -2],
+            vec![-1, 2],
+        ]);
+        f.add_dimacs_clause(&[3, 4]); // ballast
+        let mus = minimal_core(&f, SolverConfig::default()).expect("unsat");
+        assert_eq!(mus.indices, vec![0, 1, 2, 3]);
+        assert_is_mus(&f, &mus);
+    }
+}

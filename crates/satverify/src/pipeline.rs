@@ -1,0 +1,285 @@
+//! The end-to-end pipeline: solve → log conflict clauses → verify →
+//! extract the unsatisfiable core.
+
+use std::error::Error;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use cdcl::{ProofClauseId, ProofTrace, SolveResult, Solver, SolverConfig, SolverStats};
+use cnf::{Assignment, Clause, CnfFormula};
+use proofver::{
+    resolution_proof_from_chains, verify, ChainRef, ConflictClauseProof,
+    ResolutionProof, Verification, VerifyError,
+};
+
+/// Converts a solver [`ProofTrace`] into the checker's
+/// [`ConflictClauseProof`].
+#[must_use]
+pub fn proof_from_trace(trace: &ProofTrace) -> ConflictClauseProof {
+    ConflictClauseProof::new(trace.clauses())
+}
+
+/// Rebuilds the resolution-graph proof from a trace recorded with
+/// [`SolverConfig::log_resolution_chains`] — the §5 baseline object.
+///
+/// # Panics
+///
+/// Panics if the trace has no antecedent chains.
+#[must_use]
+pub fn resolution_from_trace(formula: &CnfFormula, trace: &ProofTrace) -> ResolutionProof {
+    assert!(trace.has_chains(), "trace was recorded without resolution chains");
+    let sources: Vec<Clause> = formula.iter().cloned().collect();
+    let chains: Vec<Vec<ChainRef>> = trace
+        .steps
+        .iter()
+        .map(|s| {
+            s.antecedents
+                .as_ref()
+                .expect("has_chains checked")
+                .iter()
+                .map(|&id| match id {
+                    ProofClauseId::Original(i) => ChainRef::Source(i),
+                    ProofClauseId::Learned(i) => ChainRef::Learned(i),
+                })
+                .collect()
+        })
+        .collect();
+    resolution_proof_from_chains(sources, &chains)
+}
+
+/// Converts a solver [`ProofTrace`] into a deletion-annotated proof:
+/// the conflict clauses interleaved with the solver's database-reduction
+/// events, so the checker's propagation mirrors the solver's working
+/// set (see [`proofver::AnnotatedProof`]).
+#[must_use]
+pub fn annotated_from_trace(trace: &ProofTrace) -> proofver::AnnotatedProof {
+    use proofver::{ProofClauseRef, ProofEvent};
+    let mut events = Vec::with_capacity(trace.steps.len() + trace.deletions.len());
+    let mut del_iter = trace.deletions.iter().peekable();
+    for (i, step) in trace.steps.iter().enumerate() {
+        while let Some(d) = del_iter.next_if(|d| d.after_step <= i) {
+            events.push(ProofEvent::Delete(match d.target {
+                ProofClauseId::Original(k) => ProofClauseRef::Original(k),
+                ProofClauseId::Learned(j) => ProofClauseRef::Learned(j),
+            }));
+        }
+        events.push(ProofEvent::Add(step.clause.clone()));
+    }
+    for d in del_iter {
+        events.push(ProofEvent::Delete(match d.target {
+            ProofClauseId::Original(k) => ProofClauseRef::Original(k),
+            ProofClauseId::Learned(j) => ProofClauseRef::Learned(j),
+        }));
+    }
+    proofver::AnnotatedProof::new(events)
+}
+
+/// Everything produced by an UNSAT run of the pipeline.
+#[derive(Clone, Debug)]
+pub struct UnsatRun {
+    /// The raw solver trace (clauses + resolution metadata).
+    pub trace: ProofTrace,
+    /// The conflict-clause proof handed to the checker.
+    pub proof: ConflictClauseProof,
+    /// The verification result, including the unsatisfiable core.
+    pub verification: Verification,
+    /// Solver statistics.
+    pub stats: SolverStats,
+    /// Wall-clock time spent solving (proof generation).
+    pub solve_time: Duration,
+    /// Wall-clock time spent verifying.
+    pub verify_time: Duration,
+}
+
+impl UnsatRun {
+    /// The paper's headline ratio: verification time over solving time
+    /// (§6 reports 2–3×).
+    #[must_use]
+    pub fn verify_over_solve(&self) -> f64 {
+        let solve = self.solve_time.as_secs_f64();
+        if solve == 0.0 {
+            0.0
+        } else {
+            self.verify_time.as_secs_f64() / solve
+        }
+    }
+}
+
+/// The outcome of [`solve_and_verify`].
+#[derive(Clone, Debug)]
+pub enum PipelineOutcome {
+    /// Satisfiable; the model has been re-checked against the formula.
+    Sat(Assignment),
+    /// Unsatisfiable, with a *verified* proof.
+    Unsat(Box<UnsatRun>),
+}
+
+impl PipelineOutcome {
+    /// Extracts the UNSAT artefacts, if the formula was unsatisfiable.
+    #[must_use]
+    pub fn into_unsat(self) -> Option<Box<UnsatRun>> {
+        match self {
+            PipelineOutcome::Unsat(run) => Some(run),
+            PipelineOutcome::Sat(_) => None,
+        }
+    }
+}
+
+/// An end-to-end pipeline failure.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// The solver ran out of its conflict budget.
+    BudgetExhausted,
+    /// The solver returned a model that does not satisfy the formula —
+    /// the SAT-side analogue of a bogus proof (§1: "it is trivial to
+    /// check whether the returned solution is correct").
+    BadModel,
+    /// The proof failed verification: the solver is buggy.
+    Verify(VerifyError),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::BudgetExhausted => write!(f, "conflict budget exhausted"),
+            PipelineError::BadModel => {
+                write!(f, "solver returned a model that does not satisfy the formula")
+            }
+            PipelineError::Verify(e) => write!(f, "proof verification failed: {e}"),
+        }
+    }
+}
+
+impl Error for PipelineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PipelineError::Verify(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<VerifyError> for PipelineError {
+    fn from(e: VerifyError) -> Self {
+        PipelineError::Verify(e)
+    }
+}
+
+/// Solves `formula`, and on an UNSAT answer verifies the emitted
+/// conflict-clause proof with `Proof_verification2`; on a SAT answer
+/// re-checks the model. Either way the answer returned has been
+/// independently validated.
+///
+/// Proof logging is forced on regardless of `config.log_proof`.
+///
+/// # Errors
+///
+/// * [`PipelineError::BudgetExhausted`] if `config.max_conflicts` ran out;
+/// * [`PipelineError::BadModel`] if a returned model is wrong;
+/// * [`PipelineError::Verify`] if the proof fails verification.
+///
+/// # Examples
+///
+/// ```
+/// use cdcl::SolverConfig;
+/// use satverify::{solve_and_verify, PipelineOutcome};
+///
+/// let formula = cnfgen::pigeonhole(4);
+/// match solve_and_verify(&formula, SolverConfig::default())? {
+///     PipelineOutcome::Unsat(run) => {
+///         assert_eq!(run.verification.core.len(), formula.num_clauses());
+///     }
+///     PipelineOutcome::Sat(_) => unreachable!("pigeonhole is UNSAT"),
+/// }
+/// # Ok::<(), satverify::PipelineError>(())
+/// ```
+pub fn solve_and_verify(
+    formula: &CnfFormula,
+    config: SolverConfig,
+) -> Result<PipelineOutcome, PipelineError> {
+    let config = config.log_proof(true);
+    let mut solver = Solver::new(formula, config);
+    let solve_start = Instant::now();
+    let result = solver.solve();
+    let solve_time = solve_start.elapsed();
+    match result {
+        SolveResult::Sat(model) => {
+            if formula.is_satisfied_by(&model) {
+                Ok(PipelineOutcome::Sat(model))
+            } else {
+                Err(PipelineError::BadModel)
+            }
+        }
+        SolveResult::Unknown => Err(PipelineError::BudgetExhausted),
+        SolveResult::Unsat(trace) => {
+            let trace = trace.expect("proof logging forced on");
+            let proof = proof_from_trace(&trace);
+            let verify_start = Instant::now();
+            let verification = verify(formula, &proof)?;
+            let verify_time = verify_start.elapsed();
+            Ok(PipelineOutcome::Unsat(Box::new(UnsatRun {
+                proof,
+                verification,
+                stats: *solver.stats(),
+                solve_time,
+                verify_time,
+                trace,
+            })))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unsat_pipeline_end_to_end() {
+        let formula = cnfgen::pigeonhole(5);
+        let outcome = solve_and_verify(&formula, SolverConfig::default()).expect("ok");
+        let run = outcome.into_unsat().expect("UNSAT");
+        assert!(run.proof.len() > 0);
+        assert_eq!(run.verification.core.len(), formula.num_clauses());
+        assert_eq!(run.stats.conflicts as usize, run.proof.len());
+    }
+
+    #[test]
+    fn sat_pipeline_checks_model() {
+        let formula = cnfgen::pigeonhole_sat(4);
+        match solve_and_verify(&formula, SolverConfig::default()).expect("ok") {
+            PipelineOutcome::Sat(model) => assert!(formula.is_satisfied_by(&model)),
+            PipelineOutcome::Unsat(_) => panic!("satisfiable instance"),
+        }
+    }
+
+    #[test]
+    fn budget_surfaces_as_error() {
+        let formula = cnfgen::pigeonhole(7);
+        let err = solve_and_verify(&formula, SolverConfig::new().max_conflicts(Some(2)))
+            .expect_err("budget too small");
+        assert!(matches!(err, PipelineError::BudgetExhausted));
+    }
+
+    #[test]
+    fn resolution_rebuild_from_pipeline() {
+        let formula = cnfgen::pigeonhole(4);
+        let config = SolverConfig::new().log_resolution_chains(true);
+        let run = solve_and_verify(&formula, config)
+            .expect("ok")
+            .into_unsat()
+            .expect("UNSAT");
+        let res = resolution_from_trace(&formula, &run.trace);
+        assert!(res.check().is_ok());
+        assert_eq!(res.num_internal_nodes() as u64, run.trace.num_resolutions());
+    }
+
+    #[test]
+    fn proof_logging_forced_on() {
+        let formula = cnfgen::pigeonhole(3);
+        let run = solve_and_verify(&formula, SolverConfig::new().log_proof(false))
+            .expect("ok")
+            .into_unsat()
+            .expect("UNSAT");
+        assert!(run.proof.len() > 0);
+    }
+}

@@ -1,0 +1,587 @@
+//! Verified preprocessing: subsumption, self-subsuming resolution, and
+//! NiVER-style bounded variable elimination.
+//!
+//! Preprocessing usually complicates proof checking — here it composes
+//! cleanly with the paper's machinery instead:
+//!
+//! * every clause preprocessing *adds* is a resolvent of two existing
+//!   clauses, and a resolvent is always RUP (falsify it: both parents
+//!   become unit on the pivot's two phases and clash), so the added
+//!   clauses form a valid *prefix* of a conflict-clause proof;
+//! * RUP checks are monotone in the clause set, so a proof of the
+//!   *simplified* formula still checks with the original clauses
+//!   present.
+//!
+//! Consequently `solve: preprocess → CDCL` yields the proof
+//! `[added resolvents] ++ [solver clauses]`, verifiable against the
+//! **original** formula by the unmodified checker. SAT answers are
+//! repaired by reconstructing values for eliminated variables.
+
+use std::collections::HashSet;
+
+use cdcl::SolverConfig;
+use cnf::{Assignment, Clause, CnfFormula, Lit, Var};
+
+use crate::pipeline::{solve_and_verify, PipelineError, PipelineOutcome, UnsatRun};
+
+/// The outcome of [`preprocess`].
+#[derive(Clone, Debug)]
+pub struct Preprocessed {
+    /// The simplified formula (same variable universe).
+    pub formula: CnfFormula,
+    /// Resolvents added during preprocessing, in derivation order — a
+    /// valid conflict-clause proof prefix for the original formula.
+    pub added: Vec<Clause>,
+    /// The chronological log of satisfiability-preserving (but not
+    /// equivalence-preserving) removals, consumed in reverse by
+    /// [`Preprocessed::reconstruct_model`].
+    pub reconstruction: Vec<ReconstructionStep>,
+    /// Clauses removed by subsumption.
+    pub num_subsumed: usize,
+    /// Literals removed by self-subsuming resolution.
+    pub num_strengthened: usize,
+}
+
+/// One solution-reconstruction obligation recorded by [`preprocess`].
+#[derive(Clone, Debug)]
+pub enum ReconstructionStep {
+    /// A variable was eliminated by resolution; `clauses` are the
+    /// removed clauses mentioning it.
+    Eliminated {
+        /// The eliminated variable.
+        var: Var,
+        /// Its removed clauses.
+        clauses: Vec<Clause>,
+    },
+    /// A blocked clause was removed; flipping `lit` true repairs any
+    /// model that violates `clause`.
+    Blocked {
+        /// The blocking literal.
+        lit: Lit,
+        /// The removed clause.
+        clause: Clause,
+    },
+}
+
+impl Preprocessed {
+    /// Extends a model of the simplified formula to a model of the
+    /// original: eliminated variables are assigned (newest elimination
+    /// first) so that all their original clauses are satisfied.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `model` does not actually satisfy the simplified
+    /// formula's constraints on the eliminated variables (impossible for
+    /// models of [`Preprocessed::formula`]).
+    #[must_use]
+    pub fn reconstruct_model(&self, model: &Assignment) -> Assignment {
+        let mut full = model.clone();
+        for step in self.reconstruction.iter().rev() {
+            match step {
+                ReconstructionStep::Eliminated { var, clauses } => {
+                    full.unassign(*var);
+                    // choose the phase satisfying every clause that needs it
+                    let needs_true = clauses.iter().any(|c| {
+                        c.contains(var.positive())
+                            && !c.lits().iter().any(|&l| {
+                                l.var() != *var
+                                    && full.lit_value(l) == cnf::LBool::True
+                            })
+                    });
+                    full.assign(var.lit(needs_true));
+                    for c in clauses {
+                        assert!(
+                            full.eval_clause(c) == cnf::LBool::True,
+                            "model reconstruction failed for {c}"
+                        );
+                    }
+                }
+                ReconstructionStep::Blocked { lit, clause } => {
+                    if full.eval_clause(clause) != cnf::LBool::True {
+                        // flipping the blocking literal satisfies the
+                        // clause and cannot break any clause with ¬lit
+                        // (each resolves tautologically with this one)
+                        full.unassign(lit.var());
+                        full.assign(*lit);
+                        assert!(
+                            full.eval_clause(clause) == cnf::LBool::True,
+                            "blocked-clause repair failed for {clause}"
+                        );
+                    }
+                }
+            }
+        }
+        full
+    }
+
+    /// Number of variables eliminated by resolution.
+    #[must_use]
+    pub fn num_eliminated(&self) -> usize {
+        self.reconstruction
+            .iter()
+            .filter(|s| matches!(s, ReconstructionStep::Eliminated { .. }))
+            .count()
+    }
+
+    /// Number of blocked clauses removed.
+    #[must_use]
+    pub fn num_blocked(&self) -> usize {
+        self.reconstruction
+            .iter()
+            .filter(|s| matches!(s, ReconstructionStep::Blocked { .. }))
+            .count()
+    }
+}
+
+/// Limits for [`preprocess`].
+#[derive(Clone, Copy, Debug)]
+pub struct SimplifyConfig {
+    /// Eliminate a variable only if the resolvent count does not exceed
+    /// its occurrence count (NiVER's non-increasing rule) and no single
+    /// resolvent exceeds this length.
+    pub max_resolvent_len: usize,
+    /// Upper bound on occurrences (per phase) of an elimination
+    /// candidate.
+    pub max_occurrences: usize,
+    /// Fixpoint round limit.
+    pub max_rounds: usize,
+    /// Enable blocked-clause elimination (clause deletion is free for
+    /// the stitched UNSAT proof — checks run against the original
+    /// formula — and SAT models are repaired by flipping the blocking
+    /// literal).
+    pub blocked_clause_elimination: bool,
+}
+
+impl Default for SimplifyConfig {
+    fn default() -> Self {
+        SimplifyConfig {
+            max_resolvent_len: 12,
+            max_occurrences: 10,
+            max_rounds: 4,
+            blocked_clause_elimination: true,
+        }
+    }
+}
+
+/// Applies subsumption, self-subsuming resolution, and bounded variable
+/// elimination to a fixpoint (bounded by `config.max_rounds`).
+///
+/// The result is equisatisfiable with `formula`; UNSAT proofs of the
+/// result extend to proofs of `formula` by prefixing
+/// [`Preprocessed::added`], and SAT models extend via
+/// [`Preprocessed::reconstruct_model`].
+#[must_use]
+pub fn preprocess(formula: &CnfFormula, config: SimplifyConfig) -> Preprocessed {
+    // working set: clauses as sorted literal vectors, with tombstones
+    let mut added: Vec<Clause> = Vec::new();
+    let mut clauses: Vec<Option<Clause>> = formula
+        .iter()
+        .map(|c| {
+            let n = c.normalized();
+            if n.is_tautology() {
+                return None; // tautologies contribute nothing
+            }
+            if n.len() != c.len() {
+                // duplicate literals were removed: the deduplicated
+                // clause is RUP against the original (falsifying it
+                // falsifies the original clause), but later resolvents
+                // built from it are not RUP against the *raw* original —
+                // a duplicated watched pair never propagates. Emit the
+                // normalisation as an explicit proof step.
+                added.push(n.clone());
+            }
+            Some(n)
+        })
+        .collect();
+    let mut reconstruction: Vec<ReconstructionStep> = Vec::new();
+    let mut eliminated_set: HashSet<Var> = HashSet::new();
+    let mut num_subsumed = 0usize;
+    let mut num_strengthened = 0usize;
+
+    for _ in 0..config.max_rounds {
+        let mut changed = false;
+
+        // --- subsumption & self-subsumption (quadratic; fine at our
+        // formula sizes) -----------------------------------------------
+        let live: Vec<usize> =
+            (0..clauses.len()).filter(|&i| clauses[i].is_some()).collect();
+        for &i in &live {
+            let Some(ci) = clauses[i].clone() else { continue };
+            for &j in &live {
+                if i == j {
+                    continue;
+                }
+                let Some(cj) = clauses[j].clone() else { continue };
+                if ci.len() > cj.len() {
+                    continue;
+                }
+                // subsumption: ci ⊆ cj → drop cj
+                if ci.lits().iter().all(|l| cj.contains(*l)) {
+                    clauses[j] = None;
+                    num_subsumed += 1;
+                    changed = true;
+                    continue;
+                }
+                // self-subsumption: ci \ {l} ⊆ cj and ¬l ∈ cj →
+                // strengthen cj to cj \ {¬l} (a resolvent of ci and cj)
+                let mut pivot = None;
+                let mut fits = true;
+                for &l in ci.lits() {
+                    if cj.contains(l) {
+                        continue;
+                    }
+                    if cj.contains(!l) && pivot.is_none() {
+                        pivot = Some(l);
+                    } else {
+                        fits = false;
+                        break;
+                    }
+                }
+                if let (true, Some(p)) = (fits, pivot) {
+                    let strengthened: Vec<Lit> = cj
+                        .lits()
+                        .iter()
+                        .copied()
+                        .filter(|&l| l != !p)
+                        .collect();
+                    let resolvent = Clause::new(strengthened).normalized();
+                    added.push(resolvent.clone());
+                    clauses[j] = Some(resolvent);
+                    num_strengthened += 1;
+                    changed = true;
+                }
+            }
+        }
+
+        // --- blocked-clause elimination ---------------------------------
+        // A clause C is blocked on l ∈ C when every clause D with ¬l
+        // resolves tautologically with C. Removing C preserves
+        // satisfiability (flip l in any model of the rest), and for the
+        // UNSAT direction removal is free: proofs are checked against
+        // the ORIGINAL formula, which still contains C.
+        if config.blocked_clause_elimination {
+            for i in 0..clauses.len() {
+                let Some(ci) = clauses[i].clone() else { continue };
+                let mut blocking = None;
+                'lits: for &l in ci.lits() {
+                    for cj in clauses.iter().flatten() {
+                        if !cj.contains(!l) {
+                            continue;
+                        }
+                        // resolvent tautologous ⇔ another clashing pair
+                        let tautologous = ci
+                            .lits()
+                            .iter()
+                            .any(|&x| x != l && cj.contains(!x));
+                        if !tautologous {
+                            continue 'lits;
+                        }
+                    }
+                    blocking = Some(l);
+                    break;
+                }
+                if let Some(l) = blocking {
+                    reconstruction.push(ReconstructionStep::Blocked {
+                        lit: l,
+                        clause: ci,
+                    });
+                    clauses[i] = None;
+                    changed = true;
+                }
+            }
+        }
+
+        // --- bounded variable elimination ------------------------------
+        for v in 0..formula.num_vars() {
+            let var = Var::new(v as u32);
+            if eliminated_set.contains(&var) {
+                continue;
+            }
+            let pos: Vec<usize> = (0..clauses.len())
+                .filter(|&i| {
+                    clauses[i]
+                        .as_ref()
+                        .is_some_and(|c| c.contains(var.positive()))
+                })
+                .collect();
+            let neg: Vec<usize> = (0..clauses.len())
+                .filter(|&i| {
+                    clauses[i]
+                        .as_ref()
+                        .is_some_and(|c| c.contains(var.negative()))
+                })
+                .collect();
+            if pos.is_empty() && neg.is_empty() {
+                continue;
+            }
+            if pos.len() > config.max_occurrences || neg.len() > config.max_occurrences
+            {
+                continue;
+            }
+            // build all non-tautological resolvents
+            let mut resolvents: Vec<Clause> = Vec::new();
+            let mut too_big = false;
+            'outer: for &i in &pos {
+                for &j in &neg {
+                    let ci = clauses[i].as_ref().expect("live");
+                    let cj = clauses[j].as_ref().expect("live");
+                    let r = ci
+                        .resolve_on(cj, var)
+                        .expect("clauses contain opposite phases")
+                        .normalized();
+                    if r.is_tautology() {
+                        continue;
+                    }
+                    if r.len() > config.max_resolvent_len {
+                        too_big = true;
+                        break 'outer;
+                    }
+                    resolvents.push(r);
+                }
+            }
+            // NiVER rule: do not increase the clause count
+            if too_big || resolvents.len() > pos.len() + neg.len() {
+                continue;
+            }
+            // commit: record, add resolvents, drop the var's clauses
+            let removed: Vec<Clause> = pos
+                .iter()
+                .chain(&neg)
+                .map(|&i| clauses[i].clone().expect("live"))
+                .collect();
+            for &i in pos.iter().chain(&neg) {
+                clauses[i] = None;
+            }
+            for r in resolvents {
+                added.push(r.clone());
+                clauses.push(Some(r));
+            }
+            reconstruction
+                .push(ReconstructionStep::Eliminated { var, clauses: removed });
+            eliminated_set.insert(var);
+            changed = true;
+        }
+
+        if !changed {
+            break;
+        }
+    }
+
+    let mut simplified = CnfFormula::with_vars(formula.num_vars());
+    for c in clauses.into_iter().flatten() {
+        simplified.add_clause(c);
+    }
+    Preprocessed {
+        formula: simplified,
+        added,
+        reconstruction,
+        num_subsumed,
+        num_strengthened,
+    }
+}
+
+/// Solves with preprocessing, returning answers verified against the
+/// **original** formula: an UNSAT proof is the preprocessing resolvents
+/// followed by the solver's conflict clauses, checked as one
+/// conflict-clause proof; a SAT model is reconstructed and re-checked.
+///
+/// # Errors
+///
+/// See [`solve_and_verify`]; additionally fails if model reconstruction
+/// produces a non-model (a preprocessor bug).
+pub fn solve_and_verify_preprocessed(
+    formula: &CnfFormula,
+    simplify: SimplifyConfig,
+    config: SolverConfig,
+) -> Result<PipelineOutcome, PipelineError> {
+    let pre = preprocess(formula, simplify);
+    match solve_and_verify(&pre.formula, config)? {
+        PipelineOutcome::Sat(model) => {
+            let full = pre.reconstruct_model(&model);
+            if formula.is_satisfied_by(&full) {
+                Ok(PipelineOutcome::Sat(full))
+            } else {
+                Err(PipelineError::BadModel)
+            }
+        }
+        PipelineOutcome::Unsat(run) => {
+            // stitch: added resolvents ++ solver clauses, then verify
+            // against the ORIGINAL formula
+            let mut clauses = pre.added.clone();
+            clauses.extend(run.proof.iter().cloned());
+            let stitched = proofver::ConflictClauseProof::new(clauses);
+            let verification = proofver::verify(formula, &stitched)?;
+            Ok(PipelineOutcome::Unsat(Box::new(UnsatRun {
+                proof: stitched,
+                verification,
+                ..*run
+            })))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subsumption_removes_weaker_clauses() {
+        let f = CnfFormula::from_dimacs_clauses(&[vec![1], vec![1, 2], vec![1, 2, 3]]);
+        let pre = preprocess(&f, SimplifyConfig::default());
+        assert!(pre.num_subsumed >= 2);
+        // x1 may then be eliminated entirely (it is pure) — either way
+        // the result is satisfiable like the original
+        assert!(pre.formula.num_clauses() <= 1);
+    }
+
+    #[test]
+    fn self_subsumption_strengthens() {
+        // (1 2) and (¬1 2 3): strengthen the latter to (2 3)
+        let f = CnfFormula::from_dimacs_clauses(&[vec![1, 2], vec![-1, 2, 3]]);
+        let pre = preprocess(&f, SimplifyConfig::default());
+        assert!(pre.num_strengthened >= 1);
+        assert!(pre.added.iter().any(|c| c.same_lits(&Clause::from_dimacs(&[2, 3]))));
+    }
+
+    #[test]
+    fn added_resolvents_are_rup_against_the_original() {
+        let f = cnfgen::pigeonhole(4);
+        let pre = preprocess(&f, SimplifyConfig::default());
+        let prefix = proofver::ConflictClauseProof::new(pre.added.clone());
+        for (i, clause) in prefix.clauses().iter().enumerate() {
+            let head = proofver::ConflictClauseProof::new(
+                prefix.clauses()[..=i].to_vec(),
+            );
+            // check the i-th addition given the earlier ones: use the
+            // implication checker with the clause itself as target
+            let earlier =
+                proofver::ConflictClauseProof::new(prefix.clauses()[..i].to_vec());
+            proofver::verify_implication(&f, &earlier, clause).unwrap_or_else(|e| {
+                panic!("added clause #{i} {clause} is not RUP: {e}")
+            });
+            drop(head);
+        }
+    }
+
+    #[test]
+    fn unsat_pipeline_verifies_against_original() {
+        for formula in [cnfgen::pigeonhole(5), cnfgen::tseitin_grid(3, 3)] {
+            let outcome = solve_and_verify_preprocessed(
+                &formula,
+                SimplifyConfig::default(),
+                SolverConfig::default(),
+            )
+            .expect("pipeline");
+            let run = outcome.into_unsat().expect("UNSAT");
+            assert_eq!(run.verification.report.num_original, formula.num_clauses());
+        }
+    }
+
+    #[test]
+    fn sat_models_are_reconstructed() {
+        let f = CnfFormula::from_dimacs_clauses(&[
+            vec![1, 2],
+            vec![-2, 3],
+            vec![-3, 4],
+            vec![1, -4],
+        ]);
+        let outcome = solve_and_verify_preprocessed(
+            &f,
+            SimplifyConfig::default(),
+            SolverConfig::default(),
+        )
+        .expect("pipeline");
+        match outcome {
+            PipelineOutcome::Sat(model) => {
+                assert!(f.is_satisfied_by(&model));
+                assert_eq!(model.num_assigned(), f.num_vars());
+            }
+            PipelineOutcome::Unsat(_) => panic!("formula is SAT"),
+        }
+    }
+
+    #[test]
+    fn blocked_clauses_are_removed_and_models_repaired() {
+        // (1 ∨ 2) is blocked on 1 when no clause contains ¬1 (pure
+        // literal — the degenerate blocked case); (¬2 ∨ 3) constrains
+        // the rest
+        let f = CnfFormula::from_dimacs_clauses(&[vec![1, 2], vec![-2, 3]]);
+        let pre = preprocess(&f, SimplifyConfig::default());
+        assert!(pre.num_blocked() + pre.num_eliminated() > 0);
+        // end-to-end SAT with reconstruction
+        let outcome = solve_and_verify_preprocessed(
+            &f,
+            SimplifyConfig::default(),
+            SolverConfig::default(),
+        )
+        .expect("pipeline");
+        match outcome {
+            PipelineOutcome::Sat(model) => assert!(f.is_satisfied_by(&model)),
+            PipelineOutcome::Unsat(_) => panic!("formula is SAT"),
+        }
+    }
+
+    #[test]
+    fn bce_keeps_unsat_instances_unsat() {
+        // Tseitin encodings are full of blocked clauses; the verdict and
+        // the stitched proof must survive their removal
+        let f = cnfgen::eqv_adder(3);
+        let pre = preprocess(&f, SimplifyConfig::default());
+        assert!(pre.num_blocked() > 0, "expected blocked clauses in a miter");
+        let out = solve_and_verify_preprocessed(
+            &f,
+            SimplifyConfig::default(),
+            SolverConfig::default(),
+        )
+        .expect("pipeline");
+        assert!(out.into_unsat().is_some());
+    }
+
+    #[test]
+    fn duplicate_literal_clauses_get_normalisation_steps() {
+        // (6∨6) ∧ (¬6∨¬6): semantically a conflicting unit pair, but the
+        // duplicated literals defeat watched-literal propagation — the
+        // regression that required emitting normalisations as proof steps
+        let f = CnfFormula::from_dimacs_clauses(&[vec![6, 6], vec![-6, -6]]);
+        let outcome = solve_and_verify_preprocessed(
+            &f,
+            SimplifyConfig::default(),
+            SolverConfig::default(),
+        )
+        .expect("pipeline");
+        assert!(outcome.into_unsat().is_some());
+    }
+
+    #[test]
+    fn elimination_is_bounded() {
+        let config = SimplifyConfig { max_occurrences: 0, ..SimplifyConfig::default() };
+        let f = cnfgen::pigeonhole(4);
+        let pre = preprocess(&f, config);
+        assert_eq!(pre.num_eliminated(), 0, "occurrence cap 0 forbids elimination");
+    }
+
+    #[test]
+    fn preprocessing_preserves_circuit_verdicts() {
+        // UNSAT stays UNSAT, SAT stays SAT, through a real workload
+        let unsat = cnfgen::eqv_adder(4);
+        let out = solve_and_verify_preprocessed(
+            &unsat,
+            SimplifyConfig::default(),
+            SolverConfig::default(),
+        )
+        .expect("pipeline");
+        assert!(out.into_unsat().is_some());
+
+        let sat = cnfgen::pipe_cpu_buggy(3);
+        let out = solve_and_verify_preprocessed(
+            &sat,
+            SimplifyConfig::default(),
+            SolverConfig::default(),
+        )
+        .expect("pipeline");
+        match out {
+            PipelineOutcome::Sat(model) => assert!(sat.is_satisfied_by(&model)),
+            PipelineOutcome::Unsat(_) => panic!("buggy miter is SAT"),
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Bounded model checking with verified UNSAT answers — the paper's
+//! second motivating application [2].
+//!
+//! An enabled LFSR's zero state is unreachable from its one-hot reset.
+//! BMC unrolls the circuit `k` steps and asks whether the bad state is
+//! reachable: UNSAT means the property holds for `k` steps, and the
+//! proof is verified independently. The proof sizes illustrate the
+//! paper's Table 3: conflict-clause proofs stay far smaller than the
+//! resolution-graph lower bound as the unrolling deepens.
+//!
+//! Run with `cargo run -p satverify --release --example bounded_model_checking`.
+
+use cdcl::SolverConfig;
+use satverify::cnfgen::bmc_lfsr;
+use satverify::{solve_and_verify, PipelineOutcome};
+
+const BITS: usize = 16;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("BMC of a {BITS}-bit enabled LFSR: is the zero state reachable?");
+    println!();
+    println!(
+        "{:>6} {:>10} {:>12} {:>14} {:>16} {:>8}",
+        "depth", "clauses", "|F*|", "proof (lits)", "res. graph (nodes)", "ratio"
+    );
+    for k in [4usize, 8, 16, 24, 32] {
+        let formula = bmc_lfsr(BITS, k);
+        match solve_and_verify(&formula, SolverConfig::default())? {
+            PipelineOutcome::Unsat(run) => {
+                let lits = run.proof.num_literals();
+                let nodes = run.stats.resolutions.max(1);
+                println!(
+                    "{k:>6} {:>10} {:>12} {lits:>14} {nodes:>16} {:>7.0}%",
+                    formula.num_clauses(),
+                    run.proof.len(),
+                    lits as f64 / nodes as f64 * 100.0,
+                );
+            }
+            PipelineOutcome::Sat(_) => {
+                println!("{k:>6}  COUNTEREXAMPLE — property violated!");
+            }
+        }
+    }
+    println!();
+    println!("property verified (with checked proofs) up to depth 32");
+    Ok(())
+}

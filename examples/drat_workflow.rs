@@ -1,0 +1,62 @@
+//! From RUP to DRAT: what the paper's proof format grew into.
+//!
+//! The 2003 checker accepts exactly the clauses derivable by unit
+//! propagation (RUP). The DRAT extension also accepts *satisfiability
+//! preserving* additions — definitions over fresh variables, blocked
+//! clauses — which is what lets modern solvers log inprocessing. This
+//! example shows one proof each checker accepts and one only DRAT does.
+//!
+//! Run with `cargo run -p satverify --release --example drat_workflow`.
+
+use cnf::{Clause, CnfFormula};
+use proofver::{verify_all, verify_drat, ConflictClauseProof};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let formula = CnfFormula::from_dimacs_clauses(&[
+        vec![1, 2],
+        vec![-1, -2],
+        vec![1, -2],
+        vec![-1, 2],
+    ]);
+
+    // a plain RUP refutation: both checkers accept
+    let rup_proof: ConflictClauseProof =
+        vec![Clause::from_dimacs(&[2]), Clause::from_dimacs(&[-2])].into();
+    assert!(verify_all(&formula, &rup_proof).is_ok());
+    let stats = verify_drat(&formula, &rup_proof)?;
+    println!(
+        "RUP refutation: accepted by both checkers ({} RUP steps)",
+        stats.num_rup
+    );
+
+    // the same refutation prefixed with a definition x9 := (fresh):
+    // a unit over a fresh variable is vacuously RAT but never RUP
+    let drat_proof: ConflictClauseProof = vec![
+        Clause::from_dimacs(&[9]),
+        Clause::from_dimacs(&[2]),
+        Clause::from_dimacs(&[-2]),
+    ]
+    .into();
+    let rup_verdict = verify_all(&formula, &drat_proof);
+    let drat_stats = verify_drat(&formula, &drat_proof)?;
+    println!();
+    println!("refutation with a definition step (9):");
+    println!(
+        "  2003 RUP checker: {}",
+        match rup_verdict {
+            Ok(_) => "accepted".to_string(),
+            Err(e) => format!("rejected — {e}"),
+        }
+    );
+    println!(
+        "  DRAT checker:     accepted ({} RUP + {} RAT steps, \
+         {} resolvent checks)",
+        drat_stats.num_rup, drat_stats.num_rat, drat_stats.num_resolvent_checks
+    );
+
+    println!();
+    println!("RAT steps only preserve satisfiability, so DRAT acceptance still");
+    println!("certifies UNSAT — the checker refuses RAT steps whose resolvents");
+    println!("fail their propagation checks.");
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! Conflict-clause proofs vs resolution-graph proofs — the paper's §5
+//! comparison, live.
+//!
+//! One instance is solved under the three learning schemes; for each
+//! run the conflict-clause proof is verified, the exact resolution graph
+//! is rebuilt from the recorded antecedent chains and checked, and the
+//! two proof sizes are compared. Local (1UIP) clauses favour resolution
+//! graphs; global (decision) clauses favour clause sequences.
+//!
+//! Run with `cargo run -p satverify --release --example proof_formats`.
+
+use cdcl::{LearningScheme, SolverConfig};
+use satverify::{resolution_from_trace, solve_and_verify, PipelineOutcome};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let formula = cnfgen::pigeonhole(6);
+    println!(
+        "pigeonhole(6): {} vars, {} clauses\n",
+        formula.num_vars(),
+        formula.num_clauses()
+    );
+    println!(
+        "{:<10} {:>8} {:>14} {:>16} {:>12}",
+        "scheme", "|F*|", "proof (lits)", "res. graph (nodes)", "lits/nodes"
+    );
+    for scheme in [
+        LearningScheme::FirstUip,
+        LearningScheme::Mixed { period: 8 },
+        LearningScheme::Decision,
+    ] {
+        let config = SolverConfig::new()
+            .learning_scheme(scheme)
+            .log_resolution_chains(true);
+        let PipelineOutcome::Unsat(run) = solve_and_verify(&formula, config)? else {
+            unreachable!("pigeonhole is UNSAT");
+        };
+        // rebuild the §5 baseline object and check it too
+        let resolution = resolution_from_trace(&formula, &run.trace);
+        let checked = resolution.check()?;
+        assert!(checked.derived[checked.empty_node].is_empty());
+
+        let lits = run.proof.num_literals();
+        let nodes = resolution.num_internal_nodes();
+        println!(
+            "{:<10} {:>8} {:>14} {:>16} {:>11.0}%",
+            scheme.to_string(),
+            run.proof.len(),
+            lits,
+            nodes,
+            lits as f64 / nodes.max(1) as f64 * 100.0,
+        );
+    }
+    println!();
+    println!("both proof objects verified for every scheme;");
+    println!("the decision scheme's clause proofs are the most compact relative");
+    println!("to their resolution graphs — the paper's case for clause proofs.");
+    Ok(())
+}

@@ -1,0 +1,42 @@
+//! Quickstart: solve a CNF formula and independently verify the answer.
+//!
+//! Run with `cargo run -p satverify --release --example quickstart`.
+
+use cdcl::SolverConfig;
+use cnf::parse_dimacs_str;
+use proofver::to_proof_string;
+use satverify::{solve_and_verify, PipelineOutcome};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The "XOR square": x1⊕x2 must be both 0 and 1 — unsatisfiable.
+    let formula = parse_dimacs_str(
+        "c the xor square\n\
+         p cnf 2 4\n\
+         1 2 0\n\
+         -1 -2 0\n\
+         1 -2 0\n\
+         -1 2 0\n",
+    )?;
+
+    match solve_and_verify(&formula, SolverConfig::default())? {
+        PipelineOutcome::Sat(model) => {
+            println!("SAT, model: {model}");
+        }
+        PipelineOutcome::Unsat(run) => {
+            println!("UNSAT — and the proof has been verified independently.");
+            println!();
+            println!("conflict-clause proof ({} clauses):", run.proof.len());
+            print!("{}", to_proof_string(&run.proof));
+            println!();
+            println!("verification report: {}", run.verification.report);
+            println!("unsatisfiable core:  {}", run.verification.core);
+            println!(
+                "solve {:.3} ms, verify {:.3} ms ({:.1}x)",
+                run.solve_time.as_secs_f64() * 1e3,
+                run.verify_time.as_secs_f64() * 1e3,
+                run.verify_over_solve(),
+            );
+        }
+    }
+    Ok(())
+}

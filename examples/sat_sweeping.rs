@@ -1,0 +1,64 @@
+//! SAT sweeping: proving internal circuit equivalences with the
+//! incremental solver — the technique industrial equivalence checkers
+//! layer on top of the miter construction [4, 8].
+//!
+//! Two adder architectures are merged into one AIG; random simulation
+//! proposes equivalent-node candidates and incremental SAT queries prove
+//! them. Every proof obligation runs through the same verified solver
+//! infrastructure as the rest of the workspace.
+//!
+//! Run with `cargo run -p satverify --release --example sat_sweeping`.
+
+use cdcl::SolverConfig;
+use circuit::{build_miter, carry_select_adder, netlist_to_aig, ripple_carry_adder};
+use satverify::sweep;
+
+const WIDTH: usize = 8;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (netlist, diff) = build_miter(
+        2 * WIDTH,
+        |n, io| {
+            let (s, c) = ripple_carry_adder(n, &io[..WIDTH], &io[WIDTH..]);
+            let mut out = s;
+            out.push(c);
+            out
+        },
+        |n, io| {
+            let (s, c) = carry_select_adder(n, &io[..WIDTH], &io[WIDTH..], 3);
+            let mut out = s;
+            out.push(c);
+            out
+        },
+    );
+    let (aig, map) = netlist_to_aig(&netlist);
+    println!(
+        "miter over two {WIDTH}-bit adders: {} netlist nodes -> {} AIG ands \
+         (structural hashing)",
+        netlist.num_nodes(),
+        aig.num_ands()
+    );
+
+    let result = sweep(&aig, 42, 4, SolverConfig::default())?;
+    println!(
+        "sweep: {} equivalences proved, {} candidates refuted, \
+         {} incremental SAT queries, {} simulation patterns",
+        result.proved.len(),
+        result.num_refuted,
+        result.num_queries,
+        result.num_patterns
+    );
+
+    // the miter output must be in a class with constant false —
+    // equivalently, the diff node is proved equal to the constant
+    let diff_edge = map[diff.index()];
+    let diff_proved_false = result.proved.iter().any(|p| {
+        (p.left.node() == 0 && p.right.node() == diff_edge.node())
+            || (p.right.node() == 0 && p.left.node() == diff_edge.node())
+    }) || diff_edge.node() == 0;
+    println!(
+        "difference output proved constant false: {}",
+        if diff_proved_false { "yes — the adders are equivalent" } else { "no" }
+    );
+    Ok(())
+}

@@ -1,0 +1,242 @@
+//! Integration tests for the `satverify` command-line tool, driving the
+//! real binary through files and exit codes.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_satverify")
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(bin()).args(args).output().expect("binary runs")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut dir = std::env::temp_dir();
+    dir.push(format!("satverify-test-{}-{name}", std::process::id()));
+    dir
+}
+
+fn write_tmp(name: &str, contents: &str) -> PathBuf {
+    let path = tmp(name);
+    std::fs::write(&path, contents).expect("write temp file");
+    path
+}
+
+const XOR_SQUARE: &str = "p cnf 2 4\n1 2 0\n-1 -2 0\n1 -2 0\n-1 2 0\n";
+const SAT_2: &str = "p cnf 2 2\n1 2 0\n-1 2 0\n";
+
+#[test]
+fn help_prints_usage() {
+    let out = run(&["help"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("USAGE"), "{text}");
+}
+
+#[test]
+fn no_args_is_usage_error() {
+    let out = run(&[]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn solve_unsat_exits_20_and_writes_verifiable_proof() {
+    let cnf = write_tmp("u.cnf", XOR_SQUARE);
+    let proof = tmp("u.ccp");
+    let out = run(&[
+        "solve",
+        cnf.to_str().expect("utf8"),
+        "--proof",
+        proof.to_str().expect("utf8"),
+    ]);
+    assert_eq!(out.status.code(), Some(20), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("s UNSATISFIABLE"), "{text}");
+    assert!(text.contains("proof verified"), "{text}");
+
+    // the emitted proof passes `check`
+    let out = run(&["check", cnf.to_str().expect("utf8"), proof.to_str().expect("utf8")]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("s VERIFIED"));
+}
+
+#[test]
+fn solve_sat_exits_10_with_model_line() {
+    let cnf = write_tmp("s.cnf", SAT_2);
+    let out = run(&["solve", cnf.to_str().expect("utf8")]);
+    assert_eq!(out.status.code(), Some(10), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("s SATISFIABLE"), "{text}");
+    assert!(text.lines().any(|l| l.starts_with('v') && l.ends_with(" 0")), "{text}");
+}
+
+#[test]
+fn check_rejects_bogus_proof() {
+    let cnf = write_tmp("b.cnf", XOR_SQUARE);
+    let proof = write_tmp("b.ccp", "5 0\n2 0\n-2 0\n");
+    let out = run(&[
+        "check",
+        cnf.to_str().expect("utf8"),
+        proof.to_str().expect("utf8"),
+        "--all",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("s NOT VERIFIED"));
+}
+
+#[test]
+fn binary_proofs_roundtrip_through_cli() {
+    let cnf = write_tmp("bin.cnf", XOR_SQUARE);
+    let proof = tmp("bin.ccp");
+    let out = run(&[
+        "solve",
+        cnf.to_str().expect("utf8"),
+        "--proof",
+        proof.to_str().expect("utf8"),
+        "--binary",
+    ]);
+    assert_eq!(out.status.code(), Some(20));
+    // binary format auto-detected by check
+    let out = run(&["check", cnf.to_str().expect("utf8"), proof.to_str().expect("utf8")]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+}
+
+#[test]
+fn core_reports_and_writes_subformula() {
+    // xor square + irrelevant ballast
+    let cnf = write_tmp("c.cnf", "p cnf 4 5\n1 2 0\n-1 -2 0\n1 -2 0\n-1 2 0\n3 4 0\n");
+    let core_path = tmp("c.core");
+    let out = run(&[
+        "core",
+        cnf.to_str().expect("utf8"),
+        "--out",
+        core_path.to_str().expect("utf8"),
+    ]);
+    assert_eq!(out.status.code(), Some(20), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("core: 4 of 5"), "{text}");
+    let core_text = std::fs::read_to_string(&core_path).expect("core written");
+    assert!(core_text.starts_with("p cnf"), "{core_text}");
+    assert_eq!(core_text.lines().count(), 5, "4 clauses + header");
+}
+
+#[test]
+fn trim_shrinks_a_padded_proof() {
+    let cnf = write_tmp("t.cnf", XOR_SQUARE);
+    // proof with a redundant fresh-variable clause
+    let fat = write_tmp("t.ccp", "9 2 0\n2 0\n-2 0\n");
+    let slim = tmp("t.slim");
+    let out = run(&[
+        "trim",
+        cnf.to_str().expect("utf8"),
+        fat.to_str().expect("utf8"),
+        slim.to_str().expect("utf8"),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("trimmed 3 -> 2"), "{text}");
+    // trimmed proof still checks
+    let out = run(&["check", cnf.to_str().expect("utf8"), slim.to_str().expect("utf8")]);
+    assert_eq!(out.status.code(), Some(0));
+}
+
+#[test]
+fn gen_produces_solvable_instances() {
+    let cnf = tmp("g.cnf");
+    let out = run(&["gen", "php", "4", "--out", cnf.to_str().expect("utf8")]);
+    assert!(out.status.success(), "{out:?}");
+    let out = run(&["solve", cnf.to_str().expect("utf8")]);
+    assert_eq!(out.status.code(), Some(20), "php4 is UNSAT: {out:?}");
+}
+
+#[test]
+fn gen_to_stdout() {
+    let out = run(&["gen", "tseitin", "2", "2"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.starts_with("p cnf 8 32"), "{text}");
+}
+
+#[test]
+fn gen_rejects_unknown_family() {
+    let out = run(&["gen", "frobnicate", "3"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown family"));
+}
+
+#[test]
+fn solve_with_scheme_and_budget_options() {
+    let cnf = write_tmp("o.cnf", XOR_SQUARE);
+    for scheme in ["1uip", "decision", "mixed:4"] {
+        let out = run(&["solve", cnf.to_str().expect("utf8"), "--scheme", scheme]);
+        assert_eq!(out.status.code(), Some(20), "scheme {scheme}: {out:?}");
+    }
+    let out = run(&["solve", cnf.to_str().expect("utf8"), "--scheme", "bogus"]);
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn core_mus_produces_minimal_subset() {
+    // xor square + ballast: MUS is exactly the four xor clauses
+    let cnf = write_tmp("m.cnf", "p cnf 4 6\n1 2 0\n-1 -2 0\n1 -2 0\n-1 2 0\n3 4 0\n-3 4 0\n");
+    let out = run(&["core", cnf.to_str().expect("utf8"), "--mus"]);
+    assert_eq!(out.status.code(), Some(20), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("core: 4 of 6"), "{text}");
+    assert!(text.contains("minimal core"), "{text}");
+}
+
+#[test]
+fn solve_with_preprocessing() {
+    let cnf = write_tmp("pp.cnf", XOR_SQUARE);
+    let proof = tmp("pp.ccp");
+    let out = run(&[
+        "solve",
+        cnf.to_str().expect("utf8"),
+        "--preprocess",
+        "--proof",
+        proof.to_str().expect("utf8"),
+    ]);
+    assert_eq!(out.status.code(), Some(20), "{out:?}");
+    // the stitched proof checks against the ORIGINAL file
+    let out = run(&["check", cnf.to_str().expect("utf8"), proof.to_str().expect("utf8")]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+}
+
+#[test]
+fn aig_command_checks_miter_outputs() {
+    // xor-with-itself: output = i0 ⊕ i0 = constant 0 → UNSAT
+    // vars: 1,2 = inputs... build: out = (i0 ∧ ¬i0) trivially 0: lit 0
+    // use a 2-input miter: and(i0, not i0):
+    //   aag 2 1 0 1 1 / input 2 / output 4 / and: 4 = 2 & 3
+    let aag = write_tmp("m.aag", "aag 2 1 0 1 1\n2\n4\n4 2 3\n");
+    let out = run(&["aig", aag.to_str().expect("utf8")]);
+    assert_eq!(out.status.code(), Some(20), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("constant 0"));
+
+    // an OR is satisfiable: out = ¬(¬a ∧ ¬b)
+    let aag = write_tmp("o.aag", "aag 3 2 0 1 1\n2\n4\n7\n6 3 5\n");
+    let out = run(&["aig", aag.to_str().expect("utf8")]);
+    assert_eq!(out.status.code(), Some(10), "{out:?}");
+}
+
+#[test]
+fn drat_command_accepts_rat_steps() {
+    let cnf = write_tmp("d.cnf", XOR_SQUARE);
+    // (9) is a RAT (definition) step the plain checker rejects
+    let proof = write_tmp("d.ccp", "9 0\n2 0\n-2 0\n");
+    let out = run(&["drat", cnf.to_str().expect("utf8"), proof.to_str().expect("utf8")]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("1 RAT"), "{text}");
+    // the plain checker rejects the same proof in --all mode
+    let out = run(&[
+        "check",
+        cnf.to_str().expect("utf8"),
+        proof.to_str().expect("utf8"),
+        "--all",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+}

@@ -1,0 +1,108 @@
+//! Deletion-annotated proofs end to end: the solver records its
+//! database reductions; the deletion-aware checker verifies each clause
+//! against exactly the clauses that were live when it was learned.
+
+use cdcl::{SolveResult, Solver, SolverConfig};
+use cnf::CnfFormula;
+use satverify::annotated_from_trace;
+use satverify::cnfgen::{bmc_counter, pigeonhole, tseitin_grid};
+
+/// A config that reduces aggressively so deletions actually occur on
+/// small instances.
+fn reducing_config() -> SolverConfig {
+    let mut config = SolverConfig::default();
+    config.reduce_base = 50;
+    config.reduce_growth = 25;
+    config
+}
+
+fn trace_of(formula: &CnfFormula, config: SolverConfig) -> cdcl::ProofTrace {
+    let mut solver = Solver::new(formula, config);
+    match solver.solve() {
+        SolveResult::Unsat(Some(trace)) => trace,
+        other => panic!("expected UNSAT with proof, got {other:?}"),
+    }
+}
+
+#[test]
+fn solver_deletions_are_recorded() {
+    let trace = trace_of(&pigeonhole(7), reducing_config());
+    assert!(
+        !trace.deletions.is_empty(),
+        "aggressive reduction must delete clauses on php7"
+    );
+    // chronological, within range
+    let mut prev = 0;
+    for d in &trace.deletions {
+        assert!(d.after_step >= prev);
+        assert!(d.after_step <= trace.steps.len());
+        prev = d.after_step;
+        match d.target {
+            cdcl::ProofClauseId::Learned(j) => assert!(j < trace.steps.len()),
+            cdcl::ProofClauseId::Original(_) => {
+                panic!("solver only deletes learned clauses")
+            }
+        }
+    }
+}
+
+#[test]
+fn annotated_solver_proofs_verify() {
+    for (name, formula) in [
+        ("php6", pigeonhole(6)),
+        ("php7", pigeonhole(7)),
+        ("tseitin3x4", tseitin_grid(3, 4)),
+        ("bmc_cnt6_24", bmc_counter(6, 24)),
+    ] {
+        let trace = trace_of(&formula, reducing_config());
+        let annotated = annotated_from_trace(&trace);
+        assert_eq!(annotated.num_adds(), trace.steps.len(), "{name}");
+        assert_eq!(annotated.num_deletes(), trace.deletions.len(), "{name}");
+        let v = annotated
+            .verify(&formula)
+            .unwrap_or_else(|e| panic!("{name}: annotated proof rejected: {e}"));
+        assert!(v.core.len() > 0, "{name}");
+        assert!(v.num_checked <= trace.steps.len(), "{name}");
+    }
+}
+
+#[test]
+fn annotated_and_plain_verification_agree_on_validity() {
+    let formula = pigeonhole(6);
+    let trace = trace_of(&formula, reducing_config());
+
+    // plain (deletion-ignoring) verification
+    let plain = proofver::verify(
+        &formula,
+        &satverify::proof_from_trace(&trace),
+    )
+    .expect("plain verification");
+
+    // deletion-aware verification
+    let annotated = annotated_from_trace(&trace).verify(&formula).expect("annotated");
+
+    // both must produce unsatisfiable cores; the deletion-aware core can
+    // differ (different BCP cascades) but must itself be UNSAT
+    let core_formula = annotated.core.to_formula(&formula);
+    assert!(
+        cdcl::solve(&core_formula, SolverConfig::default()).is_unsat(),
+        "annotated core must be UNSAT"
+    );
+    let plain_core = plain.core.to_formula(&formula);
+    assert!(cdcl::solve(&plain_core, SolverConfig::default()).is_unsat());
+}
+
+#[test]
+fn no_deletions_means_plain_semantics() {
+    let formula = pigeonhole(5);
+    // default config on php5 may or may not reduce; force no reduction
+    let config = SolverConfig::new().enable_reduce(false);
+    let trace = trace_of(&formula, config);
+    assert!(trace.deletions.is_empty());
+    let annotated = annotated_from_trace(&trace);
+    let av = annotated.verify(&formula).expect("annotated");
+    let pv = proofver::verify(&formula, &satverify::proof_from_trace(&trace))
+        .expect("plain");
+    assert_eq!(av.core.indices(), pv.core.indices());
+    assert_eq!(av.marked_adds, pv.marked_steps);
+}

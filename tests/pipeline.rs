@@ -1,0 +1,118 @@
+//! End-to-end integration: solve → verify → trim → serialise → re-verify
+//! across the registry suites.
+
+use cdcl::{LearningScheme, SolverConfig};
+use proofver::{
+    decode_proof, encode_proof_to_vec, parse_proof_str, to_proof_string, trim_proof,
+    verify,
+};
+use satverify::cnfgen::{pigeonhole_sat, smoke_suite};
+use satverify::{solve_and_verify, PipelineOutcome};
+
+#[test]
+fn smoke_suite_solves_and_verifies() {
+    for instance in smoke_suite() {
+        let run = solve_and_verify(&instance.formula, SolverConfig::default())
+            .unwrap_or_else(|e| panic!("{}: {e}", instance.name))
+            .into_unsat()
+            .unwrap_or_else(|| panic!("{}: expected UNSAT", instance.name));
+        assert!(
+            run.verification.core.len() > 0,
+            "{}: core must be nonempty",
+            instance.name
+        );
+        assert!(
+            run.verification.report.tested_fraction() <= 1.0,
+            "{}: tested fraction sane",
+            instance.name
+        );
+    }
+}
+
+#[test]
+fn smoke_suite_verifies_under_every_scheme() {
+    for scheme in [
+        LearningScheme::FirstUip,
+        LearningScheme::Decision,
+        LearningScheme::Mixed { period: 4 },
+    ] {
+        for instance in smoke_suite() {
+            let config = SolverConfig::new().learning_scheme(scheme);
+            let outcome = solve_and_verify(&instance.formula, config)
+                .unwrap_or_else(|e| panic!("{} under {scheme}: {e}", instance.name));
+            assert!(
+                outcome.into_unsat().is_some(),
+                "{} under {scheme}: expected UNSAT",
+                instance.name
+            );
+        }
+    }
+}
+
+#[test]
+fn trimmed_proofs_reverify_across_suite() {
+    for instance in smoke_suite() {
+        let run = solve_and_verify(&instance.formula, SolverConfig::default())
+            .expect("pipeline")
+            .into_unsat()
+            .expect("UNSAT");
+        let trimmed = trim_proof(&run.proof, &run.verification.marked_steps);
+        assert!(trimmed.len() <= run.proof.len());
+        let v = verify(&instance.formula, &trimmed)
+            .unwrap_or_else(|e| panic!("{}: trimmed proof rejected: {e}", instance.name));
+        // a second trim can only shrink the proof further (or keep it)
+        let twice = trim_proof(&trimmed, &v.marked_steps);
+        assert!(twice.len() <= trimmed.len(), "{}: trim grew", instance.name);
+    }
+}
+
+#[test]
+fn proofs_roundtrip_through_text_and_binary() {
+    for instance in smoke_suite().into_iter().take(3) {
+        let run = solve_and_verify(&instance.formula, SolverConfig::default())
+            .expect("pipeline")
+            .into_unsat()
+            .expect("UNSAT");
+        let text = to_proof_string(&run.proof);
+        let reparsed = parse_proof_str(&text).expect("own text parses");
+        assert_eq!(reparsed, run.proof, "{}: text roundtrip", instance.name);
+        verify(&instance.formula, &reparsed).expect("reparsed proof verifies");
+
+        let bytes = encode_proof_to_vec(&run.proof);
+        let decoded = decode_proof(bytes.as_slice()).expect("own binary decodes");
+        assert_eq!(decoded, run.proof, "{}: binary roundtrip", instance.name);
+        verify(&instance.formula, &decoded).expect("decoded proof verifies");
+        assert!(
+            bytes.len() < text.len() || run.proof.num_literals() < 8,
+            "{}: binary should be more compact",
+            instance.name
+        );
+    }
+}
+
+#[test]
+fn sat_instances_return_checked_models() {
+    for holes in [3usize, 5, 7] {
+        let formula = pigeonhole_sat(holes);
+        match solve_and_verify(&formula, SolverConfig::default()).expect("pipeline") {
+            PipelineOutcome::Sat(model) => assert!(formula.is_satisfied_by(&model)),
+            PipelineOutcome::Unsat(_) => panic!("pigeonhole_sat({holes}) is SAT"),
+        }
+    }
+}
+
+#[test]
+fn verify_over_solve_ratio_is_moderate() {
+    // §6: verification typically costs a small multiple of solving.
+    // Generous bound to stay robust on loaded CI machines.
+    let formula = satverify::cnfgen::pigeonhole(7);
+    let run = solve_and_verify(&formula, SolverConfig::default())
+        .expect("pipeline")
+        .into_unsat()
+        .expect("UNSAT");
+    assert!(
+        run.verify_over_solve() < 100.0,
+        "verification {}x slower than solving",
+        run.verify_over_solve()
+    );
+}
