@@ -8,9 +8,28 @@
 //! almost never touched, which is the paper's stated reason the technique
 //! is "especially effective" for proof verification.
 
+use std::sync::OnceLock;
+
 use cnf::{Assignment, LBool, Lit, Var};
 
 use crate::clause_db::{ClauseDb, ClauseRef};
+
+/// Registry handles for the engine's metrics, resolved once. The hot
+/// loop only pays for these when `obs::metrics::recording()` is on.
+fn obs_handles() -> (obs::metrics::Counter, obs::metrics::Counter, obs::metrics::Histogram) {
+    static HANDLES: OnceLock<(
+        obs::metrics::Counter,
+        obs::metrics::Counter,
+        obs::metrics::Histogram,
+    )> = OnceLock::new();
+    *HANDLES.get_or_init(|| {
+        (
+            obs::metrics::counter("bcp.propagations"),
+            obs::metrics::counter("bcp.clause_visits"),
+            obs::metrics::histogram("bcp.watch_list_len"),
+        )
+    })
+}
 
 /// Why a variable is assigned.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -294,21 +313,34 @@ impl WatchedPropagator {
     /// without conflict. After a conflict the queue is flushed, so the
     /// caller must backtrack before propagating again.
     pub fn propagate(&mut self, db: &mut ClauseDb) -> Option<Conflict> {
+        // deltas accumulate in plain locals; one atomic flush per call
+        let trail_before = self.trail.len();
+        let visits_before = self.num_clause_visits;
+        let mut conflict = None;
         while self.qhead < self.trail.len() {
             let lit = self.trail[self.qhead];
             self.qhead += 1;
-            if let Some(conflict) = self.propagate_lit(db, lit) {
+            if let Some(c) = self.propagate_lit(db, lit) {
                 self.qhead = self.trail.len();
-                return Some(conflict);
+                conflict = Some(c);
+                break;
             }
         }
-        None
+        if obs::metrics::recording() {
+            let (propagations, clause_visits, _) = obs_handles();
+            propagations.add((self.trail.len() - trail_before) as u64);
+            clause_visits.add(self.num_clause_visits - visits_before);
+        }
+        conflict
     }
 
     /// Processes the watch list of `!lit` after `lit` became true.
     fn propagate_lit(&mut self, db: &mut ClauseDb, lit: Lit) -> Option<Conflict> {
         let false_lit = !lit;
         let mut ws = std::mem::take(&mut self.watches[false_lit.idx()]);
+        if obs::metrics::recording() {
+            obs_handles().2.record(ws.len() as u64);
+        }
         let mut kept = 0;
         let mut conflict = None;
         let mut i = 0;

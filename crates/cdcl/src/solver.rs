@@ -277,7 +277,9 @@ impl Solver {
         self.backtrack_with_heap(0);
         loop {
             let trail_before = self.prop.trail().len();
+            let bcp_span = obs::span!("cdcl.bcp");
             let conflict = self.prop.propagate(&mut self.db);
+            bcp_span.finish();
             self.stats.propagations += (self.prop.trail().len() - trail_before) as u64;
 
             match conflict {
@@ -458,6 +460,7 @@ impl Solver {
     // ----- decisions ---------------------------------------------------
 
     fn decide(&mut self) {
+        let _span = obs::span!("cdcl.decide");
         let var = self
             .pick_berkmin_var()
             .or_else(|| self.pick_activity_var())
@@ -522,10 +525,12 @@ impl Solver {
     }
 
     fn restart(&mut self) {
+        let _span = obs::span!("cdcl.restart");
         self.backtrack_with_heap(0);
         self.restarts_done += 1;
         self.conflicts_at_last_restart = self.stats.conflicts;
         self.stats.restarts += 1;
+        obs::span::event("cdcl.restart_at_conflict", self.stats.conflicts);
     }
 
     fn should_reduce(&self) -> bool {
@@ -541,6 +546,7 @@ impl Solver {
     /// Deletes the lower-activity half of the learned clauses (keeping
     /// binary and locked clauses). Clauses stay in the proof trace.
     fn reduce_db(&mut self) {
+        let _span = obs::span!("cdcl.reduce");
         let mut candidates: Vec<ClauseRef> = self
             .learned_refs
             .iter()
@@ -574,6 +580,7 @@ impl Solver {
     // ----- conflict handling -------------------------------------------
 
     fn handle_conflict(&mut self, conflict: Conflict) {
+        let _span = obs::span!("cdcl.conflict");
         let scheme = self.effective_scheme();
         let analysis = match scheme {
             LearningScheme::FirstUip => self.analyze_first_uip(conflict.clause),

@@ -14,6 +14,7 @@
 //! only nontrivial machinery is the watched-literal BCP engine, which the
 //! paper argues is "well established" and stable enough to trust.
 
+use std::sync::OnceLock;
 use std::time::Instant;
 
 use bcp::{Attach, ClauseDb, ClauseRef, Conflict, Reason, WatchedPropagator};
@@ -144,6 +145,23 @@ enum CheckOutcome {
     Conflict(Conflict),
     Tautology,
     NoConflict,
+}
+
+/// Registry handles for the checker's metrics, resolved once and shared
+/// by all checker instances (including parallel workers).
+struct ObsHandles {
+    checks: obs::metrics::Counter,
+    check_ns: obs::metrics::Histogram,
+    marking_passes: obs::metrics::Counter,
+}
+
+fn obs_handles() -> &'static ObsHandles {
+    static HANDLES: OnceLock<ObsHandles> = OnceLock::new();
+    HANDLES.get_or_init(|| ObsHandles {
+        checks: obs::metrics::counter("proofver.checks"),
+        check_ns: obs::metrics::histogram("proofver.check_ns"),
+        marking_passes: obs::metrics::counter("proofver.marking_passes"),
+    })
 }
 
 /// The proof checker, exposed for callers that want to reuse the arena
@@ -285,7 +303,7 @@ impl<'a> Checker<'a> {
                 let r = ClauseRef::from_index(self.num_original + step);
                 self.attach_proof_clause(r);
             }
-            match self.bcp_under_assumptions(&target_assumptions, terminal_limit) {
+            match self.timed_check(&target_assumptions, terminal_limit) {
                 CheckOutcome::Conflict(conflict) => self.mark_from_conflict(conflict),
                 CheckOutcome::Tautology => {} // tautological target: trivially implied
                 CheckOutcome::NoConflict => return Err(VerifyError::NotARefutation),
@@ -315,7 +333,7 @@ impl<'a> Checker<'a> {
                 // assignment: BCP over the *preceding* clauses alone must
                 // already conflict.
                 let assumptions: Vec<Lit> = clause.lits().iter().map(|&l| !l).collect();
-                match self.bcp_under_assumptions(&assumptions, arena_index) {
+                match self.timed_check(&assumptions, arena_index) {
                     CheckOutcome::Conflict(conflict) => self.mark_from_conflict(conflict),
                     // A tautological conflict clause is trivially implied;
                     // no clause of F or F* was needed, nothing new marked.
@@ -335,7 +353,7 @@ impl<'a> Checker<'a> {
         }
 
         if forward {
-            match self.bcp_under_assumptions(&target_assumptions, terminal_limit) {
+            match self.timed_check(&target_assumptions, terminal_limit) {
                 CheckOutcome::Conflict(conflict) => self.mark_from_conflict(conflict),
                 CheckOutcome::Tautology => {} // tautological target
                 CheckOutcome::NoConflict => return Err(VerifyError::NotARefutation),
@@ -376,7 +394,7 @@ impl<'a> Checker<'a> {
             let arena_index = self.num_original + step;
             num_checked += 1;
             let assumptions: Vec<Lit> = clause.lits().iter().map(|&l| !l).collect();
-            match self.bcp_under_assumptions(&assumptions, arena_index) {
+            match self.timed_check(&assumptions, arena_index) {
                 CheckOutcome::Conflict(conflict) => self.mark_from_conflict(conflict),
                 CheckOutcome::Tautology => {}
                 CheckOutcome::NoConflict => {
@@ -408,7 +426,7 @@ impl<'a> Checker<'a> {
             let r = ClauseRef::from_index(self.num_original + step);
             self.attach_proof_clause(r);
         }
-        match self.bcp_under_assumptions(&[], terminal_limit) {
+        match self.timed_check(&[], terminal_limit) {
             CheckOutcome::Conflict(conflict) => self.mark_from_conflict(conflict),
             CheckOutcome::Tautology => unreachable!("no assumptions, no clash"),
             CheckOutcome::NoConflict => return Err(VerifyError::NotARefutation),
@@ -443,6 +461,7 @@ impl<'a> Checker<'a> {
     /// a conflict if `F` refutes itself by propagation (including an
     /// empty clause in `F`).
     fn propagate_root(&mut self) -> Option<Conflict> {
+        let _span = obs::span!("proofver.root_propagate");
         self.db.set_active_limit(Some(self.num_original));
         if let Some(&r) = self.empties.iter().find(|r| r.index() < self.num_original) {
             return Some(Conflict { clause: r });
@@ -493,6 +512,21 @@ impl<'a> Checker<'a> {
         }
     }
 
+    /// [`Checker::bcp_under_assumptions`] with per-check telemetry:
+    /// counts the check and records its duration when metric recording
+    /// is on.
+    fn timed_check(&mut self, assumptions: &[Lit], limit: usize) -> CheckOutcome {
+        if !obs::metrics::recording() {
+            return self.bcp_under_assumptions(assumptions, limit);
+        }
+        let handles = obs_handles();
+        let start = Instant::now();
+        let outcome = self.bcp_under_assumptions(assumptions, limit);
+        handles.checks.inc();
+        handles.check_ns.record(start.elapsed().as_nanos() as u64);
+        outcome
+    }
+
     /// One verification check: assume the given literals, enqueue the
     /// active unit clauses of `F*`, and propagate over the clauses with
     /// arena index `< limit`. `F`'s contribution persists at the root
@@ -541,6 +575,10 @@ impl<'a> Checker<'a> {
     /// and `F*` responsible for the conflict just found, by walking the
     /// deduced assignments in reverse order from the conflicting pair.
     fn mark_from_conflict(&mut self, conflict: Conflict) {
+        let _span = obs::span!("proofver.mark");
+        if obs::metrics::recording() {
+            obs_handles().marking_passes.inc();
+        }
         self.marked[conflict.clause.index()] = true;
         let mut touched: Vec<Var> = Vec::new();
         for &q in self.db.lits(conflict.clause) {

@@ -37,10 +37,13 @@ pub fn verify_all_parallel(
     num_threads: usize,
 ) -> Result<Verification, VerifyError> {
     let start = Instant::now();
+    let run_span = obs::span!("proofver.par.verify");
     let num_threads = num_threads.max(1).min(proof.len().max(1));
 
     // terminal / refutation check first (cheap, single-threaded)
+    let terminal_span = obs::span!("proofver.par.terminal");
     let terminal_marks = Checker::new(formula, proof).check_terminal()?;
+    terminal_span.finish();
 
     // slice the steps contiguously; a trailing empty clause is covered
     // by the terminal check above, like in the sequential procedures
@@ -58,12 +61,21 @@ pub fn verify_all_parallel(
         .filter(|s: &Vec<usize>| !s.is_empty())
         .collect();
 
+    if obs::metrics::recording() {
+        obs::metrics::gauge("proofver.par.workers").set(slices.len() as i64);
+        let slice_len = obs::metrics::histogram("proofver.par.slice_clauses");
+        for s in &slices {
+            slice_len.record(s.len() as u64);
+        }
+    }
+
     let results: Vec<Result<(Vec<bool>, usize), VerifyError>> =
         crossbeam::scope(|scope| {
             let handles: Vec<_> = slices
                 .into_iter()
                 .map(|steps| {
                     scope.spawn(move |_| {
+                        let _span = obs::span!("proofver.par.worker");
                         Checker::new(formula, proof).check_steps(steps)
                     })
                 })
@@ -122,6 +134,7 @@ pub fn verify_all_parallel(
         propagations: 0,
         clause_visits: 0,
     };
+    run_span.finish();
     Ok(Verification { report, core, marked_steps })
 }
 

@@ -1,0 +1,426 @@
+//! A process-global metrics registry: counters, gauges, fixed-bucket
+//! histograms.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are `Copy` wrappers
+//! around `&'static` atomics, so recording is lock-free and safe from
+//! `verify_all_parallel`'s worker threads. Look up a handle once (a
+//! registry mutex is taken only on registration/lookup), cache it in a
+//! `OnceLock`, and record away.
+//!
+//! A separate [`recording`] flag lets instrumented hot loops skip even
+//! the atomic traffic unless the user asked for metrics (`--metrics` /
+//! `--json`). Cheap call-site pattern:
+//!
+//! ```
+//! use std::sync::OnceLock;
+//! static PROPS: OnceLock<obs::metrics::Counter> = OnceLock::new();
+//! if obs::metrics::recording() {
+//!     PROPS.get_or_init(|| obs::metrics::counter("bcp.propagations")).add(17);
+//! }
+//! ```
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Number of buckets in every [`Histogram`]: one per power of two of
+/// the recorded value (see [`bucket_index`]).
+pub const HISTOGRAM_BUCKETS: usize = 32;
+
+/// Whether instrumented code should record metrics. Off by default.
+static RECORDING: AtomicBool = AtomicBool::new(false);
+
+/// Turns metric recording on or off process-wide.
+pub fn set_recording(on: bool) {
+    RECORDING.store(on, Ordering::Relaxed);
+}
+
+/// Whether metric recording is on (one relaxed load).
+#[inline]
+pub fn recording() -> bool {
+    RECORDING.load(Ordering::Relaxed)
+}
+
+/// A monotonically increasing `u64` metric.
+#[derive(Clone, Copy)]
+pub struct Counter {
+    cell: &'static AtomicU64,
+}
+
+impl Counter {
+    /// Adds `n` to the counter.
+    #[inline]
+    pub fn add(self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    #[inline]
+    #[must_use]
+    pub fn get(self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed, settable metric.
+#[derive(Clone, Copy)]
+pub struct Gauge {
+    cell: &'static AtomicI64,
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(self, value: i64) {
+        self.cell.store(value, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    #[inline]
+    pub fn add(self, delta: i64) {
+        self.cell.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    #[must_use]
+    pub fn get(self) -> i64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+struct HistogramCells {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+    /// Min tracked as `u64::MAX - value` so it fits monotone `fetch_max`.
+    inv_min: AtomicU64,
+}
+
+impl HistogramCells {
+    fn new() -> HistogramCells {
+        HistogramCells {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            inv_min: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The power-of-two bucket a value lands in: 0 for values 0 and 1,
+/// then one bucket per doubling, saturating at the last bucket.
+#[inline]
+#[must_use]
+pub fn bucket_index(value: u64) -> usize {
+    ((64 - value.leading_zeros()) as usize).saturating_sub(1).min(HISTOGRAM_BUCKETS - 1)
+}
+
+/// The inclusive upper bound of values counted by `bucket` (the last
+/// bucket is unbounded and reports `u64::MAX`).
+#[must_use]
+pub fn bucket_upper_bound(bucket: usize) -> u64 {
+    if bucket >= HISTOGRAM_BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (2u64 << bucket) - 1
+    }
+}
+
+/// A fixed-bucket (power-of-two) histogram of `u64` samples.
+#[derive(Clone, Copy)]
+pub struct Histogram {
+    cells: &'static HistogramCells,
+}
+
+impl Histogram {
+    /// Records one sample.
+    #[inline]
+    pub fn record(self, value: u64) {
+        self.cells.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.cells.count.fetch_add(1, Ordering::Relaxed);
+        self.cells.sum.fetch_add(value, Ordering::Relaxed);
+        self.cells.max.fetch_max(value, Ordering::Relaxed);
+        self.cells.inv_min.fetch_max(u64::MAX - value, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough snapshot (fields load independently, so
+    /// totals may lag individual buckets under concurrent writes).
+    #[must_use]
+    pub fn snapshot(self) -> HistogramSnapshot {
+        let count = self.cells.count.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            count,
+            sum: self.cells.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                u64::MAX - self.cells.inv_min.load(Ordering::Relaxed)
+            },
+            max: self.cells.max.load(Ordering::Relaxed),
+            buckets: self
+                .cells
+                .buckets
+                .iter()
+                .enumerate()
+                .filter_map(|(i, cell)| {
+                    let n = cell.load(Ordering::Relaxed);
+                    (n > 0).then_some((bucket_upper_bound(i), n))
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Point-in-time view of one histogram.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all samples (wrapping on overflow).
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// `(inclusive_upper_bound, sample_count)` for each non-empty
+    /// bucket, in increasing bound order.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value, or 0.0 when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+enum Slot {
+    Counter(&'static AtomicU64),
+    Gauge(&'static AtomicI64),
+    Histogram(&'static HistogramCells),
+}
+
+fn registry() -> MutexGuard<'static, HashMap<String, Slot>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<String, Slot>>> = OnceLock::new();
+    REGISTRY
+        .get_or_init(|| Mutex::new(HashMap::new()))
+        .lock()
+        // the map is never left mid-update, so a poisoned lock is usable
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// The counter registered under `name`, registering it on first use.
+///
+/// # Panics
+///
+/// Panics if `name` is already registered as a different metric kind.
+pub fn counter(name: &str) -> Counter {
+    let found = {
+        let mut reg = registry();
+        let slot = reg.entry(String::from(name)).or_insert_with(|| {
+            Slot::Counter(Box::leak(Box::new(AtomicU64::new(0))))
+        });
+        match slot {
+            Slot::Counter(cell) => Some(*cell),
+            _ => None,
+        }
+    };
+    match found {
+        Some(cell) => Counter { cell },
+        None => panic!("metric `{name}` already registered as a non-counter"),
+    }
+}
+
+/// The gauge registered under `name`, registering it on first use.
+///
+/// # Panics
+///
+/// Panics if `name` is already registered as a different metric kind.
+pub fn gauge(name: &str) -> Gauge {
+    let found = {
+        let mut reg = registry();
+        let slot = reg.entry(String::from(name)).or_insert_with(|| {
+            Slot::Gauge(Box::leak(Box::new(AtomicI64::new(0))))
+        });
+        match slot {
+            Slot::Gauge(cell) => Some(*cell),
+            _ => None,
+        }
+    };
+    match found {
+        Some(cell) => Gauge { cell },
+        None => panic!("metric `{name}` already registered as a non-gauge"),
+    }
+}
+
+/// The histogram registered under `name`, registering it on first use.
+///
+/// # Panics
+///
+/// Panics if `name` is already registered as a different metric kind.
+pub fn histogram(name: &str) -> Histogram {
+    let found = {
+        let mut reg = registry();
+        let slot = reg.entry(String::from(name)).or_insert_with(|| {
+            Slot::Histogram(Box::leak(Box::new(HistogramCells::new())))
+        });
+        match slot {
+            Slot::Histogram(cells) => Some(*cells),
+            _ => None,
+        }
+    };
+    match found {
+        Some(cells) => Histogram { cells },
+        None => panic!("metric `{name}` already registered as a non-histogram"),
+    }
+}
+
+/// Point-in-time view of the whole registry, each section sorted by
+/// metric name.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` for every counter.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` for every gauge.
+    pub gauges: Vec<(String, i64)>,
+    /// `(name, snapshot)` for every histogram.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    /// The counter value recorded under `name`, if present.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// The histogram snapshot recorded under `name`, if present.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+}
+
+/// Snapshots every registered metric.
+#[must_use]
+pub fn registry_snapshot() -> MetricsSnapshot {
+    let reg = registry();
+    let mut snap = MetricsSnapshot::default();
+    for (name, slot) in reg.iter() {
+        match slot {
+            Slot::Counter(cell) => {
+                snap.counters.push((name.clone(), cell.load(Ordering::Relaxed)));
+            }
+            Slot::Gauge(cell) => {
+                snap.gauges.push((name.clone(), cell.load(Ordering::Relaxed)));
+            }
+            Slot::Histogram(cells) => {
+                snap.histograms.push((name.clone(), Histogram { cells }.snapshot()));
+            }
+        }
+    }
+    snap.counters.sort_by(|a, b| a.0.cmp(&b.0));
+    snap.gauges.sort_by(|a, b| a.0.cmp(&b.0));
+    snap.histograms.sort_by(|a, b| a.0.cmp(&b.0));
+    snap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The registry is process-global and tests share one process, so
+    // each test uses metric names unique to itself.
+
+    #[test]
+    fn counter_accumulates() {
+        let c = counter("test.counter_accumulates");
+        c.add(3);
+        c.inc();
+        assert_eq!(c.get(), 4);
+        // same name, same cell
+        assert_eq!(counter("test.counter_accumulates").get(), 4);
+    }
+
+    #[test]
+    fn gauge_sets_and_moves() {
+        let g = gauge("test.gauge");
+        g.set(10);
+        g.add(-3);
+        assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let h = histogram("test.histogram");
+        for v in [0, 1, 2, 3, 4, 1000] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 6);
+        assert_eq!(snap.sum, 1010);
+        assert_eq!(snap.min, 0);
+        assert_eq!(snap.max, 1000);
+        // 0,1 → bound 1; 2,3 → bound 3; 4 → bound 7; 1000 → bound 1023
+        assert_eq!(snap.buckets, vec![(1, 2), (3, 2), (7, 1), (1023, 1)]);
+        assert!((snap.mean() - 1010.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_and_saturates() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        let mut prev = 0;
+        for shift in 0..64 {
+            let idx = bucket_index(1u64 << shift);
+            assert!(idx >= prev);
+            prev = idx;
+        }
+    }
+
+    #[test]
+    fn kind_mismatch_panics() {
+        let _ = counter("test.kind_mismatch");
+        let err = std::panic::catch_unwind(|| gauge("test.kind_mismatch"));
+        assert!(err.is_err());
+        // the registry stays usable afterwards
+        counter("test.kind_mismatch.after").inc();
+    }
+
+    #[test]
+    fn snapshot_contains_registered_names() {
+        counter("test.snapshot.counter").add(5);
+        gauge("test.snapshot.gauge").set(-2);
+        histogram("test.snapshot.histogram").record(9);
+        let snap = registry_snapshot();
+        assert_eq!(snap.counter("test.snapshot.counter"), Some(5));
+        assert!(snap.gauges.iter().any(|(n, v)| n == "test.snapshot.gauge" && *v == -2));
+        let h = snap.histogram("test.snapshot.histogram").expect("histogram present");
+        assert_eq!((h.count, h.sum), (1, 9));
+    }
+
+    #[test]
+    fn recording_flag_toggles() {
+        set_recording(true);
+        assert!(recording());
+        set_recording(false);
+    }
+}

@@ -1,0 +1,331 @@
+//! Round-trip tests for the JSON writer against an *independent*
+//! parser written in this file — so a bug in `obs::json::parse` cannot
+//! mask a matching bug in the writer — plus property tests over
+//! arbitrary strings.
+
+use obs::Json;
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// A tiny independent JSON parser. Deliberately shares no code with
+// obs::json::parse: recursive descent over bytes, floats via
+// str::parse, strings with short escapes and \uXXXX (incl. surrogate
+// pairs).
+// ---------------------------------------------------------------------
+
+struct Mini<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Mini<'a> {
+    fn parse(text: &'a str) -> Result<Json, String> {
+        let mut p = Mini { bytes: text.as_bytes(), pos: 0 };
+        p.ws();
+        let v = p.value()?;
+        p.ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing garbage at {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    fn ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, token: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(token.as_bytes()) {
+            self.pos += token.len();
+            Ok(())
+        } else {
+            Err(format!("expected {token:?} at {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.bytes.get(self.pos) {
+            Some(b'n') => self.eat("null").map(|()| Json::Null),
+            Some(b't') => self.eat("true").map(|()| Json::Bool(true)),
+            Some(b'f') => self.eat("false").map(|()| Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(_) => self.number(),
+            None => Err("unexpected end".into()),
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while matches!(
+            self.bytes.get(self.pos),
+            Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        if !text.contains(['.', 'e', 'E']) {
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Json::Int(n));
+            }
+        }
+        text.parse::<f64>().map(Json::Float).map_err(|e| format!("bad number {text:?}: {e}"))
+    }
+
+    fn hex4(&mut self) -> Result<u16, String> {
+        let end = self.pos + 4;
+        let digits = self
+            .bytes
+            .get(self.pos..end)
+            .and_then(|d| std::str::from_utf8(d).ok())
+            .ok_or("short \\u escape")?;
+        self.pos = end;
+        u16::from_str_radix(digits, 16).map_err(|e| format!("bad \\u{digits}: {e}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat("\"")?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = *self.bytes.get(self.pos).ok_or("dangling escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                self.eat("\\u")?;
+                                let lo = self.hex4()?;
+                                let code = 0x10000
+                                    + ((u32::from(hi) - 0xD800) << 10)
+                                    + (u32::from(lo) - 0xDC00);
+                                char::from_u32(code).ok_or("bad surrogate pair")?
+                            } else {
+                                char::from_u32(u32::from(hi)).ok_or("lone surrogate")?
+                            };
+                            out.push(c);
+                        }
+                        other => return Err(format!("bad escape \\{}", other as char)),
+                    }
+                }
+                Some(_) => {
+                    // raw UTF-8: take one full scalar value
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|e| format!("invalid UTF-8: {e}"))?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat("[")?;
+        let mut items = Vec::new();
+        self.ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.ws();
+            items.push(self.value()?);
+            self.ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(format!("expected , or ] at {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat("{")?;
+        let mut pairs = Vec::new();
+        self.ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(pairs));
+        }
+        loop {
+            self.ws();
+            let key = self.string()?;
+            self.ws();
+            self.eat(":")?;
+            self.ws();
+            pairs.push((key, self.value()?));
+            self.ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(pairs));
+                }
+                _ => return Err(format!("expected , or }} at {}", self.pos)),
+            }
+        }
+    }
+}
+
+fn mini(text: &str) -> Json {
+    Mini::parse(text).expect("independent parser accepts writer output")
+}
+
+// ---------------------------------------------------------------------
+// Escaping
+// ---------------------------------------------------------------------
+
+#[test]
+fn quotes_and_backslashes_escape() {
+    let j = Json::from(r#"a "quoted" \path\"#);
+    let text = j.to_compact_string();
+    assert_eq!(text, r#""a \"quoted\" \\path\\""#);
+    assert_eq!(mini(&text), j);
+}
+
+#[test]
+fn control_characters_escape() {
+    let j = Json::from("line1\nline2\ttab\r\u{0}\u{1f}\u{8}\u{c}");
+    let text = j.to_compact_string();
+    assert!(text.contains("\\n"), "{text}");
+    assert!(text.contains("\\t"), "{text}");
+    assert!(text.contains("\\u0000"), "{text}");
+    assert!(text.contains("\\u001f"), "{text}");
+    for b in text.bytes() {
+        assert!(b >= 0x20, "raw control byte {b:#x} in output {text:?}");
+    }
+    assert_eq!(mini(&text), j);
+}
+
+#[test]
+fn non_finite_floats_serialise_as_null() {
+    assert_eq!(Json::Float(f64::NAN).to_compact_string(), "null");
+    assert_eq!(Json::Float(f64::INFINITY).to_compact_string(), "null");
+    assert_eq!(Json::Float(f64::NEG_INFINITY).to_compact_string(), "null");
+    let arr = Json::array([Json::Float(f64::NAN), Json::Float(1.5)]);
+    assert_eq!(mini(&arr.to_compact_string()), Json::array([Json::Null, Json::Float(1.5)]));
+}
+
+#[test]
+fn unicode_passes_through_raw() {
+    let j = Json::from("päivä ✓ 😀");
+    let text = j.to_compact_string();
+    assert!(text.contains("päivä ✓ 😀"), "{text}");
+    assert_eq!(mini(&text), j);
+}
+
+// ---------------------------------------------------------------------
+// Full-document round-trip
+// ---------------------------------------------------------------------
+
+/// A document shaped like a real `RunReport`.
+fn report_like() -> Json {
+    Json::object_from([
+        ("schema_version", Json::Int(1)),
+        ("tool", Json::from("satverify")),
+        ("result", Json::from("UNSAT")),
+        (
+            "solver",
+            Json::object_from([
+                ("decisions", Json::Int(174)),
+                ("conflicts", Json::Int(144)),
+                ("proof_literals", Json::Int(1161)),
+            ]),
+        ),
+        (
+            "verification",
+            Json::object_from([
+                ("tested_fraction", Json::Float(0.9861111111111112)),
+                ("core_fraction", Json::Float(1.0)),
+                ("verify_time_s", Json::Float(0.002650012)),
+            ]),
+        ),
+        (
+            "spans",
+            Json::array([Json::object_from([
+                ("name", Json::from("cdcl.bcp")),
+                ("count", Json::Int(319)),
+                ("total_s", Json::Float(0.001352)),
+            ])]),
+        ),
+        ("empty_list", Json::Array(vec![])),
+        ("empty_obj", Json::Object(vec![])),
+        ("nothing", Json::Null),
+        ("flag", Json::Bool(true)),
+    ])
+}
+
+#[test]
+fn report_document_roundtrips_compact_and_pretty() {
+    let doc = report_like();
+    assert_eq!(mini(&doc.to_compact_string()), doc);
+    assert_eq!(mini(&doc.to_pretty_string()), doc);
+    // and through obs's own parser, for good measure
+    assert_eq!(obs::json::parse(&doc.to_pretty_string()).expect("parse"), doc);
+}
+
+// ---------------------------------------------------------------------
+// Property tests
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn arbitrary_strings_roundtrip_through_both_parsers(
+        chars in prop::collection::vec(any::<char>(), 0..48),
+    ) {
+        let s: String = chars.into_iter().collect();
+        let j = Json::from(s);
+        let text = j.to_compact_string();
+        prop_assert_eq!(&mini(&text), &j);
+        prop_assert_eq!(&obs::json::parse(&text).expect("own parser"), &j);
+    }
+
+    #[test]
+    fn arbitrary_ints_and_floats_roundtrip(n in any::<i64>(), x in any::<u64>()) {
+        let int = Json::Int(n);
+        prop_assert_eq!(&mini(&int.to_compact_string()), &int);
+        // map the u64 onto a finite float via division
+        let f = (x as f64) / 1e3;
+        let float = Json::Float(f);
+        match mini(&float.to_compact_string()) {
+            Json::Float(back) => prop_assert_eq!(back, f),
+            Json::Int(back) => prop_assert_eq!(back as f64, f),
+            other => prop_assert!(false, "unexpected {:?}", other),
+        }
+    }
+
+    #[test]
+    fn arbitrary_string_keys_roundtrip_in_objects(
+        chars in prop::collection::vec(any::<char>(), 0..24),
+        value in any::<i64>(),
+    ) {
+        let key: String = chars.into_iter().collect();
+        let doc = Json::object_from([(key.clone(), Json::Int(value))]);
+        let parsed = mini(&doc.to_pretty_string());
+        prop_assert_eq!(parsed.get(&key), Some(&Json::Int(value)));
+    }
+}

@@ -1,0 +1,105 @@
+//! The metrics registry must be exact under concurrent hammering —
+//! these are the counters `verify_all_parallel` workers bump from many
+//! threads at once, so lost updates would silently corrupt reports.
+
+use obs::metrics::{counter, gauge, histogram, set_recording};
+
+const THREADS: usize = 8;
+const ITERS: u64 = 10_000;
+
+#[test]
+fn counters_sum_exactly_across_threads() {
+    set_recording(true);
+    let c = counter("test.conc.counter");
+    let before = c.get();
+    crossbeam::scope(|s| {
+        for t in 0..THREADS {
+            s.spawn(move |_| {
+                // re-resolve the handle inside the thread, as real call
+                // sites do through their OnceLock caches
+                let c = counter("test.conc.counter");
+                for i in 0..ITERS {
+                    c.add(u64::from(t as u32 % 2) + (i & 1));
+                }
+            });
+        }
+    })
+    .expect("scope");
+    // per thread: sum of (t%2) + (i&1) over ITERS iterations
+    let per_even_thread = ITERS / 2; // t%2 == 0: only i&1 contributes
+    let per_odd_thread = ITERS + ITERS / 2; // t%2 == 1: 1 + i&1
+    let expected = (THREADS as u64 / 2) * (per_even_thread + per_odd_thread);
+    assert_eq!(c.get() - before, expected);
+}
+
+#[test]
+fn gauge_adds_are_not_lost() {
+    set_recording(true);
+    let g = gauge("test.conc.gauge");
+    g.set(0);
+    crossbeam::scope(|s| {
+        for t in 0..THREADS {
+            s.spawn(move |_| {
+                let g = gauge("test.conc.gauge");
+                let delta = if t % 2 == 0 { 3 } else { -2 };
+                for _ in 0..ITERS {
+                    g.add(delta);
+                }
+            });
+        }
+    })
+    .expect("scope");
+    let expected = (THREADS as i64 / 2) * (3 - 2) * ITERS as i64;
+    assert_eq!(g.get(), expected);
+}
+
+#[test]
+fn histogram_count_sum_min_max_are_exact() {
+    set_recording(true);
+    let h = histogram("test.conc.histogram");
+    crossbeam::scope(|s| {
+        for t in 0..THREADS {
+            s.spawn(move |_| {
+                let h = histogram("test.conc.histogram");
+                for i in 1..=ITERS {
+                    h.record(i + t as u64 * ITERS);
+                }
+            });
+        }
+    })
+    .expect("scope");
+    let snap = h.snapshot();
+    let n = THREADS as u64 * ITERS;
+    assert_eq!(snap.count, n);
+    assert_eq!(snap.sum, n * (n + 1) / 2, "values were 1..=THREADS*ITERS");
+    assert_eq!(snap.min, 1);
+    assert_eq!(snap.max, n);
+    let bucket_total: u64 = snap.buckets.iter().map(|&(_, c)| c).sum();
+    assert_eq!(bucket_total, n, "every sample lands in exactly one bucket");
+}
+
+#[test]
+fn snapshot_while_hammering_is_internally_consistent() {
+    set_recording(true);
+    let c = counter("test.conc.live");
+    crossbeam::scope(|s| {
+        for _ in 0..4 {
+            s.spawn(move |_| {
+                let c = counter("test.conc.live");
+                for _ in 0..ITERS {
+                    c.inc();
+                }
+            });
+        }
+        // snapshot concurrently with the writers: the value must never
+        // exceed the final total nor go backwards between reads
+        let mut last = 0;
+        for _ in 0..100 {
+            let now = obs::registry_snapshot().counter("test.conc.live").unwrap_or(0);
+            assert!(now >= last, "counter went backwards: {last} -> {now}");
+            last = now;
+        }
+    })
+    .expect("scope");
+    assert_eq!(c.get(), 4 * ITERS);
+}

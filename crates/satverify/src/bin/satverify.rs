@@ -9,6 +9,7 @@
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read};
+use std::path::Path;
 use std::process::ExitCode;
 
 use cdcl::{LearningScheme, SolverConfig};
@@ -19,7 +20,7 @@ use proofver::{
 };
 use satverify::{
     minimal_core_of_verified, minimize_core, solve_and_verify,
-    solve_and_verify_preprocessed, PipelineOutcome, SimplifyConfig,
+    solve_and_verify_preprocessed, PipelineOutcome, RunReport, SimplifyConfig,
 };
 
 const USAGE: &str = "\
@@ -29,15 +30,24 @@ satverify — SAT solving with independently verified answers
 USAGE:
     satverify solve <cnf> [--proof <out>] [--binary] [--scheme <s>]
                           [--max-conflicts <n>] [--preprocess]
+                          [--json <path>] [--trace] [--metrics]
         solve a DIMACS file; on UNSAT the proof is verified before the
         answer is reported, and optionally written to <out>.
         --preprocess runs subsumption + variable elimination first (the
         stitched proof still verifies against the original formula).
         schemes: 1uip (default), decision, mixed:<period>
 
-    satverify check <cnf> <proof> [--all]
+    satverify check <cnf> <proof> [--all] [--json <path>] [--trace]
+                          [--metrics]
         verify a conflict-clause proof (text or binary, auto-detected);
         --all checks every clause (Proof_verification1)
+
+    Observability (solve and check):
+        --json <path>  write a machine-readable RunReport (solver stats,
+                       proof stats, verification report, span timings,
+                       metrics registry) as JSON to <path>
+        --trace        print per-phase span timings to stderr
+        --metrics      print the metrics registry to stderr
 
     satverify drat <cnf> <proof>
         verify a proof that may contain RAT steps (DRAT semantics)
@@ -145,8 +155,89 @@ fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
     }
 }
 
+/// The observability flags shared by `solve` and `check`:
+/// `--json <path>`, `--trace`, `--metrics`.
+struct ObsOptions {
+    json: Option<String>,
+    trace: bool,
+    metrics: bool,
+}
+
+impl ObsOptions {
+    /// Extracts the flags and, if any were given, switches the global
+    /// telemetry on (collecting subscriber + metrics recording) before
+    /// the instrumented work starts.
+    fn take(args: &mut Vec<String>) -> ObsOptions {
+        let opts = ObsOptions {
+            json: take_option(args, "--json"),
+            trace: take_flag(args, "--trace"),
+            metrics: take_flag(args, "--metrics"),
+        };
+        if opts.enabled() {
+            obs::CollectingSubscriber::install();
+            obs::metrics::set_recording(true);
+        }
+        opts
+    }
+
+    fn enabled(&self) -> bool {
+        self.json.is_some() || self.trace || self.metrics
+    }
+
+    /// Gathers the collected telemetry into `report` and emits it as
+    /// requested: span/metric tables on stderr, JSON to `--json <path>`.
+    fn emit(&self, mut report: RunReport) -> Result<(), String> {
+        if !self.enabled() {
+            return Ok(());
+        }
+        report.collect_observability();
+        if self.trace {
+            eprintln!("c spans (count, total, mean, min, max):");
+            for (name, s) in &report.spans {
+                eprintln!(
+                    "c   {name:<24} {:>9} {:>11.6}s {:>11.9}s {:>11.9}s {:>11.9}s",
+                    s.count,
+                    s.total.as_secs_f64(),
+                    s.mean().as_secs_f64(),
+                    s.min.as_secs_f64(),
+                    s.max.as_secs_f64(),
+                );
+            }
+        }
+        if self.metrics {
+            let snapshot = report.metrics.as_ref().expect("collected above");
+            eprintln!("c counters:");
+            for (name, value) in &snapshot.counters {
+                eprintln!("c   {name:<28} {value}");
+            }
+            eprintln!("c gauges:");
+            for (name, value) in &snapshot.gauges {
+                eprintln!("c   {name:<28} {value}");
+            }
+            eprintln!("c histograms (count, mean, min, max):");
+            for (name, h) in &snapshot.histograms {
+                eprintln!(
+                    "c   {name:<28} {:>9} {:>12.1} {:>9} {:>9}",
+                    h.count,
+                    h.mean(),
+                    h.min,
+                    h.max
+                );
+            }
+        }
+        if let Some(path) = &self.json {
+            report
+                .write_to_file(Path::new(path))
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("c run report written to {path}");
+        }
+        Ok(())
+    }
+}
+
 fn cmd_solve(args: &[String]) -> Result<ExitCode, String> {
     let mut args = args.to_vec();
+    let obs_opts = ObsOptions::take(&mut args);
     let proof_out = take_option(&mut args, "--proof");
     let binary = take_flag(&mut args, "--binary");
     let preprocess = take_flag(&mut args, "--preprocess");
@@ -161,6 +252,10 @@ fn cmd_solve(args: &[String]) -> Result<ExitCode, String> {
         return Err("usage: satverify solve <cnf> [options]".into());
     };
     let formula = load_formula(path)?;
+    let mut report = RunReport::new("solve");
+    report.instance_path = Some(path.clone());
+    report.num_vars = Some(formula.num_vars());
+    report.num_clauses = Some(formula.num_clauses());
     let config = SolverConfig::new()
         .learning_scheme(scheme)
         .max_conflicts(max_conflicts);
@@ -177,6 +272,8 @@ fn cmd_solve(args: &[String]) -> Result<ExitCode, String> {
                 print!(" {}", lit.to_dimacs());
             }
             println!(" 0");
+            report.result = Some("SAT".to_string());
+            obs_opts.emit(report)?;
             Ok(ExitCode::from(10))
         }
         PipelineOutcome::Unsat(run) => {
@@ -191,6 +288,13 @@ fn cmd_solve(args: &[String]) -> Result<ExitCode, String> {
                 write_proof_file(&run.proof, &out, binary)?;
                 println!("c proof written to {out}");
             }
+            report.result = Some("UNSAT".to_string());
+            report.solver = Some(run.stats);
+            report.proof = Some(ProofStats::of(&run.proof));
+            report.verification = Some(run.verification.report.clone());
+            report.solve_time = Some(run.solve_time);
+            report.verify_time = Some(run.verify_time);
+            obs_opts.emit(report)?;
             Ok(ExitCode::from(20))
         }
     }
@@ -212,23 +316,35 @@ fn write_proof_file(
 
 fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
     let mut args = args.to_vec();
+    let obs_opts = ObsOptions::take(&mut args);
     let all = take_flag(&mut args, "--all");
     let [cnf_path, proof_path] = args.as_slice() else {
         return Err("usage: satverify check <cnf> <proof> [--all]".into());
     };
     let formula = load_formula(cnf_path)?;
     let proof = load_proof(proof_path)?;
+    let mut report = RunReport::new("check");
+    report.instance_path = Some(cnf_path.clone());
+    report.num_vars = Some(formula.num_vars());
+    report.num_clauses = Some(formula.num_clauses());
+    report.proof = Some(ProofStats::of(&proof));
     let result = if all { verify_all(&formula, &proof) } else { verify(&formula, &proof) };
     match result {
         Ok(v) => {
             println!("s VERIFIED");
             println!("c {}", v.report);
             println!("c proof: {}", ProofStats::of(&proof));
+            report.result = Some("VERIFIED".to_string());
+            report.verify_time = Some(v.report.verify_time);
+            report.verification = Some(v.report);
+            obs_opts.emit(report)?;
             Ok(ExitCode::SUCCESS)
         }
         Err(e) => {
             println!("s NOT VERIFIED");
             println!("c {e}");
+            report.result = Some("NOT VERIFIED".to_string());
+            obs_opts.emit(report)?;
             Ok(ExitCode::from(1))
         }
     }

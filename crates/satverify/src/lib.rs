@@ -35,6 +35,7 @@ mod enumerate;
 mod minimize;
 mod mus;
 mod pipeline;
+pub mod report;
 mod simplify;
 mod sweep;
 
@@ -50,6 +51,7 @@ pub use pipeline::{
     annotated_from_trace, proof_from_trace, resolution_from_trace, solve_and_verify,
     PipelineError, PipelineOutcome, UnsatRun,
 };
+pub use report::RunReport;
 
 // Re-export the component crates under stable names.
 pub use bcp;
@@ -57,4 +59,5 @@ pub use cdcl;
 pub use circuit;
 pub use cnf;
 pub use cnfgen;
+pub use obs;
 pub use proofver;

@@ -200,7 +200,9 @@ pub fn solve_and_verify(
     let config = config.log_proof(true);
     let mut solver = Solver::new(formula, config);
     let solve_start = Instant::now();
+    let solve_span = obs::span!("pipeline.solve");
     let result = solver.solve();
+    solve_span.finish();
     let solve_time = solve_start.elapsed();
     match result {
         SolveResult::Sat(model) => {
@@ -215,7 +217,9 @@ pub fn solve_and_verify(
             let trace = trace.expect("proof logging forced on");
             let proof = proof_from_trace(&trace);
             let verify_start = Instant::now();
+            let verify_span = obs::span!("pipeline.verify");
             let verification = verify(formula, &proof)?;
+            verify_span.finish();
             let verify_time = verify_start.elapsed();
             Ok(PipelineOutcome::Unsat(Box::new(UnsatRun {
                 proof,

@@ -1,0 +1,301 @@
+//! Machine-readable run reports.
+//!
+//! A [`RunReport`] gathers everything one `satverify` invocation
+//! produced — solver statistics, proof-size statistics, the
+//! verification report, per-phase span timings, and the metrics
+//! registry — into a single [`obs::Json`] document suitable for
+//! benchmark harnesses and regression tracking. The schema is
+//! documented field-by-field in the repository README ("Observability"
+//! section); `schema_version` is bumped whenever a field changes
+//! meaning or disappears.
+
+use std::io;
+use std::path::Path;
+use std::time::Duration;
+
+use cdcl::SolverStats;
+use obs::span::SpanSummary;
+use obs::{Json, MetricsSnapshot};
+use proofver::{ProofStats, VerificationReport};
+
+/// Current value of the `schema_version` field.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Everything a single run produced, ready for JSON serialisation.
+///
+/// Fields left `None` are omitted from the output rather than written
+/// as `null`, so consumers can key presence off the command: a `solve`
+/// run on a SAT instance has no `proof` or `verification` object.
+#[derive(Clone, Debug, Default)]
+pub struct RunReport {
+    /// Which CLI command (or library entry point) produced the report.
+    pub command: String,
+    /// Path of the input instance, if one was read from disk.
+    pub instance_path: Option<String>,
+    /// Variable count of the input formula.
+    pub num_vars: Option<usize>,
+    /// Clause count of the input formula.
+    pub num_clauses: Option<usize>,
+    /// Final answer: `"SAT"`, `"UNSAT"`, `"VERIFIED"`, `"NOT VERIFIED"`.
+    pub result: Option<String>,
+    /// Solver counters, when a solve happened.
+    pub solver: Option<SolverStats>,
+    /// Proof-size statistics, when a proof exists.
+    pub proof: Option<ProofStats>,
+    /// Verification outcome, when a proof was checked.
+    pub verification: Option<VerificationReport>,
+    /// Wall-clock solving time.
+    pub solve_time: Option<Duration>,
+    /// Wall-clock verification time.
+    pub verify_time: Option<Duration>,
+    /// Per-phase span aggregates drained from the collecting subscriber.
+    pub spans: Vec<(String, SpanSummary)>,
+    /// Metrics registry snapshot.
+    pub metrics: Option<MetricsSnapshot>,
+}
+
+impl RunReport {
+    /// Creates an empty report for `command`.
+    #[must_use]
+    pub fn new(command: &str) -> Self {
+        RunReport { command: command.to_string(), ..RunReport::default() }
+    }
+
+    /// Drains the global collecting subscriber and snapshots the metrics
+    /// registry into this report. Call once, after the instrumented work
+    /// has finished.
+    pub fn collect_observability(&mut self) {
+        self.spans = obs::take_collected();
+        self.spans.sort_by(|a, b| a.0.cmp(&b.0));
+        self.metrics = Some(obs::registry_snapshot());
+    }
+
+    /// Serialises the report to the JSON document described in the
+    /// README's "Observability" section.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut root = Json::object();
+        root.push("schema_version", SCHEMA_VERSION);
+        root.push("tool", "satverify");
+        root.push("command", self.command.as_str());
+        if let Some(path) = &self.instance_path {
+            root.push("instance_path", path.as_str());
+        }
+        if self.num_vars.is_some() || self.num_clauses.is_some() {
+            let mut inst = Json::object();
+            if let Some(v) = self.num_vars {
+                inst.push("num_vars", v);
+            }
+            if let Some(c) = self.num_clauses {
+                inst.push("num_clauses", c);
+            }
+            root.push("instance", inst);
+        }
+        if let Some(result) = &self.result {
+            root.push("result", result.as_str());
+        }
+        if let Some(stats) = &self.solver {
+            root.push("solver", solver_json(stats));
+        }
+        if let Some(stats) = &self.proof {
+            root.push("proof", proof_json(stats));
+        }
+        if let Some(report) = &self.verification {
+            root.push("verification", verification_json(report));
+        }
+        if self.solve_time.is_some() || self.verify_time.is_some() {
+            let mut timing = Json::object();
+            if let Some(t) = self.solve_time {
+                timing.push("solve_s", t.as_secs_f64());
+            }
+            if let Some(t) = self.verify_time {
+                timing.push("verify_s", t.as_secs_f64());
+            }
+            if let (Some(s), Some(v)) = (self.solve_time, self.verify_time) {
+                timing.push("verify_over_solve", safe_ratio(v, s));
+            }
+            root.push("timing", timing);
+        }
+        root.push("spans", spans_json(&self.spans));
+        if let Some(metrics) = &self.metrics {
+            root.push("metrics", metrics_json(metrics));
+        }
+        root
+    }
+
+    /// Writes the pretty-printed report to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures from the underlying write.
+    pub fn write_to_file(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, self.to_json().to_pretty_string())
+    }
+}
+
+fn safe_ratio(num: Duration, den: Duration) -> f64 {
+    let den = den.as_secs_f64();
+    if den == 0.0 {
+        0.0
+    } else {
+        num.as_secs_f64() / den
+    }
+}
+
+fn solver_json(s: &SolverStats) -> Json {
+    let mut obj = Json::object();
+    obj.push("decisions", s.decisions);
+    obj.push("conflicts", s.conflicts);
+    obj.push("propagations", s.propagations);
+    obj.push("restarts", s.restarts);
+    obj.push("learned_kept", s.learned_kept);
+    obj.push("learned_deleted", s.learned_deleted);
+    obj.push("reductions", s.reductions);
+    obj.push("resolutions", s.resolutions);
+    obj.push("proof_literals", s.proof_literals);
+    obj.push("global_clauses", s.global_clauses);
+    obj.push("local_clauses", s.local_clauses);
+    obj.push("minimized_literals", s.minimized_literals);
+    obj
+}
+
+fn proof_json(s: &ProofStats) -> Json {
+    let mut obj = Json::object();
+    obj.push("num_clauses", s.num_clauses);
+    obj.push("num_literals", s.num_literals);
+    obj.push("min_len", s.min_len);
+    obj.push("max_len", s.max_len);
+    obj.push("mean_len", s.mean_len);
+    obj.push("median_len", s.median_len);
+    obj.push("num_units", s.num_units);
+    obj.push("num_long", s.num_long);
+    obj.push("long_fraction", s.long_fraction());
+    obj.push(
+        "len_histogram",
+        Json::Array(s.histogram.iter().map(|&n| Json::from(n)).collect()),
+    );
+    obj
+}
+
+fn verification_json(r: &VerificationReport) -> Json {
+    let mut obj = Json::object();
+    obj.push("num_original", r.num_original);
+    obj.push("num_conflict_clauses", r.num_conflict_clauses);
+    obj.push("num_checked", r.num_checked);
+    obj.push("proof_literals", r.proof_literals);
+    obj.push("core_size", r.core_size);
+    obj.push("tested_fraction", r.tested_fraction());
+    obj.push("core_fraction", r.core_fraction());
+    obj.push("verify_time_s", r.verify_time.as_secs_f64());
+    obj.push("propagations", r.propagations);
+    obj.push("clause_visits", r.clause_visits);
+    obj
+}
+
+fn spans_json(spans: &[(String, SpanSummary)]) -> Json {
+    let mut arr = Vec::with_capacity(spans.len());
+    for (name, summary) in spans {
+        let mut obj = Json::object();
+        obj.push("name", name.as_str());
+        obj.push("count", summary.count);
+        obj.push("total_s", summary.total.as_secs_f64());
+        obj.push("min_s", summary.min.as_secs_f64());
+        obj.push("max_s", summary.max.as_secs_f64());
+        obj.push("mean_s", summary.mean().as_secs_f64());
+        arr.push(obj);
+    }
+    Json::Array(arr)
+}
+
+fn metrics_json(m: &MetricsSnapshot) -> Json {
+    let mut obj = Json::object();
+    let mut counters = Json::object();
+    for (name, value) in &m.counters {
+        counters.push(name, *value);
+    }
+    obj.push("counters", counters);
+    let mut gauges = Json::object();
+    for (name, value) in &m.gauges {
+        gauges.push(name, *value);
+    }
+    obj.push("gauges", gauges);
+    let mut histograms = Json::object();
+    for (name, h) in &m.histograms {
+        let mut hist = Json::object();
+        hist.push("count", h.count);
+        hist.push("sum", h.sum);
+        hist.push("min", h.min);
+        hist.push("max", h.max);
+        hist.push("mean", h.mean());
+        hist.push(
+            "buckets",
+            Json::Array(
+                h.buckets
+                    .iter()
+                    .map(|&(le, n)| {
+                        let mut b = Json::object();
+                        b.push("le", le);
+                        b.push("count", n);
+                        b
+                    })
+                    .collect(),
+            ),
+        );
+        histograms.push(name, hist);
+    }
+    obj.push("histograms", histograms);
+    obj
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_report_has_required_keys() {
+        let report = RunReport::new("solve");
+        let json = report.to_json();
+        assert_eq!(json.get("schema_version").and_then(Json::as_int), Some(1));
+        assert_eq!(json.get("tool").and_then(Json::as_str), Some("satverify"));
+        assert_eq!(json.get("command").and_then(Json::as_str), Some("solve"));
+        assert!(json.get("solver").is_none(), "no solver stats recorded");
+        assert!(json.get("spans").is_some());
+    }
+
+    #[test]
+    fn optional_sections_appear_when_set() {
+        let mut report = RunReport::new("solve");
+        report.num_vars = Some(12);
+        report.num_clauses = Some(34);
+        report.result = Some("UNSAT".to_string());
+        report.solver = Some(SolverStats { conflicts: 7, ..SolverStats::default() });
+        report.solve_time = Some(Duration::from_millis(20));
+        report.verify_time = Some(Duration::from_millis(40));
+        let json = report.to_json();
+        let instance = json.get("instance").expect("instance");
+        assert_eq!(instance.get("num_vars").and_then(Json::as_int), Some(12));
+        let solver = json.get("solver").expect("solver");
+        assert_eq!(solver.get("conflicts").and_then(Json::as_int), Some(7));
+        let timing = json.get("timing").expect("timing");
+        let ratio = timing.get("verify_over_solve").and_then(Json::as_f64).expect("ratio");
+        assert!((ratio - 2.0).abs() < 1e-9, "{ratio}");
+    }
+
+    #[test]
+    fn report_round_trips_through_parser() {
+        let mut report = RunReport::new("check");
+        report.result = Some("VERIFIED".to_string());
+        report.verification = Some(VerificationReport {
+            num_original: 10,
+            num_conflict_clauses: 5,
+            num_checked: 4,
+            core_size: 9,
+            ..VerificationReport::default()
+        });
+        let text = report.to_json().to_pretty_string();
+        let parsed = obs::json::parse(&text).expect("valid JSON");
+        let v = parsed.get("verification").expect("verification");
+        assert_eq!(v.get("num_checked").and_then(Json::as_int), Some(4));
+        assert_eq!(v.get("tested_fraction").and_then(Json::as_f64), Some(0.8));
+    }
+}

@@ -1,0 +1,144 @@
+//! Integration test for `satverify solve --json`: run the real binary
+//! on a small pigeonhole instance and validate the emitted RunReport.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use obs::Json;
+
+fn tmp(name: &str) -> PathBuf {
+    let mut dir = std::env::temp_dir();
+    dir.push(format!("satverify-json-{}-{name}", std::process::id()));
+    dir
+}
+
+fn run(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_satverify"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn solve_json_report_on_pigeonhole() {
+    let cnf = tmp("php.cnf");
+    let json = tmp("php.json");
+    let out = run(&["gen", "php", "4", "--out", cnf.to_str().expect("utf8")]);
+    assert!(out.status.success(), "{out:?}");
+
+    let out = run(&[
+        "solve",
+        cnf.to_str().expect("utf8"),
+        "--json",
+        json.to_str().expect("utf8"),
+        "--trace",
+        "--metrics",
+    ]);
+    assert_eq!(out.status.code(), Some(20), "php4 is UNSAT: {out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cdcl.bcp"), "--trace prints spans: {stderr}");
+    assert!(stderr.contains("bcp.propagations"), "--metrics prints counters: {stderr}");
+
+    let text = std::fs::read_to_string(&json).expect("report written");
+    let report = obs::json::parse(&text).expect("valid JSON");
+
+    // header
+    assert_eq!(report.get("schema_version").and_then(Json::as_int), Some(1));
+    assert_eq!(report.get("tool").and_then(Json::as_str), Some("satverify"));
+    assert_eq!(report.get("command").and_then(Json::as_str), Some("solve"));
+    assert_eq!(report.get("result").and_then(Json::as_str), Some("UNSAT"));
+    let instance = report.get("instance").expect("instance object");
+    assert_eq!(instance.get("num_vars").and_then(Json::as_int), Some(20));
+    assert_eq!(instance.get("num_clauses").and_then(Json::as_int), Some(45));
+
+    // solver stats
+    let solver = report.get("solver").expect("solver object");
+    for key in ["decisions", "conflicts", "propagations", "resolutions", "proof_literals"] {
+        let v = solver.get(key).and_then(Json::as_int).unwrap_or_else(|| {
+            panic!("solver.{key} missing in {text}")
+        });
+        assert!(v > 0, "solver.{key} = {v}");
+    }
+
+    // verification report: tested % and core %
+    let verification = report.get("verification").expect("verification object");
+    let tested = verification.get("tested_fraction").and_then(Json::as_f64).expect("tested");
+    assert!(tested > 0.0 && tested <= 1.0, "tested_fraction {tested}");
+    let core = verification.get("core_fraction").and_then(Json::as_f64).expect("core");
+    assert!((core - 1.0).abs() < 1e-12, "pigeonhole core is the whole formula");
+
+    // per-phase span timings: the solve loop must have run BCP
+    let spans = report.get("spans").and_then(Json::as_array).expect("spans array");
+    let span_names: Vec<&str> = spans
+        .iter()
+        .filter_map(|s| s.get("name").and_then(Json::as_str))
+        .collect();
+    for expected in ["cdcl.bcp", "cdcl.decide", "pipeline.solve", "pipeline.verify"] {
+        assert!(span_names.contains(&expected), "span {expected} missing: {span_names:?}");
+    }
+    let bcp = spans
+        .iter()
+        .find(|s| s.get("name").and_then(Json::as_str) == Some("cdcl.bcp"))
+        .expect("cdcl.bcp span");
+    assert!(bcp.get("count").and_then(Json::as_int).expect("count") > 0);
+
+    // metrics: at least propagations, clause visits, and checks
+    let counters = report
+        .get("metrics")
+        .and_then(|m| m.get("counters"))
+        .expect("metrics.counters");
+    for key in ["bcp.propagations", "bcp.clause_visits", "proofver.checks"] {
+        let v = counters.get(key).and_then(Json::as_int).unwrap_or_else(|| {
+            panic!("counter {key} missing in {text}")
+        });
+        assert!(v > 0, "counter {key} = {v}");
+    }
+    let histograms = report
+        .get("metrics")
+        .and_then(|m| m.get("histograms"))
+        .expect("metrics.histograms");
+    assert!(
+        histograms.get("bcp.watch_list_len").is_some(),
+        "watcher traversal histogram missing"
+    );
+}
+
+#[test]
+fn check_json_report_on_emitted_proof() {
+    let cnf = tmp("chk.cnf");
+    let proof = tmp("chk.ccp");
+    let json = tmp("chk.json");
+    let out = run(&["gen", "php", "3", "--out", cnf.to_str().expect("utf8")]);
+    assert!(out.status.success(), "{out:?}");
+    let out = run(&[
+        "solve",
+        cnf.to_str().expect("utf8"),
+        "--proof",
+        proof.to_str().expect("utf8"),
+    ]);
+    assert_eq!(out.status.code(), Some(20), "{out:?}");
+
+    let out = run(&[
+        "check",
+        cnf.to_str().expect("utf8"),
+        proof.to_str().expect("utf8"),
+        "--json",
+        json.to_str().expect("utf8"),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let report =
+        obs::json::parse(&std::fs::read_to_string(&json).expect("written")).expect("valid");
+    assert_eq!(report.get("command").and_then(Json::as_str), Some("check"));
+    assert_eq!(report.get("result").and_then(Json::as_str), Some("VERIFIED"));
+    assert!(report.get("proof").is_some(), "proof stats present");
+    let verification = report.get("verification").expect("verification");
+    assert!(
+        verification.get("num_checked").and_then(Json::as_int).expect("num_checked") > 0
+    );
+    // proofver's check counter was live during verification
+    let counters = report
+        .get("metrics")
+        .and_then(|m| m.get("counters"))
+        .expect("counters");
+    assert!(counters.get("proofver.checks").and_then(Json::as_int).expect("checks") > 0);
+}

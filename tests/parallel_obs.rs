@@ -1,0 +1,104 @@
+//! Parallel verification must report the same aggregates as sequential
+//! verification — only timing (and the propagation-effort diagnostics
+//! that depend on how work is split) may differ.
+//!
+//! One `#[test]` only: the obs registry and subscriber are
+//! process-global, so this comparison gets its own test binary and
+//! measures metric *deltas* around each run.
+
+use cdcl::{SolveResult, Solver, SolverConfig};
+use obs::Json;
+use proofver::{verify_all, verify_all_parallel, ConflictClauseProof};
+use satverify::RunReport;
+
+fn counter_value(name: &str) -> u64 {
+    obs::registry_snapshot().counter(name).unwrap_or(0)
+}
+
+/// The `verification` object of a RunReport with the fields that
+/// legitimately differ between sequential and parallel runs removed:
+/// `verify_time_s` is wall-clock, and `propagations`/`clause_visits`
+/// depend on each worker redoing root propagation for its own arena.
+fn comparable_verification_json(report: &RunReport) -> Json {
+    let json = report.to_json();
+    let verification = json.get("verification").expect("verification object");
+    match verification {
+        Json::Object(pairs) => Json::Object(
+            pairs
+                .iter()
+                .filter(|(k, _)| {
+                    !matches!(k.as_str(), "verify_time_s" | "propagations" | "clause_visits")
+                })
+                .cloned()
+                .collect(),
+        ),
+        other => panic!("verification is not an object: {other:?}"),
+    }
+}
+
+#[test]
+fn parallel_and_sequential_reports_agree_modulo_timing() {
+    obs::CollectingSubscriber::install();
+    obs::metrics::set_recording(true);
+
+    // produce a real proof to check
+    let formula = cnfgen::pigeonhole(5);
+    let mut solver = Solver::new(&formula, SolverConfig::new().log_proof(true));
+    let SolveResult::Unsat(Some(trace)) = solver.solve() else {
+        panic!("pigeonhole(5) is UNSAT with proof logging on");
+    };
+    let proof = ConflictClauseProof::new(trace.clauses());
+
+    let checks_before = counter_value("proofver.checks");
+    let marks_before = counter_value("proofver.marking_passes");
+    let seq = verify_all(&formula, &proof).expect("sequential verifies");
+    let seq_checks = counter_value("proofver.checks") - checks_before;
+    let seq_marks = counter_value("proofver.marking_passes") - marks_before;
+
+    let checks_before = counter_value("proofver.checks");
+    let marks_before = counter_value("proofver.marking_passes");
+    let par = verify_all_parallel(&formula, &proof, 4).expect("parallel verifies");
+    let par_checks = counter_value("proofver.checks") - checks_before;
+    let par_marks = counter_value("proofver.marking_passes") - marks_before;
+
+    // the verification objects themselves agree
+    assert_eq!(par.core.indices(), seq.core.indices());
+    assert_eq!(par.marked_steps, seq.marked_steps);
+    assert_eq!(par.report.num_checked, seq.report.num_checked);
+
+    // metric deltas: both modes perform the same per-clause checks and
+    // marking passes, just distributed differently
+    assert_eq!(par_checks, seq_checks, "same clause checks in both modes");
+    assert_eq!(par_marks, seq_marks, "same marking passes in both modes");
+
+    // the parallel run recorded its worker telemetry
+    let snapshot = obs::registry_snapshot();
+    let workers = snapshot
+        .gauges
+        .iter()
+        .find(|(n, _)| n == "proofver.par.workers")
+        .map(|&(_, v)| v)
+        .expect("worker gauge");
+    assert!(workers >= 1 && workers <= 4, "worker count {workers}");
+    let slices = snapshot.histogram("proofver.par.slice_clauses").expect("slice histogram");
+    assert_eq!(slices.count, workers as u64, "one slice per worker");
+
+    // RunReport JSON aggregates agree once timing fields are excluded
+    let mut seq_report = RunReport::new("check");
+    seq_report.verification = Some(seq.report.clone());
+    let mut par_report = RunReport::new("check");
+    par_report.verification = Some(par.report.clone());
+    assert_eq!(
+        comparable_verification_json(&par_report),
+        comparable_verification_json(&seq_report),
+    );
+
+    // and the worker spans were collected
+    let spans = obs::take_collected();
+    let worker = spans
+        .iter()
+        .find(|(name, _)| name == "proofver.par.worker")
+        .map(|(_, s)| s)
+        .expect("worker span");
+    assert_eq!(worker.count, workers as u64);
+}

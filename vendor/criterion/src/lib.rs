@@ -1,0 +1,273 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so the real `criterion`
+//! cannot resolve. This crate keeps the `criterion_group!` /
+//! `criterion_main!` / [`Criterion`] interface the workspace's benches
+//! are written against, and implements an honest but simple measurement
+//! loop: warm-up, then timed batches, reporting min/median/mean
+//! nanoseconds per iteration on stdout.
+//!
+//! Tuning knobs (environment):
+//! * `CRITERION_SAMPLE_MS` — target measurement time per benchmark in
+//!   milliseconds (default 300);
+//! * `CRITERION_SAMPLES` — number of timed samples (default 11).
+//!
+//! Command-line arguments (`cargo bench -- <filter>`) select benchmarks
+//! by substring match on the full id, like real criterion.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// An opaque-to-the-optimiser identity function, mirroring
+/// `criterion::black_box`.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// A benchmark identifier composed of a function name and a parameter,
+/// mirroring `criterion::BenchmarkId`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        let mut id = name.into();
+        let _ = write!(id, "/{parameter}");
+        BenchmarkId { id }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The timing loop handed to benchmark closures, mirroring
+/// `criterion::Bencher`.
+pub struct Bencher {
+    /// Nanoseconds per iteration measured by the last `iter` call.
+    samples: Vec<f64>,
+    target: Duration,
+    sample_count: usize,
+}
+
+impl Bencher {
+    /// Measures `f` repeatedly; results are reported by the caller.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // warm-up and iteration-count calibration: run until 5 ms or 3 iters
+        let calibration_start = Instant::now();
+        let mut calibration_iters = 0u64;
+        while calibration_iters < 3
+            || calibration_start.elapsed() < Duration::from_millis(5)
+        {
+            black_box(f());
+            calibration_iters += 1;
+        }
+        let per_iter = calibration_start.elapsed().as_secs_f64()
+            / calibration_iters as f64;
+        let budget = self.target.as_secs_f64() / self.sample_count as f64;
+        let iters_per_sample = ((budget / per_iter.max(1e-9)) as u64).clamp(1, 1 << 24);
+
+        self.samples.clear();
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            self.samples.push(elapsed * 1e9 / iters_per_sample as f64);
+        }
+    }
+}
+
+/// A named group of related benchmarks, mirroring
+/// `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Benchmarks `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&full, input, f);
+        self
+    }
+
+    /// Benchmarks `f` under `name`.
+    pub fn bench_function<F>(&mut self, name: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        self.criterion.run_one(&full, &(), move |b, ()| f(b));
+        self
+    }
+
+    /// Ends the group (report flushing is per-benchmark; this is a
+    /// no-op kept for interface compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark manager, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    filter: Option<String>,
+    target: Duration,
+    sample_count: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'));
+        let target_ms = std::env::var("CRITERION_SAMPLE_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(300u64);
+        let sample_count = std::env::var("CRITERION_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(11usize)
+            .max(1);
+        Criterion {
+            filter,
+            target: Duration::from_millis(target_ms),
+            sample_count,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+
+    /// Benchmarks `f` under `name`, outside any group.
+    pub fn bench_function<F>(&mut self, name: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(&name.to_string(), &(), move |b, ()| f(b));
+        self
+    }
+
+    fn run_one<I: ?Sized, F>(&self, id: &str, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            target: self.target,
+            sample_count: self.sample_count,
+        };
+        f(&mut bencher, input);
+        if bencher.samples.is_empty() {
+            println!("{id:<40} (no measurement: closure never called iter)");
+            return;
+        }
+        let mut sorted = bencher.samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        let min = sorted[0];
+        let median = sorted[sorted.len() / 2];
+        let mean: f64 = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        println!(
+            "{id:<40} min {:>12} median {:>12} mean {:>12}",
+            format_ns(min),
+            format_ns(median),
+            format_ns(mean),
+        );
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_produces_samples() {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            target: Duration::from_millis(10),
+            sample_count: 3,
+        };
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            x
+        });
+        assert_eq!(b.samples.len(), 3);
+        assert!(b.samples.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn benchmark_id_renders_name_slash_param() {
+        assert_eq!(BenchmarkId::new("watched", 500).to_string(), "watched/500");
+    }
+
+    #[test]
+    fn format_ns_scales_units() {
+        assert!(format_ns(12.0).ends_with("ns"));
+        assert!(format_ns(12_000.0).ends_with("µs"));
+        assert!(format_ns(12_000_000.0).ends_with("ms"));
+        assert!(format_ns(2.5e9).ends_with('s'));
+    }
+}

@@ -1,0 +1,120 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The build environment has no network access, so the real `crossbeam`
+//! cannot resolve. This crate provides the one API the workspace uses —
+//! [`scope`] with [`Scope::spawn`] and joinable handles — implemented on
+//! `std::thread::scope`, which has offered the same structured-
+//! concurrency guarantee since Rust 1.63.
+
+#![forbid(unsafe_code)]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::thread;
+
+/// Result of joining a scoped thread: `Err` carries the panic payload.
+pub type ThreadResult<T> = thread::Result<T>;
+
+/// A scope for spawning borrowing threads, mirroring
+/// `crossbeam::thread::Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+/// A handle to a scoped thread, mirroring
+/// `crossbeam::thread::ScopedJoinHandle`.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Waits for the thread to finish; `Err` is the panic payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns the panic payload if the thread panicked.
+    pub fn join(self) -> ThreadResult<T> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a thread inside the scope. Like crossbeam (and unlike
+    /// `std::thread::Scope::spawn`), the closure receives the scope, so
+    /// workers can spawn siblings.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let scope = Scope { inner: self.inner };
+        ScopedJoinHandle { inner: self.inner.spawn(move || f(&scope)) }
+    }
+}
+
+/// Creates a scope in which threads may borrow from the caller's stack,
+/// mirroring `crossbeam::scope`. All spawned threads are joined before
+/// this returns. `Err` carries the panic payload if the closure (or an
+/// unjoined spawned thread) panicked.
+///
+/// # Errors
+///
+/// Returns the panic payload when `f` or an unjoined thread panics.
+pub fn scope<'env, F, R>(f: F) -> ThreadResult<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+/// `crossbeam::thread` module alias, for callers that spell the path out.
+pub mod thread_mod {
+    pub use super::{scope, Scope, ScopedJoinHandle};
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let counter = AtomicUsize::new(0);
+        let counter_ref = &counter;
+        let total: usize = super::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|i| {
+                    s.spawn(move |_| {
+                        counter_ref.fetch_add(1, Ordering::Relaxed);
+                        i * 2
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("no panic")).sum()
+        })
+        .expect("scope");
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
+        assert_eq!(total, (0..8).map(|i| i * 2).sum());
+    }
+
+    #[test]
+    fn worker_panic_surfaces_through_join() {
+        let result = super::scope(|s| {
+            let h = s.spawn(|_| panic!("boom"));
+            h.join()
+        })
+        .expect("scope itself survives joined panics");
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_via_scope_argument() {
+        let v = super::scope(|s| {
+            s.spawn(|s2| s2.spawn(|_| 21).join().map(|x| x * 2).expect("inner"))
+                .join()
+                .expect("outer")
+        })
+        .expect("scope");
+        assert_eq!(v, 42);
+    }
+}

@@ -1,0 +1,85 @@
+//! `any::<T>()` — full-domain strategies for primitive types, mirroring
+//! `proptest::arbitrary`.
+
+use std::marker::PhantomData;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one value covering the whole domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A strategy over the whole domain of `T`, mirroring
+/// `proptest::prelude::any`.
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // biased to ASCII, occasionally any scalar value
+        if rng.below(4) == 0 {
+            char::from_u32(rng.below(0x11_0000) as u32).unwrap_or('\u{FFFD}')
+        } else {
+            char::from(rng.below(0x80) as u8)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_covers_small_domains() {
+        let mut rng = TestRng::from_seed(11);
+        let mut seen = [false; 2];
+        for _ in 0..64 {
+            seen[usize::from(any::<bool>().generate(&mut rng))] = true;
+        }
+        assert_eq!(seen, [true, true]);
+    }
+
+    #[test]
+    fn any_u8_spreads() {
+        let mut rng = TestRng::from_seed(12);
+        let mut distinct = std::collections::HashSet::new();
+        for _ in 0..256 {
+            distinct.insert(any::<u8>().generate(&mut rng));
+        }
+        assert!(distinct.len() > 100, "{}", distinct.len());
+    }
+}

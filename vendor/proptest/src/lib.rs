@@ -1,0 +1,185 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so the real `proptest`
+//! cannot resolve. This crate implements the subset of its API the
+//! workspace uses — the [`proptest!`] macro, the [`Strategy`] trait with
+//! `prop_map`/`prop_flat_map`, [`Just`], integer-range and tuple
+//! strategies, [`collection::vec`], [`arbitrary`] via `any::<T>()`,
+//! [`prop_oneof!`], the `prop_assert*` macros, and
+//! [`ProptestConfig::with_cases`] — as a **generation-only** engine:
+//! failing inputs are reported verbatim, not shrunk.
+//!
+//! Each test function derives its RNG seed from the test name (stable
+//! across runs and platforms) unless `PROPTEST_SEED` overrides it, so
+//! failures reproduce deterministically. `PROPTEST_CASES` scales the
+//! per-test case count.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{BoxedStrategy, Just, Strategy};
+pub use test_runner::{ProptestConfig, TestCaseError, TestRng, TestRunner};
+
+/// Everything a property test needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{
+        ProptestConfig, TestCaseError, TestRng, TestRunner,
+    };
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// The `prop` module alias (`prop::collection::vec(..)`), mirroring
+    /// `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the current
+/// case (with the generated inputs echoed) instead of panicking the
+/// whole process.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// `assert_eq!` for [`proptest!`] bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// `assert_ne!` for [`proptest!`] bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `left != right`\n  both: `{:?}`",
+            left
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `left != right`\n  both: `{:?}`: {}",
+            left,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Uniform choice between several strategies with the same value type,
+/// mirroring `proptest::prop_oneof!`. Weighted arms (`w => strategy`)
+/// are accepted and treated as relative integer weights.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $item:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(
+            vec![$(($weight as u32, $crate::Strategy::boxed($item))),+],
+        )
+    };
+    ($($item:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::Strategy::boxed($item)),+])
+    };
+}
+
+/// Defines property tests, mirroring `proptest::proptest!`.
+///
+/// Supported grammar (the subset the workspace uses):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(200))] // optional
+///     #[test]
+///     fn name(pat in strategy, pat2 in strategy2) { body }
+///     // ... more test fns
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`] — one test fn at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($config:expr)) => {};
+    (
+        ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut runner =
+                $crate::test_runner::TestRunner::new(config, stringify!($name));
+            while let Some(mut rng) = runner.next_case() {
+                // bind strategies once per case so flat-mapped state is fresh
+                $(let $pat = $crate::Strategy::generate(&($strategy), &mut rng);)+
+                let outcome: ::core::result::Result<
+                    (),
+                    $crate::test_runner::TestCaseError,
+                > = (|| {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                if let ::core::result::Result::Err(e) = outcome {
+                    runner.fail(
+                        &e,
+                        &format!(
+                            "inputs: {}",
+                            stringify!($($pat in $strategy),+)
+                        ),
+                    );
+                }
+            }
+        }
+        $crate::__proptest_tests! { ($config) $($rest)* }
+    };
+}

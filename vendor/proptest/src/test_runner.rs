@@ -1,0 +1,201 @@
+//! Test execution: configuration, deterministic RNG, and case loop.
+
+/// Configuration for a [`proptest!`](crate::proptest) block, mirroring
+/// `proptest::test_runner::ProptestConfig`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases to run per test function.
+    pub cases: u32,
+    /// Accepted for source compatibility; shrinking is not implemented,
+    /// so the value is ignored.
+    pub max_shrink_iters: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases, ..ProptestConfig::default() }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256, max_shrink_iters: 0 }
+    }
+}
+
+/// A failed test case, produced by the `prop_assert*` macros.
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    #[must_use]
+    pub fn fail(message: String) -> Self {
+        TestCaseError { message }
+    }
+
+    /// The failure message.
+    #[must_use]
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// The deterministic generator handed to strategies: xoshiro256**
+/// seeded with SplitMix64.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Builds a generator from a 64-bit seed.
+    #[must_use]
+    pub fn from_seed(seed: u64) -> Self {
+        let mut x = seed;
+        let mut next = move || {
+            x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        TestRng { s: [next(), next(), next(), next()] }
+    }
+
+    /// The next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform draw from `[0, n)` (Lemire multiply-shift rejection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(n as u128);
+            if (m as u64) >= n.wrapping_neg() % n {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+}
+
+/// Drives the cases of one test function.
+pub struct TestRunner {
+    seed: u64,
+    cases: u32,
+    next_case: u32,
+    name: &'static str,
+}
+
+impl TestRunner {
+    /// Builds a runner for the named test. The seed derives from the
+    /// test name (stable across runs) unless `PROPTEST_SEED` is set;
+    /// `PROPTEST_CASES` overrides the configured case count.
+    #[must_use]
+    pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+        let seed = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| {
+                // FNV-1a over the test name: stable, platform-independent
+                let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+                for b in name.bytes() {
+                    h = (h ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3);
+                }
+                h
+            });
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(config.cases);
+        TestRunner { seed, cases, next_case: 0, name }
+    }
+
+    /// The RNG for the next case, or `None` when all cases have run.
+    pub fn next_case(&mut self) -> Option<TestRng> {
+        if self.next_case >= self.cases {
+            return None;
+        }
+        let case = u64::from(self.next_case);
+        self.next_case += 1;
+        // decorrelate cases: golden-ratio stride over the base seed
+        Some(TestRng::from_seed(
+            self.seed ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        ))
+    }
+
+    /// Reports a failed case and panics (no shrinking).
+    ///
+    /// # Panics
+    ///
+    /// Always — that is the point.
+    pub fn fail(&self, error: &TestCaseError, inputs: &str) -> ! {
+        panic!(
+            "proptest case {}/{} of `{}` failed: {}\n({}; reproduce with \
+             PROPTEST_SEED={})",
+            self.next_case,
+            self.cases,
+            self.name,
+            error.message(),
+            inputs,
+            self.seed,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runner_yields_exactly_cases() {
+        let mut r = TestRunner::new(ProptestConfig::with_cases(5), "t");
+        let mut n = 0;
+        while r.next_case().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 5);
+    }
+
+    #[test]
+    fn same_name_same_stream() {
+        let mut a = TestRunner::new(ProptestConfig::with_cases(3), "x");
+        let mut b = TestRunner::new(ProptestConfig::with_cases(3), "x");
+        let va: Vec<u64> = std::iter::from_fn(|| a.next_case().map(|mut r| r.next_u64())).collect();
+        let vb: Vec<u64> = std::iter::from_fn(|| b.next_case().map(|mut r| r.next_u64())).collect();
+        assert_eq!(va, vb);
+        assert_eq!(va.len(), 3);
+    }
+
+    #[test]
+    fn below_is_in_range() {
+        let mut r = TestRng::from_seed(3);
+        for _ in 0..10_000 {
+            assert!(r.below(7) < 7);
+        }
+    }
+}

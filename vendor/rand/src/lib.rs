@@ -1,0 +1,250 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access, so the real `rand`
+//! cannot resolve. This crate implements exactly the subset of the API
+//! the workspace uses — [`Rng::gen`], [`Rng::gen_range`],
+//! [`Rng::gen_bool`], [`SeedableRng::seed_from_u64`], and
+//! [`rngs::StdRng`] — on top of xoshiro256** seeded via SplitMix64.
+//! Streams are deterministic per seed (a guarantee the workspace relies
+//! on, e.g. `cnfgen::random_ksat`) but deliberately *not* identical to
+//! upstream `rand`'s `StdRng`.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// A type that can be sampled uniformly from its full value domain.
+pub trait Uniform: Copy {
+    /// Draws one value from `rng`.
+    fn sample(rng: &mut dyn RngCore) -> Self;
+}
+
+/// A type with a uniform sampler over half-open and inclusive ranges.
+pub trait UniformRange: Copy + PartialOrd {
+    /// Draws from `[lo, hi)`.
+    fn sample_range(rng: &mut dyn RngCore, lo: Self, hi: Self) -> Self;
+    /// Draws from `[lo, hi]`.
+    fn sample_range_inclusive(rng: &mut dyn RngCore, lo: Self, hi: Self) -> Self;
+}
+
+/// Object-safe core: a source of uniformly distributed 64-bit words.
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Extension methods mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` uniformly over its whole domain.
+    fn gen<T: Uniform>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from a range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+        T: UniformRange,
+        R: IntoSampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability {p} out of range");
+        // 53 uniform mantissa bits, exactly like rand's `gen_bool`
+        let f = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        f < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Range argument adapter for [`Rng::gen_range`].
+pub trait IntoSampleRange<T: UniformRange> {
+    /// Draws one value from the range.
+    fn sample_from(self, rng: &mut dyn RngCore) -> T;
+}
+
+impl<T: UniformRange> IntoSampleRange<T> for Range<T> {
+    fn sample_from(self, rng: &mut dyn RngCore) -> T {
+        assert!(self.start < self.end, "gen_range on empty range");
+        T::sample_range(rng, self.start, self.end)
+    }
+}
+
+impl<T: UniformRange> IntoSampleRange<T> for RangeInclusive<T> {
+    fn sample_from(self, rng: &mut dyn RngCore) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "gen_range on empty range");
+        T::sample_range_inclusive(rng, lo, hi)
+    }
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl Uniform for $t {
+            fn sample(rng: &mut dyn RngCore) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+        impl UniformRange for $t {
+            fn sample_range(rng: &mut dyn RngCore, lo: Self, hi: Self) -> Self {
+                let span = (hi as i128 - lo as i128) as u128;
+                lo.wrapping_add(sample_below(rng, span as u64) as $t)
+            }
+            fn sample_range_inclusive(rng: &mut dyn RngCore, lo: Self, hi: Self) -> Self {
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    return rng.next_u64() as $t; // full u64 domain
+                }
+                lo.wrapping_add(sample_below(rng, span as u64) as $t)
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Uniform for bool {
+    fn sample(rng: &mut dyn RngCore) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Uniform for f64 {
+    fn sample(rng: &mut dyn RngCore) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Uniform draw from `[0, n)` by Lemire's multiply-shift rejection.
+fn sample_below(rng: &mut dyn RngCore, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128).wrapping_mul(n as u128);
+        let lo = m as u64;
+        if lo >= n.wrapping_neg() % n {
+            return (m >> 64) as u64;
+        }
+        // rejected: retry to stay exactly uniform
+    }
+}
+
+/// Mirrors `rand::SeedableRng` for the one constructor the workspace
+/// uses.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed, expanding it with
+    /// SplitMix64.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256**.
+    ///
+    /// Deterministic per seed; not stream-compatible with upstream
+    /// `rand::rngs::StdRng` (which is ChaCha-based).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, the canonical xoshiro seeding
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            StdRng { s: [next(), next(), next(), next()] }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1]
+                .wrapping_mul(5)
+                .rotate_left(7)
+                .wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..16).map(|_| a.gen()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.gen()).collect();
+        let zs: Vec<u64> = (0..16).map(|_| c.gen()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v: u32 = rng.gen_range(0..17u32);
+            assert!(v < 17);
+            let w: i32 = rng.gen_range(-5..=5);
+            assert!((-5..=5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_domain() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0..8usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    fn gen_bool_extremes_and_rate() {
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+        let heads = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4500..5500).contains(&heads), "{heads}");
+    }
+}
