@@ -44,4 +44,6 @@ mod propagator;
 pub use clause_db::{ClauseDb, ClauseRef};
 pub use counting::CountingPropagator;
 pub use head_tail::HeadTailPropagator;
-pub use propagator::{Attach, Conflict, Reason, WatchedPropagator};
+pub use propagator::{
+    Attach, BudgetedPropagation, Conflict, Fuel, Reason, Stopped, WatchedPropagator,
+};

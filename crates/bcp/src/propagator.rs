@@ -8,7 +8,9 @@
 //! almost never touched, which is the paper's stated reason the technique
 //! is "especially effective" for proof verification.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;
+use std::time::Instant;
 
 use cnf::{Assignment, LBool, Lit, Var};
 
@@ -49,6 +51,109 @@ pub enum Reason {
 pub struct Conflict {
     /// The falsified clause.
     pub clause: ClauseRef,
+}
+
+/// Why a budgeted propagation stopped before reaching a fixpoint or a
+/// conflict (see [`WatchedPropagator::propagate_budgeted`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Stopped {
+    /// The deterministic propagation-step cap ran out.
+    Propagations,
+    /// The deterministic clause-visit cap ran out.
+    ClauseVisits,
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// The shared cancellation flag was raised.
+    Cancelled,
+}
+
+/// Resource fuel threaded through [`WatchedPropagator::propagate_budgeted`].
+///
+/// The two `used_*` counters accumulate across calls, so one `Fuel` value
+/// meters a whole verification run: every check draws from the same tank.
+/// `max_*` caps are *deterministic* — two runs over the same input with the
+/// same caps stop at exactly the same propagation step — while `deadline`
+/// and `cancel` are best-effort external stops polled every few queue pops.
+#[derive(Debug)]
+pub struct Fuel<'a> {
+    /// Queue pops performed so far (one per fully propagated literal).
+    pub used_propagations: u64,
+    /// Clause look-ups performed so far.
+    pub used_clause_visits: u64,
+    /// Cap on `used_propagations`; `u64::MAX` = unlimited.
+    pub max_propagations: u64,
+    /// Cap on `used_clause_visits`; `u64::MAX` = unlimited.
+    pub max_clause_visits: u64,
+    /// Wall-clock instant after which propagation stops.
+    pub deadline: Option<Instant>,
+    /// Cooperative cancellation flag shared with other threads.
+    pub cancel: Option<&'a AtomicBool>,
+}
+
+impl Fuel<'static> {
+    /// Fuel that never runs out and is never cancelled.
+    #[must_use]
+    pub fn unlimited() -> Self {
+        Fuel {
+            used_propagations: 0,
+            used_clause_visits: 0,
+            max_propagations: u64::MAX,
+            max_clause_visits: u64::MAX,
+            deadline: None,
+            cancel: None,
+        }
+    }
+}
+
+impl Fuel<'_> {
+    /// The deterministic stop that applies right now, if any.
+    #[inline]
+    fn deterministic_stop(&self) -> Option<Stopped> {
+        if self.used_propagations >= self.max_propagations {
+            Some(Stopped::Propagations)
+        } else if self.used_clause_visits >= self.max_clause_visits {
+            Some(Stopped::ClauseVisits)
+        } else {
+            None
+        }
+    }
+
+    /// Polls the non-deterministic stops (cancellation, deadline).
+    #[inline]
+    #[must_use]
+    pub fn external_stop(&self) -> Option<Stopped> {
+        if let Some(flag) = self.cancel {
+            if flag.load(Ordering::Relaxed) {
+                return Some(Stopped::Cancelled);
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Some(Stopped::Deadline);
+            }
+        }
+        None
+    }
+
+    /// Any stop condition that applies right now, deterministic first.
+    #[inline]
+    #[must_use]
+    pub fn stop(&self) -> Option<Stopped> {
+        self.deterministic_stop().or_else(|| self.external_stop())
+    }
+}
+
+/// Result of a budgeted propagation pass.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BudgetedPropagation {
+    /// The queue drained without conflict.
+    Fixpoint,
+    /// A clause was falsified.
+    Conflict(Conflict),
+    /// A budget cap, deadline, or cancellation interrupted the pass; the
+    /// trail holds a *partial* propagation that the caller must discard
+    /// (backtrack) before relying on the assignment.
+    Interrupted(Stopped),
 }
 
 /// Result of attaching a clause to the watch lists.
@@ -334,6 +439,61 @@ impl WatchedPropagator {
         conflict
     }
 
+    /// Like [`WatchedPropagator::propagate`], but metered by `fuel`: the
+    /// deterministic caps are checked before every queue pop, and the
+    /// external stops (deadline, cancellation) are polled every
+    /// [`POLL_INTERVAL`](Self::POLL_INTERVAL) pops. On
+    /// [`BudgetedPropagation::Interrupted`] the queue is flushed like on a
+    /// conflict, so the caller must backtrack before propagating again.
+    pub fn propagate_budgeted(
+        &mut self,
+        db: &mut ClauseDb,
+        fuel: &mut Fuel<'_>,
+    ) -> BudgetedPropagation {
+        let trail_before = self.trail.len();
+        let visits_before = self.num_clause_visits;
+        let mut pops_since_poll: u32 = 0;
+        let mut outcome = BudgetedPropagation::Fixpoint;
+        while self.qhead < self.trail.len() {
+            if let Some(stopped) = fuel.deterministic_stop() {
+                outcome = BudgetedPropagation::Interrupted(stopped);
+                break;
+            }
+            if pops_since_poll == 0 {
+                if let Some(stopped) = fuel.external_stop() {
+                    outcome = BudgetedPropagation::Interrupted(stopped);
+                    break;
+                }
+            }
+            pops_since_poll = (pops_since_poll + 1) % Self::POLL_INTERVAL;
+            let lit = self.trail[self.qhead];
+            self.qhead += 1;
+            fuel.used_propagations += 1;
+            let visits_at_pop = self.num_clause_visits;
+            let conflict = self.propagate_lit(db, lit);
+            fuel.used_clause_visits += self.num_clause_visits - visits_at_pop;
+            if let Some(c) = conflict {
+                self.qhead = self.trail.len();
+                outcome = BudgetedPropagation::Conflict(c);
+                break;
+            }
+        }
+        if matches!(outcome, BudgetedPropagation::Interrupted(_)) {
+            // flush the queue: the partial propagation must be discarded
+            self.qhead = self.trail.len();
+        }
+        if obs::metrics::recording() {
+            let (propagations, clause_visits, _) = obs_handles();
+            propagations.add((self.trail.len() - trail_before) as u64);
+            clause_visits.add(self.num_clause_visits - visits_before);
+        }
+        outcome
+    }
+
+    /// How many queue pops pass between polls of the non-deterministic
+    /// stop conditions in [`WatchedPropagator::propagate_budgeted`].
+    pub const POLL_INTERVAL: u32 = 64;
+
     /// Processes the watch list of `!lit` after `lit` became true.
     fn propagate_lit(&mut self, db: &mut ClauseDb, lit: Lit) -> Option<Conflict> {
         let false_lit = !lit;
@@ -599,6 +759,88 @@ mod tests {
         assert!(p.assume(lit(-3)));
         let c = p.propagate(&mut db).expect("conflict");
         assert_eq!(c.clause.index(), 0);
+    }
+
+    #[test]
+    fn budgeted_propagation_matches_plain_when_fuel_is_ample() {
+        let clauses = &[vec![-1, 2], vec![-2, 3], vec![-3, 4], vec![-4, 5]];
+        let (mut db, mut p) = engine_for(clauses);
+        let (mut db2, mut p2) = engine_for(clauses);
+        p.decide(lit(1));
+        p2.decide(lit(1));
+        assert!(p.propagate(&mut db).is_none());
+        let mut fuel = Fuel::unlimited();
+        assert_eq!(
+            p2.propagate_budgeted(&mut db2, &mut fuel),
+            BudgetedPropagation::Fixpoint
+        );
+        assert_eq!(p.trail(), p2.trail());
+        assert_eq!(fuel.used_propagations, p2.trail().len() as u64);
+    }
+
+    #[test]
+    fn propagation_cap_interrupts_deterministically() {
+        let clauses = &[vec![-1, 2], vec![-2, 3], vec![-3, 4], vec![-4, 5]];
+        let (mut db, mut p) = engine_for(clauses);
+        p.decide(lit(1));
+        let mut fuel = Fuel { max_propagations: 2, ..Fuel::unlimited() };
+        assert_eq!(
+            p.propagate_budgeted(&mut db, &mut fuel),
+            BudgetedPropagation::Interrupted(Stopped::Propagations)
+        );
+        assert_eq!(fuel.used_propagations, 2);
+        // the queue was flushed: caller must backtrack before reuse
+        p.backtrack_to(0);
+        assert_eq!(p.assignment().num_assigned(), 0);
+    }
+
+    #[test]
+    fn clause_visit_cap_interrupts() {
+        let clauses = &[vec![-1, 2], vec![-2, 3], vec![-3, 4]];
+        let (mut db, mut p) = engine_for(clauses);
+        p.decide(lit(1));
+        let mut fuel = Fuel { max_clause_visits: 1, ..Fuel::unlimited() };
+        assert_eq!(
+            p.propagate_budgeted(&mut db, &mut fuel),
+            BudgetedPropagation::Interrupted(Stopped::ClauseVisits)
+        );
+    }
+
+    #[test]
+    fn cancellation_flag_stops_propagation() {
+        let (mut db, mut p) = engine_for(&[vec![-1, 2], vec![-2, 3]]);
+        p.decide(lit(1));
+        let cancel = AtomicBool::new(true);
+        let mut fuel = Fuel { cancel: Some(&cancel), ..Fuel::unlimited() };
+        assert_eq!(
+            p.propagate_budgeted(&mut db, &mut fuel),
+            BudgetedPropagation::Interrupted(Stopped::Cancelled)
+        );
+    }
+
+    #[test]
+    fn expired_deadline_stops_propagation() {
+        let (mut db, mut p) = engine_for(&[vec![-1, 2]]);
+        p.decide(lit(1));
+        let mut fuel = Fuel {
+            deadline: Some(Instant::now() - std::time::Duration::from_millis(1)),
+            ..Fuel::unlimited()
+        };
+        assert_eq!(
+            p.propagate_budgeted(&mut db, &mut fuel),
+            BudgetedPropagation::Interrupted(Stopped::Deadline)
+        );
+    }
+
+    #[test]
+    fn budgeted_conflict_is_reported_not_interrupted() {
+        let (mut db, mut p) = engine_for(&[vec![-1, 2], vec![-1, -2]]);
+        p.decide(lit(1));
+        let mut fuel = Fuel::unlimited();
+        assert!(matches!(
+            p.propagate_budgeted(&mut db, &mut fuel),
+            BudgetedPropagation::Conflict(_)
+        ));
     }
 
     #[test]

@@ -25,6 +25,8 @@ pub enum ParseDimacsError {
     BadToken {
         /// 1-based line number.
         line: usize,
+        /// 1-based byte column where the token starts.
+        column: usize,
         /// The offending token.
         token: String,
     },
@@ -35,6 +37,16 @@ pub enum ParseDimacsError {
         /// The full header line.
         text: String,
     },
+    /// A numeric header count too large to honour. Declared variable
+    /// counts are capped at `i32::MAX` (the DIMACS variable range);
+    /// without the cap a header like `p cnf 99999999999 1` would make
+    /// the parser allocate variables until memory ran out.
+    HeaderCountOutOfRange {
+        /// 1-based line number.
+        line: usize,
+        /// The offending count token.
+        token: String,
+    },
     /// More than one `p` header line.
     DuplicateHeader {
         /// 1-based line number of the second header.
@@ -44,6 +56,8 @@ pub enum ParseDimacsError {
     LiteralOutOfRange {
         /// 1-based line number.
         line: usize,
+        /// 1-based byte column where the literal starts.
+        column: usize,
     },
 }
 
@@ -51,17 +65,24 @@ impl fmt::Display for ParseDimacsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ParseDimacsError::Io(e) => write!(f, "i/o error: {e}"),
-            ParseDimacsError::BadToken { line, token } => {
-                write!(f, "line {line}: unexpected token {token:?}")
+            ParseDimacsError::BadToken { line, column, token } => {
+                write!(f, "line {line}, column {column}: unexpected token {token:?}")
             }
             ParseDimacsError::BadHeader { line, text } => {
                 write!(f, "line {line}: malformed header {text:?}")
             }
+            ParseDimacsError::HeaderCountOutOfRange { line, token } => {
+                write!(
+                    f,
+                    "line {line}: header count {token:?} exceeds the supported \
+                     maximum of {MAX_HEADER_COUNT}"
+                )
+            }
             ParseDimacsError::DuplicateHeader { line } => {
                 write!(f, "line {line}: duplicate p header")
             }
-            ParseDimacsError::LiteralOutOfRange { line } => {
-                write!(f, "line {line}: literal out of range")
+            ParseDimacsError::LiteralOutOfRange { line, column } => {
+                write!(f, "line {line}, column {column}: literal out of range")
             }
         }
     }
@@ -80,6 +101,36 @@ impl From<io::Error> for ParseDimacsError {
     fn from(e: io::Error) -> Self {
         ParseDimacsError::Io(e)
     }
+}
+
+/// Largest declared variable or clause count the parser will accept —
+/// the DIMACS variable range (`Var::MAX_INDEX + 1`).
+const MAX_HEADER_COUNT: usize = i32::MAX as usize;
+
+/// Parses one numeric header count, distinguishing garbage tokens
+/// (`BadHeader`) from well-formed numbers too large to honour
+/// (`HeaderCountOutOfRange`).
+fn parse_header_count(
+    token: &str,
+    lineno: usize,
+    line: &str,
+) -> Result<usize, ParseDimacsError> {
+    if token.is_empty() || !token.bytes().all(|b| b.is_ascii_digit()) {
+        return Err(ParseDimacsError::BadHeader { line: lineno, text: line.to_owned() });
+    }
+    match token.parse::<usize>() {
+        Ok(n) if n <= MAX_HEADER_COUNT => Ok(n),
+        _ => Err(ParseDimacsError::HeaderCountOutOfRange {
+            line: lineno,
+            token: token.to_owned(),
+        }),
+    }
+}
+
+/// 1-based byte column of `token` within `line`. `token` must be a
+/// subslice of `line` (as produced by `split_whitespace`).
+fn column_of(line: &str, token: &str) -> usize {
+    token.as_ptr() as usize - line.as_ptr() as usize + 1
 }
 
 /// Parses a DIMACS CNF file from a reader.
@@ -119,32 +170,49 @@ pub fn parse_dimacs<R: BufRead>(reader: R) -> Result<CnfFormula, ParseDimacsErro
             }
             seen_header = true;
             let mut parts = trimmed.split_whitespace();
-            let (p, kind, vars) = (parts.next(), parts.next(), parts.next());
-            let clauses = parts.next();
-            let ok = p == Some("p")
-                && kind == Some("cnf")
-                && vars.is_some_and(|v| v.parse::<usize>().is_ok())
-                && clauses.is_some_and(|c| c.parse::<usize>().is_ok())
-                && parts.next().is_none();
-            if !ok {
+            if parts.next() != Some("p") || parts.next() != Some("cnf") {
                 return Err(ParseDimacsError::BadHeader { line: lineno, text: line.clone() });
             }
-            let declared: usize =
-                vars.expect("checked above").parse().expect("checked above");
+            let bad = |_| ParseDimacsError::BadHeader { line: lineno, text: line.clone() };
+            let vars = parts.next().ok_or(()).map_err(bad)?;
+            let clauses = parts.next().ok_or(()).map_err(bad)?;
+            if parts.next().is_some() {
+                return Err(ParseDimacsError::BadHeader { line: lineno, text: line.clone() });
+            }
+            let declared = parse_header_count(vars, lineno, &line)?;
+            parse_header_count(clauses, lineno, &line)?;
             for _ in 0..declared {
                 formula.new_var();
             }
             continue;
         }
         for token in trimmed.split_whitespace() {
-            let value: i64 = token
-                .parse()
-                .map_err(|_| ParseDimacsError::BadToken { line: lineno, token: token.into() })?;
+            let column = column_of(&line, token);
+            let value: i64 = match token.parse() {
+                Ok(v) => v,
+                Err(_) => {
+                    // a well-formed number that overflows i64 is an
+                    // out-of-range literal, not an unknown token
+                    let digits =
+                        token.strip_prefix(['-', '+']).unwrap_or(token);
+                    let numeric = !digits.is_empty()
+                        && digits.bytes().all(|b| b.is_ascii_digit());
+                    return Err(if numeric {
+                        ParseDimacsError::LiteralOutOfRange { line: lineno, column }
+                    } else {
+                        ParseDimacsError::BadToken {
+                            line: lineno,
+                            column,
+                            token: token.into(),
+                        }
+                    });
+                }
+            };
             if value == 0 {
                 formula.add_clause(Clause::new(std::mem::take(&mut current)));
             } else {
                 if value.unsigned_abs() > i32::MAX as u64 {
-                    return Err(ParseDimacsError::LiteralOutOfRange { line: lineno });
+                    return Err(ParseDimacsError::LiteralOutOfRange { line: lineno, column });
                 }
                 current.push(Lit::from_dimacs(value as i32));
             }
@@ -252,12 +320,28 @@ mod tests {
     }
 
     #[test]
-    fn bad_token_reports_line() {
+    fn bad_token_reports_line_and_column() {
         let err = parse_dimacs_str("p cnf 1 1\n1 x 0\n").unwrap_err();
         match err {
-            ParseDimacsError::BadToken { line, token } => {
+            ParseDimacsError::BadToken { line, column, token } => {
                 assert_eq!(line, 2);
+                assert_eq!(column, 3);
                 assert_eq!(token, "x");
+            }
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn column_counts_from_the_raw_line_start() {
+        // leading whitespace is trimmed for parsing but the reported
+        // column still points into the original line
+        let err = parse_dimacs_str("p cnf 1 1\n   1 2x 0\n").unwrap_err();
+        match err {
+            ParseDimacsError::BadToken { line, column, token } => {
+                assert_eq!(line, 2);
+                assert_eq!(column, 6);
+                assert_eq!(token, "2x");
             }
             other => panic!("wrong error: {other}"),
         }
@@ -288,8 +372,61 @@ mod tests {
         let text = format!("p cnf 1 1\n{} 0\n", i64::from(i32::MAX) + 1);
         assert!(matches!(
             parse_dimacs_str(&text).unwrap_err(),
-            ParseDimacsError::LiteralOutOfRange { line: 2 }
+            ParseDimacsError::LiteralOutOfRange { line: 2, column: 1 }
         ));
+    }
+
+    #[test]
+    fn literal_overflowing_i64_is_out_of_range_not_bad_token() {
+        for tok in ["99999999999999999999999999", "-99999999999999999999999999"] {
+            let text = format!("p cnf 1 1\n1 {tok} 0\n");
+            match parse_dimacs_str(&text).unwrap_err() {
+                ParseDimacsError::LiteralOutOfRange { line, column } => {
+                    assert_eq!(line, 2);
+                    assert_eq!(column, 3);
+                }
+                other => panic!("wrong error: {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn absurd_header_var_count_rejected() {
+        // within usize range: without a cap this would allocate
+        // variables until memory ran out
+        for text in [
+            "p cnf 9999999999 1\n1 0\n",
+            "p cnf 2147483648 1\n1 0\n",
+            // beyond even u64
+            "p cnf 99999999999999999999999999 1\n1 0\n",
+            // clause counts are held to the same bound
+            "p cnf 1 99999999999999999999999999\n1 0\n",
+        ] {
+            assert!(
+                matches!(
+                    parse_dimacs_str(text).unwrap_err(),
+                    ParseDimacsError::HeaderCountOutOfRange { line: 1, .. }
+                ),
+                "{text}"
+            );
+        }
+        // the boundary itself is accepted as a count (clause slot, so
+        // no variables are actually allocated)
+        let f = parse_dimacs_str("p cnf 1 2147483647\n1 0\n").expect("parse");
+        assert_eq!(f.num_clauses(), 1);
+    }
+
+    #[test]
+    fn negative_or_signed_header_counts_are_malformed() {
+        for text in ["p cnf -3 1\n", "p cnf 3 +1\n", "p cnf 1e9 1\n"] {
+            assert!(
+                matches!(
+                    parse_dimacs_str(text).unwrap_err(),
+                    ParseDimacsError::BadHeader { line: 1, .. }
+                ),
+                "{text}"
+            );
+        }
     }
 
     #[test]

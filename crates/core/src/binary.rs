@@ -30,6 +30,14 @@ pub enum DecodeProofError {
         /// Byte offset where decoding failed.
         offset: usize,
     },
+    /// A varint decoded to a value no representable literal can have
+    /// (the variable index would exceed [`Var::MAX_INDEX`]). Rejecting
+    /// it here keeps an adversarial proof from forcing the checker to
+    /// allocate watch lists for billions of phantom variables.
+    LiteralOutOfRange {
+        /// Byte offset of the offending varint.
+        offset: usize,
+    },
     /// Input ended in the middle of a clause.
     UnterminatedClause,
 }
@@ -41,6 +49,9 @@ impl fmt::Display for DecodeProofError {
             DecodeProofError::BadMagic => write!(f, "missing CCP1 magic"),
             DecodeProofError::BadVarint { offset } => {
                 write!(f, "malformed varint at byte {offset}")
+            }
+            DecodeProofError::LiteralOutOfRange { offset } => {
+                write!(f, "literal out of range at byte {offset}")
             }
             DecodeProofError::UnterminatedClause => {
                 write!(f, "unterminated clause at end of input")
@@ -150,16 +161,28 @@ pub fn decode_proof<R: Read>(mut reader: R) -> Result<ConflictClauseProof, Decod
         let mut value: u32 = 0;
         let mut shift = 0u32;
         loop {
-            if pos >= bytes.len() || shift > 28 {
+            if pos >= bytes.len() {
                 return Err(DecodeProofError::BadVarint { offset: start });
             }
             let byte = bytes[pos];
             pos += 1;
-            value |= u32::from(byte & 0x7f) << shift;
+            let chunk = u32::from(byte & 0x7f);
+            // the fifth byte may only contribute bits 28..32: anything
+            // above would silently shift out of the u32
+            if shift == 28 && chunk > 0x0f {
+                return Err(DecodeProofError::LiteralOutOfRange {
+                    offset: start,
+                });
+            }
+            value |= chunk << shift;
             if byte & 0x80 == 0 {
                 break;
             }
             shift += 7;
+            if shift > 28 {
+                // a sixth byte cannot contribute to a 32-bit value
+                return Err(DecodeProofError::BadVarint { offset: start });
+            }
         }
         if value < 2 {
             return Err(DecodeProofError::BadVarint { offset: start });
@@ -232,6 +255,56 @@ mod tests {
             decode_proof(bytes.as_slice()).unwrap_err(),
             DecodeProofError::UnterminatedClause
         ));
+    }
+
+    #[test]
+    fn rejects_overflowing_fifth_varint_byte() {
+        // 0xff 0xff 0xff 0xff 0x7f = 35 payload bits: bits 32.. are set,
+        // so no 32-bit literal code can hold the value
+        let mut bytes = MAGIC.to_vec();
+        bytes.extend_from_slice(&[0xff, 0xff, 0xff, 0xff, 0x7f, 0x00]);
+        match decode_proof(bytes.as_slice()).unwrap_err() {
+            DecodeProofError::LiteralOutOfRange { offset } => {
+                assert_eq!(offset, 4);
+            }
+            other => panic!("wrong error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_six_byte_varint() {
+        let mut bytes = MAGIC.to_vec();
+        bytes.extend_from_slice(&[0x82, 0x80, 0x80, 0x80, 0x80, 0x01, 0x00]);
+        match decode_proof(bytes.as_slice()).unwrap_err() {
+            DecodeProofError::BadVarint { offset } => assert_eq!(offset, 4),
+            other => panic!("wrong error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn accepts_maximal_in_range_literal() {
+        // the largest encodable literal: var index Var::MAX_INDEX,
+        // positive → code 0xffffffff, varint ff ff ff ff 0f
+        let mut bytes = MAGIC.to_vec();
+        bytes.extend_from_slice(&[0xff, 0xff, 0xff, 0xff, 0x0f, 0x00]);
+        let p = decode_proof(bytes.as_slice()).expect("in range");
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.clauses()[0].lits()[0].var().index(), Var::MAX_INDEX);
+    }
+
+    #[test]
+    fn offsets_pinpoint_the_failing_varint_mid_stream() {
+        // a valid clause first, then a truncated varint
+        let p = proof(&[vec![1, -2]]);
+        let mut bytes = encode_proof_to_vec(&p);
+        let bad_at = bytes.len();
+        bytes.push(0x80);
+        match decode_proof(bytes.as_slice()).unwrap_err() {
+            DecodeProofError::BadVarint { offset } => {
+                assert_eq!(offset, bad_at);
+            }
+            other => panic!("wrong error {other:?}"),
+        }
     }
 
     #[test]

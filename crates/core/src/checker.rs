@@ -14,14 +14,19 @@
 //! only nontrivial machinery is the watched-literal BCP engine, which the
 //! paper argues is "well established" and stable enough to trust.
 
+use std::sync::atomic::AtomicBool;
 use std::sync::OnceLock;
 use std::time::Instant;
 
-use bcp::{Attach, ClauseDb, ClauseRef, Conflict, Reason, WatchedPropagator};
+use bcp::{
+    Attach, BudgetedPropagation, ClauseDb, ClauseRef, Conflict, Fuel, Reason,
+    Stopped, WatchedPropagator,
+};
 use cnf::{Clause, CnfFormula, Lit, Var};
 
 use crate::core_extract::UnsatCore;
 use crate::error::VerifyError;
+use crate::harness::{Budget, Checkpoint, Harness, Outcome, Progress};
 use crate::proof::ConflictClauseProof;
 use crate::report::VerificationReport;
 
@@ -145,6 +150,28 @@ enum CheckOutcome {
     Conflict(Conflict),
     Tautology,
     NoConflict,
+}
+
+/// What one budgeted worker (a parallel slice or the terminal check)
+/// reported back. Unlike a bare `Result`, an interrupted worker is kept
+/// distinct from a failed one, so resource exhaustion can never merge
+/// into a verdict.
+pub(crate) enum WorkerOutcome {
+    /// Every assigned check completed.
+    Done {
+        /// Mark bitmap over the whole arena.
+        marks: Vec<bool>,
+        /// Number of checks performed.
+        checked: usize,
+        /// Fuel spent (propagations).
+        propagations: u64,
+        /// Fuel spent (clause visits).
+        clause_visits: u64,
+    },
+    /// A check found evidence against the proof.
+    Failed(VerifyError),
+    /// The budget ran out or the run was cancelled mid-slice.
+    Interrupted(Stopped),
 }
 
 /// Registry handles for the checker's metrics, resolved once and shared
@@ -363,77 +390,6 @@ impl<'a> Checker<'a> {
         Ok(self.finish(num_checked, start))
     }
 
-    /// Checks exactly the given steps (in decreasing index order),
-    /// regardless of marking, and returns the mark bitmap over the whole
-    /// arena plus the number of checks performed. Used by the parallel
-    /// all-clause checker; the terminal/refutation check is the caller's
-    /// responsibility.
-    ///
-    /// # Errors
-    ///
-    /// [`VerifyError::NotImplied`] for the largest failing step in the
-    /// range.
-    pub(crate) fn check_steps(
-        mut self,
-        mut steps: Vec<usize>,
-    ) -> Result<(Vec<bool>, usize), VerifyError> {
-        if let Some(conflict) = self.propagate_root() {
-            self.mark_from_conflict(conflict);
-            return Ok((self.marked, 0));
-        }
-        // attach every proof clause; the horizon only shrinks because
-        // steps are visited in decreasing order
-        for step in 0..self.proof.len() {
-            let r = ClauseRef::from_index(self.num_original + step);
-            self.attach_proof_clause(r);
-        }
-        steps.sort_unstable_by(|a, b| b.cmp(a));
-        let mut num_checked = 0usize;
-        for step in steps {
-            let clause = &self.proof.clauses()[step];
-            let arena_index = self.num_original + step;
-            num_checked += 1;
-            let assumptions: Vec<Lit> = clause.lits().iter().map(|&l| !l).collect();
-            match self.timed_check(&assumptions, arena_index) {
-                CheckOutcome::Conflict(conflict) => self.mark_from_conflict(conflict),
-                CheckOutcome::Tautology => {}
-                CheckOutcome::NoConflict => {
-                    return Err(VerifyError::NotImplied { step, clause: clause.clone() })
-                }
-            }
-        }
-        Ok((self.marked, num_checked))
-    }
-
-    /// Runs only the root propagation and the terminal (refutation)
-    /// check, returning the initial mark bitmap. Used by the parallel
-    /// checker, which fans the per-clause checks out to workers.
-    ///
-    /// # Errors
-    ///
-    /// [`VerifyError::NotARefutation`] when `F ∪ F*` does not propagate
-    /// to a conflict.
-    pub(crate) fn check_terminal(mut self) -> Result<Vec<bool>, VerifyError> {
-        if let Some(conflict) = self.propagate_root() {
-            self.mark_from_conflict(conflict);
-            return Ok(self.marked);
-        }
-        let terminal_limit = match self.proof.clauses().last() {
-            Some(c) if c.is_empty() => self.num_original + self.proof.len() - 1,
-            _ => self.num_original + self.proof.len(),
-        };
-        for step in 0..self.proof.len() {
-            let r = ClauseRef::from_index(self.num_original + step);
-            self.attach_proof_clause(r);
-        }
-        match self.timed_check(&[], terminal_limit) {
-            CheckOutcome::Conflict(conflict) => self.mark_from_conflict(conflict),
-            CheckOutcome::Tautology => unreachable!("no assumptions, no clash"),
-            CheckOutcome::NoConflict => return Err(VerifyError::NotARefutation),
-        }
-        Ok(self.marked)
-    }
-
     fn finish(&mut self, num_checked: usize, start: Instant) -> Verification {
         let elapsed = start.elapsed();
         let core_indices: Vec<usize> =
@@ -609,6 +565,484 @@ impl<'a> Checker<'a> {
         for v in touched {
             self.seen[v.idx()] = false;
         }
+    }
+}
+
+/// The harnessed (budgeted, cancellable, resumable) verification loop.
+///
+/// Structure mirrors [`Checker::run_with_target`] — refutation targets
+/// only — but every propagation runs on metered [`Fuel`], checks happen
+/// at interruptible boundaries, and an interruption yields a
+/// [`Checkpoint`] instead of discarding the work done so far.
+///
+/// Checkpoint discipline: marks and `num_checked` are updated only when
+/// a check *completes*; an interrupted check leaves no trace and is
+/// redone on resume. Checkpoints therefore always describe a state the
+/// uninterrupted run also passes through.
+impl<'a> Checker<'a> {
+    pub(crate) fn run_harnessed(
+        mut self,
+        mode: CheckMode,
+        harness: &Harness,
+        resume: Option<&Checkpoint>,
+        fingerprints: (u64, u64),
+    ) -> Outcome {
+        let start = Instant::now();
+        let steps_total = self.proof.len();
+        let budget = &harness.budget;
+
+        // The arena is fully allocated by `Checker::new`, so the memory
+        // cap is decidable up front.
+        if self.arena_bytes() > budget.max_arena_bytes {
+            return Outcome::Exhausted {
+                reason: crate::harness::ExhaustReason::Memory,
+                progress: Progress {
+                    steps_checked: 0,
+                    steps_total,
+                    ..Progress::default()
+                },
+                checkpoint: None,
+            };
+        }
+
+        let deadline = budget.timeout.map(|t| start + t);
+        let mut fuel = Fuel {
+            used_propagations: resume.map_or(0, |c| c.spent_propagations),
+            used_clause_visits: resume.map_or(0, |c| c.spent_clause_visits),
+            max_propagations: budget.max_propagations,
+            max_clause_visits: budget.max_clause_visits,
+            deadline,
+            cancel: Some(harness.cancel.flag()),
+        };
+
+        let mut num_checked = resume.map_or(0, |c| c.num_checked);
+        let mut terminal_done = resume.is_some_and(|c| c.terminal_done);
+        let start_pos = resume.map_or(0, |c| c.next_pos);
+        if let Some(ckpt) = resume {
+            debug_assert_eq!(ckpt.marks.len(), self.marked.len());
+            self.marked.copy_from_slice(&ckpt.marks);
+        }
+
+        // Root propagation runs on every (re)start — it reconstructs the
+        // persistent level-0 state and is charged against the budget like
+        // any other work.
+        match self.propagate_root_budgeted(&mut fuel) {
+            Ok(None) => {}
+            Ok(Some(conflict)) => {
+                self.mark_from_conflict(conflict);
+                return Outcome::Verified(self.finish(num_checked, start));
+            }
+            Err(stopped) => {
+                return self.exhausted_outcome(
+                    stopped,
+                    mode,
+                    terminal_done,
+                    start_pos,
+                    num_checked,
+                    &fuel,
+                    fingerprints,
+                );
+            }
+        }
+
+        let terminal_limit = match self.proof.clauses().last() {
+            Some(c) if c.is_empty() => self.num_original + steps_total - 1,
+            _ => self.num_original + steps_total,
+        };
+        let forward = mode == CheckMode::AllForward;
+        let order: Vec<usize> = if forward {
+            (0..steps_total).collect()
+        } else {
+            (0..steps_total).rev().collect()
+        };
+
+        if !forward {
+            for step in 0..steps_total {
+                let r = ClauseRef::from_index(self.num_original + step);
+                self.attach_proof_clause(r);
+            }
+            if !terminal_done {
+                match self.timed_check_budgeted(&[], terminal_limit, &mut fuel)
+                {
+                    Ok(CheckOutcome::Conflict(c)) => self.mark_from_conflict(c),
+                    Ok(CheckOutcome::Tautology) => {
+                        unreachable!("no assumptions, no clash")
+                    }
+                    Ok(CheckOutcome::NoConflict) => {
+                        return Outcome::Rejected {
+                            step: None,
+                            error: VerifyError::NotARefutation,
+                        }
+                    }
+                    Err(stopped) => {
+                        return self.exhausted_outcome(
+                            stopped,
+                            mode,
+                            false,
+                            start_pos,
+                            num_checked,
+                            &fuel,
+                            fingerprints,
+                        )
+                    }
+                }
+                terminal_done = true;
+            }
+        } else {
+            // Reconstruct forward-mode state: clauses visited before the
+            // checkpoint are attached (their checks are already done).
+            for &step in &order[..start_pos] {
+                let r = ClauseRef::from_index(self.num_original + step);
+                self.attach_proof_clause(r);
+            }
+        }
+
+        for pos in start_pos..order.len() {
+            let step = order[pos];
+            let arena_index = self.num_original + step;
+            let clause = &self.proof.clauses()[step];
+            let skip = if clause.is_empty() && arena_index == terminal_limit {
+                // the terminal check covers exactly this clause's check
+                true
+            } else {
+                mode == CheckMode::MarkedOnly && !self.marked[arena_index]
+            };
+            if !skip {
+                let assumptions: Vec<Lit> =
+                    clause.lits().iter().map(|&l| !l).collect();
+                match self.timed_check_budgeted(
+                    &assumptions,
+                    arena_index,
+                    &mut fuel,
+                ) {
+                    Ok(CheckOutcome::Conflict(conflict)) => {
+                        num_checked += 1;
+                        self.mark_from_conflict(conflict);
+                    }
+                    Ok(CheckOutcome::Tautology) => num_checked += 1,
+                    Ok(CheckOutcome::NoConflict) => {
+                        return Outcome::Rejected {
+                            step: Some(step),
+                            error: VerifyError::NotImplied {
+                                step,
+                                clause: clause.clone(),
+                            },
+                        }
+                    }
+                    Err(stopped) => {
+                        return self.exhausted_outcome(
+                            stopped,
+                            mode,
+                            terminal_done,
+                            pos,
+                            num_checked,
+                            &fuel,
+                            fingerprints,
+                        )
+                    }
+                }
+            }
+            if forward {
+                let r = ClauseRef::from_index(arena_index);
+                self.attach_proof_clause(r);
+            }
+        }
+
+        if forward && !terminal_done {
+            match self.timed_check_budgeted(&[], terminal_limit, &mut fuel) {
+                Ok(CheckOutcome::Conflict(c)) => self.mark_from_conflict(c),
+                Ok(CheckOutcome::Tautology) => {}
+                Ok(CheckOutcome::NoConflict) => {
+                    return Outcome::Rejected {
+                        step: None,
+                        error: VerifyError::NotARefutation,
+                    }
+                }
+                Err(stopped) => {
+                    return self.exhausted_outcome(
+                        stopped,
+                        mode,
+                        false,
+                        order.len(),
+                        num_checked,
+                        &fuel,
+                        fingerprints,
+                    )
+                }
+            }
+        }
+
+        Outcome::Verified(self.finish(num_checked, start))
+    }
+
+    /// Checks the given steps under a private per-worker budget, with a
+    /// shared deadline and cancellation flag. The parallel checker's
+    /// worker body: panics (if any) are caught by the caller.
+    pub(crate) fn check_steps_budgeted(
+        mut self,
+        mut steps: Vec<usize>,
+        budget: &Budget,
+        cancel: &AtomicBool,
+        deadline: Option<Instant>,
+        starved: bool,
+    ) -> WorkerOutcome {
+        let mut fuel = worker_fuel(budget, cancel, deadline, starved);
+        match self.propagate_root_budgeted(&mut fuel) {
+            Ok(None) => {}
+            Ok(Some(conflict)) => {
+                self.mark_from_conflict(conflict);
+                return WorkerOutcome::Done {
+                    marks: self.marked,
+                    checked: 0,
+                    propagations: fuel.used_propagations,
+                    clause_visits: fuel.used_clause_visits,
+                };
+            }
+            Err(stopped) => return WorkerOutcome::Interrupted(stopped),
+        }
+        for step in 0..self.proof.len() {
+            let r = ClauseRef::from_index(self.num_original + step);
+            self.attach_proof_clause(r);
+        }
+        steps.sort_unstable_by(|a, b| b.cmp(a));
+        let mut num_checked = 0usize;
+        for step in steps {
+            let clause = &self.proof.clauses()[step];
+            let arena_index = self.num_original + step;
+            let assumptions: Vec<Lit> =
+                clause.lits().iter().map(|&l| !l).collect();
+            match self.timed_check_budgeted(&assumptions, arena_index, &mut fuel)
+            {
+                Ok(CheckOutcome::Conflict(conflict)) => {
+                    num_checked += 1;
+                    self.mark_from_conflict(conflict);
+                }
+                Ok(CheckOutcome::Tautology) => num_checked += 1,
+                Ok(CheckOutcome::NoConflict) => {
+                    return WorkerOutcome::Failed(VerifyError::NotImplied {
+                        step,
+                        clause: clause.clone(),
+                    })
+                }
+                Err(stopped) => return WorkerOutcome::Interrupted(stopped),
+            }
+        }
+        WorkerOutcome::Done {
+            marks: self.marked,
+            checked: num_checked,
+            propagations: fuel.used_propagations,
+            clause_visits: fuel.used_clause_visits,
+        }
+    }
+
+    /// Budgeted version of [`Checker::check_terminal`] for the harnessed
+    /// parallel checker.
+    pub(crate) fn check_terminal_budgeted(
+        mut self,
+        budget: &Budget,
+        cancel: &AtomicBool,
+        deadline: Option<Instant>,
+    ) -> WorkerOutcome {
+        let mut fuel = worker_fuel(budget, cancel, deadline, false);
+        match self.propagate_root_budgeted(&mut fuel) {
+            Ok(None) => {}
+            Ok(Some(conflict)) => {
+                self.mark_from_conflict(conflict);
+                return WorkerOutcome::Done {
+                    marks: self.marked,
+                    checked: 0,
+                    propagations: fuel.used_propagations,
+                    clause_visits: fuel.used_clause_visits,
+                };
+            }
+            Err(stopped) => return WorkerOutcome::Interrupted(stopped),
+        }
+        let terminal_limit = match self.proof.clauses().last() {
+            Some(c) if c.is_empty() => self.num_original + self.proof.len() - 1,
+            _ => self.num_original + self.proof.len(),
+        };
+        for step in 0..self.proof.len() {
+            let r = ClauseRef::from_index(self.num_original + step);
+            self.attach_proof_clause(r);
+        }
+        match self.timed_check_budgeted(&[], terminal_limit, &mut fuel) {
+            Ok(CheckOutcome::Conflict(conflict)) => {
+                self.mark_from_conflict(conflict);
+                WorkerOutcome::Done {
+                    marks: self.marked,
+                    checked: 0,
+                    propagations: fuel.used_propagations,
+                    clause_visits: fuel.used_clause_visits,
+                }
+            }
+            Ok(CheckOutcome::Tautology) => {
+                unreachable!("no assumptions, no clash")
+            }
+            Ok(CheckOutcome::NoConflict) => {
+                WorkerOutcome::Failed(VerifyError::NotARefutation)
+            }
+            Err(stopped) => WorkerOutcome::Interrupted(stopped),
+        }
+    }
+
+    /// Size of the clause arena in bytes — what one engine copy costs,
+    /// the unit of the [`Budget::max_arena_bytes`] cap.
+    pub(crate) fn arena_bytes(&self) -> u64 {
+        (self.db.arena_len() * std::mem::size_of::<Lit>()) as u64
+    }
+
+    fn exhausted_outcome(
+        &self,
+        stopped: Stopped,
+        mode: CheckMode,
+        terminal_done: bool,
+        next_pos: usize,
+        num_checked: usize,
+        fuel: &Fuel<'_>,
+        fingerprints: (u64, u64),
+    ) -> Outcome {
+        Outcome::Exhausted {
+            reason: stopped.into(),
+            progress: Progress {
+                steps_checked: num_checked,
+                steps_total: self.proof.len(),
+                propagations: fuel.used_propagations,
+                clause_visits: fuel.used_clause_visits,
+            },
+            checkpoint: Some(Box::new(Checkpoint {
+                mode,
+                formula_hash: fingerprints.0,
+                formula_clauses: self.num_original,
+                proof_hash: fingerprints.1,
+                proof_clauses: self.proof.len(),
+                terminal_done,
+                next_pos,
+                num_checked,
+                spent_propagations: fuel.used_propagations,
+                spent_clause_visits: fuel.used_clause_visits,
+                marks: self.marked.clone(),
+            })),
+        }
+    }
+
+    /// [`Checker::bcp_under_assumptions_budgeted`] with the same
+    /// telemetry as [`Checker::timed_check`].
+    fn timed_check_budgeted(
+        &mut self,
+        assumptions: &[Lit],
+        limit: usize,
+        fuel: &mut Fuel<'_>,
+    ) -> Result<CheckOutcome, Stopped> {
+        if !obs::metrics::recording() {
+            return self.bcp_under_assumptions_budgeted(assumptions, limit, fuel);
+        }
+        let handles = obs_handles();
+        let start = Instant::now();
+        let outcome =
+            self.bcp_under_assumptions_budgeted(assumptions, limit, fuel);
+        handles.checks.inc();
+        handles.check_ns.record(start.elapsed().as_nanos() as u64);
+        outcome
+    }
+
+    /// [`Checker::bcp_under_assumptions`] on metered fuel. `Err` means
+    /// the budget ran out (or the run was cancelled) before the check
+    /// could complete; the engine is left backtrackable but the check
+    /// produced no verdict and must be redone.
+    fn bcp_under_assumptions_budgeted(
+        &mut self,
+        assumptions: &[Lit],
+        limit: usize,
+        fuel: &mut Fuel<'_>,
+    ) -> Result<CheckOutcome, Stopped> {
+        // a previous check may have drained the fuel exactly; stop at the
+        // boundary so the checkpoint lands between checks
+        if let Some(stopped) = fuel.stop() {
+            return Err(stopped);
+        }
+        self.db.set_active_limit(Some(limit));
+        if let Some(&r) = self.empties.iter().find(|r| r.index() < limit) {
+            return Ok(CheckOutcome::Conflict(Conflict { clause: r }));
+        }
+        self.prop.backtrack_to(0);
+        self.prop.push_level();
+        for &l in assumptions {
+            if !self.prop.assume(l) {
+                return Ok(match self.prop.reason(l.var()) {
+                    Reason::Propagated(r) => {
+                        CheckOutcome::Conflict(Conflict { clause: r })
+                    }
+                    _ => CheckOutcome::Tautology,
+                });
+            }
+        }
+        for i in 0..self.units.len() {
+            let (r, l) = self.units[i];
+            if r.index() < self.num_original
+                || r.index() >= limit
+                || self.db.is_deleted(r)
+            {
+                continue;
+            }
+            if let Err(conflict) = self.prop.enqueue_propagated(l, r) {
+                return Ok(CheckOutcome::Conflict(conflict));
+            }
+        }
+        match self.prop.propagate_budgeted(&mut self.db, fuel) {
+            BudgetedPropagation::Conflict(c) => Ok(CheckOutcome::Conflict(c)),
+            BudgetedPropagation::Fixpoint => Ok(CheckOutcome::NoConflict),
+            BudgetedPropagation::Interrupted(stopped) => Err(stopped),
+        }
+    }
+
+    /// [`Checker::propagate_root`] on metered fuel.
+    fn propagate_root_budgeted(
+        &mut self,
+        fuel: &mut Fuel<'_>,
+    ) -> Result<Option<Conflict>, Stopped> {
+        let _span = obs::span!("proofver.root_propagate");
+        if let Some(stopped) = fuel.stop() {
+            return Err(stopped);
+        }
+        self.db.set_active_limit(Some(self.num_original));
+        if let Some(&r) =
+            self.empties.iter().find(|r| r.index() < self.num_original)
+        {
+            return Ok(Some(Conflict { clause: r }));
+        }
+        for i in 0..self.units.len() {
+            let (r, l) = self.units[i];
+            if r.index() >= self.num_original {
+                continue;
+            }
+            if let Err(conflict) = self.prop.enqueue_propagated(l, r) {
+                return Ok(Some(conflict));
+            }
+        }
+        match self.prop.propagate_budgeted(&mut self.db, fuel) {
+            BudgetedPropagation::Conflict(c) => Ok(Some(c)),
+            BudgetedPropagation::Fixpoint => Ok(None),
+            BudgetedPropagation::Interrupted(stopped) => Err(stopped),
+        }
+    }
+}
+
+/// Builds one worker's private fuel tank from the shared budget. The
+/// deterministic caps are per worker (each worker owns a private
+/// engine); the deadline and cancellation flag are shared.
+fn worker_fuel<'b>(
+    budget: &Budget,
+    cancel: &'b AtomicBool,
+    deadline: Option<Instant>,
+    starved: bool,
+) -> Fuel<'b> {
+    Fuel {
+        used_propagations: 0,
+        used_clause_visits: 0,
+        max_propagations: if starved { 0 } else { budget.max_propagations },
+        max_clause_visits: if starved { 0 } else { budget.max_clause_visits },
+        deadline,
+        cancel: Some(cancel),
     }
 }
 
@@ -794,6 +1228,194 @@ mod tests {
         use crate::checker::CheckMode;
         let v = Checker::new(&formula, &p).run(CheckMode::AllForward);
         assert!(v.is_ok(), "{v:?}");
+    }
+
+    #[test]
+    fn harnessed_unlimited_matches_plain_verify() {
+        use crate::harness::{verify_harnessed, Harness};
+        let p = proof(&[vec![2], vec![-2]]);
+        let plain = verify(&xor_square(), &p).expect("valid");
+        let outcome = verify_harnessed(
+            &xor_square(),
+            &p,
+            CheckMode::MarkedOnly,
+            &Harness::default(),
+        );
+        let v = outcome.verified().expect("verified");
+        assert!(v.report.semantically_eq(&plain.report));
+        assert_eq!(v.core.indices(), plain.core.indices());
+        assert_eq!(v.marked_steps, plain.marked_steps);
+    }
+
+    #[test]
+    fn harnessed_rejection_carries_the_step() {
+        use crate::harness::{verify_harnessed, Harness, Outcome};
+        let p = proof(&[vec![3], vec![2], vec![-2]]);
+        match verify_harnessed(&xor_square(), &p, CheckMode::All, &Harness::default()) {
+            Outcome::Rejected { step, error } => {
+                assert_eq!(step, Some(0));
+                assert_eq!(error.step(), Some(0));
+            }
+            other => panic!("expected rejection, got {other:?}"),
+        }
+        let sat = proof(&[vec![1, 2]]);
+        match verify_harnessed(&xor_square(), &sat, CheckMode::All, &Harness::default()) {
+            Outcome::Rejected { step: None, error } => {
+                assert_eq!(error, VerifyError::NotARefutation);
+            }
+            other => panic!("expected NotARefutation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tiny_budget_exhausts_and_never_reaches_a_verdict() {
+        use crate::harness::{
+            verify_harnessed, Budget, ExhaustReason, Harness, Outcome,
+        };
+        // valid proof AND a bogus proof: both must report Exhausted under
+        // a starved budget — never Verified, never Rejected
+        for clauses in [vec![vec![2], vec![-2]], vec![vec![3], vec![-3]]] {
+            let p = proof(&clauses);
+            let harness =
+                Harness::with_budget(Budget::unlimited().max_propagations(0));
+            match verify_harnessed(&xor_square(), &p, CheckMode::All, &harness) {
+                Outcome::Exhausted { reason, progress, checkpoint } => {
+                    assert_eq!(reason, ExhaustReason::Propagations);
+                    assert_eq!(progress.steps_checked, 0);
+                    assert!(checkpoint.is_some());
+                }
+                other => panic!("starved budget must exhaust, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn cancellation_exhausts_immediately() {
+        use crate::harness::{
+            verify_harnessed, ExhaustReason, Harness, Outcome,
+        };
+        let p = proof(&[vec![2], vec![-2]]);
+        let harness = Harness::default();
+        harness.cancel.cancel();
+        match verify_harnessed(&xor_square(), &p, CheckMode::MarkedOnly, &harness) {
+            Outcome::Exhausted { reason, .. } => {
+                assert_eq!(reason, ExhaustReason::Cancelled);
+            }
+            other => panic!("cancelled run must exhaust, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn memory_cap_exhausts_without_checkpoint() {
+        use crate::harness::{
+            verify_harnessed, Budget, ExhaustReason, Harness, Outcome,
+        };
+        let p = proof(&[vec![2], vec![-2]]);
+        let harness =
+            Harness::with_budget(Budget::unlimited().max_arena_bytes(1));
+        match verify_harnessed(&xor_square(), &p, CheckMode::MarkedOnly, &harness) {
+            Outcome::Exhausted { reason, checkpoint, .. } => {
+                assert_eq!(reason, ExhaustReason::Memory);
+                assert!(checkpoint.is_none(), "nothing to resume from");
+            }
+            other => panic!("expected memory exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn checkpoint_resume_reaches_the_uninterrupted_report() {
+        use crate::harness::{
+            resume_verification, verify_harnessed, Budget, Harness, Outcome,
+        };
+        // php(2) gives the checker enough work to interrupt mid-run
+        let formula = f(&[
+            vec![1, 2],
+            vec![3, 4],
+            vec![5, 6],
+            vec![-1, -3],
+            vec![-1, -5],
+            vec![-3, -5],
+            vec![-2, -4],
+            vec![-2, -6],
+            vec![-4, -6],
+        ]);
+        let p = proof(&[vec![-1, -4], vec![-1], vec![-3], vec![5], vec![]]);
+        for mode in [CheckMode::All, CheckMode::MarkedOnly, CheckMode::AllForward] {
+            let uninterrupted =
+                verify_harnessed(&formula, &p, mode, &Harness::default());
+            let expected = uninterrupted.verified().expect("valid proof");
+            // walk the budget up from zero: every interruption point must
+            // resume to the same semantic report
+            let mut resumed_runs = 0usize;
+            for cap in 0..200 {
+                let harness = Harness::with_budget(
+                    Budget::unlimited().max_propagations(cap),
+                );
+                let ckpt = match verify_harnessed(&formula, &p, mode, &harness) {
+                    Outcome::Exhausted { checkpoint, .. } => {
+                        checkpoint.expect("budget stop is resumable")
+                    }
+                    Outcome::Verified(v) => {
+                        assert!(
+                            v.report.semantically_eq(&expected.report),
+                            "cap {cap} verified with a different report"
+                        );
+                        break; // caps beyond this finish too
+                    }
+                    other => panic!("cap {cap}: unexpected {other:?}"),
+                };
+                let resumed = resume_verification(
+                    &formula,
+                    &p,
+                    &ckpt,
+                    &Harness::default(),
+                )
+                .expect("checkpoint matches inputs");
+                let v = resumed.verified().unwrap_or_else(|| {
+                    panic!("cap {cap}: resume must verify")
+                });
+                assert!(
+                    v.report.semantically_eq(&expected.report),
+                    "cap {cap} ({mode:?}): resumed {:?} != {:?}",
+                    v.report,
+                    expected.report
+                );
+                assert_eq!(v.core.indices(), expected.core.indices(), "cap {cap}");
+                assert_eq!(v.marked_steps, expected.marked_steps, "cap {cap}");
+                resumed_runs += 1;
+            }
+            assert!(resumed_runs > 3, "budget walk exercised resumption ({mode:?})");
+        }
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_inputs() {
+        use crate::harness::{
+            resume_verification, verify_harnessed, Budget, CheckpointError,
+            Harness, Outcome,
+        };
+        let p = proof(&[vec![2], vec![-2]]);
+        let harness =
+            Harness::with_budget(Budget::unlimited().max_propagations(1));
+        let ckpt = match verify_harnessed(&xor_square(), &p, CheckMode::All, &harness)
+        {
+            Outcome::Exhausted { checkpoint, .. } => checkpoint.expect("ckpt"),
+            other => panic!("expected exhaustion, got {other:?}"),
+        };
+        // different formula, same clause count
+        let other = f(&[vec![1, 2], vec![-1, -2], vec![1, -2], vec![-1, -2]]);
+        assert_eq!(
+            resume_verification(&other, &p, &ckpt, &Harness::default())
+                .expect_err("mismatch"),
+            CheckpointError::Mismatch("formula fingerprint")
+        );
+        // different proof length
+        let longer = proof(&[vec![2], vec![-2], vec![]]);
+        assert_eq!(
+            resume_verification(&xor_square(), &longer, &ckpt, &Harness::default())
+                .expect_err("mismatch"),
+            CheckpointError::Mismatch("proof clause count")
+        );
     }
 
     #[test]

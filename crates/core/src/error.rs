@@ -28,6 +28,20 @@ pub enum VerifyError {
     NotARefutation,
 }
 
+impl VerifyError {
+    /// The proof step the error pinpoints, when it concerns a specific
+    /// clause: `Some(step)` for [`VerifyError::NotImplied`], `None` for
+    /// [`VerifyError::NotARefutation`] (which indicts the proof as a
+    /// whole, not one clause).
+    #[must_use]
+    pub fn step(&self) -> Option<usize> {
+        match self {
+            VerifyError::NotImplied { step, .. } => Some(*step),
+            VerifyError::NotARefutation => None,
+        }
+    }
+}
+
 impl fmt::Display for VerifyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

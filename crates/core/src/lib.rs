@@ -55,6 +55,7 @@ mod core_extract;
 mod deletion;
 mod error;
 mod format;
+mod harness;
 mod parallel;
 mod proof;
 mod rat;
@@ -74,7 +75,13 @@ pub use deletion::{
     AnnotatedProof, AnnotatedVerification, ProofClauseRef, ProofEvent,
 };
 pub use error::VerifyError;
-pub use parallel::verify_all_parallel;
+pub use harness::{
+    formula_fingerprint, proof_fingerprint, resume_verification,
+    verify_harnessed, Budget, CancelToken, Checkpoint, CheckpointError,
+    ExhaustReason, FaultPlan, Harness, Outcome, Progress,
+    DEFAULT_SLICE_RETRIES,
+};
+pub use parallel::{verify_all_parallel, verify_all_parallel_harnessed};
 pub use format::{
     parse_proof, parse_proof_str, to_proof_string, write_proof, ParseProofError,
 };

@@ -43,6 +43,24 @@ impl VerificationReport {
         }
     }
 
+    /// Whether two reports agree on everything except timing and
+    /// engine-diagnostic fields.
+    ///
+    /// `verify_time` is wall-clock; `propagations` and `clause_visits`
+    /// depend on watch-list history, which differs between a resumed run
+    /// (fresh engine, marks restored) and an uninterrupted one. The
+    /// remaining fields — what was checked and what the core is — are
+    /// the verification *result*, and the checkpoint/resume contract
+    /// guarantees they match.
+    #[must_use]
+    pub fn semantically_eq(&self, other: &VerificationReport) -> bool {
+        self.num_original == other.num_original
+            && self.num_conflict_clauses == other.num_conflict_clauses
+            && self.num_checked == other.num_checked
+            && self.proof_literals == other.proof_literals
+            && self.core_size == other.core_size
+    }
+
     /// Fraction of original clauses in the core — Table 1's "Unsatisfiable
     /// core %".
     #[must_use]

@@ -12,15 +12,20 @@ use std::io::{BufReader, BufWriter, Read};
 use std::path::Path;
 use std::process::ExitCode;
 
+use std::time::Duration;
+
 use cdcl::{LearningScheme, SolverConfig};
 use cnf::{parse_dimacs, write_dimacs, CnfFormula};
 use proofver::{
-    decode_proof, encode_proof, parse_proof, verify, verify_all, write_proof,
-    ConflictClauseProof, ProofStats, MAGIC,
+    decode_proof, encode_proof, parse_proof, resume_verification,
+    verify_all_parallel_harnessed, verify_harnessed, write_proof, Budget,
+    CheckMode, Checkpoint, ConflictClauseProof, Harness, Outcome, ProofStats,
+    MAGIC,
 };
 use satverify::{
     minimal_core_of_verified, minimize_core, solve_and_verify,
-    solve_and_verify_preprocessed, PipelineOutcome, RunReport, SimplifyConfig,
+    solve_and_verify_preprocessed, HarnessSummary, PipelineOutcome, RunReport,
+    SimplifyConfig,
 };
 
 const USAGE: &str = "\
@@ -37,10 +42,21 @@ USAGE:
         stitched proof still verifies against the original formula).
         schemes: 1uip (default), decision, mixed:<period>
 
-    satverify check <cnf> <proof> [--all] [--json <path>] [--trace]
-                          [--metrics]
+    satverify check <cnf> <proof> [--all] [--parallel <n>]
+                          [--max-propagations <n>] [--max-clause-visits <n>]
+                          [--max-memory-mb <n>] [--timeout-ms <n>]
+                          [--checkpoint <path>] [--resume]
+                          [--json <path>] [--trace] [--metrics]
         verify a conflict-clause proof (text or binary, auto-detected);
-        --all checks every clause (Proof_verification1)
+        --all checks every clause (Proof_verification1); --parallel
+        splits the --all check across <n> panic-isolated workers.
+        Budget flags bound the run: when a limit is hit the result is
+        s UNKNOWN (exit 4) — never a verdict. With --checkpoint, an
+        interrupted sequential run writes its progress there, and
+        --resume continues from it (finishing with a report identical,
+        modulo timing, to an uninterrupted run).
+        exit codes: 0 verified, 1 proof rejected, 2 usage error,
+        3 malformed input, 4 budget exhausted
 
     Observability (solve and check):
         --json <path>  write a machine-readable RunReport (solver stats,
@@ -314,38 +330,168 @@ fn write_proof_file(
     }
 }
 
+/// `satverify check` exit codes — the failure-semantics contract. An
+/// exhausted budget (4) is deliberately distinct from a rejected proof
+/// (1): a run that stopped early carries no verdict.
+const EXIT_VERIFIED: u8 = 0;
+const EXIT_REJECTED: u8 = 1;
+const EXIT_USAGE: u8 = 2;
+const EXIT_MALFORMED: u8 = 3;
+const EXIT_EXHAUSTED: u8 = 4;
+
+/// Parses one optional `--flag <u64>` argument; a present-but-garbage
+/// value is a usage error.
+fn take_u64_option(
+    args: &mut Vec<String>,
+    flag: &str,
+) -> Result<Option<u64>, String> {
+    take_option(args, flag)
+        .map(|v| v.parse::<u64>().map_err(|_| format!("bad {flag} {v:?}")))
+        .transpose()
+}
+
+/// Assembles the verification [`Budget`] from the `check` budget flags.
+fn take_budget(args: &mut Vec<String>) -> Result<Budget, String> {
+    let mut budget = Budget::unlimited();
+    if let Some(n) = take_u64_option(args, "--max-propagations")? {
+        budget = budget.max_propagations(n);
+    }
+    if let Some(n) = take_u64_option(args, "--max-clause-visits")? {
+        budget = budget.max_clause_visits(n);
+    }
+    if let Some(mb) = take_u64_option(args, "--max-memory-mb")? {
+        budget = budget.max_arena_bytes(mb.saturating_mul(1024 * 1024));
+    }
+    if let Some(ms) = take_u64_option(args, "--timeout-ms")? {
+        budget = budget.timeout(Duration::from_millis(ms));
+    }
+    Ok(budget)
+}
+
 fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
     let mut args = args.to_vec();
     let obs_opts = ObsOptions::take(&mut args);
     let all = take_flag(&mut args, "--all");
-    let [cnf_path, proof_path] = args.as_slice() else {
-        return Err("usage: satverify check <cnf> <proof> [--all]".into());
+    let checkpoint_path = take_option(&mut args, "--checkpoint");
+    let resume = take_flag(&mut args, "--resume");
+    let usage = |msg: String| {
+        eprintln!("error: {msg}");
+        Ok(ExitCode::from(EXIT_USAGE))
     };
-    let formula = load_formula(cnf_path)?;
-    let proof = load_proof(proof_path)?;
+    let parallel = match take_u64_option(&mut args, "--parallel") {
+        Ok(n) => n,
+        Err(msg) => return usage(msg),
+    };
+    let budget = match take_budget(&mut args) {
+        Ok(b) => b,
+        Err(msg) => return usage(msg),
+    };
+    if resume && checkpoint_path.is_none() {
+        return usage("--resume requires --checkpoint <path>".into());
+    }
+    if resume && parallel.is_some() {
+        return usage("--resume is sequential; drop --parallel".into());
+    }
+    let [cnf_path, proof_path] = args.as_slice() else {
+        return usage("usage: satverify check <cnf> <proof> [options]".into());
+    };
+    let malformed = |msg: String| {
+        eprintln!("error: {msg}");
+        Ok(ExitCode::from(EXIT_MALFORMED))
+    };
+    let formula = match load_formula(cnf_path) {
+        Ok(f) => f,
+        Err(msg) => return malformed(msg),
+    };
+    let proof = match load_proof(proof_path) {
+        Ok(p) => p,
+        Err(msg) => return malformed(msg),
+    };
     let mut report = RunReport::new("check");
     report.instance_path = Some(cnf_path.clone());
     report.num_vars = Some(formula.num_vars());
     report.num_clauses = Some(formula.num_clauses());
     report.proof = Some(ProofStats::of(&proof));
-    let result = if all { verify_all(&formula, &proof) } else { verify(&formula, &proof) };
-    match result {
-        Ok(v) => {
+
+    let harness = Harness::with_budget(budget);
+    let mut summary = HarnessSummary::default();
+    let mode = if all || parallel.is_some() {
+        CheckMode::All
+    } else {
+        CheckMode::MarkedOnly
+    };
+    let resume_from = match checkpoint_path.as_deref().filter(|_| resume) {
+        Some(path) if Path::new(path).exists() => match Checkpoint::load(Path::new(path)) {
+            Ok(cp) => Some(cp),
+            Err(e) => return malformed(format!("{path}: {e}")),
+        },
+        Some(path) => {
+            println!("c no checkpoint at {path}; starting fresh");
+            None
+        }
+        None => None,
+    };
+    summary.resumed = resume_from.is_some();
+    let outcome = match (&resume_from, parallel) {
+        (Some(cp), _) => match resume_verification(&formula, &proof, cp, &harness) {
+            Ok(outcome) => outcome,
+            Err(e) => return malformed(format!("cannot resume: {e}")),
+        },
+        (None, Some(threads)) => {
+            let threads = usize::try_from(threads).unwrap_or(usize::MAX).max(1);
+            verify_all_parallel_harnessed(&formula, &proof, threads, &harness)
+        }
+        (None, None) => verify_harnessed(&formula, &proof, mode, &harness),
+    };
+    match outcome {
+        Outcome::Verified(v) => {
             println!("s VERIFIED");
             println!("c {}", v.report);
             println!("c proof: {}", ProofStats::of(&proof));
+            summary.outcome = "verified".to_string();
+            summary.steps_checked = Some(v.report.num_checked);
+            summary.steps_total = Some(proof.len());
             report.result = Some("VERIFIED".to_string());
             report.verify_time = Some(v.report.verify_time);
             report.verification = Some(v.report);
+            report.harness = Some(summary);
             obs_opts.emit(report)?;
-            Ok(ExitCode::SUCCESS)
+            Ok(ExitCode::from(EXIT_VERIFIED))
         }
-        Err(e) => {
+        Outcome::Rejected { step, error } => {
             println!("s NOT VERIFIED");
-            println!("c {e}");
+            println!("c {error}");
+            if let Some(step) = step {
+                println!("c failing proof clause: step {step}");
+            }
+            summary.outcome = "rejected".to_string();
+            summary.rejected_step = step;
+            summary.steps_total = Some(proof.len());
             report.result = Some("NOT VERIFIED".to_string());
+            report.harness = Some(summary);
             obs_opts.emit(report)?;
-            Ok(ExitCode::from(1))
+            Ok(ExitCode::from(EXIT_REJECTED))
+        }
+        Outcome::Exhausted { reason, progress, checkpoint } => {
+            println!("s UNKNOWN");
+            println!(
+                "c budget exhausted ({reason}) after {}/{} checks — no verdict",
+                progress.steps_checked, progress.steps_total
+            );
+            summary.outcome = "exhausted".to_string();
+            summary.exhaust_reason = Some(reason.to_string());
+            summary.steps_checked = Some(progress.steps_checked);
+            summary.steps_total = Some(progress.steps_total);
+            if let (Some(path), Some(cp)) = (&checkpoint_path, checkpoint) {
+                cp.save(Path::new(path))
+                    .map_err(|e| format!("cannot write checkpoint: {e}"))?;
+                println!("c checkpoint written to {path}; rerun with --resume");
+                summary.checkpoint_path = Some(path.clone());
+            }
+            report.result = Some("UNKNOWN".to_string());
+            report.harness = Some(summary);
+            obs_opts.emit(report)?;
+            Ok(ExitCode::from(EXIT_EXHAUSTED))
         }
     }
 }

@@ -49,9 +49,9 @@ pub use simplify::{
 };
 pub use pipeline::{
     annotated_from_trace, proof_from_trace, resolution_from_trace, solve_and_verify,
-    PipelineError, PipelineOutcome, UnsatRun,
+    solve_and_verify_harnessed, PipelineError, PipelineOutcome, UnsatRun,
 };
-pub use report::RunReport;
+pub use report::{HarnessSummary, RunReport};
 
 // Re-export the component crates under stable names.
 pub use bcp;

@@ -8,7 +8,8 @@ use std::time::{Duration, Instant};
 use cdcl::{ProofClauseId, ProofTrace, SolveResult, Solver, SolverConfig, SolverStats};
 use cnf::{Assignment, Clause, CnfFormula};
 use proofver::{
-    resolution_proof_from_chains, verify, ChainRef, ConflictClauseProof,
+    resolution_proof_from_chains, verify, verify_harnessed, ChainRef, CheckMode,
+    ConflictClauseProof, ExhaustReason, Harness, Outcome, Progress,
     ResolutionProof, Verification, VerifyError,
 };
 
@@ -136,6 +137,15 @@ pub enum PipelineError {
     BadModel,
     /// The proof failed verification: the solver is buggy.
     Verify(VerifyError),
+    /// Verification stopped on a resource limit before reaching a
+    /// verdict — deliberately distinct from [`PipelineError::Verify`]:
+    /// an exhausted budget says nothing about the proof.
+    VerifyExhausted {
+        /// The limit that was hit.
+        reason: ExhaustReason,
+        /// How far the checker got.
+        progress: Progress,
+    },
 }
 
 impl fmt::Display for PipelineError {
@@ -146,6 +156,12 @@ impl fmt::Display for PipelineError {
                 write!(f, "solver returned a model that does not satisfy the formula")
             }
             PipelineError::Verify(e) => write!(f, "proof verification failed: {e}"),
+            PipelineError::VerifyExhausted { reason, progress } => write!(
+                f,
+                "proof verification exhausted its budget ({reason}) after \
+                 {}/{} checks — no verdict",
+                progress.steps_checked, progress.steps_total
+            ),
         }
     }
 }
@@ -233,9 +249,103 @@ pub fn solve_and_verify(
     }
 }
 
+/// [`solve_and_verify`] under a fault-tolerant [`Harness`]: the
+/// verification step runs with resource budgets and cooperative
+/// cancellation, so a pipeline on a huge instance can be bounded or
+/// interrupted without ever mistaking "ran out of budget" for a verdict.
+///
+/// # Errors
+///
+/// Everything [`solve_and_verify`] returns, plus
+/// [`PipelineError::VerifyExhausted`] when the verification budget ran
+/// out before a verdict was reached.
+pub fn solve_and_verify_harnessed(
+    formula: &CnfFormula,
+    config: SolverConfig,
+    harness: &Harness,
+) -> Result<PipelineOutcome, PipelineError> {
+    let config = config.log_proof(true);
+    let mut solver = Solver::new(formula, config);
+    let solve_start = Instant::now();
+    let solve_span = obs::span!("pipeline.solve");
+    let result = solver.solve();
+    solve_span.finish();
+    let solve_time = solve_start.elapsed();
+    match result {
+        SolveResult::Sat(model) => {
+            if formula.is_satisfied_by(&model) {
+                Ok(PipelineOutcome::Sat(model))
+            } else {
+                Err(PipelineError::BadModel)
+            }
+        }
+        SolveResult::Unknown => Err(PipelineError::BudgetExhausted),
+        SolveResult::Unsat(trace) => {
+            let trace = trace.expect("proof logging forced on");
+            let proof = proof_from_trace(&trace);
+            let verify_start = Instant::now();
+            let verify_span = obs::span!("pipeline.verify");
+            let outcome =
+                verify_harnessed(formula, &proof, CheckMode::MarkedOnly, harness);
+            verify_span.finish();
+            let verify_time = verify_start.elapsed();
+            match outcome {
+                Outcome::Verified(verification) => {
+                    Ok(PipelineOutcome::Unsat(Box::new(UnsatRun {
+                        proof,
+                        verification,
+                        stats: *solver.stats(),
+                        solve_time,
+                        verify_time,
+                        trace,
+                    })))
+                }
+                Outcome::Rejected { error, .. } => Err(PipelineError::Verify(error)),
+                Outcome::Exhausted { reason, progress, .. } => {
+                    Err(PipelineError::VerifyExhausted { reason, progress })
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proofver::Budget;
+
+    #[test]
+    fn harnessed_pipeline_matches_plain_when_unlimited() {
+        let formula = cnfgen::pigeonhole(4);
+        let run = solve_and_verify_harnessed(
+            &formula,
+            SolverConfig::default(),
+            &Harness::default(),
+        )
+        .expect("ok")
+        .into_unsat()
+        .expect("UNSAT");
+        let plain = solve_and_verify(&formula, SolverConfig::default())
+            .expect("ok")
+            .into_unsat()
+            .expect("UNSAT");
+        assert!(run.verification.report.semantically_eq(&plain.verification.report));
+    }
+
+    #[test]
+    fn harnessed_pipeline_surfaces_exhaustion_not_a_verdict() {
+        let formula = cnfgen::pigeonhole(4);
+        let harness = Harness::with_budget(Budget::unlimited().max_propagations(1));
+        let err = solve_and_verify_harnessed(&formula, SolverConfig::default(), &harness)
+            .expect_err("budget far too small");
+        match err {
+            PipelineError::VerifyExhausted { reason, progress } => {
+                assert_eq!(reason, ExhaustReason::Propagations);
+                assert!(progress.steps_total > 0);
+            }
+            other => panic!("wrong error: {other}"),
+        }
+    }
 
     #[test]
     fn unsat_pipeline_end_to_end() {

@@ -21,6 +21,54 @@ use proofver::{ProofStats, VerificationReport};
 /// Current value of the `schema_version` field.
 pub const SCHEMA_VERSION: u64 = 1;
 
+/// The fault-tolerant runtime's view of a `check` run: outcome
+/// taxonomy, exhaustion cause, progress, and checkpoint activity.
+/// Serialised under the report's `harness` key.
+#[derive(Clone, Debug, Default)]
+pub struct HarnessSummary {
+    /// `"verified"`, `"rejected"`, or `"exhausted"` — mirrors
+    /// [`proofver::Outcome`]. An exhausted run is *not* a verdict.
+    pub outcome: String,
+    /// Which limit stopped an exhausted run
+    /// ([`proofver::ExhaustReason::as_str`]).
+    pub exhaust_reason: Option<String>,
+    /// Zero-based proof index of the clause whose check failed, for a
+    /// rejected run (absent when the refutation itself was missing).
+    pub rejected_step: Option<usize>,
+    /// Conflict-clause checks completed before the run stopped.
+    pub steps_checked: Option<usize>,
+    /// Conflict clauses in the proof.
+    pub steps_total: Option<usize>,
+    /// Where a resumable checkpoint was written, if one was.
+    pub checkpoint_path: Option<String>,
+    /// Whether this run resumed from an earlier checkpoint.
+    pub resumed: bool,
+}
+
+impl HarnessSummary {
+    fn to_json(&self) -> Json {
+        let mut obj = Json::object();
+        obj.push("outcome", self.outcome.as_str());
+        if let Some(reason) = &self.exhaust_reason {
+            obj.push("exhaust_reason", reason.as_str());
+        }
+        if let Some(step) = self.rejected_step {
+            obj.push("rejected_step", step);
+        }
+        if let Some(n) = self.steps_checked {
+            obj.push("steps_checked", n);
+        }
+        if let Some(n) = self.steps_total {
+            obj.push("steps_total", n);
+        }
+        if let Some(path) = &self.checkpoint_path {
+            obj.push("checkpoint_path", path.as_str());
+        }
+        obj.push("resumed", Json::Bool(self.resumed));
+        obj
+    }
+}
+
 /// Everything a single run produced, ready for JSON serialisation.
 ///
 /// Fields left `None` are omitted from the output rather than written
@@ -48,6 +96,9 @@ pub struct RunReport {
     pub solve_time: Option<Duration>,
     /// Wall-clock verification time.
     pub verify_time: Option<Duration>,
+    /// The fault-tolerant runtime's outcome summary, when the run went
+    /// through a harness (budgets, checkpoints).
+    pub harness: Option<HarnessSummary>,
     /// Per-phase span aggregates drained from the collecting subscriber.
     pub spans: Vec<(String, SpanSummary)>,
     /// Metrics registry snapshot.
@@ -102,6 +153,9 @@ impl RunReport {
         }
         if let Some(report) = &self.verification {
             root.push("verification", verification_json(report));
+        }
+        if let Some(harness) = &self.harness {
+            root.push("harness", harness.to_json());
         }
         if self.solve_time.is_some() || self.verify_time.is_some() {
             let mut timing = Json::object();
@@ -279,6 +333,30 @@ mod tests {
         let timing = json.get("timing").expect("timing");
         let ratio = timing.get("verify_over_solve").and_then(Json::as_f64).expect("ratio");
         assert!((ratio - 2.0).abs() < 1e-9, "{ratio}");
+    }
+
+    #[test]
+    fn harness_section_serialises_when_present() {
+        let mut report = RunReport::new("check");
+        report.harness = Some(HarnessSummary {
+            outcome: "exhausted".to_string(),
+            exhaust_reason: Some("deadline".to_string()),
+            steps_checked: Some(3),
+            steps_total: Some(10),
+            checkpoint_path: Some("/tmp/cp.json".to_string()),
+            resumed: true,
+            ..HarnessSummary::default()
+        });
+        let json = report.to_json();
+        let harness = json.get("harness").expect("harness");
+        assert_eq!(harness.get("outcome").and_then(Json::as_str), Some("exhausted"));
+        assert_eq!(
+            harness.get("exhaust_reason").and_then(Json::as_str),
+            Some("deadline")
+        );
+        assert_eq!(harness.get("steps_checked").and_then(Json::as_int), Some(3));
+        assert!(matches!(harness.get("resumed"), Some(Json::Bool(true))));
+        assert!(harness.get("rejected_step").is_none());
     }
 
     #[test]

@@ -1,0 +1,227 @@
+//! Fault-injection suite for the fault-tolerant verification runtime:
+//! panicking workers, slow workers, starved budgets, and interrupted
+//! runs must never change a verdict — at worst they cost retries or
+//! end in an explicit `Exhausted`.
+
+use cdcl::SolverConfig;
+use cnf::{Clause, CnfFormula};
+use proofver::{
+    resume_verification, verify_all, verify_all_parallel_harnessed,
+    verify_harnessed, Budget, CancelToken, CheckMode, ConflictClauseProof,
+    FaultPlan, Harness, Outcome,
+};
+use satverify::solve_and_verify;
+
+const THREADS: usize = 4;
+
+fn solver_proof(formula: &CnfFormula) -> ConflictClauseProof {
+    solve_and_verify(formula, SolverConfig::default())
+        .expect("pipeline")
+        .into_unsat()
+        .expect("UNSAT")
+        .proof
+}
+
+/// A proof with one underivable clause spliced into the middle.
+fn corrupted(proof: &ConflictClauseProof) -> (ConflictClauseProof, usize) {
+    let mut clauses = proof.clauses().to_vec();
+    let victim = clauses.len() / 2;
+    clauses[victim] = Clause::from_dimacs(&[99_991]);
+    (ConflictClauseProof::new(clauses), victim)
+}
+
+#[test]
+fn n_minus_one_panicking_workers_still_reach_the_correct_verdict() {
+    let formula = cnfgen::pigeonhole(5);
+    let proof = solver_proof(&formula);
+    assert!(proof.len() >= THREADS, "enough steps to fill every slice");
+    // every slice but the last panics on its first attempt, then heals
+    let mut faults = FaultPlan::none();
+    for slice in 0..THREADS - 1 {
+        faults = faults.panic_on_slice(slice, 1);
+    }
+    let harness = Harness { faults, ..Harness::default() };
+    let outcome = verify_all_parallel_harnessed(&formula, &proof, THREADS, &harness);
+    let report = match outcome {
+        Outcome::Verified(v) => v.report,
+        other => panic!("faulty workers changed the verdict: {other:?}"),
+    };
+    let plain = verify_all(&formula, &proof).expect("valid proof");
+    assert!(report.semantically_eq(&plain.report), "{report:?} vs {:?}", plain.report);
+}
+
+#[test]
+fn panicking_worker_with_a_bogus_proof_still_rejects() {
+    let formula = cnfgen::pigeonhole(5);
+    let (bogus, victim) = corrupted(&solver_proof(&formula));
+    let mut faults = FaultPlan::none();
+    for slice in 0..THREADS - 1 {
+        faults = faults.panic_on_slice(slice, 1);
+    }
+    let harness = Harness { faults, ..Harness::default() };
+    match verify_all_parallel_harnessed(&formula, &bogus, THREADS, &harness) {
+        Outcome::Rejected { step: Some(step), .. } => {
+            assert!(step >= victim, "step {step} precedes corruption at {victim}");
+        }
+        other => panic!("bogus proof not rejected: {other:?}"),
+    }
+}
+
+#[test]
+fn persistent_panics_degrade_to_a_sequential_pass() {
+    let formula = cnfgen::pigeonhole(4);
+    let proof = solver_proof(&formula);
+    // every slice panics forever: retries cannot heal it, so the run
+    // must fall back to one clean sequential pass — and still verify
+    let mut faults = FaultPlan::none();
+    for slice in 0..THREADS {
+        faults = faults.panic_on_slice(slice, u32::MAX);
+    }
+    let harness = Harness { faults, ..Harness::default() };
+    let outcome = verify_all_parallel_harnessed(&formula, &proof, THREADS, &harness);
+    assert!(outcome.is_verified(), "degraded run lost the verdict: {outcome:?}");
+}
+
+#[test]
+fn slow_workers_change_nothing_but_wall_clock() {
+    let formula = cnfgen::pigeonhole(4);
+    let proof = solver_proof(&formula);
+    let harness = Harness {
+        faults: FaultPlan::none().slow_slice(0, 30).slow_slice(THREADS - 1, 30),
+        ..Harness::default()
+    };
+    let outcome = verify_all_parallel_harnessed(&formula, &proof, THREADS, &harness);
+    assert!(outcome.is_verified(), "{outcome:?}");
+}
+
+#[test]
+fn starved_worker_yields_exhausted_never_a_false_verdict() {
+    let formula = cnfgen::pigeonhole(5);
+    let proof = solver_proof(&formula);
+    let harness = Harness {
+        faults: FaultPlan::none().starve_slice(1),
+        ..Harness::default()
+    };
+    // the proof is valid, but one slice could not finish its checks:
+    // the run must NOT claim "verified" — and must not reject either
+    match verify_all_parallel_harnessed(&formula, &proof, THREADS, &harness) {
+        Outcome::Exhausted { progress, .. } => {
+            assert!(progress.steps_checked < progress.steps_total);
+        }
+        other => panic!("starvation coerced into a verdict: {other:?}"),
+    }
+}
+
+#[test]
+fn a_completed_rejection_beats_a_starved_slice() {
+    // evidence against the proof is conclusive even when another slice
+    // was interrupted: a failing check cannot be un-failed by more work
+    let formula = cnfgen::pigeonhole(5);
+    let (bogus, _) = corrupted(&solver_proof(&formula));
+    let harness = Harness {
+        faults: FaultPlan::none().starve_slice(0),
+        ..Harness::default()
+    };
+    match verify_all_parallel_harnessed(&formula, &bogus, THREADS, &harness) {
+        Outcome::Rejected { .. } => {}
+        // the corrupted step may land in the starved slice itself, in
+        // which case exhaustion (no verdict) is the only honest answer
+        Outcome::Exhausted { .. } => {}
+        Outcome::Verified(_) => panic!("bogus proof verified under starvation"),
+    }
+}
+
+#[test]
+fn exhausted_is_never_coerced_into_a_verdict() {
+    let formula = cnfgen::pigeonhole(3);
+    let valid = solver_proof(&formula);
+    let (bogus, _) = corrupted(&valid);
+    for cap in (0..400).step_by(7) {
+        let harness =
+            Harness::with_budget(Budget::unlimited().max_propagations(cap));
+        match verify_harnessed(&formula, &valid, CheckMode::All, &harness) {
+            Outcome::Verified(_) | Outcome::Exhausted { .. } => {}
+            Outcome::Rejected { .. } => {
+                panic!("valid proof rejected under cap {cap}")
+            }
+        }
+        match verify_harnessed(&formula, &bogus, CheckMode::All, &harness) {
+            Outcome::Rejected { .. } | Outcome::Exhausted { .. } => {}
+            Outcome::Verified(_) => {
+                panic!("bogus proof verified under cap {cap}")
+            }
+        }
+    }
+}
+
+#[test]
+fn cancellation_stops_parallel_checking_without_a_verdict() {
+    let formula = cnfgen::pigeonhole(5);
+    let proof = solver_proof(&formula);
+    let harness = Harness::default();
+    harness.cancel.cancel(); // cancelled before the run starts
+    match verify_all_parallel_harnessed(&formula, &proof, THREADS, &harness) {
+        Outcome::Exhausted { .. } => {}
+        other => panic!("cancelled run produced a verdict: {other:?}"),
+    }
+}
+
+#[test]
+fn interrupted_run_resumes_to_the_uninterrupted_report() {
+    let formula = cnfgen::pigeonhole(3);
+    let proof = solver_proof(&formula);
+    let uninterrupted = verify_harnessed(
+        &formula,
+        &proof,
+        CheckMode::MarkedOnly,
+        &Harness::default(),
+    );
+    let reference = uninterrupted.verified().expect("valid proof").report.clone();
+
+    // interrupt with a growing cap, resume with a fresh budget each
+    // round; however many interruptions it takes, the final report must
+    // match the uninterrupted run modulo timing fields
+    let mut resumptions = 0usize;
+    let mut cap = 20u64;
+    let mut checkpoint = None;
+    let report = loop {
+        let harness =
+            Harness::with_budget(Budget::unlimited().max_propagations(cap));
+        let outcome = match &checkpoint {
+            None => {
+                verify_harnessed(&formula, &proof, CheckMode::MarkedOnly, &harness)
+            }
+            Some(cp) => resume_verification(&formula, &proof, cp, &harness)
+                .expect("checkpoint matches inputs"),
+        };
+        match outcome {
+            Outcome::Verified(v) => break v.report,
+            Outcome::Rejected { error, .. } => panic!("valid proof rejected: {error}"),
+            Outcome::Exhausted { checkpoint: cp, .. } => {
+                checkpoint = Some(*cp.expect("sequential runs checkpoint"));
+                resumptions += 1;
+                cap += 20;
+                assert!(resumptions < 10_000, "no forward progress");
+            }
+        }
+    };
+    assert!(resumptions > 0, "budget was never exhausted; test is vacuous");
+    assert!(report.semantically_eq(&reference), "{report:?} vs {reference:?}");
+    assert_eq!(report.num_checked, reference.num_checked);
+    assert_eq!(report.core_size, reference.core_size);
+}
+
+#[test]
+fn cancel_token_reaches_a_sequential_run_mid_flight() {
+    let formula = cnfgen::pigeonhole(4);
+    let proof = solver_proof(&formula);
+    let harness = Harness { cancel: CancelToken::new(), ..Harness::default() };
+    let token = harness.cancel.clone();
+    token.cancel();
+    match verify_harnessed(&formula, &proof, CheckMode::All, &harness) {
+        Outcome::Exhausted { progress, .. } => {
+            assert_eq!(progress.steps_checked, 0, "cancelled before any check");
+        }
+        other => panic!("cancelled run produced a verdict: {other:?}"),
+    }
+}
