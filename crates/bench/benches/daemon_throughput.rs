@@ -1,0 +1,60 @@
+//! Daemon round-trip and pipelined throughput over loopback TCP.
+//!
+//! Measures the serving overhead on top of raw verification: one warm
+//! connection issuing (a) single request/response round trips and
+//! (b) batches of pipelined requests drained in completion order. The
+//! verification work itself is tiny (the 4-clause XOR square), so the
+//! numbers are dominated by framing, scheduling, and queue hand-off —
+//! exactly the cost the daemon adds over `satverify check`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use satverifyd::{Client, Endpoint, Request, Response, Server, ServerConfig};
+
+const XOR_SQUARE: &str = "p cnf 2 4\n1 2 0\n-1 -2 0\n1 -2 0\n-1 2 0\n";
+const XOR_PROOF: &str = "2 0\n-2 0\n0\n";
+
+fn round_trip(client: &mut Client) {
+    let req = Request::verify_inline(XOR_SQUARE, XOR_PROOF);
+    match client.request(&req).expect("round trip") {
+        Response::Result(r) => assert_eq!(r.outcome, "verified"),
+        other => panic!("unexpected response: {other:?}"),
+    }
+}
+
+fn pipelined(client: &mut Client, batch: usize) {
+    let req = Request::verify_inline(XOR_SQUARE, XOR_PROOF);
+    for _ in 0..batch {
+        client.send(&req).expect("send");
+    }
+    for _ in 0..batch {
+        match client.recv().expect("recv") {
+            Response::Result(r) => assert_eq!(r.outcome, "verified"),
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+}
+
+fn daemon_benchmarks(c: &mut Criterion) {
+    let config = ServerConfig::default().workers(4).queue_capacity(256);
+    let server = Server::bind(&Endpoint::tcp("127.0.0.1:0"), config).expect("bind loopback");
+    let endpoint = server.local_endpoint();
+    let mut client = Client::connect(&endpoint).expect("connect");
+
+    let mut group = c.benchmark_group("daemon");
+    group.bench_function("round_trip", |b| {
+        b.iter(|| round_trip(&mut client));
+    });
+    for batch in [8usize, 64] {
+        group.bench_with_input(BenchmarkId::new("pipelined", batch), &batch, |b, &batch| {
+            b.iter(|| pipelined(&mut client, batch));
+        });
+    }
+    group.finish();
+
+    drop(client);
+    server.shutdown();
+    server.join();
+}
+
+criterion_group!(benches, daemon_benchmarks);
+criterion_main!(benches);

@@ -624,7 +624,7 @@ impl Solver {
     fn effective_scheme(&self) -> LearningScheme {
         match self.config.learning_scheme {
             LearningScheme::Mixed { period } => {
-                if self.stats.conflicts % u64::from(period.max(1)) == 0 {
+                if self.stats.conflicts.is_multiple_of(u64::from(period.max(1))) {
                     LearningScheme::Decision
                 } else {
                     LearningScheme::FirstUip

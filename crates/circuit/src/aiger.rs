@@ -196,7 +196,7 @@ pub fn parse_aiger<R: BufRead>(reader: R) -> Result<AigerFile, ParseAigerError> 
             line: lineno,
             text: line.clone(),
         })?;
-        if lit % 2 != 0 || lit / 2 > max_var {
+        if !lit.is_multiple_of(2) || lit / 2 > max_var {
             return Err(ParseAigerError::BadLine { line: lineno, text: line });
         }
         let e = aig.input();
@@ -226,7 +226,7 @@ pub fn parse_aiger<R: BufRead>(reader: R) -> Result<AigerFile, ParseAigerError> 
                 })
             }
         };
-        if state % 2 != 0 || state / 2 > max_var {
+        if !state.is_multiple_of(2) || state / 2 > max_var {
             return Err(ParseAigerError::BadLine { line: lineno, text: line });
         }
         let e = aig.input();

@@ -299,10 +299,10 @@ pub fn counter(n: &mut Netlist, bits: usize) -> Bus {
     assert!(bits > 0, "counter needs at least one bit");
     let state: Bus = (0..bits).map(|_| n.latch(false)).collect();
     let mut carry = n.constant(true);
-    for i in 0..bits {
-        let next = n.xor2(state[i], carry);
-        n.connect_next(state[i], next);
-        carry = n.and2(carry, state[i]);
+    for &bit in state.iter() {
+        let next = n.xor2(bit, carry);
+        n.connect_next(bit, next);
+        carry = n.and2(carry, bit);
     }
     state
 }

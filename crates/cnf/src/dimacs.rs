@@ -5,8 +5,11 @@
 //! signed variable names terminated by `0`.
 //!
 //! The parser is lenient where real benchmark files are sloppy: clauses
-//! may span lines, the header may understate the variable count, and a
-//! final clause without a terminating `0` is accepted at end of input.
+//! may span lines, the header may understate the variable count, a
+//! final clause without a terminating `0` is accepted at end of input,
+//! and a SATLIB-style `%` terminator line ends the formula (whatever
+//! follows it — conventionally a lone `0` and blank lines — is
+//! ignored rather than parsed as a spurious empty clause).
 
 use std::error::Error;
 use std::fmt;
@@ -161,7 +164,14 @@ pub fn parse_dimacs<R: BufRead>(reader: R) -> Result<CnfFormula, ParseDimacsErro
         let line = line?;
         let lineno = lineno + 1;
         let trimmed = line.trim_start();
-        if trimmed.is_empty() || trimmed.starts_with('c') || trimmed.starts_with('%') {
+        if trimmed.starts_with('%') {
+            // SATLIB benchmark files end with a `%` line followed by a
+            // lone `0` and blank lines; everything after the terminator
+            // is trailer, not clauses — reading on would add a spurious
+            // (instantly unsatisfiable) empty clause.
+            break;
+        }
+        if trimmed.is_empty() || trimmed.starts_with('c') {
             continue;
         }
         if trimmed.starts_with('p') {
@@ -317,6 +327,31 @@ mod tests {
         let f = parse_dimacs_str("p cnf 1 1\n0\n").expect("parse");
         assert_eq!(f.num_clauses(), 1);
         assert!(f[0].is_empty());
+    }
+
+    #[test]
+    fn satlib_percent_terminator_ends_the_formula() {
+        // the canonical SATLIB trailer: `%`, a lone `0`, trailing blanks
+        let f = parse_dimacs_str("p cnf 3 2\n1 2 0\n-1 -2 0\n%\n0\n\n")
+            .expect("parse");
+        assert_eq!(f.num_clauses(), 2, "the trailer `0` is not an empty clause");
+        assert!(f.iter().all(|c| !c.is_empty()));
+    }
+
+    #[test]
+    fn percent_terminator_discards_everything_after() {
+        // even well-formed clauses after `%` are trailer, not formula
+        let f = parse_dimacs_str("p cnf 2 1\n1 2 0\n%\n-1 0\nnot even tokens\n")
+            .expect("parse");
+        assert_eq!(f.num_clauses(), 1);
+    }
+
+    #[test]
+    fn percent_terminator_flushes_no_partial_clause() {
+        // a clause left open before `%` still gets its end-of-input flush
+        let f = parse_dimacs_str("p cnf 2 1\n1 2\n%\n0\n").expect("parse");
+        assert_eq!(f.num_clauses(), 1);
+        assert_eq!(f[0], Clause::from_dimacs(&[1, 2]));
     }
 
     #[test]

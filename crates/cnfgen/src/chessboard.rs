@@ -21,7 +21,7 @@ use cnf::CnfFormula;
 #[must_use]
 pub fn mutilated_chessboard(n: usize) -> CnfFormula {
     assert!(n >= 2, "board needs at least 2×2 cells");
-    assert!(n % 2 == 0, "odd boards are trivially untileable; use even n");
+    assert!(n.is_multiple_of(2), "odd boards are trivially untileable; use even n");
     let removed = |r: usize, c: usize| (r == 0 && c == 0) || (r == n - 1 && c == n - 1);
 
     // enumerate edges between live cells

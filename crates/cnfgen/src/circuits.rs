@@ -171,10 +171,10 @@ pub fn bmc_counter(bits: usize, k: usize) -> CnfFormula {
     let en = n.input();
     let state: Vec<_> = (0..bits).map(|_| n.latch(false)).collect();
     let mut carry = en;
-    for i in 0..bits {
-        let inc = n.xor2(state[i], carry);
-        n.connect_next(state[i], inc);
-        carry = n.and2(carry, state[i]);
+    for &bit in &state {
+        let inc = n.xor2(bit, carry);
+        n.connect_next(bit, inc);
+        carry = n.and2(carry, bit);
     }
     // bad = (state == k)
     let eq_bits: Vec<_> = state

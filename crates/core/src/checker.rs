@@ -697,8 +697,7 @@ impl<'a> Checker<'a> {
             }
         }
 
-        for pos in start_pos..order.len() {
-            let step = order[pos];
+        for (pos, &step) in order.iter().enumerate().skip(start_pos) {
             let arena_index = self.num_original + step;
             let clause = &self.proof.clauses()[step];
             let skip = if clause.is_empty() && arena_index == terminal_limit {
@@ -891,6 +890,7 @@ impl<'a> Checker<'a> {
         (self.db.arena_len() * std::mem::size_of::<Lit>()) as u64
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn exhausted_outcome(
         &self,
         stopped: Stopped,

@@ -312,6 +312,65 @@ impl Harness {
 /// Default number of sequential retries per failed parallel slice.
 pub const DEFAULT_SLICE_RETRIES: u32 = 2;
 
+/// A reusable rendezvous point for deterministic concurrency tests.
+///
+/// A gate starts closed. A worker parks in [`Gate::wait`] until some
+/// other thread calls [`Gate::open`]; the test side can block in
+/// [`Gate::await_blocked`] until at least one worker has actually
+/// arrived at the gate. This gives tests a way to *know* a job is
+/// in flight — no sleeps, no racing on thread scheduling.
+///
+/// Opening is one-way: once opened, every current and future
+/// [`Gate::wait`] returns immediately.
+#[derive(Clone, Debug, Default)]
+pub struct Gate {
+    state: Arc<(Mutex<GateState>, std::sync::Condvar)>,
+}
+
+#[derive(Debug, Default)]
+struct GateState {
+    open: bool,
+    waiters: usize,
+}
+
+impl Gate {
+    /// A fresh, closed gate.
+    #[must_use]
+    pub fn new() -> Self {
+        Gate::default()
+    }
+
+    /// Opens the gate, releasing every current and future waiter.
+    /// Idempotent.
+    pub fn open(&self) {
+        let (lock, cvar) = &*self.state;
+        lock.lock().expect("gate lock").open = true;
+        cvar.notify_all();
+    }
+
+    /// Blocks until the gate is opened. Returns immediately if it
+    /// already is.
+    pub fn wait(&self) {
+        let (lock, cvar) = &*self.state;
+        let mut state = lock.lock().expect("gate lock");
+        state.waiters += 1;
+        cvar.notify_all();
+        while !state.open {
+            state = cvar.wait(state).expect("gate lock");
+        }
+    }
+
+    /// Blocks until at least `n` threads have arrived at [`Gate::wait`]
+    /// (cumulative, including waiters already released).
+    pub fn await_blocked(&self, n: usize) {
+        let (lock, cvar) = &*self.state;
+        let mut state = lock.lock().expect("gate lock");
+        while state.waiters < n {
+            state = cvar.wait(state).expect("gate lock");
+        }
+    }
+}
+
 /// Fault injection for the parallel checker, exercised by the
 /// fault-injection test suite. Faults are keyed by *slice index*; a
 /// production run uses [`FaultPlan::none`] (the default), which injects
@@ -326,6 +385,10 @@ pub struct FaultPlan {
     starve_slices: Vec<usize>,
     /// Per-slice attempt counts, shared across workers and retries.
     attempts: Mutex<Vec<(usize, u32)>>,
+    /// When armed, [`FaultPlan::before_run`] parks on this gate until a
+    /// test opens it — a deterministic way to hold a verification run
+    /// "in flight" without sleeping.
+    hold: Option<Gate>,
 }
 
 impl FaultPlan {
@@ -358,12 +421,32 @@ impl FaultPlan {
         self
     }
 
+    /// Parks [`FaultPlan::before_run`] on `gate` until the gate is
+    /// opened. Used by service tests to deterministically hold a job in
+    /// flight (the test side pairs this with [`Gate::await_blocked`]).
+    #[must_use]
+    pub fn hold_before_run(mut self, gate: Gate) -> Self {
+        self.hold = Some(gate);
+        self
+    }
+
     /// Whether any fault is configured.
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.panic_slices.is_empty()
             && self.slow_slices.is_empty()
             && self.starve_slices.is_empty()
+            && self.hold.is_none()
+    }
+
+    /// Runs the injection hook for the start of a whole harnessed run:
+    /// blocks on the [`hold_before_run`](FaultPlan::hold_before_run)
+    /// gate when one is armed, otherwise returns immediately (one
+    /// branch — the production cost).
+    pub fn before_run(&self) {
+        if let Some(gate) = &self.hold {
+            gate.wait();
+        }
     }
 
     /// Runs the injection hook for one slice attempt. May sleep (slow
@@ -882,5 +965,29 @@ mod tests {
         let plan = FaultPlan::none().starve_slice(3);
         assert!(plan.before_slice(3));
         assert!(!plan.before_slice(2));
+    }
+
+    #[test]
+    fn gate_releases_current_and_future_waiters() {
+        let gate = Gate::new();
+        let plan = Arc::new(FaultPlan::none().hold_before_run(gate.clone()));
+        let worker = {
+            let plan = Arc::clone(&plan);
+            std::thread::spawn(move || plan.before_run())
+        };
+        // deterministically observe the worker parked at the gate
+        gate.await_blocked(1);
+        gate.open();
+        worker.join().expect("worker joins after open");
+        // an opened gate no longer blocks
+        plan.before_run();
+        gate.await_blocked(2);
+    }
+
+    #[test]
+    fn before_run_without_hold_is_a_no_op() {
+        FaultPlan::none().before_run();
+        assert!(FaultPlan::none().is_empty());
+        assert!(!FaultPlan::none().hold_before_run(Gate::new()).is_empty());
     }
 }

@@ -78,7 +78,7 @@ pub use error::VerifyError;
 pub use harness::{
     formula_fingerprint, proof_fingerprint, resume_verification,
     verify_harnessed, Budget, CancelToken, Checkpoint, CheckpointError,
-    ExhaustReason, FaultPlan, Harness, Outcome, Progress,
+    ExhaustReason, FaultPlan, Gate, Harness, Outcome, Progress,
     DEFAULT_SLICE_RETRIES,
 };
 pub use parallel::{verify_all_parallel, verify_all_parallel_harnessed};

@@ -28,7 +28,8 @@ pub fn trim_proof(proof: &ConflictClauseProof, marked_steps: &[bool]) -> Conflic
     proof
         .iter()
         .zip(marked_steps)
-        .filter_map(|(c, &keep)| (keep || c.is_empty()).then(|| c.clone()))
+        .filter(|&(c, &keep)| keep || c.is_empty())
+        .map(|(c, _)| c.clone())
         .collect()
 }
 

@@ -19,8 +19,12 @@ use cnf::{parse_dimacs, write_dimacs, CnfFormula};
 use proofver::{
     decode_proof, encode_proof, parse_proof, resume_verification,
     verify_all_parallel_harnessed, verify_harnessed, write_proof, Budget,
-    CheckMode, Checkpoint, ConflictClauseProof, Harness, Outcome, ProofStats,
-    MAGIC,
+    CheckMode, Checkpoint, CheckpointError, ConflictClauseProof, Harness,
+    Outcome, ProofStats, MAGIC,
+};
+use satverifyd::{
+    BudgetSpec, Client, Endpoint, ErrorCode as WireError, Request as WireRequest,
+    Response as WireResponse, Server, ServerConfig, VerifyRequest,
 };
 use satverify::{
     minimal_core_of_verified, minimize_core, solve_and_verify,
@@ -65,6 +69,23 @@ USAGE:
         --trace        print per-phase span timings to stderr
         --metrics      print the metrics registry to stderr
 
+    satverify serve [--listen <ep>] [--workers <n>] [--queue-capacity <n>]
+                    [budget flags] [--drain-on-stdin-close]
+        run the verification daemon: accept jobs over tcp:HOST:PORT or
+        unix:PATH (default tcp:127.0.0.1:0; the bound endpoint is
+        printed), check them on a bounded worker pool, and drain
+        gracefully on a `shutdown` request. Budget flags set the
+        per-job default; requests may tighten or override it.
+
+    satverify client <endpoint> ping|stats|shutdown
+    satverify client <endpoint> check <cnf> <proof> [--all] [--by-path]
+                     [budget flags]
+        talk to a running daemon. `check` submits one job (file contents
+        are sent inline unless --by-path passes server-local paths) and
+        prints the same report as the local `check`; exit codes are the
+        `check` contract plus 5 = admission refused (overloaded or
+        draining daemon).
+
     satverify drat <cnf> <proof>
         verify a proof that may contain RAT steps (DRAT semantics)
 
@@ -108,6 +129,8 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     match command.as_str() {
         "solve" => cmd_solve(rest),
         "check" => cmd_check(rest),
+        "serve" => cmd_serve(rest),
+        "client" => cmd_client(rest),
         "drat" => cmd_drat(rest),
         "core" => cmd_core(rest),
         "trim" => cmd_trim(rest),
@@ -368,8 +391,45 @@ fn take_budget(args: &mut Vec<String>) -> Result<Budget, String> {
     Ok(budget)
 }
 
+/// `satverify check --help`: the full contract, exit codes included.
+const CHECK_HELP: &str = "\
+satverify check — verify a conflict-clause proof of unsatisfiability
+
+USAGE:
+    satverify check <cnf> <proof> [--all] [--parallel <n>]
+                    [--max-propagations <n>] [--max-clause-visits <n>]
+                    [--max-memory-mb <n>] [--timeout-ms <n>]
+                    [--checkpoint <path>] [--resume]
+                    [--json <path>] [--trace] [--metrics]
+
+The proof file may be text or binary (auto-detected). --all checks
+every proof clause (Proof_verification1); the default checks only the
+clauses marked as contributing (Proof_verification2). --parallel <n>
+splits the --all check across n panic-isolated workers.
+
+Budget flags bound the run. A run that hits a limit stops with
+`s UNKNOWN` — an exhausted budget is never a verdict. With
+--checkpoint <path>, an interrupted sequential run saves its progress
+there; --resume continues from it. A checkpoint records fingerprints
+of the formula and proof it belongs to: resuming against different
+inputs is refused as a usage error.
+
+EXIT CODES:
+    0    s VERIFIED      the proof derives the empty clause
+    1    s NOT VERIFIED  the proof was rejected (with the failing step)
+    2    usage error     bad flags, or a checkpoint that does not match
+                         the given formula/proof (fingerprint mismatch)
+    3    malformed input the formula, proof, or checkpoint file could
+                         not be read or parsed
+    4    s UNKNOWN       a budget limit was hit before a verdict
+";
+
 fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
     let mut args = args.to_vec();
+    if take_flag(&mut args, "--help") || take_flag(&mut args, "-h") {
+        print!("{CHECK_HELP}");
+        return Ok(ExitCode::SUCCESS);
+    }
     let obs_opts = ObsOptions::take(&mut args);
     let all = take_flag(&mut args, "--all");
     let checkpoint_path = take_option(&mut args, "--checkpoint");
@@ -435,6 +495,14 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
     let outcome = match (&resume_from, parallel) {
         (Some(cp), _) => match resume_verification(&formula, &proof, cp, &harness) {
             Ok(outcome) => outcome,
+            // a checkpoint for different inputs is the caller's mistake
+            // (wrong file paths), not corrupt data: usage, not malformed
+            Err(e @ CheckpointError::Mismatch(_)) => {
+                return usage(format!(
+                    "cannot resume: {e}; pass the formula and proof the \
+                     checkpoint was written for, or delete it"
+                ))
+            }
             Err(e) => return malformed(format!("cannot resume: {e}")),
         },
         (None, Some(threads)) => {
@@ -493,6 +561,213 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
             obs_opts.emit(report)?;
             Ok(ExitCode::from(EXIT_EXHAUSTED))
         }
+    }
+}
+
+/// Exit code for `client check` when the daemon refused admission
+/// (queue full or draining): the job was never run, so none of the
+/// verdict codes apply, and it is not the caller's usage error either.
+const EXIT_UNAVAILABLE: u8 = 5;
+
+fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
+    let mut args = args.to_vec();
+    let listen =
+        take_option(&mut args, "--listen").unwrap_or_else(|| "tcp:127.0.0.1:0".into());
+    let workers = take_u64_option(&mut args, "--workers")?;
+    let queue_capacity = take_u64_option(&mut args, "--queue-capacity")?;
+    let drain_on_stdin = take_flag(&mut args, "--drain-on-stdin-close");
+    let budget = take_budget(&mut args)?;
+    if !args.is_empty() {
+        return Err(format!("unexpected arguments {args:?}; see `satverify help`"));
+    }
+    let endpoint = Endpoint::parse(&listen)?;
+    let mut config = ServerConfig::default().default_budget(budget);
+    if let Some(n) = workers {
+        config = config.workers(usize::try_from(n).unwrap_or(usize::MAX));
+    }
+    if let Some(n) = queue_capacity {
+        config = config.queue_capacity(usize::try_from(n).unwrap_or(usize::MAX));
+    }
+    let handle = Server::bind(&endpoint, config)
+        .map_err(|e| format!("cannot bind {endpoint}: {e}"))?;
+    // stdout may be a pipe whose reader hangs up after the banner (or
+    // at any point); a serving daemon must never die on EPIPE
+    use std::io::Write as _;
+    let mut stdout = std::io::stdout();
+    let _ = writeln!(stdout, "c satverifyd listening on {}", handle.local_endpoint());
+    let _ = writeln!(
+        stdout,
+        "c drain with: satverify client {} shutdown",
+        handle.local_endpoint()
+    );
+    let _ = stdout.flush();
+    if drain_on_stdin {
+        let trigger = handle.drain_trigger();
+        std::thread::spawn(move || {
+            let mut line = String::new();
+            loop {
+                line.clear();
+                match std::io::stdin().read_line(&mut line) {
+                    Ok(0) | Err(_) => break,
+                    Ok(_) if line.trim() == "shutdown" => break,
+                    Ok(_) => {}
+                }
+            }
+            trigger.shutdown();
+        });
+    }
+    handle.join();
+    // stdout may be a pipe whose reader only wanted the banner; a
+    // drained daemon must still exit 0
+    let _ = writeln!(std::io::stdout(), "c drained cleanly");
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Builds the wire [`BudgetSpec`] from the same budget flags `check`
+/// takes locally.
+fn take_budget_spec(args: &mut Vec<String>) -> Result<BudgetSpec, String> {
+    Ok(BudgetSpec {
+        max_propagations: take_u64_option(args, "--max-propagations")?,
+        max_clause_visits: take_u64_option(args, "--max-clause-visits")?,
+        max_memory_bytes: take_u64_option(args, "--max-memory-mb")?
+            .map(|mb| mb.saturating_mul(1024 * 1024)),
+        timeout_ms: take_u64_option(args, "--timeout-ms")?,
+    })
+}
+
+fn cmd_client(args: &[String]) -> Result<ExitCode, String> {
+    let mut args = args.to_vec();
+    let usage = |msg: &str| {
+        eprintln!("error: {msg}");
+        eprintln!("usage: satverify client <endpoint> ping|stats|shutdown");
+        eprintln!(
+            "       satverify client <endpoint> check <cnf> <proof> \
+             [--all] [--by-path] [budget flags]"
+        );
+        Ok(ExitCode::from(EXIT_USAGE))
+    };
+    if args.len() < 2 {
+        return usage("missing endpoint or action");
+    }
+    let endpoint = Endpoint::parse(&args.remove(0))?;
+    let action = args.remove(0);
+    let mut client = Client::connect(&endpoint)
+        .map_err(|e| format!("cannot connect to {endpoint}: {e}"))?;
+    let roundtrip = |client: &mut Client, request: &WireRequest| {
+        client.request(request).map_err(|e| format!("{endpoint}: {e}"))
+    };
+    match action.as_str() {
+        "ping" => match roundtrip(&mut client, &WireRequest::Ping)? {
+            WireResponse::Pong => {
+                println!("c pong");
+                Ok(ExitCode::SUCCESS)
+            }
+            other => Err(format!("unexpected response {other:?}")),
+        },
+        "shutdown" => match roundtrip(&mut client, &WireRequest::Shutdown)? {
+            WireResponse::ShuttingDown => {
+                println!("c daemon draining");
+                Ok(ExitCode::SUCCESS)
+            }
+            other => Err(format!("unexpected response {other:?}")),
+        },
+        "stats" => match roundtrip(&mut client, &WireRequest::Stats)? {
+            WireResponse::Stats(stats) => {
+                println!("c counters:");
+                for (name, value) in &stats.counters {
+                    println!("c   {name:<20} {value}");
+                }
+                println!("c queue_depth          {}", stats.queue_depth);
+                println!("c in_flight            {}", stats.in_flight);
+                println!("c latency_ms buckets (le, count):");
+                for (le, count) in &stats.latency_buckets {
+                    println!("c   {le:>12} {count}");
+                }
+                Ok(ExitCode::SUCCESS)
+            }
+            other => Err(format!("unexpected response {other:?}")),
+        },
+        "check" => {
+            let all = take_flag(&mut args, "--all");
+            let by_path = take_flag(&mut args, "--by-path");
+            let budget = take_budget_spec(&mut args)?;
+            let [cnf_path, proof_path] = args.as_slice() else {
+                return usage("client check needs <cnf> <proof>");
+            };
+            let mut request = VerifyRequest {
+                mode: all.then(|| "all".to_string()),
+                budget,
+                ..VerifyRequest::default()
+            };
+            if by_path {
+                request.formula_path = Some(cnf_path.clone());
+                request.proof_path = Some(proof_path.clone());
+            } else {
+                // ship file contents so the daemon works across hosts
+                request.formula = Some(
+                    std::fs::read_to_string(cnf_path)
+                        .map_err(|e| format!("cannot read {cnf_path}: {e}"))?,
+                );
+                request.proof = Some(
+                    std::fs::read_to_string(proof_path)
+                        .map_err(|e| format!("cannot read {proof_path}: {e}"))?,
+                );
+            }
+            let response =
+                roundtrip(&mut client, &WireRequest::Verify(request))?;
+            report_remote_check(&response)
+        }
+        other => usage(&format!("unknown client action {other:?}")),
+    }
+}
+
+/// Prints a remote `check`'s response in the local `check` style and
+/// maps it onto the exit-code contract.
+fn report_remote_check(response: &WireResponse) -> Result<ExitCode, String> {
+    match response {
+        WireResponse::Result(result) => {
+            let checked = result.steps_checked.unwrap_or(0);
+            let total = result.steps_total.unwrap_or(0);
+            match result.outcome.as_str() {
+                "verified" => {
+                    println!("s VERIFIED");
+                    println!("c {checked} clauses checked");
+                    Ok(ExitCode::from(EXIT_VERIFIED))
+                }
+                "rejected" => {
+                    println!("s NOT VERIFIED");
+                    if let Some(detail) = &result.detail {
+                        println!("c {detail}");
+                    }
+                    if let Some(step) = result.rejected_step {
+                        println!("c failing proof clause: step {step}");
+                    }
+                    Ok(ExitCode::from(EXIT_REJECTED))
+                }
+                "exhausted" => {
+                    println!("s UNKNOWN");
+                    let reason = result.exhaust_reason.as_deref().unwrap_or("budget");
+                    println!(
+                        "c budget exhausted ({reason}) after {checked}/{total} \
+                         checks — no verdict"
+                    );
+                    Ok(ExitCode::from(EXIT_EXHAUSTED))
+                }
+                other => Err(format!("unknown outcome {other:?}")),
+            }
+        }
+        WireResponse::Error { code, message, .. } => {
+            eprintln!("error: daemon: {message}");
+            match code {
+                WireError::Overloaded | WireError::Draining => {
+                    Ok(ExitCode::from(EXIT_UNAVAILABLE))
+                }
+                WireError::InvalidInput => Ok(ExitCode::from(EXIT_MALFORMED)),
+                WireError::BadRequest => Ok(ExitCode::from(EXIT_USAGE)),
+                WireError::Internal => Err(message.clone()),
+            }
+        }
+        other => Err(format!("unexpected response {other:?}")),
     }
 }
 

@@ -92,7 +92,7 @@ pub fn sweep(
     // Union-find over nodes so each node is compared against its class
     // representative only.
     let mut parent: Vec<usize> = (0..aig.num_nodes()).collect();
-    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
         while parent[x] != x {
             parent[x] = parent[parent[x]];
             x = parent[x];

@@ -1,0 +1,87 @@
+//! A blocking line-protocol client for `satverifyd`.
+//!
+//! One connection carries any number of requests; responses arrive in
+//! completion order, each tagged with the submitting request's `id`, so
+//! a caller pipelining several `verify` requests matches responses by
+//! id, not position.
+
+use std::io::{self, BufRead, BufReader, Write};
+
+use crate::net::{Endpoint, Stream};
+use crate::protocol::{Request, Response};
+
+/// A connected client (see module docs).
+pub struct Client {
+    writer: Stream,
+    reader: BufReader<Stream>,
+}
+
+impl Client {
+    /// Connects to a running daemon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect failure.
+    pub fn connect(endpoint: &Endpoint) -> io::Result<Client> {
+        let stream = Stream::connect(endpoint)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client { writer: stream, reader })
+    }
+
+    /// Sends one request line without waiting for a response — use for
+    /// pipelining, paired with [`Client::recv`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket write failure.
+    pub fn send(&mut self, request: &Request) -> io::Result<()> {
+        let mut line = request.to_line();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.flush()
+    }
+
+    /// Reads the next response line, blocking until one arrives.
+    ///
+    /// # Errors
+    ///
+    /// `UnexpectedEof` if the server closed the connection, or
+    /// `InvalidData` naming the parse failure on a malformed line.
+    pub fn recv(&mut self) -> io::Result<Response> {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            let n = self.reader.read_line(&mut line)?;
+            if n == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ));
+            }
+            if !line.trim().is_empty() {
+                break;
+            }
+        }
+        Response::parse(line.trim_end())
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// Sends one request and waits for the next response. Only sound
+    /// when no other requests are in flight on this connection (a
+    /// pipelined caller would receive *their* response here).
+    ///
+    /// # Errors
+    ///
+    /// Any [`Client::send`] or [`Client::recv`] failure.
+    pub fn request(&mut self, request: &Request) -> io::Result<Response> {
+        self.send(request)?;
+        self.recv()
+    }
+
+    /// Half-closes the write side: the server sees EOF (and cancels
+    /// this client's queued and running jobs) while `self` can still
+    /// read any responses already in flight.
+    pub fn finish_sending(&mut self) {
+        self.writer.shutdown_write();
+    }
+}

@@ -1,0 +1,171 @@
+//! Job execution: turning one [`VerifyRequest`] into one [`JobResult`]
+//! by running the exact pipeline `satverify check` runs —
+//! [`proofver::verify_harnessed`] under a per-job [`proofver::Harness`].
+//!
+//! The input loaders are public so the CLI shares them: a proof file is
+//! sniffed for the binary [`proofver::MAGIC`] header and decoded or
+//! text-parsed accordingly.
+
+use std::fs::File;
+use std::io::{BufReader, Read};
+
+use cnf::CnfFormula;
+use proofver::{verify_harnessed, ConflictClauseProof, Harness, Outcome, MAGIC};
+
+use crate::protocol::{ErrorCode, JobResult, VerifyRequest};
+
+/// Loads a DIMACS CNF file.
+///
+/// # Errors
+///
+/// A message naming the path and the underlying open/parse failure.
+pub fn load_formula_file(path: &str) -> Result<CnfFormula, String> {
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    cnf::parse_dimacs(BufReader::new(file)).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Loads a proof file, auto-detecting the binary format by its magic
+/// header.
+///
+/// # Errors
+///
+/// A message naming the path and the underlying open/decode failure.
+pub fn load_proof_file(path: &str) -> Result<ConflictClauseProof, String> {
+    let mut file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let mut head = [0u8; 4];
+    let n = file.read(&mut head).map_err(|e| format!("{path}: {e}"))?;
+    let file = File::open(path).map_err(|e| format!("cannot reopen {path}: {e}"))?;
+    if n == 4 && head == MAGIC {
+        proofver::decode_proof(BufReader::new(file)).map_err(|e| format!("{path}: {e}"))
+    } else {
+        proofver::parse_proof(BufReader::new(file)).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+/// Resolves the request's formula (inline text beats path; the
+/// protocol layer guarantees exactly one is present).
+fn resolve_formula(request: &VerifyRequest) -> Result<CnfFormula, String> {
+    match (&request.formula, &request.formula_path) {
+        (Some(text), _) => {
+            cnf::parse_dimacs_str(text).map_err(|e| format!("inline formula: {e}"))
+        }
+        (None, Some(path)) => load_formula_file(path),
+        (None, None) => Err("no formula given".into()),
+    }
+}
+
+fn resolve_proof(request: &VerifyRequest) -> Result<ConflictClauseProof, String> {
+    match (&request.proof, &request.proof_path) {
+        (Some(text), _) => {
+            proofver::parse_proof_str(text).map_err(|e| format!("inline proof: {e}"))
+        }
+        (None, Some(path)) => load_proof_file(path),
+        (None, None) => Err("no proof given".into()),
+    }
+}
+
+/// Runs one verification job under `harness` and maps the three-way
+/// [`Outcome`] onto the wire-level [`JobResult`]. Latency fields are
+/// filled in by the server (it owns the submission timestamp).
+///
+/// # Errors
+///
+/// `(ErrorCode::InvalidInput, message)` when the formula or proof
+/// cannot be loaded or parsed, or the mode string is unknown.
+pub fn execute(
+    request: &VerifyRequest,
+    harness: &Harness,
+) -> Result<JobResult, (ErrorCode, String)> {
+    let invalid = |msg: String| (ErrorCode::InvalidInput, msg);
+    let mode = request.check_mode().map_err(invalid)?;
+    let formula = resolve_formula(request).map_err(invalid)?;
+    let proof = resolve_proof(request).map_err(invalid)?;
+    let steps_total = proof.len() as u64;
+    let mut result = JobResult {
+        id: request.id.clone(),
+        steps_total: Some(steps_total),
+        ..JobResult::default()
+    };
+    match verify_harnessed(&formula, &proof, mode, harness) {
+        Outcome::Verified(v) => {
+            result.outcome = "verified".into();
+            result.steps_checked = Some(v.report.num_checked as u64);
+            result.propagations = Some(v.report.propagations);
+        }
+        Outcome::Rejected { step, error } => {
+            result.outcome = "rejected".into();
+            result.rejected_step = step.map(|s| s as u64);
+            result.detail = Some(error.to_string());
+        }
+        Outcome::Exhausted { reason, progress, checkpoint: _ } => {
+            result.outcome = "exhausted".into();
+            result.exhaust_reason = Some(reason.as_str().to_string());
+            result.steps_checked = Some(progress.steps_checked as u64);
+            result.propagations = Some(progress.propagations);
+        }
+    }
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proofver::Budget;
+
+    const XOR_SQUARE: &str = "p cnf 2 4\n1 2 0\n-1 -2 0\n1 -2 0\n-1 2 0\n";
+    const XOR_PROOF: &str = "2 0\n-2 0\n0\n";
+
+    fn inline(formula: &str, proof: &str) -> VerifyRequest {
+        VerifyRequest {
+            formula: Some(formula.into()),
+            proof: Some(proof.into()),
+            ..VerifyRequest::default()
+        }
+    }
+
+    #[test]
+    fn good_proof_verifies() {
+        let result = execute(&inline(XOR_SQUARE, XOR_PROOF), &Harness::default())
+            .expect("valid inputs");
+        assert_eq!(result.outcome, "verified");
+        assert_eq!(result.steps_total, Some(3), "two cuts plus the refutation");
+    }
+
+    #[test]
+    fn bogus_proof_rejects_with_step() {
+        let result = execute(
+            &inline(XOR_SQUARE, "1 2 0\n0\n"),
+            &Harness::default(),
+        )
+        .expect("valid inputs");
+        assert_eq!(result.outcome, "rejected");
+        assert!(result.detail.is_some());
+    }
+
+    #[test]
+    fn starved_budget_exhausts_never_verdicts() {
+        let harness =
+            Harness::with_budget(Budget::unlimited().max_propagations(1));
+        let result =
+            execute(&inline(XOR_SQUARE, XOR_PROOF), &harness).expect("valid inputs");
+        assert_eq!(result.outcome, "exhausted");
+        assert_eq!(result.exhaust_reason.as_deref(), Some("propagations"));
+    }
+
+    #[test]
+    fn garbage_inputs_are_invalid_not_verdicts() {
+        let bad_formula = execute(&inline("p cnf x y\n", "0\n"), &Harness::default());
+        assert!(matches!(bad_formula, Err((ErrorCode::InvalidInput, _))));
+        let bad_proof = execute(&inline(XOR_SQUARE, "not a proof"), &Harness::default());
+        assert!(matches!(bad_proof, Err((ErrorCode::InvalidInput, _))));
+        let missing_file = execute(
+            &VerifyRequest {
+                formula_path: Some("/nonexistent/x.cnf".into()),
+                proof: Some("0\n".into()),
+                ..VerifyRequest::default()
+            },
+            &Harness::default(),
+        );
+        assert!(matches!(missing_file, Err((ErrorCode::InvalidInput, _))));
+    }
+}

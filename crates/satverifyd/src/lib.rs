@@ -1,0 +1,67 @@
+//! `satverifyd` — proof verification as a long-lived service.
+//!
+//! The paper's argument is that UNSAT answers should be certified by an
+//! *independent, trusted* checker. At production scale that checker is
+//! not a one-shot CLI but shared infrastructure: many solvers submit
+//! (formula, proof) pairs, and checking throughput — not solving — is
+//! the bottleneck. This crate provides the serving layer on top of the
+//! fault-tolerant runtime from [`proofver`]:
+//!
+//! * a newline-delimited JSON protocol over TCP or Unix sockets
+//!   ([`protocol`], spec in `docs/PROTOCOL.md`);
+//! * a bounded job queue with **admission control** — a full queue
+//!   answers `overloaded` immediately instead of buffering without
+//!   bound ([`queue`]);
+//! * **fair scheduling** across client connections (round-robin over
+//!   per-client FIFO queues), so one chatty client cannot starve the
+//!   rest;
+//! * per-job [`proofver::Budget`] / deadline enforcement, and
+//!   cooperative **cancellation** when the submitting client
+//!   disconnects ([`proofver::CancelToken`]);
+//! * a `stats` request wired to the [`obs`] metrics registry: queue
+//!   depth, jobs in flight, outcome counters, latency histograms;
+//! * **graceful drain**: a `shutdown` request (or
+//!   [`ServerHandle::shutdown`]) stops admissions, finishes queued and
+//!   in-flight jobs, and exits cleanly.
+//!
+//! The verdict taxonomy is exactly the CLI's: `verified`, `rejected`,
+//! or `exhausted` — a job that ran out of budget is *never* reported as
+//! either verdict.
+//!
+//! # Example
+//!
+//! ```
+//! use satverifyd::{Client, Endpoint, Request, Response, Server, ServerConfig};
+//!
+//! let handle = Server::bind(&Endpoint::tcp("127.0.0.1:0"), ServerConfig::default())?;
+//! let mut client = Client::connect(&handle.local_endpoint())?;
+//! let response = client.request(&Request::verify_inline(
+//!     "p cnf 2 4\n1 2 0\n-1 -2 0\n1 -2 0\n-1 2 0\n",
+//!     "2 0\n-2 0\n0\n",
+//! ))?;
+//! assert!(matches!(response, Response::Result(r) if r.outcome == "verified"));
+//! handle.shutdown();
+//! handle.join();
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod job;
+pub mod net;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+pub mod stats;
+
+pub use client::Client;
+pub use net::Endpoint;
+pub use protocol::{
+    BudgetSpec, ErrorCode, JobResult, Request, Response, StatsReply,
+    VerifyRequest, PROTOCOL_VERSION,
+};
+pub use queue::{JobQueue, PushError};
+pub use server::{DrainTrigger, FaultFactory, Server, ServerConfig, ServerHandle};
+pub use stats::{ServerStats, StatsSnapshot};

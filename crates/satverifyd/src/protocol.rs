@@ -1,0 +1,641 @@
+//! The wire protocol: newline-delimited JSON requests and responses.
+//!
+//! One JSON document per line in each direction. Requests carry an
+//! `"op"` discriminator; responses mirror it. Responses to pipelined
+//! `verify` requests arrive in *completion* order and are matched to
+//! their request by the client-chosen `id` field. The full schema is
+//! specified in `docs/PROTOCOL.md`; [`PROTOCOL_VERSION`] is bumped on
+//! every incompatible change.
+
+use std::time::Duration;
+
+use obs::json::Json;
+use proofver::{Budget, CheckMode};
+
+/// Version of the wire protocol implemented by this build.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Machine-readable error codes carried by `op:"error"` responses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The job queue is full; resubmit later. The job was **not**
+    /// accepted — admission control rejects instead of buffering.
+    Overloaded,
+    /// The server is draining and admits no new jobs.
+    Draining,
+    /// The request line was not valid JSON or is missing required
+    /// fields.
+    BadRequest,
+    /// The formula or proof could not be loaded or parsed.
+    InvalidInput,
+    /// The job crashed inside the server (a bug — the worker survived).
+    Internal,
+}
+
+impl ErrorCode {
+    /// Stable wire name.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::Draining => "draining",
+            ErrorCode::BadRequest => "bad-request",
+            ErrorCode::InvalidInput => "invalid-input",
+            ErrorCode::Internal => "internal",
+        }
+    }
+
+    fn from_str(text: &str) -> Option<ErrorCode> {
+        Some(match text {
+            "overloaded" => ErrorCode::Overloaded,
+            "draining" => ErrorCode::Draining,
+            "bad-request" => ErrorCode::BadRequest,
+            "invalid-input" => ErrorCode::InvalidInput,
+            "internal" => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+}
+
+/// Resource limits requested for one job, mapped onto
+/// [`proofver::Budget`]. Absent fields mean "unlimited".
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BudgetSpec {
+    /// Cap on literals propagated.
+    pub max_propagations: Option<u64>,
+    /// Cap on watched-clause look-ups.
+    pub max_clause_visits: Option<u64>,
+    /// Cap on clause-arena bytes.
+    pub max_memory_bytes: Option<u64>,
+    /// Wall-clock limit in milliseconds.
+    pub timeout_ms: Option<u64>,
+}
+
+impl BudgetSpec {
+    /// The request's limits merged over `base` (the server default):
+    /// any field the request sets wins.
+    #[must_use]
+    pub fn resolve(&self, base: &Budget) -> Budget {
+        let mut budget = base.clone();
+        if let Some(n) = self.max_propagations {
+            budget = budget.max_propagations(n);
+        }
+        if let Some(n) = self.max_clause_visits {
+            budget = budget.max_clause_visits(n);
+        }
+        if let Some(n) = self.max_memory_bytes {
+            budget = budget.max_arena_bytes(n);
+        }
+        if let Some(ms) = self.timeout_ms {
+            budget = budget.timeout(Duration::from_millis(ms));
+        }
+        budget
+    }
+
+    /// Whether any limit is set.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        *self == BudgetSpec::default()
+    }
+
+    fn to_json(&self) -> Json {
+        let mut obj = Json::object();
+        if let Some(n) = self.max_propagations {
+            push_u64(&mut obj, "max_propagations", n);
+        }
+        if let Some(n) = self.max_clause_visits {
+            push_u64(&mut obj, "max_clause_visits", n);
+        }
+        if let Some(n) = self.max_memory_bytes {
+            push_u64(&mut obj, "max_memory_bytes", n);
+        }
+        if let Some(n) = self.timeout_ms {
+            push_u64(&mut obj, "timeout_ms", n);
+        }
+        obj
+    }
+
+    fn from_json(doc: &Json) -> Result<BudgetSpec, String> {
+        let field = |key: &str| -> Result<Option<u64>, String> {
+            match doc.get(key) {
+                None => Ok(None),
+                Some(v) => v
+                    .as_int()
+                    .and_then(|n| u64::try_from(n).ok())
+                    .map(Some)
+                    .ok_or_else(|| {
+                        format!("budget field `{key}` is not a non-negative integer")
+                    }),
+            }
+        };
+        Ok(BudgetSpec {
+            max_propagations: field("max_propagations")?,
+            max_clause_visits: field("max_clause_visits")?,
+            max_memory_bytes: field("max_memory_bytes")?,
+            timeout_ms: field("timeout_ms")?,
+        })
+    }
+}
+
+/// One verification job: a formula and a proof, each inline or by
+/// server-local path, plus check mode and budget.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VerifyRequest {
+    /// Client-chosen identifier, echoed verbatim in the response.
+    /// Responses arrive in completion order; pipelining clients match
+    /// them to requests by this field.
+    pub id: Option<String>,
+    /// Inline DIMACS CNF text.
+    pub formula: Option<String>,
+    /// Server-local path to a DIMACS CNF file.
+    pub formula_path: Option<String>,
+    /// Inline proof text (one conflict clause per line, `0`-terminated).
+    pub proof: Option<String>,
+    /// Server-local path to a text or binary proof file.
+    pub proof_path: Option<String>,
+    /// Check mode: `marked-only` (default), `all`, or `all-forward`.
+    pub mode: Option<String>,
+    /// Per-job resource limits.
+    pub budget: BudgetSpec,
+}
+
+impl VerifyRequest {
+    /// The requested [`CheckMode`], or an error naming the bad value.
+    ///
+    /// # Errors
+    ///
+    /// A message for unknown mode strings.
+    pub fn check_mode(&self) -> Result<CheckMode, String> {
+        match self.mode.as_deref() {
+            None | Some("marked-only") => Ok(CheckMode::MarkedOnly),
+            Some("all") => Ok(CheckMode::All),
+            Some("all-forward") => Ok(CheckMode::AllForward),
+            Some(other) => Err(format!(
+                "unknown mode {other:?} (marked-only|all|all-forward)"
+            )),
+        }
+    }
+}
+
+/// A client-to-server message.
+// `Verify` dwarfs the dataless control variants, but requests are
+// transient (parsed, dispatched, dropped) and never stored in bulk, so
+// boxing would buy nothing and cost every construction site.
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Submit a verification job.
+    Verify(VerifyRequest),
+    /// Ask for server statistics.
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Begin a graceful drain: stop admitting, finish in-flight and
+    /// queued jobs, then exit.
+    Shutdown,
+}
+
+impl Request {
+    /// A `verify` request with inline formula and proof text.
+    #[must_use]
+    pub fn verify_inline(formula: &str, proof: &str) -> Request {
+        Request::Verify(VerifyRequest {
+            formula: Some(formula.to_string()),
+            proof: Some(proof.to_string()),
+            ..VerifyRequest::default()
+        })
+    }
+
+    /// Serialises to one compact JSON line (no trailing newline).
+    #[must_use]
+    pub fn to_line(&self) -> String {
+        self.to_json().to_compact_string()
+    }
+
+    /// The JSON document for this request.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        match self {
+            Request::Verify(v) => {
+                let mut obj = Json::object();
+                obj.push("op", "verify");
+                if let Some(id) = &v.id {
+                    obj.push("id", id.as_str());
+                }
+                if let Some(text) = &v.formula {
+                    obj.push("formula", text.as_str());
+                }
+                if let Some(path) = &v.formula_path {
+                    obj.push("formula_path", path.as_str());
+                }
+                if let Some(text) = &v.proof {
+                    obj.push("proof", text.as_str());
+                }
+                if let Some(path) = &v.proof_path {
+                    obj.push("proof_path", path.as_str());
+                }
+                if let Some(mode) = &v.mode {
+                    obj.push("mode", mode.as_str());
+                }
+                if !v.budget.is_empty() {
+                    obj.push("budget", v.budget.to_json());
+                }
+                obj
+            }
+            Request::Stats => Json::object_from([("op", Json::from("stats"))]),
+            Request::Ping => Json::object_from([("op", Json::from("ping"))]),
+            Request::Shutdown => {
+                Json::object_from([("op", Json::from("shutdown"))])
+            }
+        }
+    }
+
+    /// Parses one request line.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message; the server answers these with
+    /// [`ErrorCode::BadRequest`].
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let doc = obs::json::parse(line).map_err(|e| format!("not valid JSON: {e}"))?;
+        let op = doc
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or("missing string field `op`")?;
+        match op {
+            "verify" => {
+                let text = |key: &str| {
+                    doc.get(key).and_then(Json::as_str).map(str::to_string)
+                };
+                let request = VerifyRequest {
+                    id: text("id"),
+                    formula: text("formula"),
+                    formula_path: text("formula_path"),
+                    proof: text("proof"),
+                    proof_path: text("proof_path"),
+                    mode: text("mode"),
+                    budget: match doc.get("budget") {
+                        Some(spec) => BudgetSpec::from_json(spec)?,
+                        None => BudgetSpec::default(),
+                    },
+                };
+                if request.formula.is_none() && request.formula_path.is_none() {
+                    return Err("verify needs `formula` or `formula_path`".into());
+                }
+                if request.formula.is_some() && request.formula_path.is_some() {
+                    return Err("give `formula` or `formula_path`, not both".into());
+                }
+                if request.proof.is_none() && request.proof_path.is_none() {
+                    return Err("verify needs `proof` or `proof_path`".into());
+                }
+                if request.proof.is_some() && request.proof_path.is_some() {
+                    return Err("give `proof` or `proof_path`, not both".into());
+                }
+                request.check_mode()?;
+                Ok(Request::Verify(request))
+            }
+            "stats" => Ok(Request::Stats),
+            "ping" => Ok(Request::Ping),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(format!("unknown op {other:?}")),
+        }
+    }
+}
+
+/// The server's answer to one `verify` job.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct JobResult {
+    /// The request's `id`, echoed back.
+    pub id: Option<String>,
+    /// `"verified"`, `"rejected"`, or `"exhausted"` — never a verdict
+    /// for an exhausted run.
+    pub outcome: String,
+    /// Conflict-clause checks completed.
+    pub steps_checked: Option<u64>,
+    /// Conflict clauses in the proof.
+    pub steps_total: Option<u64>,
+    /// Which limit stopped an exhausted run.
+    pub exhaust_reason: Option<String>,
+    /// Zero-based proof index of the failing clause of a rejected run.
+    pub rejected_step: Option<u64>,
+    /// Human-readable detail (the verification error, for rejections).
+    pub detail: Option<String>,
+    /// Literals propagated while checking.
+    pub propagations: Option<u64>,
+    /// Wall-clock job latency in milliseconds (queue wait + check).
+    pub latency_ms: Option<u64>,
+}
+
+/// The server's statistics reply: per-instance counters plus the
+/// global `obs` metrics snapshot relevant to serving.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StatsReply {
+    /// `(name, value)` for each admission/outcome counter.
+    pub counters: Vec<(String, u64)>,
+    /// Jobs waiting in the queue right now.
+    pub queue_depth: u64,
+    /// Jobs being checked right now.
+    pub in_flight: u64,
+    /// `(upper_bound_ms, count)` buckets of the job latency histogram.
+    pub latency_buckets: Vec<(u64, u64)>,
+}
+
+impl StatsReply {
+    /// The value of counter `name`, if present.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+}
+
+/// A server-to-client message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// A completed `verify` job.
+    Result(JobResult),
+    /// An admission or processing error. `id` is present when the error
+    /// belongs to an identifiable `verify` request.
+    Error {
+        /// Machine-readable code.
+        code: ErrorCode,
+        /// The offending request's `id`, when known.
+        id: Option<String>,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// Statistics snapshot.
+    Stats(StatsReply),
+    /// Answer to `ping`.
+    Pong,
+    /// Acknowledgement that the drain has begun.
+    ShuttingDown,
+}
+
+impl Response {
+    /// Serialises to one compact JSON line (no trailing newline).
+    #[must_use]
+    pub fn to_line(&self) -> String {
+        self.to_json().to_compact_string()
+    }
+
+    /// The JSON document for this response.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        match self {
+            Response::Result(r) => {
+                let mut obj = Json::object();
+                obj.push("op", "result");
+                if let Some(id) = &r.id {
+                    obj.push("id", id.as_str());
+                }
+                obj.push("outcome", r.outcome.as_str());
+                if let Some(n) = r.steps_checked {
+                    push_u64(&mut obj, "steps_checked", n);
+                }
+                if let Some(n) = r.steps_total {
+                    push_u64(&mut obj, "steps_total", n);
+                }
+                if let Some(reason) = &r.exhaust_reason {
+                    obj.push("exhaust_reason", reason.as_str());
+                }
+                if let Some(step) = r.rejected_step {
+                    push_u64(&mut obj, "rejected_step", step);
+                }
+                if let Some(detail) = &r.detail {
+                    obj.push("detail", detail.as_str());
+                }
+                if let Some(n) = r.propagations {
+                    push_u64(&mut obj, "propagations", n);
+                }
+                if let Some(ms) = r.latency_ms {
+                    push_u64(&mut obj, "latency_ms", ms);
+                }
+                obj
+            }
+            Response::Error { code, id, message } => {
+                let mut obj = Json::object();
+                obj.push("op", "error");
+                if let Some(id) = id {
+                    obj.push("id", id.as_str());
+                }
+                obj.push("code", code.as_str());
+                obj.push("message", message.as_str());
+                obj
+            }
+            Response::Stats(s) => {
+                let mut obj = Json::object();
+                obj.push("op", "stats");
+                push_u64(&mut obj, "protocol_version", PROTOCOL_VERSION);
+                let mut counters = Json::object();
+                for (name, value) in &s.counters {
+                    push_u64(&mut counters, name, *value);
+                }
+                obj.push("counters", counters);
+                push_u64(&mut obj, "queue_depth", s.queue_depth);
+                push_u64(&mut obj, "in_flight", s.in_flight);
+                obj.push(
+                    "latency_ms",
+                    Json::Array(
+                        s.latency_buckets
+                            .iter()
+                            .map(|&(le, n)| {
+                                let mut b = Json::object();
+                                push_u64(&mut b, "le", le);
+                                push_u64(&mut b, "count", n);
+                                b
+                            })
+                            .collect(),
+                    ),
+                );
+                obj
+            }
+            Response::Pong => Json::object_from([("op", Json::from("pong"))]),
+            Response::ShuttingDown => Json::object_from([
+                ("op", Json::from("shutdown")),
+                ("draining", Json::Bool(true)),
+            ]),
+        }
+    }
+
+    /// Parses one response line.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message for malformed lines.
+    pub fn parse(line: &str) -> Result<Response, String> {
+        let doc = obs::json::parse(line).map_err(|e| format!("not valid JSON: {e}"))?;
+        let op = doc
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or("missing string field `op`")?;
+        let get_u64 = |doc: &Json, key: &str| {
+            doc.get(key).and_then(Json::as_int).and_then(|n| u64::try_from(n).ok())
+        };
+        match op {
+            "result" => Ok(Response::Result(JobResult {
+                id: doc.get("id").and_then(Json::as_str).map(str::to_string),
+                outcome: doc
+                    .get("outcome")
+                    .and_then(Json::as_str)
+                    .ok_or("result without `outcome`")?
+                    .to_string(),
+                steps_checked: get_u64(&doc, "steps_checked"),
+                steps_total: get_u64(&doc, "steps_total"),
+                exhaust_reason: doc
+                    .get("exhaust_reason")
+                    .and_then(Json::as_str)
+                    .map(str::to_string),
+                rejected_step: get_u64(&doc, "rejected_step"),
+                detail: doc.get("detail").and_then(Json::as_str).map(str::to_string),
+                propagations: get_u64(&doc, "propagations"),
+                latency_ms: get_u64(&doc, "latency_ms"),
+            })),
+            "error" => Ok(Response::Error {
+                code: doc
+                    .get("code")
+                    .and_then(Json::as_str)
+                    .and_then(ErrorCode::from_str)
+                    .ok_or("error without a known `code`")?,
+                id: doc.get("id").and_then(Json::as_str).map(str::to_string),
+                message: doc
+                    .get("message")
+                    .and_then(Json::as_str)
+                    .unwrap_or_default()
+                    .to_string(),
+            }),
+            "stats" => {
+                let counters = match doc.get("counters") {
+                    Some(Json::Object(pairs)) => pairs
+                        .iter()
+                        .filter_map(|(k, v)| {
+                            v.as_int()
+                                .and_then(|n| u64::try_from(n).ok())
+                                .map(|n| (k.clone(), n))
+                        })
+                        .collect(),
+                    _ => Vec::new(),
+                };
+                let latency_buckets = doc
+                    .get("latency_ms")
+                    .and_then(Json::as_array)
+                    .map(|buckets| {
+                        buckets
+                            .iter()
+                            .filter_map(|b| {
+                                Some((get_u64(b, "le")?, get_u64(b, "count")?))
+                            })
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                Ok(Response::Stats(StatsReply {
+                    counters,
+                    queue_depth: get_u64(&doc, "queue_depth").unwrap_or(0),
+                    in_flight: get_u64(&doc, "in_flight").unwrap_or(0),
+                    latency_buckets,
+                }))
+            }
+            "pong" => Ok(Response::Pong),
+            "shutdown" => Ok(Response::ShuttingDown),
+            other => Err(format!("unknown op {other:?}")),
+        }
+    }
+}
+
+/// Pushes a `u64` as a JSON integer, saturating at `i64::MAX` (the JSON
+/// model keeps integers in an `i64`).
+fn push_u64(obj: &mut Json, key: &str, value: u64) {
+    obj.push(key, Json::Int(i64::try_from(value).unwrap_or(i64::MAX)));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verify_request_roundtrips() {
+        let request = Request::Verify(VerifyRequest {
+            id: Some("job-7".into()),
+            formula: Some("p cnf 1 1\n1 0\n".into()),
+            proof: Some("0\n".into()),
+            mode: Some("all".into()),
+            budget: BudgetSpec {
+                max_propagations: Some(1000),
+                timeout_ms: Some(50),
+                ..BudgetSpec::default()
+            },
+            ..VerifyRequest::default()
+        });
+        let line = request.to_line();
+        assert!(!line.contains('\n'), "one line per message");
+        assert_eq!(Request::parse(&line), Ok(request));
+    }
+
+    #[test]
+    fn control_requests_roundtrip() {
+        for request in [Request::Stats, Request::Ping, Request::Shutdown] {
+            assert_eq!(Request::parse(&request.to_line()), Ok(request));
+        }
+    }
+
+    #[test]
+    fn verify_without_formula_or_proof_is_rejected() {
+        assert!(Request::parse(r#"{"op":"verify","proof":"0\n"}"#).is_err());
+        assert!(Request::parse(r#"{"op":"verify","formula":"p cnf 0 0\n"}"#).is_err());
+        let both = r#"{"op":"verify","formula":"x","formula_path":"y","proof":"0"}"#;
+        assert!(Request::parse(both).is_err());
+        let bad_mode =
+            r#"{"op":"verify","formula":"x","proof":"0","mode":"sideways"}"#;
+        assert!(Request::parse(bad_mode).is_err());
+    }
+
+    #[test]
+    fn result_and_error_responses_roundtrip() {
+        let result = Response::Result(JobResult {
+            id: Some("a".into()),
+            outcome: "exhausted".into(),
+            steps_checked: Some(3),
+            steps_total: Some(9),
+            exhaust_reason: Some("propagations".into()),
+            latency_ms: Some(12),
+            ..JobResult::default()
+        });
+        assert_eq!(Response::parse(&result.to_line()), Ok(result));
+        let error = Response::Error {
+            code: ErrorCode::Overloaded,
+            id: None,
+            message: "queue full (capacity 4)".into(),
+        };
+        assert_eq!(Response::parse(&error.to_line()), Ok(error));
+    }
+
+    #[test]
+    fn stats_response_roundtrips() {
+        let stats = Response::Stats(StatsReply {
+            counters: vec![("submitted".into(), 10), ("verified".into(), 7)],
+            queue_depth: 2,
+            in_flight: 1,
+            latency_buckets: vec![(1, 3), (7, 4)],
+        });
+        assert_eq!(Response::parse(&stats.to_line()), Ok(stats));
+    }
+
+    #[test]
+    fn budget_resolves_over_server_default() {
+        let spec = BudgetSpec {
+            max_propagations: Some(5),
+            ..BudgetSpec::default()
+        };
+        let base = Budget::unlimited().max_clause_visits(99);
+        let resolved = spec.resolve(&base);
+        assert_eq!(resolved.max_propagations, 5);
+        assert_eq!(resolved.max_clause_visits, 99);
+        assert_eq!(resolved.timeout, None);
+    }
+
+    #[test]
+    fn unknown_op_is_an_error_not_a_panic() {
+        assert!(Request::parse(r#"{"op":"frobnicate"}"#).is_err());
+        assert!(Request::parse("not json").is_err());
+        assert!(Response::parse(r#"{"op":"???"}"#).is_err());
+    }
+}

@@ -1,0 +1,274 @@
+//! A bounded, client-fair job queue with admission control.
+//!
+//! The queue holds at most `capacity` jobs across all clients. A push
+//! against a full queue fails **immediately** ([`PushError::Full`]) —
+//! the server turns that into an `overloaded` response instead of
+//! buffering without bound, so a burst degrades into explicit,
+//! retryable rejections rather than unbounded memory growth and
+//! silently exploding latency.
+//!
+//! Jobs are kept in per-client FIFO lanes and dequeued round-robin
+//! across lanes: each client's jobs run in submission order, but a
+//! client that submits 1000 jobs cannot starve one that submits 2.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity.
+    Full,
+    /// The queue was closed for draining.
+    Closed,
+}
+
+struct Inner<T> {
+    /// `(client, lane)` in round-robin order; empty lanes are removed.
+    lanes: Vec<(u64, VecDeque<T>)>,
+    /// Next lane index to serve.
+    cursor: usize,
+    /// Total queued jobs across lanes.
+    len: usize,
+    closed: bool,
+}
+
+/// A bounded multi-client FIFO queue (see module docs).
+pub struct JobQueue<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<T> JobQueue<T> {
+    /// An open queue admitting at most `capacity` jobs (min 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> JobQueue<T> {
+        JobQueue {
+            inner: Mutex::new(Inner {
+                lanes: Vec::new(),
+                cursor: 0,
+                len: 0,
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The admission bound.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Jobs currently queued.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue lock was poisoned (a pusher/popper panicked).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue lock").len
+    }
+
+    /// Whether no jobs are queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueues `item` on `client`'s lane.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] at capacity, [`PushError::Closed`] after
+    /// [`JobQueue::close`]; in both cases `item` is returned untouched
+    /// inside the error's companion value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue lock was poisoned.
+    pub fn push(&self, client: u64, item: T) -> Result<(), (PushError, T)> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        if inner.closed {
+            return Err((PushError::Closed, item));
+        }
+        if inner.len >= self.capacity {
+            return Err((PushError::Full, item));
+        }
+        match inner.lanes.iter_mut().find(|(c, _)| *c == client) {
+            Some((_, lane)) => lane.push_back(item),
+            None => {
+                let mut lane = VecDeque::with_capacity(1);
+                lane.push_back(item);
+                inner.lanes.push((client, lane));
+            }
+        }
+        inner.len += 1;
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues the next job, blocking while the queue is empty and
+    /// open. Returns `None` once the queue is closed **and** empty —
+    /// the worker-pool exit signal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue lock was poisoned.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        loop {
+            if inner.len > 0 {
+                let lane_index = inner.cursor % inner.lanes.len();
+                let (_, lane) = &mut inner.lanes[lane_index];
+                let item = lane.pop_front().expect("non-empty lane");
+                if lane.is_empty() {
+                    inner.lanes.remove(lane_index);
+                    // the cursor now points at the lane after the
+                    // removed one — no advance needed
+                } else {
+                    inner.cursor = lane_index + 1;
+                }
+                if inner.lanes.is_empty() {
+                    inner.cursor = 0;
+                }
+                inner.len -= 1;
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.ready.wait(inner).expect("queue lock");
+        }
+    }
+
+    /// Removes and returns every queued job belonging to `client`
+    /// (client disconnected: its pending work is cancelled).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue lock was poisoned.
+    pub fn purge_client(&self, client: u64) -> Vec<T> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        let Some(index) = inner.lanes.iter().position(|(c, _)| *c == client) else {
+            return Vec::new();
+        };
+        let (_, lane) = inner.lanes.remove(index);
+        inner.len -= lane.len();
+        if index < inner.cursor {
+            inner.cursor -= 1;
+        }
+        if inner.lanes.is_empty() {
+            inner.cursor = 0;
+        }
+        lane.into_iter().collect()
+    }
+
+    /// Closes the queue: further pushes fail with [`PushError::Closed`],
+    /// poppers drain the remaining jobs and then receive `None`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue lock was poisoned.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue lock").closed = true;
+        self.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_within_one_client() {
+        let q = JobQueue::new(8);
+        for i in 0..4 {
+            q.push(1, i).expect("push");
+        }
+        assert_eq!(q.len(), 4);
+        assert_eq!((q.pop(), q.pop(), q.pop(), q.pop()),
+                   (Some(0), Some(1), Some(2), Some(3)));
+    }
+
+    #[test]
+    fn round_robin_across_clients() {
+        let q = JobQueue::new(16);
+        // client 1 floods first; client 2 trickles in afterwards
+        for i in 0..4 {
+            q.push(1, (1, i)).expect("push");
+        }
+        q.push(2, (2, 0)).expect("push");
+        q.push(2, (2, 1)).expect("push");
+        let order: Vec<_> = std::iter::from_fn(|| {
+            (!q.is_empty()).then(|| q.pop().expect("non-empty"))
+        })
+        .collect();
+        // client 2's first job runs second, not fifth
+        assert_eq!(
+            order,
+            vec![(1, 0), (2, 0), (1, 1), (2, 1), (1, 2), (1, 3)]
+        );
+    }
+
+    #[test]
+    fn admission_control_rejects_at_capacity() {
+        let q = JobQueue::new(2);
+        q.push(1, "a").expect("push");
+        q.push(2, "b").expect("push");
+        assert_eq!(q.push(3, "c"), Err((PushError::Full, "c")));
+        // popping frees a slot
+        let _ = q.pop();
+        q.push(3, "c").expect("push after pop");
+    }
+
+    #[test]
+    fn close_drains_then_signals_exit() {
+        let q = JobQueue::new(4);
+        q.push(1, 10).expect("push");
+        q.close();
+        assert_eq!(q.push(1, 11), Err((PushError::Closed, 11)));
+        assert_eq!(q.pop(), Some(10), "queued work survives close");
+        assert_eq!(q.pop(), None, "then poppers are released");
+    }
+
+    #[test]
+    fn purge_removes_only_that_client() {
+        let q = JobQueue::new(8);
+        q.push(1, (1, 0)).expect("push");
+        q.push(2, (2, 0)).expect("push");
+        q.push(1, (1, 1)).expect("push");
+        let purged = q.purge_client(1);
+        assert_eq!(purged, vec![(1, 0), (1, 1)]);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((2, 0)));
+        assert!(q.purge_client(99).is_empty());
+    }
+
+    #[test]
+    fn blocked_pop_wakes_on_push() {
+        let q = Arc::new(JobQueue::new(2));
+        let popper = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop())
+        };
+        // the popper may or may not have parked yet; push wakes either way
+        q.push(7, 42).expect("push");
+        assert_eq!(popper.join().expect("join"), Some(42));
+    }
+
+    #[test]
+    fn blocked_pop_wakes_on_close() {
+        let q: Arc<JobQueue<u32>> = Arc::new(JobQueue::new(2));
+        let popper = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop())
+        };
+        q.close();
+        assert_eq!(popper.join().expect("join"), None);
+    }
+}

@@ -1,0 +1,512 @@
+//! The daemon: accept loop, per-connection readers, a bounded worker
+//! pool, admission control, cancellation on disconnect, and graceful
+//! drain.
+//!
+//! ## Threading model
+//!
+//! * one **accept** thread;
+//! * one **reader** thread per connection — it parses request lines,
+//!   answers control requests inline, and admits `verify` jobs into the
+//!   bounded [`JobQueue`]; when the connection drops it purges the
+//!   client's queued jobs and cancels its running ones;
+//! * `workers` **worker** threads popping the queue fairly
+//!   (round-robin across clients), each running one job at a time under
+//!   a per-job [`Harness`] (budget + [`CancelToken`]), panic-isolated
+//!   with `catch_unwind`.
+//!
+//! Responses are written back on the submitting connection, one JSON
+//! line per response, in completion order.
+//!
+//! ## Drain
+//!
+//! [`ServerHandle::shutdown`] (or a `shutdown` request) flips the
+//! draining flag, closes the queue to new pushes, and wakes the accept
+//! loop. Queued and in-flight jobs finish and their responses are
+//! delivered; new `verify` requests get a `draining` error;
+//! [`ServerHandle::join`] returns once the pool is idle.
+
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use proofver::{Budget, CancelToken, FaultPlan, Harness};
+
+use crate::job;
+use crate::net::{Endpoint, Listener, Stream};
+use crate::protocol::{
+    ErrorCode, JobResult, Request, Response, StatsReply, VerifyRequest,
+};
+use crate::queue::{JobQueue, PushError};
+use crate::stats::{Event, ServerStats, StatsSnapshot};
+
+/// Per-job fault-plan factory used by the deterministic service tests:
+/// given the job's admission sequence number, produce the
+/// [`FaultPlan`] its harness runs under. Production servers leave it
+/// unset ([`FaultPlan::none`] everywhere).
+pub type FaultFactory = Arc<dyn Fn(u64) -> FaultPlan + Send + Sync>;
+
+/// Server tuning knobs.
+#[derive(Clone)]
+pub struct ServerConfig {
+    /// Worker threads checking jobs concurrently (min 1).
+    pub workers: usize,
+    /// Bounded queue capacity; a full queue answers `overloaded`.
+    pub queue_capacity: usize,
+    /// Budget applied to jobs that do not set their own; request fields
+    /// override individually.
+    pub default_budget: Budget,
+    /// Test-only fault injection (see [`FaultFactory`]).
+    pub faults: Option<FaultFactory>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            queue_capacity: 64,
+            default_budget: Budget::unlimited(),
+            faults: None,
+        }
+    }
+}
+
+impl std::fmt::Debug for ServerConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerConfig")
+            .field("workers", &self.workers)
+            .field("queue_capacity", &self.queue_capacity)
+            .field("default_budget", &self.default_budget)
+            .field("faults", &self.faults.as_ref().map(|_| "<factory>"))
+            .finish()
+    }
+}
+
+impl ServerConfig {
+    /// Sets the worker-pool size.
+    #[must_use]
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n;
+        self
+    }
+
+    /// Sets the queue capacity (admission bound).
+    #[must_use]
+    pub fn queue_capacity(mut self, n: usize) -> Self {
+        self.queue_capacity = n;
+        self
+    }
+
+    /// Sets the default per-job budget.
+    #[must_use]
+    pub fn default_budget(mut self, budget: Budget) -> Self {
+        self.default_budget = budget;
+        self
+    }
+
+    /// Arms the test-only fault factory.
+    #[must_use]
+    pub fn fault_factory(mut self, factory: FaultFactory) -> Self {
+        self.faults = Some(factory);
+        self
+    }
+}
+
+/// One admitted verification job.
+struct Job {
+    seq: u64,
+    conn: u64,
+    request: VerifyRequest,
+    cancel: CancelToken,
+    writer: SharedWriter,
+    submitted: Instant,
+}
+
+type SharedWriter = Arc<Mutex<Stream>>;
+
+struct Shared {
+    config: ServerConfig,
+    queue: JobQueue<Job>,
+    stats: ServerStats,
+    draining: AtomicBool,
+    endpoint: Endpoint,
+    /// `(conn, seq, token)` for every job currently inside a worker.
+    running: Mutex<Vec<(u64, u64, CancelToken)>>,
+    /// A handle per live connection, to half-close at drain completion.
+    conns: Mutex<HashMap<u64, Stream>>,
+    next_seq: AtomicU64,
+}
+
+impl Shared {
+    fn begin_drain(&self) {
+        if self.draining.swap(true, Ordering::SeqCst) {
+            return; // already draining
+        }
+        // no new pushes; poppers finish the backlog and then exit
+        self.queue.close();
+        // the accept loop is parked in accept(); poke it awake so it
+        // can observe the flag and exit
+        let _ = Stream::connect(&self.endpoint);
+    }
+}
+
+/// The daemon's front door.
+pub struct Server;
+
+impl Server {
+    /// Binds `endpoint` and starts the accept loop and worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(endpoint: &Endpoint, config: ServerConfig) -> io::Result<ServerHandle> {
+        let listener = Listener::bind(endpoint)?;
+        let local = listener.local_endpoint()?;
+        let shared = Arc::new(Shared {
+            queue: JobQueue::new(config.queue_capacity),
+            stats: ServerStats::new(),
+            draining: AtomicBool::new(false),
+            endpoint: local.clone(),
+            running: Mutex::new(Vec::new()),
+            conns: Mutex::new(HashMap::new()),
+            next_seq: AtomicU64::new(0),
+            config,
+        });
+        let workers = (0..shared.config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("satverifyd-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("satverifyd-accept".into())
+                .spawn(move || accept_loop(&listener, &shared))
+                .expect("spawn acceptor")
+        };
+        Ok(ServerHandle { shared, accept: Some(accept), workers })
+    }
+}
+
+/// A running server: its bound endpoint, drain trigger, and join.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The endpoint actually bound (TCP port 0 resolved).
+    #[must_use]
+    pub fn local_endpoint(&self) -> Endpoint {
+        self.shared.endpoint.clone()
+    }
+
+    /// Starts a graceful drain: stop admitting, finish queued and
+    /// in-flight jobs. Idempotent; returns immediately.
+    pub fn shutdown(&self) {
+        self.shared.begin_drain();
+    }
+
+    /// A cloneable trigger for starting the drain from another thread
+    /// (e.g. a signal or stdin watcher) while this handle blocks in
+    /// [`ServerHandle::join`].
+    #[must_use]
+    pub fn drain_trigger(&self) -> DrainTrigger {
+        DrainTrigger { shared: Arc::clone(&self.shared) }
+    }
+
+    /// Whether a drain has begun.
+    #[must_use]
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::SeqCst)
+    }
+
+    /// A snapshot of the server's counters.
+    #[must_use]
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    /// Waits for the drain to complete: the accept loop has exited,
+    /// every queued and in-flight job has been answered, and the worker
+    /// pool is gone. Call [`ServerHandle::shutdown`] first (or let a
+    /// client's `shutdown` request do it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the accept or a worker thread itself panicked — a
+    /// server bug; job panics are isolated inside the workers and do
+    /// *not* end up here.
+    pub fn join(mut self) {
+        if let Some(accept) = self.accept.take() {
+            accept.join().expect("accept loop panicked");
+        }
+        for worker in self.workers.drain(..) {
+            worker.join().expect("worker panicked");
+        }
+        // lingering clients see EOF instead of a dead silent socket
+        for (_, stream) in self.shared.conns.lock().expect("conn registry").drain() {
+            stream.shutdown_both();
+        }
+        #[cfg(unix)]
+        if let Endpoint::Unix(path) = &self.shared.endpoint {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// A cloneable drain trigger detached from the [`ServerHandle`].
+#[derive(Clone)]
+pub struct DrainTrigger {
+    shared: Arc<Shared>,
+}
+
+impl DrainTrigger {
+    /// Starts the graceful drain (idempotent).
+    pub fn shutdown(&self) {
+        self.shared.begin_drain();
+    }
+}
+
+fn accept_loop(listener: &Listener, shared: &Arc<Shared>) {
+    let mut next_conn = 0u64;
+    loop {
+        let stream = listener.accept();
+        if shared.draining.load(Ordering::SeqCst) {
+            // the stream (if any) is the drain poke or a client racing
+            // the shutdown; either way, no new connections now
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        let conn = next_conn;
+        next_conn += 1;
+        let shared = Arc::clone(shared);
+        let spawned = std::thread::Builder::new()
+            .name(format!("satverifyd-conn-{conn}"))
+            .spawn(move || serve_connection(&shared, conn, stream));
+        // reader threads detach: they exit on client EOF, and join()
+        // half-closes any that linger past the drain
+        drop(spawned);
+    }
+}
+
+fn write_line(writer: &SharedWriter, response: &Response) -> io::Result<()> {
+    let mut line = response.to_line();
+    line.push('\n');
+    let mut stream = writer.lock().expect("writer lock");
+    stream.write_all(line.as_bytes())?;
+    stream.flush()
+}
+
+fn serve_connection(shared: &Arc<Shared>, conn: u64, stream: Stream) {
+    let Ok(write_half) = stream.try_clone() else { return };
+    if let Ok(registry_half) = stream.try_clone() {
+        shared.conns.lock().expect("conn registry").insert(conn, registry_half);
+    }
+    let writer: SharedWriter = Arc::new(Mutex::new(write_half));
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match Request::parse(&line) {
+            Err(message) => Some(Response::Error {
+                code: ErrorCode::BadRequest,
+                id: None,
+                message,
+            }),
+            Ok(Request::Ping) => Some(Response::Pong),
+            Ok(Request::Stats) => Some(stats_response(shared)),
+            Ok(Request::Shutdown) => {
+                let ack = write_line(&writer, &Response::ShuttingDown);
+                shared.begin_drain();
+                if ack.is_err() {
+                    break;
+                }
+                None
+            }
+            Ok(Request::Verify(request)) => admit(shared, conn, request, &writer),
+        };
+        if let Some(response) = response {
+            if write_line(&writer, &response).is_err() {
+                break;
+            }
+        }
+    }
+    disconnect_cleanup(shared, conn);
+}
+
+/// Admission control for one `verify` request: reject while draining,
+/// reject when the queue is full, otherwise enqueue. Returns the
+/// response to send now, if any (an accepted job answers later, from a
+/// worker).
+fn admit(
+    shared: &Arc<Shared>,
+    conn: u64,
+    request: VerifyRequest,
+    writer: &SharedWriter,
+) -> Option<Response> {
+    shared.stats.record(Event::Submitted);
+    let id = request.id.clone();
+    if shared.draining.load(Ordering::SeqCst) {
+        shared.stats.record(Event::DrainingRejected);
+        return Some(Response::Error {
+            code: ErrorCode::Draining,
+            id,
+            message: "server is draining; no new jobs admitted".into(),
+        });
+    }
+    let job = Job {
+        seq: shared.next_seq.fetch_add(1, Ordering::Relaxed),
+        conn,
+        request,
+        cancel: CancelToken::new(),
+        writer: Arc::clone(writer),
+        submitted: Instant::now(),
+    };
+    match shared.queue.push(conn, job) {
+        Ok(()) => {
+            shared.stats.queue_depth_add(1);
+            None
+        }
+        Err((PushError::Full, _)) => {
+            shared.stats.record(Event::Overloaded);
+            Some(Response::Error {
+                code: ErrorCode::Overloaded,
+                id,
+                message: format!(
+                    "queue full (capacity {}); retry later",
+                    shared.queue.capacity()
+                ),
+            })
+        }
+        Err((PushError::Closed, _)) => {
+            shared.stats.record(Event::DrainingRejected);
+            Some(Response::Error {
+                code: ErrorCode::Draining,
+                id,
+                message: "server is draining; no new jobs admitted".into(),
+            })
+        }
+    }
+}
+
+fn disconnect_cleanup(shared: &Arc<Shared>, conn: u64) {
+    // running jobs first: flip their cancellation tokens so the checker
+    // stops at its next poll…
+    for (job_conn, _, token) in shared.running.lock().expect("running registry").iter() {
+        if *job_conn == conn {
+            token.cancel();
+        }
+    }
+    // …then purge the queued jobs. This order makes the purge counter a
+    // fence: once `cancelled_queued` moves, the cancels have landed.
+    let purged = shared.queue.purge_client(conn);
+    for _ in &purged {
+        shared.stats.queue_depth_add(-1);
+        shared.stats.record(Event::CancelledQueued);
+    }
+    shared.conns.lock().expect("conn registry").remove(&conn);
+}
+
+fn stats_response(shared: &Arc<Shared>) -> Response {
+    let snap = shared.stats.snapshot();
+    let latency = obs::metrics::histogram("satverifyd.job.latency_ms").snapshot();
+    Response::Stats(StatsReply {
+        counters: snap.named_counters(),
+        queue_depth: snap.queue_depth,
+        in_flight: snap.in_flight,
+        latency_buckets: latency.buckets,
+    })
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(job) = shared.queue.pop() {
+        shared.stats.queue_depth_add(-1);
+        shared.stats.in_flight_add(1);
+        let waited = job.submitted.elapsed();
+        shared.stats.record_queue_wait_ms(waited.as_millis() as u64);
+        shared
+            .running
+            .lock()
+            .expect("running registry")
+            .push((job.conn, job.seq, job.cancel.clone()));
+        let response = run_job(shared, &job);
+        shared
+            .running
+            .lock()
+            .expect("running registry")
+            .retain(|&(_, seq, _)| seq != job.seq);
+        shared.stats.in_flight_add(-1);
+        shared.stats.record_latency_ms(job.submitted.elapsed().as_millis() as u64);
+        // the client may have vanished; a failed write is not an error
+        let _ = write_line(&job.writer, &response);
+    }
+}
+
+/// Runs one job under its harness, panic-isolated, and maps the result
+/// onto a wire response (recording the outcome counter).
+fn run_job(shared: &Arc<Shared>, job: &Job) -> Response {
+    let faults = match &shared.config.faults {
+        Some(factory) => factory(job.seq),
+        None => FaultPlan::none(),
+    };
+    let harness = Harness {
+        budget: job.request.budget.resolve(&shared.config.default_budget),
+        cancel: job.cancel.clone(),
+        faults,
+        ..Harness::default()
+    };
+    // the deterministic test hook: may park on a Gate until the test
+    // releases it
+    harness.faults.before_run();
+    let id = job.request.id.clone();
+    if job.cancel.is_cancelled() {
+        shared.stats.record(Event::Exhausted);
+        return Response::Result(JobResult {
+            id,
+            outcome: "exhausted".into(),
+            exhaust_reason: Some("cancelled".into()),
+            ..JobResult::default()
+        });
+    }
+    let outcome =
+        catch_unwind(AssertUnwindSafe(|| job::execute(&job.request, &harness)));
+    match outcome {
+        Ok(Ok(mut result)) => {
+            shared.stats.record(match result.outcome.as_str() {
+                "verified" => Event::Verified,
+                "rejected" => Event::Rejected,
+                _ => Event::Exhausted,
+            });
+            result.latency_ms = Some(job.submitted.elapsed().as_millis() as u64);
+            Response::Result(result)
+        }
+        Ok(Err((code, message))) => {
+            shared.stats.record(Event::InvalidInput);
+            Response::Error { code, id, message }
+        }
+        Err(panic) => {
+            shared.stats.record(Event::InternalError);
+            let what = panic
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "worker panicked".into());
+            Response::Error {
+                code: ErrorCode::Internal,
+                id,
+                message: format!("job crashed (worker survived): {what}"),
+            }
+        }
+    }
+}

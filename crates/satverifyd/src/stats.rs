@@ -1,0 +1,287 @@
+//! Serving metrics: exact per-server counters, mirrored into the
+//! process-global [`obs`] metrics registry.
+//!
+//! The per-instance atomics make test assertions exact (two servers in
+//! one process do not pollute each other), while the `obs` mirror keeps
+//! the daemon's numbers in the same registry — and the same `--json`
+//! run reports — as the solver and checker metrics. Mirrored names all
+//! live under the `satverifyd.` prefix.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Admission and outcome counters for one server instance.
+///
+/// At quiescence (no queued or in-flight jobs) the counters satisfy
+///
+/// ```text
+/// submitted = overloaded + draining_rejected + invalid_input
+///           + verified + rejected + exhausted + cancelled_queued
+///           + internal_errors
+/// ```
+///
+/// — every submitted job is accounted for exactly once; nothing is
+/// silently dropped.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// `verify` requests received (before admission).
+    pub submitted: AtomicU64,
+    /// Rejected at admission: queue full.
+    pub overloaded: AtomicU64,
+    /// Rejected at admission: server draining.
+    pub draining_rejected: AtomicU64,
+    /// Accepted but the formula/proof failed to load or parse.
+    pub invalid_input: AtomicU64,
+    /// Jobs whose proof checked out.
+    pub verified: AtomicU64,
+    /// Jobs whose proof was refuted.
+    pub rejected: AtomicU64,
+    /// Jobs stopped by budget, deadline, or cancellation (includes jobs
+    /// cancelled mid-run by a client disconnect).
+    pub exhausted: AtomicU64,
+    /// Jobs purged from the queue unrun because their client vanished.
+    pub cancelled_queued: AtomicU64,
+    /// Jobs that crashed inside a worker (the worker survived).
+    pub internal_errors: AtomicU64,
+    /// Jobs waiting in the queue right now.
+    pub queue_depth: AtomicI64,
+    /// Jobs being checked right now.
+    pub in_flight: AtomicI64,
+}
+
+/// Cached handles to the mirrored `obs` metrics (registry lookups take
+/// a mutex; the handles themselves are lock-free).
+struct ObsMirror {
+    submitted: obs::metrics::Counter,
+    overloaded: obs::metrics::Counter,
+    draining_rejected: obs::metrics::Counter,
+    invalid_input: obs::metrics::Counter,
+    verified: obs::metrics::Counter,
+    rejected: obs::metrics::Counter,
+    exhausted: obs::metrics::Counter,
+    cancelled_queued: obs::metrics::Counter,
+    internal_errors: obs::metrics::Counter,
+    queue_depth: obs::metrics::Gauge,
+    in_flight: obs::metrics::Gauge,
+    latency_ms: obs::metrics::Histogram,
+    queue_wait_ms: obs::metrics::Histogram,
+}
+
+fn mirror() -> &'static ObsMirror {
+    static MIRROR: OnceLock<ObsMirror> = OnceLock::new();
+    MIRROR.get_or_init(|| ObsMirror {
+        submitted: obs::metrics::counter("satverifyd.jobs.submitted"),
+        overloaded: obs::metrics::counter("satverifyd.jobs.overloaded"),
+        draining_rejected: obs::metrics::counter("satverifyd.jobs.draining_rejected"),
+        invalid_input: obs::metrics::counter("satverifyd.jobs.invalid_input"),
+        verified: obs::metrics::counter("satverifyd.jobs.verified"),
+        rejected: obs::metrics::counter("satverifyd.jobs.rejected"),
+        exhausted: obs::metrics::counter("satverifyd.jobs.exhausted"),
+        cancelled_queued: obs::metrics::counter("satverifyd.jobs.cancelled_queued"),
+        internal_errors: obs::metrics::counter("satverifyd.jobs.internal_errors"),
+        queue_depth: obs::metrics::gauge("satverifyd.queue.depth"),
+        in_flight: obs::metrics::gauge("satverifyd.jobs.in_flight"),
+        latency_ms: obs::metrics::histogram("satverifyd.job.latency_ms"),
+        queue_wait_ms: obs::metrics::histogram("satverifyd.job.queue_wait_ms"),
+    })
+}
+
+/// The events a server records. Each increments one per-instance
+/// counter and its `obs` mirror.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Event {
+    Submitted,
+    Overloaded,
+    DrainingRejected,
+    InvalidInput,
+    Verified,
+    Rejected,
+    Exhausted,
+    CancelledQueued,
+    InternalError,
+}
+
+impl ServerStats {
+    /// Fresh zeroed stats.
+    #[must_use]
+    pub fn new() -> ServerStats {
+        ServerStats::default()
+    }
+
+    pub(crate) fn record(&self, event: Event) {
+        let (own, obs_counter) = match event {
+            Event::Submitted => (&self.submitted, mirror().submitted),
+            Event::Overloaded => (&self.overloaded, mirror().overloaded),
+            Event::DrainingRejected => {
+                (&self.draining_rejected, mirror().draining_rejected)
+            }
+            Event::InvalidInput => (&self.invalid_input, mirror().invalid_input),
+            Event::Verified => (&self.verified, mirror().verified),
+            Event::Rejected => (&self.rejected, mirror().rejected),
+            Event::Exhausted => (&self.exhausted, mirror().exhausted),
+            Event::CancelledQueued => {
+                (&self.cancelled_queued, mirror().cancelled_queued)
+            }
+            Event::InternalError => {
+                (&self.internal_errors, mirror().internal_errors)
+            }
+        };
+        own.fetch_add(1, Ordering::Relaxed);
+        obs_counter.inc();
+    }
+
+    pub(crate) fn queue_depth_add(&self, delta: i64) {
+        self.queue_depth.fetch_add(delta, Ordering::Relaxed);
+        mirror().queue_depth.add(delta);
+    }
+
+    pub(crate) fn in_flight_add(&self, delta: i64) {
+        self.in_flight.fetch_add(delta, Ordering::Relaxed);
+        mirror().in_flight.add(delta);
+    }
+
+    pub(crate) fn record_latency_ms(&self, ms: u64) {
+        mirror().latency_ms.record(ms);
+    }
+
+    pub(crate) fn record_queue_wait_ms(&self, ms: u64) {
+        mirror().queue_wait_ms.record(ms);
+    }
+
+    /// A point-in-time copy of every counter.
+    #[must_use]
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let get = |cell: &AtomicU64| cell.load(Ordering::Relaxed);
+        StatsSnapshot {
+            submitted: get(&self.submitted),
+            overloaded: get(&self.overloaded),
+            draining_rejected: get(&self.draining_rejected),
+            invalid_input: get(&self.invalid_input),
+            verified: get(&self.verified),
+            rejected: get(&self.rejected),
+            exhausted: get(&self.exhausted),
+            cancelled_queued: get(&self.cancelled_queued),
+            internal_errors: get(&self.internal_errors),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed).max(0) as u64,
+            in_flight: self.in_flight.load(Ordering::Relaxed).max(0) as u64,
+        }
+    }
+}
+
+/// A point-in-time copy of a server's counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// `verify` requests received.
+    pub submitted: u64,
+    /// Rejected: queue full.
+    pub overloaded: u64,
+    /// Rejected: draining.
+    pub draining_rejected: u64,
+    /// Accepted but unparseable inputs.
+    pub invalid_input: u64,
+    /// Verified proofs.
+    pub verified: u64,
+    /// Refuted proofs.
+    pub rejected: u64,
+    /// Budget/deadline/cancellation stops.
+    pub exhausted: u64,
+    /// Purged from the queue unrun.
+    pub cancelled_queued: u64,
+    /// Worker crashes survived.
+    pub internal_errors: u64,
+    /// Currently queued.
+    pub queue_depth: u64,
+    /// Currently checking.
+    pub in_flight: u64,
+}
+
+impl StatsSnapshot {
+    /// Sum of every terminal disposition — at quiescence this equals
+    /// [`StatsSnapshot::submitted`].
+    #[must_use]
+    pub fn accounted(&self) -> u64 {
+        self.overloaded
+            + self.draining_rejected
+            + self.invalid_input
+            + self.verified
+            + self.rejected
+            + self.exhausted
+            + self.cancelled_queued
+            + self.internal_errors
+    }
+
+    /// The counters as `(name, value)` pairs for the `stats` response.
+    #[must_use]
+    pub fn named_counters(&self) -> Vec<(String, u64)> {
+        [
+            ("submitted", self.submitted),
+            ("overloaded", self.overloaded),
+            ("draining_rejected", self.draining_rejected),
+            ("invalid_input", self.invalid_input),
+            ("verified", self.verified),
+            ("rejected", self.rejected),
+            ("exhausted", self.exhausted),
+            ("cancelled_queued", self.cancelled_queued),
+            ("internal_errors", self.internal_errors),
+        ]
+        .into_iter()
+        .map(|(n, v)| (n.to_string(), v))
+        .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_hit_their_counter_and_the_obs_mirror() {
+        let stats = ServerStats::new();
+        let before = obs::metrics::counter("satverifyd.jobs.verified").get();
+        stats.record(Event::Submitted);
+        stats.record(Event::Verified);
+        let snap = stats.snapshot();
+        assert_eq!(snap.submitted, 1);
+        assert_eq!(snap.verified, 1);
+        assert_eq!(snap.accounted(), 1);
+        assert_eq!(
+            obs::metrics::counter("satverifyd.jobs.verified").get(),
+            before + 1,
+            "the obs registry mirrors the event"
+        );
+    }
+
+    #[test]
+    fn gauges_move_both_ways() {
+        let stats = ServerStats::new();
+        stats.queue_depth_add(3);
+        stats.queue_depth_add(-1);
+        stats.in_flight_add(1);
+        let snap = stats.snapshot();
+        assert_eq!(snap.queue_depth, 2);
+        assert_eq!(snap.in_flight, 1);
+    }
+
+    #[test]
+    fn named_counters_cover_every_terminal_disposition() {
+        let stats = ServerStats::new();
+        for event in [
+            Event::Submitted,
+            Event::Overloaded,
+            Event::DrainingRejected,
+            Event::InvalidInput,
+            Event::Verified,
+            Event::Rejected,
+            Event::Exhausted,
+            Event::CancelledQueued,
+            Event::InternalError,
+        ] {
+            stats.record(event);
+        }
+        let snap = stats.snapshot();
+        let names = snap.named_counters();
+        assert_eq!(names.len(), 9);
+        assert!(names.iter().all(|&(_, v)| v == 1));
+        assert_eq!(snap.accounted(), 8, "submitted is not a disposition");
+    }
+}

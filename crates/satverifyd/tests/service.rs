@@ -1,0 +1,189 @@
+//! Deterministic service-semantics tests: client-disconnect
+//! cancellation and queue-full rejection.
+//!
+//! No sleeps. Jobs are parked at a [`Gate`] via the harness's
+//! [`FaultPlan::hold_before_run`] hook, so the tests *know* — rather
+//! than hope — that a job is inside a worker before acting, and
+//! `ping`/`pong` round-trips are used as ordering fences (one reader
+//! thread per connection processes requests strictly in order).
+
+use std::sync::Arc;
+
+use proofver::{FaultPlan, Gate};
+use satverifyd::{
+    Client, Endpoint, ErrorCode, Request, Response, Server, ServerConfig,
+    VerifyRequest,
+};
+
+const XOR_SQUARE: &str = "p cnf 2 4\n1 2 0\n-1 -2 0\n1 -2 0\n-1 2 0\n";
+const XOR_PROOF: &str = "2 0\n-2 0\n0\n";
+
+fn verify_with_id(id: &str) -> Request {
+    Request::Verify(VerifyRequest {
+        id: Some(id.to_string()),
+        formula: Some(XOR_SQUARE.to_string()),
+        proof: Some(XOR_PROOF.to_string()),
+        ..VerifyRequest::default()
+    })
+}
+
+/// Spin (yielding) until `predicate` holds. The watched transitions are
+/// guaranteed to happen — this bounds nothing, it only waits without
+/// wall-clock assumptions.
+fn spin_until(predicate: impl Fn() -> bool) {
+    while !predicate() {
+        std::thread::yield_now();
+    }
+}
+
+#[test]
+fn client_disconnect_cancels_running_and_queued_jobs() {
+    let gate = Gate::new();
+    let hold = gate.clone();
+    let config = ServerConfig::default()
+        .workers(1)
+        .queue_capacity(8)
+        .fault_factory(Arc::new(move |_seq| {
+            FaultPlan::none().hold_before_run(hold.clone())
+        }));
+    let handle =
+        Server::bind(&Endpoint::tcp("127.0.0.1:0"), config).expect("bind");
+
+    let mut client = Client::connect(&handle.local_endpoint()).expect("connect");
+    // job A reaches the (single) worker and parks at the gate…
+    client.send(&verify_with_id("a")).expect("send a");
+    gate.await_blocked(1);
+    // …so job B stays queued behind it
+    client.send(&verify_with_id("b")).expect("send b");
+    client.send(&Request::Ping).expect("fence");
+    assert!(matches!(client.recv().expect("pong"), Response::Pong),
+            "fence: job B admitted before we disconnect");
+
+    drop(client); // disconnect: cancel A's token, purge B
+
+    // the purge counter moving is the fence that A's cancel landed
+    // (disconnect_cleanup cancels running tokens before purging)
+    spin_until(|| handle.stats().cancelled_queued == 1);
+    gate.open(); // release A into its now-cancelled harness
+    spin_until(|| handle.stats().exhausted == 1);
+
+    let stats = handle.stats();
+    assert_eq!(stats.submitted, 2);
+    assert_eq!(stats.exhausted, 1, "A stopped by cancellation, no verdict");
+    assert_eq!(stats.cancelled_queued, 1, "B purged unrun");
+    assert_eq!(stats.verified + stats.rejected, 0);
+    assert_eq!(stats.accounted(), stats.submitted, "nothing silently dropped");
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn queue_full_answers_overloaded_and_never_drops() {
+    let gate = Gate::new();
+    let hold = gate.clone();
+    let config = ServerConfig::default()
+        .workers(1)
+        .queue_capacity(3)
+        .fault_factory(Arc::new(move |_seq| {
+            FaultPlan::none().hold_before_run(hold.clone())
+        }));
+    let handle =
+        Server::bind(&Endpoint::tcp("127.0.0.1:0"), config).expect("bind");
+
+    let mut client = Client::connect(&handle.local_endpoint()).expect("connect");
+    // job 0 occupies the single worker (parked at the gate), leaving
+    // the queue empty…
+    client.send(&verify_with_id("job-0")).expect("send");
+    gate.await_blocked(1);
+    // …jobs 1..=3 fill the queue to its capacity of 3
+    for i in 1..=3 {
+        client.send(&verify_with_id(&format!("job-{i}"))).expect("send");
+    }
+    client.send(&Request::Ping).expect("fence");
+    assert!(matches!(client.recv().expect("pong"), Response::Pong),
+            "fence: the queue is now full");
+
+    // the next submission must be rejected *immediately* and *explicitly*
+    client.send(&verify_with_id("job-4")).expect("send");
+    match client.recv().expect("rejection") {
+        Response::Error { code, id, .. } => {
+            assert_eq!(code, ErrorCode::Overloaded);
+            assert_eq!(id.as_deref(), Some("job-4"), "the reject names the job");
+        }
+        other => panic!("expected overloaded error, got {other:?}"),
+    }
+
+    // release the backlog; all four accepted jobs must answer
+    gate.open();
+    let mut seen = Vec::new();
+    for _ in 0..4 {
+        match client.recv().expect("result") {
+            Response::Result(r) => {
+                assert_eq!(r.outcome, "verified");
+                seen.push(r.id.expect("id echoed"));
+            }
+            other => panic!("expected result, got {other:?}"),
+        }
+    }
+    seen.sort();
+    assert_eq!(seen, ["job-0", "job-1", "job-2", "job-3"]);
+
+    let stats = handle.stats();
+    assert_eq!(stats.submitted, 5);
+    assert_eq!(stats.verified, 4);
+    assert_eq!(stats.overloaded, 1);
+    assert_eq!(stats.accounted(), stats.submitted);
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn drain_rejects_new_jobs_but_finishes_the_backlog() {
+    let gate = Gate::new();
+    let hold = gate.clone();
+    let config = ServerConfig::default()
+        .workers(1)
+        .queue_capacity(8)
+        .fault_factory(Arc::new(move |_seq| {
+            FaultPlan::none().hold_before_run(hold.clone())
+        }));
+    let handle =
+        Server::bind(&Endpoint::tcp("127.0.0.1:0"), config).expect("bind");
+
+    let mut client = Client::connect(&handle.local_endpoint()).expect("connect");
+    client.send(&verify_with_id("before-0")).expect("send");
+    gate.await_blocked(1);
+    client.send(&verify_with_id("before-1")).expect("send");
+    client.send(&Request::Shutdown).expect("send");
+    assert!(matches!(client.recv().expect("ack"), Response::ShuttingDown));
+
+    // a post-drain submission is explicitly refused, not queued
+    client.send(&verify_with_id("late")).expect("send");
+    match client.recv().expect("refusal") {
+        Response::Error { code, id, .. } => {
+            assert_eq!(code, ErrorCode::Draining);
+            assert_eq!(id.as_deref(), Some("late"));
+        }
+        other => panic!("expected draining error, got {other:?}"),
+    }
+
+    // the in-flight and queued jobs still complete with real verdicts
+    gate.open();
+    let mut seen = Vec::new();
+    for _ in 0..2 {
+        match client.recv().expect("result") {
+            Response::Result(r) => {
+                assert_eq!(r.outcome, "verified");
+                seen.push(r.id.expect("id"));
+            }
+            other => panic!("expected result, got {other:?}"),
+        }
+    }
+    seen.sort();
+    assert_eq!(seen, ["before-0", "before-1"]);
+
+    // join returning is the drain guarantee: backlog served, pool gone
+    handle.join();
+}

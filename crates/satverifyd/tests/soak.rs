@@ -1,0 +1,211 @@
+//! Soak test: many concurrent clients hammering one daemon with a mix
+//! of verifying, rejecting, and budget-exhausting jobs.
+//!
+//! Asserts the service invariants the subsystem exists for:
+//!
+//! * every submitted job gets **exactly one** response, matched by id —
+//!   an explicit verdict, an explicit `exhausted`, or an explicit
+//!   `overloaded`; nothing is silently dropped;
+//! * each daemon outcome equals the single-shot outcome of running
+//!   [`proofver::verify_harnessed`] directly with the same budget (the
+//!   exact pipeline `satverify check` runs);
+//! * at quiescence the stats counters account for every submission.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use cdcl::SolverConfig;
+use proofver::{verify_harnessed, Budget, CheckMode, Harness, Outcome};
+use satverifyd::{
+    BudgetSpec, Client, Endpoint, ErrorCode, Request, Response, Server,
+    ServerConfig, VerifyRequest,
+};
+
+const CLIENTS: usize = 8;
+const JOBS_PER_CLIENT: usize = 9;
+
+/// One kind of job in the mix: inputs, budget, and the outcome the
+/// daemon must report for them.
+struct JobKind {
+    name: &'static str,
+    formula: String,
+    proof: String,
+    budget: BudgetSpec,
+    expected: String,
+}
+
+fn dimacs_of(formula: &cnf::CnfFormula) -> String {
+    let mut out = Vec::new();
+    cnf::write_dimacs(&mut out, formula).expect("write dimacs");
+    String::from_utf8(out).expect("utf8")
+}
+
+fn proof_text_of(proof: &proofver::ConflictClauseProof) -> String {
+    let mut out = Vec::new();
+    proofver::write_proof(&mut out, proof).expect("write proof");
+    String::from_utf8(out).expect("utf8")
+}
+
+/// The daemon outcome [`verify_harnessed`] itself produces for this
+/// kind — the soak's ground truth.
+fn single_shot_outcome(kind: &JobKind) -> String {
+    let formula = cnf::parse_dimacs_str(&kind.formula).expect("formula");
+    let proof = proofver::parse_proof_str(&kind.proof).expect("proof");
+    let harness =
+        Harness::with_budget(kind.budget.resolve(&Budget::unlimited()));
+    match verify_harnessed(&formula, &proof, CheckMode::MarkedOnly, &harness) {
+        Outcome::Verified(_) => "verified".into(),
+        Outcome::Rejected { .. } => "rejected".into(),
+        Outcome::Exhausted { .. } => "exhausted".into(),
+    }
+}
+
+fn job_kinds() -> Vec<JobKind> {
+    // a real solver-produced proof of a pigeonhole instance…
+    let php = cnfgen::pigeonhole(4);
+    let run = match satverify::solve_and_verify(&php, SolverConfig::default())
+        .expect("solve php(4)")
+    {
+        satverify::PipelineOutcome::Unsat(run) => run,
+        satverify::PipelineOutcome::Sat(_) => panic!("php(4) is UNSAT"),
+    };
+    let php_text = dimacs_of(&php);
+    let php_proof = proof_text_of(&run.proof);
+    // …a proof that is not a refutation of the XOR square…
+    let xor = "p cnf 2 4\n1 2 0\n-1 -2 0\n1 -2 0\n-1 2 0\n".to_string();
+    let kinds = vec![
+        JobKind {
+            name: "good",
+            formula: php_text.clone(),
+            proof: php_proof.clone(),
+            budget: BudgetSpec::default(),
+            expected: "verified".into(),
+        },
+        JobKind {
+            name: "bad",
+            formula: xor,
+            proof: "1 2 0\n0\n".into(),
+            budget: BudgetSpec::default(),
+            expected: "rejected".into(),
+        },
+        // …and the same real proof under a starvation budget
+        JobKind {
+            name: "tight",
+            formula: php_text,
+            proof: php_proof,
+            budget: BudgetSpec {
+                max_propagations: Some(1),
+                ..BudgetSpec::default()
+            },
+            expected: "exhausted".into(),
+        },
+    ];
+    for kind in &kinds {
+        assert_eq!(
+            single_shot_outcome(kind),
+            kind.expected,
+            "kind {:?} must reproduce its outcome single-shot",
+            kind.name
+        );
+    }
+    kinds
+}
+
+#[test]
+fn soak_concurrent_mixed_jobs_all_accounted() {
+    let kinds = Arc::new(job_kinds());
+    let config = ServerConfig::default().workers(4).queue_capacity(32);
+    let handle =
+        Server::bind(&Endpoint::tcp("127.0.0.1:0"), config).expect("bind");
+    let endpoint = handle.local_endpoint();
+
+    let total_jobs = CLIENTS * JOBS_PER_CLIENT;
+    assert!(total_jobs >= 64, "soak must exercise at least 64 jobs");
+
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let endpoint = endpoint.clone();
+            let kinds = Arc::clone(&kinds);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&endpoint).expect("connect");
+                let mut expected: HashMap<String, String> = HashMap::new();
+                for j in 0..JOBS_PER_CLIENT {
+                    let kind = &kinds[j % kinds.len()];
+                    let id = format!("c{c}-j{j}-{}", kind.name);
+                    expected.insert(id.clone(), kind.expected.clone());
+                    let request = Request::Verify(VerifyRequest {
+                        id: Some(id),
+                        formula: Some(kind.formula.clone()),
+                        proof: Some(kind.proof.clone()),
+                        budget: kind.budget.clone(),
+                        ..VerifyRequest::default()
+                    });
+                    client.send(&request).expect("send");
+                }
+                // exactly one response per job, matched by id
+                let mut overloaded = 0u64;
+                for _ in 0..JOBS_PER_CLIENT {
+                    match client.recv().expect("response") {
+                        Response::Result(r) => {
+                            let id = r.id.expect("id echoed");
+                            let want = expected
+                                .remove(&id)
+                                .expect("one response per id");
+                            assert_eq!(
+                                r.outcome, want,
+                                "daemon outcome for {id} diverges from \
+                                 the single-shot checker"
+                            );
+                        }
+                        Response::Error {
+                            code: ErrorCode::Overloaded,
+                            id,
+                            ..
+                        } => {
+                            let id = id.expect("overload names its job");
+                            expected.remove(&id).expect("one response per id");
+                            overloaded += 1;
+                        }
+                        other => panic!("unexpected response {other:?}"),
+                    }
+                }
+                assert!(expected.is_empty(), "every job answered");
+                overloaded
+            })
+        })
+        .collect();
+
+    let overloaded_seen: u64 =
+        clients.into_iter().map(|t| t.join().expect("client thread")).sum();
+
+    let stats = handle.stats();
+    assert_eq!(stats.submitted, total_jobs as u64);
+    assert_eq!(stats.overloaded, overloaded_seen,
+               "every overload was delivered to a client");
+    assert_eq!(
+        stats.accounted(),
+        stats.submitted,
+        "counters sum to submissions: nothing dropped ({stats:?})"
+    );
+    assert_eq!(stats.queue_depth, 0);
+    assert_eq!(stats.in_flight, 0);
+    assert!(stats.verified > 0, "mix included verifying jobs");
+    assert!(stats.rejected > 0, "mix included rejecting jobs");
+    assert!(stats.exhausted > 0, "mix included budget-exhausting jobs");
+
+    // stats over the wire agree with the in-process snapshot
+    let mut probe = Client::connect(&endpoint).expect("connect");
+    match probe.request(&Request::Stats).expect("stats") {
+        Response::Stats(reply) => {
+            assert_eq!(reply.counter("submitted"), Some(stats.submitted));
+            assert_eq!(reply.counter("verified"), Some(stats.verified));
+            assert_eq!(reply.counter("rejected"), Some(stats.rejected));
+            assert_eq!(reply.counter("exhausted"), Some(stats.exhausted));
+            assert_eq!(reply.counter("overloaded"), Some(stats.overloaded));
+        }
+        other => panic!("unexpected response {other:?}"),
+    }
+
+    handle.shutdown();
+    handle.join();
+}

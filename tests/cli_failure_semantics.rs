@@ -206,7 +206,7 @@ fn checkpointed_run_resumes_to_the_uninterrupted_report() {
 }
 
 #[test]
-fn mismatched_checkpoint_is_rejected_as_malformed() {
+fn mismatched_checkpoint_is_a_usage_error() {
     let (cnf_a, proof_a) = php_with_proof("3", "mma");
     let (cnf_b, proof_b) = php_with_proof("4", "mmb");
     let ckpt = tmp("mm-state.json");
@@ -222,7 +222,9 @@ fn mismatched_checkpoint_is_rejected_as_malformed() {
     ]);
     assert_eq!(out.status.code(), Some(4), "{out:?}");
     assert!(ckpt.exists());
-    // resuming it against instance B must fail up front, not misverify
+    // resuming it against instance B must fail up front, not misverify —
+    // and as a *usage* error (the caller passed the wrong inputs), not
+    // malformed data
     let out = run(&[
         "check",
         cnf_b.to_str().expect("utf8"),
@@ -231,9 +233,26 @@ fn mismatched_checkpoint_is_rejected_as_malformed() {
         ckpt.to_str().expect("utf8"),
         "--resume",
     ]);
-    assert_eq!(out.status.code(), Some(3), "{out:?}");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
     assert!(
         String::from_utf8_lossy(&out.stderr).contains("mismatch"),
         "{out:?}"
     );
+}
+
+#[test]
+fn check_help_documents_the_exit_code_contract() {
+    let out = run(&["check", "--help"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("EXIT CODES"), "{text}");
+    for needle in [
+        "s VERIFIED",
+        "s NOT VERIFIED",
+        "usage error",
+        "malformed input",
+        "s UNKNOWN",
+    ] {
+        assert!(text.contains(needle), "missing {needle:?} in: {text}");
+    }
 }

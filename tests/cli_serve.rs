@@ -1,0 +1,133 @@
+//! End-to-end daemon test through the real binary: `satverify serve`
+//! boots, `satverify client` drives one good, one bad, and one
+//! over-budget job against it, outcomes and exit codes match the local
+//! `check` contract, and a `shutdown` request drains the daemon to a
+//! clean exit.
+
+use std::io::{BufRead, BufReader};
+use std::path::PathBuf;
+use std::process::{Child, Command, Output, Stdio};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_satverify")
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(bin()).args(args).output().expect("binary runs")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut dir = std::env::temp_dir();
+    dir.push(format!("satverify-serve-{}-{name}", std::process::id()));
+    dir
+}
+
+const XOR_SQUARE: &str = "p cnf 2 4\n1 2 0\n-1 -2 0\n1 -2 0\n-1 2 0\n";
+const XOR_PROOF: &str = "2 0\n-2 0\n0\n";
+const BAD_PROOF: &str = "1 2 0\n0\n";
+
+/// Boots the daemon on an ephemeral port and returns the child plus
+/// the endpoint it printed.
+fn boot() -> (Child, String) {
+    let mut child = Command::new(bin())
+        .args(["serve", "--listen", "tcp:127.0.0.1:0"])
+        .stdout(Stdio::piped())
+        .stdin(Stdio::null())
+        .spawn()
+        .expect("serve boots");
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut lines = BufReader::new(stdout).lines();
+    let banner = lines
+        .next()
+        .expect("banner line")
+        .expect("banner readable");
+    let endpoint = banner
+        .split_whitespace()
+        .find(|w| w.starts_with("tcp:"))
+        .expect("banner names the endpoint")
+        .to_string();
+    (child, endpoint)
+}
+
+#[test]
+fn serve_and_client_round_trip_the_check_contract() {
+    let cnf = tmp("xor.cnf");
+    let good = tmp("good.ccp");
+    let bad = tmp("bad.ccp");
+    std::fs::write(&cnf, XOR_SQUARE).expect("write cnf");
+    std::fs::write(&good, XOR_PROOF).expect("write proof");
+    std::fs::write(&bad, BAD_PROOF).expect("write proof");
+    let cnf = cnf.to_str().expect("utf8");
+    let good = good.to_str().expect("utf8");
+    let bad = bad.to_str().expect("utf8");
+
+    let (mut child, endpoint) = boot();
+
+    let out = run(&["client", &endpoint, "ping"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+
+    // good proof: verified, exit 0 — same as local check
+    let out = run(&["client", &endpoint, "check", cnf, good]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("s VERIFIED"));
+    let local = run(&["check", cnf, good]);
+    assert_eq!(local.status.code(), Some(0), "daemon and CLI agree");
+
+    // bad proof: rejected, exit 1
+    let out = run(&["client", &endpoint, "check", cnf, bad]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("s NOT VERIFIED"));
+    let local = run(&["check", cnf, bad]);
+    assert_eq!(local.status.code(), Some(1), "daemon and CLI agree");
+
+    // over-budget: exhausted, exit 4, never a verdict
+    let out = run(&[
+        "client", &endpoint, "check", cnf, good, "--max-propagations", "1",
+    ]);
+    assert_eq!(out.status.code(), Some(4), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("s UNKNOWN"), "{text}");
+    assert!(!text.contains("s VERIFIED"), "{text}");
+    let local = run(&["check", cnf, good, "--max-propagations", "1"]);
+    assert_eq!(local.status.code(), Some(4), "daemon and CLI agree");
+
+    // server-local paths work too
+    let out = run(&["client", &endpoint, "check", cnf, good, "--by-path"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+
+    // the stats counters witnessed all four jobs
+    let out = run(&["client", &endpoint, "stats"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    for needle in ["submitted            4", "verified             2",
+                   "rejected             1", "exhausted            1"] {
+        assert!(text.contains(needle), "missing {needle:?} in: {text}");
+    }
+
+    // shutdown drains the daemon to a clean exit
+    let out = run(&["client", &endpoint, "shutdown"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let status = child.wait().expect("daemon exits");
+    assert!(status.success(), "daemon drained cleanly: {status:?}");
+
+    // and the endpoint is really gone
+    let out = run(&["client", &endpoint, "ping"]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("cannot connect"),
+        "{out:?}"
+    );
+}
+
+#[test]
+fn usage_and_transport_errors_are_distinct() {
+    // missing action: usage error, exit 2
+    let out = run(&["client", "tcp:127.0.0.1:1"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    // unreachable daemon: transport failure, exit 1
+    let out = run(&["client", "tcp:127.0.0.1:1", "ping"]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    // unparseable endpoint: exit 1 with a helpful message
+    let out = run(&["client", "not-an-endpoint", "ping"]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+}
