@@ -166,7 +166,7 @@ impl CountingPropagator {
                     continue;
                 }
                 if self.false_count[r.index()] == len {
-                    self.qhead = self.trail.len();
+                    self.flush_counts(i + 1, lit);
                     return Some(Conflict { clause: r });
                 }
                 if self.false_count[r.index()] == len - 1 {
@@ -193,6 +193,31 @@ impl CountingPropagator {
             }
         }
         None
+    }
+
+    /// Brings the counters up to date with the whole trail after a
+    /// conflict cut propagation short: finishes the occurrence list of
+    /// the literal being processed (from `next_occ` onward) and counts
+    /// every trail literal not yet dequeued. Keeps the invariant that
+    /// counters reflect exactly the trail, which [`Self::backtrack_to`]
+    /// relies on when it undoes them.
+    fn flush_counts(&mut self, next_occ: usize, lit: Lit) {
+        for i in next_occ..self.occ[(!lit).idx()].len() {
+            let r = self.occ[(!lit).idx()][i];
+            self.false_count[r.index()] += 1;
+        }
+        while self.qhead < self.trail.len() {
+            let l = self.trail[self.qhead];
+            self.qhead += 1;
+            for i in 0..self.occ[l.idx()].len() {
+                let r = self.occ[l.idx()][i];
+                self.true_count[r.index()] += 1;
+            }
+            for i in 0..self.occ[(!l).idx()].len() {
+                let r = self.occ[(!l).idx()][i];
+                self.false_count[r.index()] += 1;
+            }
+        }
     }
 
     /// Undoes all assignments above `level`.
@@ -280,6 +305,43 @@ mod tests {
         p.decide(lit(1));
         assert!(p.propagate(&db).is_none());
         assert!(p.assignment().is_true(lit(3)));
+    }
+
+    #[test]
+    fn backtrack_after_conflict_keeps_counters_consistent() {
+        // A conflict cuts propagation short mid-occurrence-list: the
+        // clause (-2 4) sits after the conflicting (-1 -2) in x2's
+        // occurrence list and must still be counted before backtrack
+        // undoes it (this underflowed `false_count` in debug builds).
+        let (db, mut p) = engine_for(&[vec![-1, 2], vec![-1, -2], vec![-2, 4]]);
+        p.decide(lit(1));
+        assert!(p.propagate(&db).is_some());
+        p.backtrack_to(0);
+        assert_eq!(p.assignment().num_assigned(), 0);
+        // the same decision reproduces the same conflict
+        p.decide(lit(1));
+        assert!(p.propagate(&db).is_some());
+        p.backtrack_to(0);
+        // and an unrelated decision still propagates cleanly
+        p.decide(lit(2));
+        assert!(p.propagate(&db).is_none());
+        assert!(p.assignment().is_true(lit(4)));
+    }
+
+    #[test]
+    fn backtrack_after_conflict_with_undequeued_trail() {
+        // x1 forces both x2 and x3 in one batch; the conflict surfaces
+        // while x3 is still waiting in the queue, so its counters were
+        // never applied (the second debug-build underflow path).
+        let (db, mut p) =
+            engine_for(&[vec![-1, 2], vec![-1, 3], vec![-1, -2], vec![3, 4]]);
+        p.decide(lit(1));
+        assert!(p.propagate(&db).is_some());
+        p.backtrack_to(0);
+        assert_eq!(p.assignment().num_assigned(), 0);
+        p.decide(lit(-3));
+        assert!(p.propagate(&db).is_none());
+        assert!(p.assignment().is_true(lit(4)));
     }
 
     #[test]

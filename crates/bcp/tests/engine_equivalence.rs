@@ -137,7 +137,7 @@ proptest! {
             let ch = h.propagate(&db_h);
             prop_assert_eq!(cw.is_some(), ch.is_some(), "parity after {}", d);
             steps += 1;
-            if cw.is_some() || steps % backtrack_after == 0 {
+            if cw.is_some() || steps.is_multiple_of(backtrack_after) {
                 let target = w.decision_level().saturating_sub(1);
                 w.backtrack_to(target);
                 h.backtrack_to(target);

@@ -46,11 +46,8 @@ fn bench_watched(f: &CnfFormula, schedule: &[Lit]) -> u64 {
     let mut p = WatchedPropagator::new(f.num_vars());
     let refs: Vec<_> = db.refs().collect();
     for r in refs {
-        match p.attach_clause(&mut db, r) {
-            Attach::Unit(l) => {
-                let _ = p.enqueue_propagated(l, r);
-            }
-            _ => {}
+        if let Attach::Unit(l) = p.attach_clause(&mut db, r) {
+            let _ = p.enqueue_propagated(l, r);
         }
     }
     for &d in schedule {

@@ -158,9 +158,11 @@ fn deletion_aware_checking() {
     let mut rows = Vec::new();
     for instance in ablation_instances() {
         // aggressive reduction so deletions actually happen
-        let mut config = SolverConfig::default();
-        config.reduce_base = 100;
-        config.reduce_growth = 50;
+        let config = SolverConfig {
+            reduce_base: 100,
+            reduce_growth: 50,
+            ..SolverConfig::default()
+        };
         let run = solve_and_verify(&instance.formula, config)
             .expect("pipeline")
             .into_unsat()

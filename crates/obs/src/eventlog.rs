@@ -1,0 +1,170 @@
+//! A buffered JSONL (one JSON document per line) event-log writer.
+//!
+//! Structured access logs — the daemon's job-lifecycle trail, long-run
+//! progress events — want an append-only, machine-readable format that
+//! survives process crashes line-by-line. JSONL is that format: each
+//! line is a complete [`Json`] document, so a truncated final line (a
+//! crash mid-write) costs exactly one event, and `grep`/`jq`-style
+//! tooling works without a framing parser.
+//!
+//! [`EventLog`] serialises whole lines under one mutex, so events from
+//! concurrent threads interleave at line granularity, never mid-line.
+//! Writes are buffered; call [`EventLog::flush`] at quiescence points
+//! (drain, shutdown) — dropping the log also flushes.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+use crate::json::Json;
+
+/// A thread-safe, buffered JSONL writer (see module docs).
+pub struct EventLog {
+    sink: Mutex<BufWriter<Box<dyn Write + Send>>>,
+}
+
+impl EventLog {
+    /// Creates (truncating) the log file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the file-creation failure.
+    pub fn create(path: &Path) -> io::Result<EventLog> {
+        Ok(EventLog::from_writer(Box::new(File::create(path)?)))
+    }
+
+    /// Wraps an arbitrary sink — for tests and in-memory capture.
+    #[must_use]
+    pub fn from_writer(sink: Box<dyn Write + Send>) -> EventLog {
+        EventLog { sink: Mutex::new(BufWriter::new(sink)) }
+    }
+
+    /// Appends one event as a compact JSON line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying write failure.
+    pub fn append(&self, event: &Json) -> io::Result<()> {
+        let mut line = event.to_compact_string();
+        debug_assert!(!line.contains('\n'), "compact JSON is one line");
+        line.push('\n');
+        let mut sink = self.sink.lock().unwrap_or_else(|e| e.into_inner());
+        sink.write_all(line.as_bytes())
+    }
+
+    /// Flushes buffered lines to the underlying sink.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying flush failure.
+    pub fn flush(&self) -> io::Result<()> {
+        self.sink.lock().unwrap_or_else(|e| e.into_inner()).flush()
+    }
+}
+
+impl Drop for EventLog {
+    fn drop(&mut self) {
+        if let Ok(mut sink) = self.sink.lock() {
+            let _ = sink.flush();
+        }
+    }
+}
+
+/// Parses a JSONL document back into its events, skipping blank lines.
+///
+/// # Errors
+///
+/// The first malformed line's error, prefixed with its 1-based line
+/// number.
+pub fn parse_lines(text: &str) -> Result<Vec<Json>, String> {
+    text.lines()
+        .enumerate()
+        .filter(|(_, line)| !line.trim().is_empty())
+        .map(|(i, line)| {
+            crate::json::parse(line).map_err(|e| format!("line {}: {e}", i + 1))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    /// A Vec<u8> sink shared with the test through an Arc<Mutex<..>>.
+    struct Shared(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for Shared {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().expect("sink").extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn events_roundtrip_line_by_line() {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let log = EventLog::from_writer(Box::new(Shared(Arc::clone(&buf))));
+        let events = vec![
+            Json::object_from([("event", Json::from("started")), ("job", Json::from(1u64))]),
+            Json::object_from([("event", Json::from("done")), ("ok", Json::Bool(true))]),
+        ];
+        for e in &events {
+            log.append(e).expect("append");
+        }
+        log.flush().expect("flush");
+        let text = String::from_utf8(buf.lock().expect("sink").clone()).expect("utf8");
+        assert_eq!(text.lines().count(), 2);
+        assert_eq!(parse_lines(&text).expect("parse"), events);
+    }
+
+    #[test]
+    fn drop_flushes_buffered_lines() {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        {
+            let log = EventLog::from_writer(Box::new(Shared(Arc::clone(&buf))));
+            log.append(&Json::object_from([("k", Json::from(7u64))])).expect("append");
+            // no explicit flush — the line may still sit in the buffer
+        }
+        let text = String::from_utf8(buf.lock().expect("sink").clone()).expect("utf8");
+        assert_eq!(text, "{\"k\":7}\n");
+    }
+
+    #[test]
+    fn embedded_newlines_are_escaped_not_literal() {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let log = EventLog::from_writer(Box::new(Shared(Arc::clone(&buf))));
+        log.append(&Json::object_from([("msg", Json::from("a\nb"))])).expect("append");
+        log.flush().expect("flush");
+        let text = String::from_utf8(buf.lock().expect("sink").clone()).expect("utf8");
+        assert_eq!(text.lines().count(), 1, "escaped, not a literal newline");
+        assert_eq!(parse_lines(&text).expect("parse").len(), 1);
+    }
+
+    #[test]
+    fn file_backed_log_writes_jsonl() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("obs-eventlog-{}.jsonl", std::process::id()));
+        {
+            let log = EventLog::create(&path).expect("create");
+            for i in 0..3u64 {
+                log.append(&Json::object_from([("seq", Json::from(i))])).expect("append");
+            }
+        }
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let events = parse_lines(&text).expect("parse");
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[2].get("seq").and_then(Json::as_int), Some(2));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn parse_lines_names_the_bad_line() {
+        let err = parse_lines("{\"ok\":1}\nnot json\n").expect_err("malformed");
+        assert!(err.starts_with("line 2:"), "{err}");
+    }
+}

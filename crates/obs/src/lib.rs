@@ -13,6 +13,10 @@
 //! * [`json`] — an escaping-correct JSON writer (and a small strict
 //!   parser used by tests and tooling) for serialising run reports
 //!   without pulling in serde.
+//! * [`eventlog`] — a buffered, thread-safe JSONL writer for structured
+//!   access logs (one complete JSON document per line).
+//! * [`prometheus`] — text exposition of a [`MetricsSnapshot`] in the
+//!   format metrics scrapers expect.
 //!
 //! The crate deliberately has **zero external dependencies**: it must be
 //! buildable in fully offline environments and addable to any crate in
@@ -21,10 +25,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod eventlog;
 pub mod json;
 pub mod metrics;
+pub mod prometheus;
 pub mod span;
 
+pub use eventlog::EventLog;
 pub use json::Json;
 pub use metrics::{counter, gauge, histogram, registry_snapshot, MetricsSnapshot};
 pub use span::{

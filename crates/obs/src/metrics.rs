@@ -31,6 +31,16 @@ pub const HISTOGRAM_BUCKETS: usize = 32;
 static RECORDING: AtomicBool = AtomicBool::new(false);
 
 /// Turns metric recording on or off process-wide.
+///
+/// `Relaxed` ordering is sound here: the flag is a pure sampling gate.
+/// No reader takes a data dependency on memory written before the
+/// store — the metric cells are themselves atomic, and registration is
+/// serialised by the registry mutex, which provides its own
+/// synchronisation. The only observable effect of the relaxed pair is
+/// that a thread may record (or skip) a few samples around a toggle,
+/// which changes *which* samples are captured, never the integrity of
+/// the registry. Upgrading to `SeqCst` would buy nothing and put a
+/// fence in every instrumented hot-path check.
 pub fn set_recording(on: bool) {
     RECORDING.store(on, Ordering::Relaxed);
 }
@@ -205,6 +215,49 @@ impl HistogramSnapshot {
         } else {
             self.sum as f64 / self.count as f64
         }
+    }
+
+    /// Nearest-rank quantile estimate from the log-scale buckets.
+    ///
+    /// Returns the inclusive upper bound of the bucket containing the
+    /// `q`-th sample, clamped to the exactly-tracked `[min, max]`
+    /// range. Because buckets double, the estimate never understates
+    /// the true quantile and overstates it by less than 2× — the right
+    /// bias for latency reporting (pessimistic, never flattering).
+    /// `q` is clamped to `[0, 1]`; an empty histogram reports 0.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let rank = rank.clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(bound, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return bound.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate (see [`HistogramSnapshot::quantile`]).
+    #[must_use]
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile estimate (see [`HistogramSnapshot::quantile`]).
+    #[must_use]
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile estimate (see [`HistogramSnapshot::quantile`]).
+    #[must_use]
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
     }
 }
 
@@ -393,6 +446,100 @@ mod tests {
             let idx = bucket_index(1u64 << shift);
             assert!(idx >= prev);
             prev = idx;
+        }
+    }
+
+    #[test]
+    fn bucket_edges_are_exact() {
+        // bucket 0 holds exactly {0, 1}
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_upper_bound(0), 1);
+        // each later bucket holds one doubling: (2^k, 2^(k+1)]-ish —
+        // precisely [2^k, 2^(k+1) - 1]
+        for k in 1..(HISTOGRAM_BUCKETS - 1) {
+            let lo = 1u64 << k;
+            let hi = (1u64 << (k + 1)) - 1;
+            assert_eq!(bucket_index(lo), k, "lower edge of bucket {k}");
+            assert_eq!(bucket_index(hi), k, "upper edge of bucket {k}");
+            assert_eq!(bucket_upper_bound(k), hi);
+            assert_eq!(bucket_index(hi + 1), (k + 1).min(HISTOGRAM_BUCKETS - 1));
+        }
+        // the last bucket is the unbounded catch-all
+        assert_eq!(bucket_index(1u64 << 31), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(bucket_index(u64::MAX - 1), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(bucket_upper_bound(HISTOGRAM_BUCKETS - 1), u64::MAX);
+        assert_eq!(bucket_upper_bound(HISTOGRAM_BUCKETS + 7), u64::MAX);
+    }
+
+    #[test]
+    fn bucket_functions_are_mutually_consistent() {
+        // every value maps into a bucket whose bound covers it, and
+        // every bucket bound maps back to its own bucket
+        for shift in 0..64 {
+            for v in [1u64 << shift, (1u64 << shift).wrapping_sub(1), u64::MAX >> shift] {
+                let idx = bucket_index(v);
+                assert!(v <= bucket_upper_bound(idx), "value {v} above its bound");
+                if idx > 0 {
+                    assert!(
+                        v > bucket_upper_bound(idx - 1),
+                        "value {v} also fits bucket {}",
+                        idx - 1
+                    );
+                }
+            }
+        }
+        for bucket in 0..HISTOGRAM_BUCKETS {
+            assert_eq!(bucket_index(bucket_upper_bound(bucket)), bucket);
+        }
+    }
+
+    #[test]
+    fn quantiles_estimate_within_bucket_resolution() {
+        let h = histogram("test.quantiles");
+        // 100 samples: 50× 10, 40× 100, 9× 1000, 1× 60000
+        for _ in 0..50 {
+            h.record(10);
+        }
+        for _ in 0..40 {
+            h.record(100);
+        }
+        for _ in 0..9 {
+            h.record(1000);
+        }
+        h.record(60_000);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 100);
+        // nearest-rank on bucket bounds: upper bound of the bucket the
+        // rank lands in, so within 2× above the true value
+        let p50 = snap.p50();
+        assert!((10..=15).contains(&p50), "p50 {p50}");
+        let p90 = snap.quantile(0.90);
+        assert!((100..=127).contains(&p90), "p90 {p90}");
+        let p99 = snap.p99();
+        assert!((1000..=1023).contains(&p99), "p99 {p99}");
+        // extremes stay within the exactly-tracked [min, max] range
+        let q0 = snap.quantile(0.0);
+        assert!((10..=15).contains(&q0), "q0 {q0} near min");
+        assert_eq!(snap.quantile(1.0), 60_000, "q1 clamps to max");
+    }
+
+    #[test]
+    fn quantile_on_empty_histogram_is_zero() {
+        let h = histogram("test.quantiles_empty");
+        let snap = h.snapshot();
+        assert_eq!(snap.quantile(0.5), 0);
+        assert_eq!(snap.p99(), 0);
+    }
+
+    #[test]
+    fn quantile_single_sample_is_that_sample() {
+        let h = histogram("test.quantiles_single");
+        h.record(777);
+        let snap = h.snapshot();
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(snap.quantile(q), 777);
         }
     }
 

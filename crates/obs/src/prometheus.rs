@@ -1,0 +1,107 @@
+//! Prometheus text exposition (version 0.0.4) of a [`MetricsSnapshot`].
+//!
+//! Dependency-free rendering of the registry into the `# TYPE` /
+//! sample-line format every metrics scraper understands. Metric names
+//! are sanitised (`.` and other invalid characters become `_`), and
+//! histograms are rendered with the **cumulative** `_bucket{le="..."}`
+//! convention Prometheus requires (the registry stores per-bucket
+//! counts), closing with the mandatory `+Inf` bucket, `_sum`, and
+//! `_count` samples.
+
+use std::fmt::Write as _;
+
+use crate::metrics::MetricsSnapshot;
+
+/// Maps a dotted registry name onto the Prometheus grammar
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+#[must_use]
+pub fn sanitize_name(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' || c == ':' { c } else { '_' })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Renders the snapshot in the Prometheus text exposition format.
+#[must_use]
+pub fn render(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snapshot.counters {
+        let name = sanitize_name(name);
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, value) in &snapshot.gauges {
+        let name = sanitize_name(name);
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, h) in &snapshot.histograms {
+        let name = sanitize_name(name);
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cumulative = 0u64;
+        for &(bound, count) in &h.buckets {
+            cumulative += count;
+            let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
+        }
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+        let _ = writeln!(out, "{name}_sum {}", h.sum);
+        let _ = writeln!(out, "{name}_count {}", h.count);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{HistogramSnapshot, MetricsSnapshot};
+
+    #[test]
+    fn sanitises_dotted_and_awkward_names() {
+        assert_eq!(sanitize_name("satverifyd.jobs.verified"), "satverifyd_jobs_verified");
+        assert_eq!(sanitize_name("a-b c"), "a_b_c");
+        assert_eq!(sanitize_name("9lives"), "_9lives");
+        assert_eq!(sanitize_name(""), "_");
+    }
+
+    #[test]
+    fn renders_counters_gauges_and_cumulative_histograms() {
+        let snapshot = MetricsSnapshot {
+            counters: vec![("jobs.done".into(), 12)],
+            gauges: vec![("queue.depth".into(), -1)],
+            histograms: vec![(
+                "job.latency_us".into(),
+                HistogramSnapshot {
+                    count: 6,
+                    sum: 1010,
+                    min: 0,
+                    max: 1000,
+                    buckets: vec![(1, 2), (3, 2), (7, 1), (1023, 1)],
+                },
+            )],
+        };
+        let text = render(&snapshot);
+        assert!(text.contains("# TYPE jobs_done counter\njobs_done 12\n"));
+        assert!(text.contains("# TYPE queue_depth gauge\nqueue_depth -1\n"));
+        // cumulative, not per-bucket: 2, 4, 5, 6
+        assert!(text.contains("job_latency_us_bucket{le=\"1\"} 2\n"), "{text}");
+        assert!(text.contains("job_latency_us_bucket{le=\"3\"} 4\n"), "{text}");
+        assert!(text.contains("job_latency_us_bucket{le=\"7\"} 5\n"), "{text}");
+        assert!(text.contains("job_latency_us_bucket{le=\"1023\"} 6\n"), "{text}");
+        assert!(text.contains("job_latency_us_bucket{le=\"+Inf\"} 6\n"), "{text}");
+        assert!(text.contains("job_latency_us_sum 1010\n"));
+        assert!(text.contains("job_latency_us_count 6\n"));
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty() {
+        assert_eq!(render(&MetricsSnapshot::default()), "");
+    }
+}

@@ -49,7 +49,8 @@ fn gauge_adds_are_not_lost() {
         }
     })
     .expect("scope");
-    let expected = (THREADS as i64 / 2) * (3 - 2) * ITERS as i64;
+    // each +3/-2 thread pair nets +1 per iteration
+    let expected = (THREADS as i64 / 2) * ITERS as i64;
     assert_eq!(g.get(), expected);
 }
 

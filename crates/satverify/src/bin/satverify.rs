@@ -71,20 +71,26 @@ USAGE:
 
     satverify serve [--listen <ep>] [--workers <n>] [--queue-capacity <n>]
                     [budget flags] [--drain-on-stdin-close]
+                    [--event-log <path>]
         run the verification daemon: accept jobs over tcp:HOST:PORT or
         unix:PATH (default tcp:127.0.0.1:0; the bound endpoint is
         printed), check them on a bounded worker pool, and drain
         gracefully on a `shutdown` request. Budget flags set the
         per-job default; requests may tighten or override it.
+        --event-log appends one JSON line per job-lifecycle event
+        (received, admitted, rejected, started, terminal — schema in
+        docs/OBSERVABILITY.md).
 
-    satverify client <endpoint> ping|stats|shutdown
+    satverify client <endpoint> ping|stats|metrics|shutdown
     satverify client <endpoint> check <cnf> <proof> [--all] [--by-path]
                      [budget flags]
-        talk to a running daemon. `check` submits one job (file contents
-        are sent inline unless --by-path passes server-local paths) and
-        prints the same report as the local `check`; exit codes are the
-        `check` contract plus 5 = admission refused (overloaded or
-        draining daemon).
+        talk to a running daemon. `stats` prints counters and µs
+        latency percentiles (queue wait, verify, end-to-end); `metrics`
+        dumps the daemon's registry in Prometheus text exposition.
+        `check` submits one job (file contents are sent inline unless
+        --by-path passes server-local paths) and prints the same report
+        as the local `check`; exit codes are the `check` contract plus
+        5 = admission refused (overloaded or draining daemon).
 
     satverify drat <cnf> <proof>
         verify a proof that may contain RAT steps (DRAT semantics)
@@ -576,6 +582,7 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
     let workers = take_u64_option(&mut args, "--workers")?;
     let queue_capacity = take_u64_option(&mut args, "--queue-capacity")?;
     let drain_on_stdin = take_flag(&mut args, "--drain-on-stdin-close");
+    let event_log = take_option(&mut args, "--event-log");
     let budget = take_budget(&mut args)?;
     if !args.is_empty() {
         return Err(format!("unexpected arguments {args:?}; see `satverify help`"));
@@ -587,6 +594,11 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
     }
     if let Some(n) = queue_capacity {
         config = config.queue_capacity(usize::try_from(n).unwrap_or(usize::MAX));
+    }
+    if let Some(path) = &event_log {
+        let log = obs::EventLog::create(Path::new(path))
+            .map_err(|e| format!("cannot create event log {path}: {e}"))?;
+        config = config.event_log(std::sync::Arc::new(log));
     }
     let handle = Server::bind(&endpoint, config)
         .map_err(|e| format!("cannot bind {endpoint}: {e}"))?;
@@ -639,7 +651,7 @@ fn cmd_client(args: &[String]) -> Result<ExitCode, String> {
     let mut args = args.to_vec();
     let usage = |msg: &str| {
         eprintln!("error: {msg}");
-        eprintln!("usage: satverify client <endpoint> ping|stats|shutdown");
+        eprintln!("usage: satverify client <endpoint> ping|stats|metrics|shutdown");
         eprintln!(
             "       satverify client <endpoint> check <cnf> <proof> \
              [--all] [--by-path] [budget flags]"
@@ -679,10 +691,28 @@ fn cmd_client(args: &[String]) -> Result<ExitCode, String> {
                 }
                 println!("c queue_depth          {}", stats.queue_depth);
                 println!("c in_flight            {}", stats.in_flight);
+                if !stats.latency_us.is_empty() {
+                    println!(
+                        "c latency_us (count, p50, p90, p99, min, max):"
+                    );
+                    for (name, s) in &stats.latency_us {
+                        println!(
+                            "c   {name:<12} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+                            s.count, s.p50, s.p90, s.p99, s.min, s.max
+                        );
+                    }
+                }
                 println!("c latency_ms buckets (le, count):");
                 for (le, count) in &stats.latency_buckets {
                     println!("c   {le:>12} {count}");
                 }
+                Ok(ExitCode::SUCCESS)
+            }
+            other => Err(format!("unexpected response {other:?}")),
+        },
+        "metrics" => match roundtrip(&mut client, &WireRequest::Metrics)? {
+            WireResponse::Metrics { text } => {
+                print!("{text}");
                 Ok(ExitCode::SUCCESS)
             }
             other => Err(format!("unexpected response {other:?}")),

@@ -19,7 +19,12 @@
 //!   cooperative **cancellation** when the submitting client
 //!   disconnects ([`proofver::CancelToken`]);
 //! * a `stats` request wired to the [`obs`] metrics registry: queue
-//!   depth, jobs in flight, outcome counters, latency histograms;
+//!   depth, jobs in flight, outcome counters, latency histograms with
+//!   µs percentile summaries (queue wait, verify time, end-to-end);
+//! * an optional JSONL job-lifecycle **event log** ([`obs::EventLog`])
+//!   tracing every submission from `received` to exactly one terminal
+//!   disposition, and a `metrics` request answering with the registry
+//!   in Prometheus text exposition (schema in `docs/OBSERVABILITY.md`);
 //! * **graceful drain**: a `shutdown` request (or
 //!   [`ServerHandle::shutdown`]) stops admissions, finishes queued and
 //!   in-flight jobs, and exits cleanly.
@@ -59,8 +64,8 @@ pub mod stats;
 pub use client::Client;
 pub use net::Endpoint;
 pub use protocol::{
-    BudgetSpec, ErrorCode, JobResult, Request, Response, StatsReply,
-    VerifyRequest, PROTOCOL_VERSION,
+    BudgetSpec, ErrorCode, JobResult, LatencySummary, Request, Response,
+    StatsReply, VerifyRequest, PROTOCOL_VERSION,
 };
 pub use queue::{JobQueue, PushError};
 pub use server::{DrainTrigger, FaultFactory, Server, ServerConfig, ServerHandle};

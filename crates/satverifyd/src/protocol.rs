@@ -188,6 +188,8 @@ pub enum Request {
     Verify(VerifyRequest),
     /// Ask for server statistics.
     Stats,
+    /// Ask for the metrics registry in Prometheus text exposition.
+    Metrics,
     /// Liveness probe.
     Ping,
     /// Begin a graceful drain: stop admitting, finish in-flight and
@@ -243,6 +245,7 @@ impl Request {
                 obj
             }
             Request::Stats => Json::object_from([("op", Json::from("stats"))]),
+            Request::Metrics => Json::object_from([("op", Json::from("metrics"))]),
             Request::Ping => Json::object_from([("op", Json::from("ping"))]),
             Request::Shutdown => {
                 Json::object_from([("op", Json::from("shutdown"))])
@@ -295,6 +298,7 @@ impl Request {
                 Ok(Request::Verify(request))
             }
             "stats" => Ok(Request::Stats),
+            "metrics" => Ok(Request::Metrics),
             "ping" => Ok(Request::Ping),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!("unknown op {other:?}")),
@@ -326,6 +330,70 @@ pub struct JobResult {
     pub latency_ms: Option<u64>,
 }
 
+/// A five-number latency summary in microseconds. Percentiles are
+/// nearest-rank estimates from the server's power-of-two-bucket
+/// histograms: each is the containing bucket's upper bound (within 2×
+/// of the true value, never an underestimate) clamped to the
+/// exactly-tracked `[min, max]`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Estimated median, µs.
+    pub p50: u64,
+    /// Estimated 90th percentile, µs.
+    pub p90: u64,
+    /// Estimated 99th percentile, µs.
+    pub p99: u64,
+    /// Exact smallest sample, µs.
+    pub min: u64,
+    /// Exact largest sample, µs.
+    pub max: u64,
+}
+
+impl LatencySummary {
+    /// Summarises a histogram snapshot.
+    #[must_use]
+    pub fn from_snapshot(h: &obs::metrics::HistogramSnapshot) -> LatencySummary {
+        LatencySummary {
+            count: h.count,
+            p50: h.p50(),
+            p90: h.p90(),
+            p99: h.p99(),
+            min: h.min,
+            max: h.max,
+        }
+    }
+
+    fn to_json(self) -> Json {
+        let mut obj = Json::object();
+        push_u64(&mut obj, "count", self.count);
+        push_u64(&mut obj, "p50", self.p50);
+        push_u64(&mut obj, "p90", self.p90);
+        push_u64(&mut obj, "p99", self.p99);
+        push_u64(&mut obj, "min", self.min);
+        push_u64(&mut obj, "max", self.max);
+        obj
+    }
+
+    fn from_json(doc: &Json) -> LatencySummary {
+        let get = |key: &str| {
+            doc.get(key)
+                .and_then(Json::as_int)
+                .and_then(|n| u64::try_from(n).ok())
+                .unwrap_or(0)
+        };
+        LatencySummary {
+            count: get("count"),
+            p50: get("p50"),
+            p90: get("p90"),
+            p99: get("p99"),
+            min: get("min"),
+            max: get("max"),
+        }
+    }
+}
+
 /// The server's statistics reply: per-instance counters plus the
 /// global `obs` metrics snapshot relevant to serving.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -338,6 +406,9 @@ pub struct StatsReply {
     pub in_flight: u64,
     /// `(upper_bound_ms, count)` buckets of the job latency histogram.
     pub latency_buckets: Vec<(u64, u64)>,
+    /// Named µs latency summaries: `queue_wait`, `verify`, `e2e`.
+    /// Absent entries (an older server) parse as an empty vec.
+    pub latency_us: Vec<(String, LatencySummary)>,
 }
 
 impl StatsReply {
@@ -345,6 +416,13 @@ impl StatsReply {
     #[must_use]
     pub fn counter(&self, name: &str) -> Option<u64> {
         self.counters.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// The µs latency summary called `name` (`queue_wait`, `verify`,
+    /// `e2e`), if the server sent one.
+    #[must_use]
+    pub fn latency(&self, name: &str) -> Option<&LatencySummary> {
+        self.latency_us.iter().find(|(n, _)| n == name).map(|(_, s)| s)
     }
 }
 
@@ -365,6 +443,11 @@ pub enum Response {
     },
     /// Statistics snapshot.
     Stats(StatsReply),
+    /// The metrics registry in Prometheus text exposition format.
+    Metrics {
+        /// The exposition text (multi-line; newline-escaped on the wire).
+        text: String,
+    },
     /// Answer to `ping`.
     Pong,
     /// Acknowledgement that the drain has begun.
@@ -447,8 +530,17 @@ impl Response {
                             .collect(),
                     ),
                 );
+                let mut latency_us = Json::object();
+                for (name, summary) in &s.latency_us {
+                    latency_us.push(name.as_str(), summary.to_json());
+                }
+                obj.push("latency_us", latency_us);
                 obj
             }
+            Response::Metrics { text } => Json::object_from([
+                ("op", Json::from("metrics")),
+                ("text", Json::from(text.as_str())),
+            ]),
             Response::Pong => Json::object_from([("op", Json::from("pong"))]),
             Response::ShuttingDown => Json::object_from([
                 ("op", Json::from("shutdown")),
@@ -527,13 +619,31 @@ impl Response {
                             .collect()
                     })
                     .unwrap_or_default();
+                // Forward-compat: an older server omits `latency_us`
+                // entirely; a newer one may add summaries (or fields
+                // inside a summary) this build doesn't know — both parse.
+                let latency_us = match doc.get("latency_us") {
+                    Some(Json::Object(pairs)) => pairs
+                        .iter()
+                        .map(|(k, v)| (k.clone(), LatencySummary::from_json(v)))
+                        .collect(),
+                    _ => Vec::new(),
+                };
                 Ok(Response::Stats(StatsReply {
                     counters,
                     queue_depth: get_u64(&doc, "queue_depth").unwrap_or(0),
                     in_flight: get_u64(&doc, "in_flight").unwrap_or(0),
                     latency_buckets,
+                    latency_us,
                 }))
             }
+            "metrics" => Ok(Response::Metrics {
+                text: doc
+                    .get("text")
+                    .and_then(Json::as_str)
+                    .ok_or("metrics without `text`")?
+                    .to_string(),
+            }),
             "pong" => Ok(Response::Pong),
             "shutdown" => Ok(Response::ShuttingDown),
             other => Err(format!("unknown op {other:?}")),
@@ -572,7 +682,9 @@ mod tests {
 
     #[test]
     fn control_requests_roundtrip() {
-        for request in [Request::Stats, Request::Ping, Request::Shutdown] {
+        for request in
+            [Request::Stats, Request::Metrics, Request::Ping, Request::Shutdown]
+        {
             assert_eq!(Request::parse(&request.to_line()), Ok(request));
         }
     }
@@ -615,8 +727,68 @@ mod tests {
             queue_depth: 2,
             in_flight: 1,
             latency_buckets: vec![(1, 3), (7, 4)],
+            latency_us: vec![
+                (
+                    "queue_wait".into(),
+                    LatencySummary {
+                        count: 7,
+                        p50: 120,
+                        p90: 500,
+                        p99: 900,
+                        min: 80,
+                        max: 950,
+                    },
+                ),
+                ("e2e".into(), LatencySummary { count: 7, ..LatencySummary::default() }),
+            ],
         });
         assert_eq!(Response::parse(&stats.to_line()), Ok(stats));
+    }
+
+    #[test]
+    fn metrics_response_roundtrips_with_newlines() {
+        let metrics = Response::Metrics {
+            text: "# TYPE a counter\na 1\n# TYPE b gauge\nb -2\n".into(),
+        };
+        let line = metrics.to_line();
+        assert!(!line.contains('\n'), "newlines are escaped on the wire");
+        assert_eq!(Response::parse(&line), Ok(metrics));
+    }
+
+    #[test]
+    fn stats_parser_tolerates_version_skew() {
+        // An older server: no `latency_us` at all.
+        let old = r#"{"op":"stats","protocol_version":1,"counters":{"submitted":3},"queue_depth":0,"in_flight":0,"latency_ms":[]}"#;
+        let Ok(Response::Stats(reply)) = Response::parse(old) else {
+            panic!("old-server stats must parse");
+        };
+        assert_eq!(reply.counter("submitted"), Some(3));
+        assert!(reply.latency_us.is_empty());
+        assert_eq!(reply.latency("queue_wait"), None);
+
+        // A newer server: unknown top-level fields, unknown summary
+        // names, and unknown fields inside a summary.
+        let new = r#"{"op":"stats","protocol_version":1,"counters":{"submitted":3},"queue_depth":1,"in_flight":0,"latency_ms":[],"latency_us":{"queue_wait":{"count":3,"p50":10,"p90":20,"p99":30,"min":5,"max":31,"p999":31},"warp_drive":{"count":1,"p50":2,"p90":2,"p99":2,"min":2,"max":2}},"future_field":{"nested":true}}"#;
+        let Ok(Response::Stats(reply)) = Response::parse(new) else {
+            panic!("newer-server stats must parse");
+        };
+        assert_eq!(
+            reply.latency("queue_wait"),
+            Some(&LatencySummary { count: 3, p50: 10, p90: 20, p99: 30, min: 5, max: 31 })
+        );
+        assert!(reply.latency("warp_drive").is_some(), "unknown names kept");
+    }
+
+    #[test]
+    fn request_parser_ignores_unknown_fields() {
+        assert_eq!(
+            Request::parse(r#"{"op":"stats","verbose":true,"extra":{"x":1}}"#),
+            Ok(Request::Stats)
+        );
+        assert_eq!(
+            Request::parse(r#"{"op":"metrics","format":"prometheus"}"#),
+            Ok(Request::Metrics)
+        );
     }
 
     #[test]

@@ -33,20 +33,24 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
+use obs::json::Json;
+use obs::EventLog;
 use proofver::{Budget, CancelToken, FaultPlan, Harness};
 
 use crate::job;
 use crate::net::{Endpoint, Listener, Stream};
 use crate::protocol::{
-    ErrorCode, JobResult, Request, Response, StatsReply, VerifyRequest,
+    ErrorCode, JobResult, LatencySummary, Request, Response, StatsReply,
+    VerifyRequest,
 };
 use crate::queue::{JobQueue, PushError};
 use crate::stats::{Event, ServerStats, StatsSnapshot};
 
 /// Per-job fault-plan factory used by the deterministic service tests:
-/// given the job's admission sequence number, produce the
-/// [`FaultPlan`] its harness runs under. Production servers leave it
-/// unset ([`FaultPlan::none`] everywhere).
+/// given the job's id (the sequence number assigned at submission —
+/// every `verify` request consumes one, including rejected
+/// submissions), produce the [`FaultPlan`] its harness runs under.
+/// Production servers leave it unset ([`FaultPlan::none`] everywhere).
 pub type FaultFactory = Arc<dyn Fn(u64) -> FaultPlan + Send + Sync>;
 
 /// Server tuning knobs.
@@ -61,6 +65,8 @@ pub struct ServerConfig {
     pub default_budget: Budget,
     /// Test-only fault injection (see [`FaultFactory`]).
     pub faults: Option<FaultFactory>,
+    /// Optional JSONL job-lifecycle log (see `docs/OBSERVABILITY.md`).
+    pub event_log: Option<Arc<EventLog>>,
 }
 
 impl Default for ServerConfig {
@@ -70,6 +76,7 @@ impl Default for ServerConfig {
             queue_capacity: 64,
             default_budget: Budget::unlimited(),
             faults: None,
+            event_log: None,
         }
     }
 }
@@ -81,6 +88,7 @@ impl std::fmt::Debug for ServerConfig {
             .field("queue_capacity", &self.queue_capacity)
             .field("default_budget", &self.default_budget)
             .field("faults", &self.faults.as_ref().map(|_| "<factory>"))
+            .field("event_log", &self.event_log.as_ref().map(|_| "<log>"))
             .finish()
     }
 }
@@ -113,6 +121,13 @@ impl ServerConfig {
         self.faults = Some(factory);
         self
     }
+
+    /// Attaches a JSONL job-lifecycle event log.
+    #[must_use]
+    pub fn event_log(mut self, log: Arc<EventLog>) -> Self {
+        self.event_log = Some(log);
+        self
+    }
 }
 
 /// One admitted verification job.
@@ -138,9 +153,56 @@ struct Shared {
     /// A handle per live connection, to half-close at drain completion.
     conns: Mutex<HashMap<u64, Stream>>,
     next_seq: AtomicU64,
+    /// Monotonic zero point for event-log timestamps.
+    epoch: Instant,
+}
+
+/// Builder for one lifecycle event: `{ts_us, event, conn, ...}`.
+/// Timestamps are µs since the server's monotonic epoch, so within one
+/// log they are totally ordered and subtraction gives durations.
+struct EventBuilder(Json);
+
+impl EventBuilder {
+    fn new(shared: &Shared, event: &str, conn: u64) -> EventBuilder {
+        let mut obj = Json::object();
+        push_u64_json(&mut obj, "ts_us", shared.epoch.elapsed().as_micros() as u64);
+        obj.push("event", event);
+        push_u64_json(&mut obj, "conn", conn);
+        EventBuilder(obj)
+    }
+
+    fn job(mut self, seq: u64, id: Option<&str>) -> EventBuilder {
+        push_u64_json(&mut self.0, "job", seq);
+        if let Some(id) = id {
+            self.0.push("id", id);
+        }
+        self
+    }
+
+    fn field(mut self, key: &str, value: &str) -> EventBuilder {
+        self.0.push(key, value);
+        self
+    }
+
+    fn us(mut self, key: &str, us: u64) -> EventBuilder {
+        push_u64_json(&mut self.0, key, us);
+        self
+    }
+}
+
+fn push_u64_json(obj: &mut Json, key: &str, value: u64) {
+    obj.push(key, Json::Int(i64::try_from(value).unwrap_or(i64::MAX)));
 }
 
 impl Shared {
+    /// Appends one event to the log, if one is attached. Log I/O errors
+    /// are swallowed: observability must never take the daemon down.
+    fn emit(&self, event: EventBuilder) {
+        if let Some(log) = &self.config.event_log {
+            let _ = log.append(&event.0);
+        }
+    }
+
     fn begin_drain(&self) {
         if self.draining.swap(true, Ordering::SeqCst) {
             return; // already draining
@@ -173,6 +235,7 @@ impl Server {
             running: Mutex::new(Vec::new()),
             conns: Mutex::new(HashMap::new()),
             next_seq: AtomicU64::new(0),
+            epoch: Instant::now(),
             config,
         });
         let workers = (0..shared.config.workers.max(1))
@@ -256,6 +319,10 @@ impl ServerHandle {
         for (_, stream) in self.shared.conns.lock().expect("conn registry").drain() {
             stream.shutdown_both();
         }
+        // the pool is idle: every lifecycle event has been appended
+        if let Some(log) = &self.shared.config.event_log {
+            let _ = log.flush();
+        }
         #[cfg(unix)]
         if let Endpoint::Unix(path) = &self.shared.endpoint {
             let _ = std::fs::remove_file(path);
@@ -312,6 +379,7 @@ fn serve_connection(shared: &Arc<Shared>, conn: u64, stream: Stream) {
         shared.conns.lock().expect("conn registry").insert(conn, registry_half);
     }
     let writer: SharedWriter = Arc::new(Mutex::new(write_half));
+    shared.emit(EventBuilder::new(shared, "connected", conn));
     let reader = BufReader::new(stream);
     for line in reader.lines() {
         let Ok(line) = line else { break };
@@ -326,6 +394,9 @@ fn serve_connection(shared: &Arc<Shared>, conn: u64, stream: Stream) {
             }),
             Ok(Request::Ping) => Some(Response::Pong),
             Ok(Request::Stats) => Some(stats_response(shared)),
+            Ok(Request::Metrics) => Some(Response::Metrics {
+                text: obs::prometheus::render(&obs::registry_snapshot()),
+            }),
             Ok(Request::Shutdown) => {
                 let ack = write_line(&writer, &Response::ShuttingDown);
                 shared.begin_drain();
@@ -356,9 +427,20 @@ fn admit(
     writer: &SharedWriter,
 ) -> Option<Response> {
     shared.stats.record(Event::Submitted);
+    // every submission — admitted or not — gets a job id, so rejection
+    // events in the log correlate with their `received` event
+    let seq = shared.next_seq.fetch_add(1, Ordering::Relaxed);
     let id = request.id.clone();
+    shared.emit(
+        EventBuilder::new(shared, "received", conn).job(seq, id.as_deref()),
+    );
     if shared.draining.load(Ordering::SeqCst) {
         shared.stats.record(Event::DrainingRejected);
+        shared.emit(
+            EventBuilder::new(shared, "rejected", conn)
+                .job(seq, id.as_deref())
+                .field("reason", "draining"),
+        );
         return Some(Response::Error {
             code: ErrorCode::Draining,
             id,
@@ -366,7 +448,7 @@ fn admit(
         });
     }
     let job = Job {
-        seq: shared.next_seq.fetch_add(1, Ordering::Relaxed),
+        seq,
         conn,
         request,
         cancel: CancelToken::new(),
@@ -376,10 +458,18 @@ fn admit(
     match shared.queue.push(conn, job) {
         Ok(()) => {
             shared.stats.queue_depth_add(1);
+            shared.emit(
+                EventBuilder::new(shared, "admitted", conn).job(seq, id.as_deref()),
+            );
             None
         }
         Err((PushError::Full, _)) => {
             shared.stats.record(Event::Overloaded);
+            shared.emit(
+                EventBuilder::new(shared, "rejected", conn)
+                    .job(seq, id.as_deref())
+                    .field("reason", "overloaded"),
+            );
             Some(Response::Error {
                 code: ErrorCode::Overloaded,
                 id,
@@ -391,6 +481,11 @@ fn admit(
         }
         Err((PushError::Closed, _)) => {
             shared.stats.record(Event::DrainingRejected);
+            shared.emit(
+                EventBuilder::new(shared, "rejected", conn)
+                    .job(seq, id.as_deref())
+                    .field("reason", "draining"),
+            );
             Some(Response::Error {
                 code: ErrorCode::Draining,
                 id,
@@ -411,11 +506,21 @@ fn disconnect_cleanup(shared: &Arc<Shared>, conn: u64) {
     // …then purge the queued jobs. This order makes the purge counter a
     // fence: once `cancelled_queued` moves, the cancels have landed.
     let purged = shared.queue.purge_client(conn);
-    for _ in &purged {
+    for job in &purged {
         shared.stats.queue_depth_add(-1);
         shared.stats.record(Event::CancelledQueued);
+        // a purged job still terminates: it gets a `cancelled` terminal
+        // event and lands in the end-to-end histogram like any other
+        let e2e_us = job.submitted.elapsed().as_micros() as u64;
+        shared.stats.record_e2e_us(e2e_us);
+        shared.emit(
+            EventBuilder::new(shared, "cancelled", conn)
+                .job(job.seq, job.request.id.as_deref())
+                .us("e2e_us", e2e_us),
+        );
     }
     shared.conns.lock().expect("conn registry").remove(&conn);
+    shared.emit(EventBuilder::new(shared, "disconnected", conn));
 }
 
 fn stats_response(shared: &Arc<Shared>) -> Response {
@@ -426,6 +531,11 @@ fn stats_response(shared: &Arc<Shared>) -> Response {
         queue_depth: snap.queue_depth,
         in_flight: snap.in_flight,
         latency_buckets: latency.buckets,
+        latency_us: vec![
+            ("queue_wait".into(), LatencySummary::from_snapshot(&snap.queue_wait_us)),
+            ("verify".into(), LatencySummary::from_snapshot(&snap.verify_us)),
+            ("e2e".into(), LatencySummary::from_snapshot(&snap.e2e_us)),
+        ],
     })
 }
 
@@ -433,29 +543,45 @@ fn worker_loop(shared: &Arc<Shared>) {
     while let Some(job) = shared.queue.pop() {
         shared.stats.queue_depth_add(-1);
         shared.stats.in_flight_add(1);
-        let waited = job.submitted.elapsed();
-        shared.stats.record_queue_wait_ms(waited.as_millis() as u64);
+        let queue_wait_us = job.submitted.elapsed().as_micros() as u64;
+        shared.stats.record_queue_wait_us(queue_wait_us);
+        shared.emit(
+            EventBuilder::new(shared, "started", job.conn)
+                .job(job.seq, job.request.id.as_deref())
+                .us("queue_wait_us", queue_wait_us),
+        );
         shared
             .running
             .lock()
             .expect("running registry")
             .push((job.conn, job.seq, job.cancel.clone()));
-        let response = run_job(shared, &job);
+        let checking = Instant::now();
+        let (response, terminal) = run_job(shared, &job);
+        let verify_us = checking.elapsed().as_micros() as u64;
         shared
             .running
             .lock()
             .expect("running registry")
             .retain(|&(_, seq, _)| seq != job.seq);
         shared.stats.in_flight_add(-1);
-        shared.stats.record_latency_ms(job.submitted.elapsed().as_millis() as u64);
+        shared.stats.record_verify_us(verify_us);
+        let e2e_us = job.submitted.elapsed().as_micros() as u64;
+        shared.stats.record_e2e_us(e2e_us);
+        shared.emit(
+            EventBuilder::new(shared, terminal, job.conn)
+                .job(job.seq, job.request.id.as_deref())
+                .us("verify_us", verify_us)
+                .us("e2e_us", e2e_us),
+        );
         // the client may have vanished; a failed write is not an error
         let _ = write_line(&job.writer, &response);
     }
 }
 
 /// Runs one job under its harness, panic-isolated, and maps the result
-/// onto a wire response (recording the outcome counter).
-fn run_job(shared: &Arc<Shared>, job: &Job) -> Response {
+/// onto a wire response (recording the outcome counter). The second
+/// element is the terminal event name for the lifecycle log.
+fn run_job(shared: &Arc<Shared>, job: &Job) -> (Response, &'static str) {
     let faults = match &shared.config.faults {
         Some(factory) => factory(job.seq),
         None => FaultPlan::none(),
@@ -472,28 +598,32 @@ fn run_job(shared: &Arc<Shared>, job: &Job) -> Response {
     let id = job.request.id.clone();
     if job.cancel.is_cancelled() {
         shared.stats.record(Event::Exhausted);
-        return Response::Result(JobResult {
-            id,
-            outcome: "exhausted".into(),
-            exhaust_reason: Some("cancelled".into()),
-            ..JobResult::default()
-        });
+        return (
+            Response::Result(JobResult {
+                id,
+                outcome: "exhausted".into(),
+                exhaust_reason: Some("cancelled".into()),
+                ..JobResult::default()
+            }),
+            "exhausted",
+        );
     }
     let outcome =
         catch_unwind(AssertUnwindSafe(|| job::execute(&job.request, &harness)));
     match outcome {
         Ok(Ok(mut result)) => {
-            shared.stats.record(match result.outcome.as_str() {
-                "verified" => Event::Verified,
-                "rejected" => Event::Rejected,
-                _ => Event::Exhausted,
-            });
+            let (event, terminal) = match result.outcome.as_str() {
+                "verified" => (Event::Verified, "verified"),
+                "rejected" => (Event::Rejected, "rejected"),
+                _ => (Event::Exhausted, "exhausted"),
+            };
+            shared.stats.record(event);
             result.latency_ms = Some(job.submitted.elapsed().as_millis() as u64);
-            Response::Result(result)
+            (Response::Result(result), terminal)
         }
         Ok(Err((code, message))) => {
             shared.stats.record(Event::InvalidInput);
-            Response::Error { code, id, message }
+            (Response::Error { code, id, message }, "invalid_input")
         }
         Err(panic) => {
             shared.stats.record(Event::InternalError);
@@ -502,11 +632,14 @@ fn run_job(shared: &Arc<Shared>, job: &Job) -> Response {
                 .map(|s| (*s).to_string())
                 .or_else(|| panic.downcast_ref::<String>().cloned())
                 .unwrap_or_else(|| "worker panicked".into());
-            Response::Error {
-                code: ErrorCode::Internal,
-                id,
-                message: format!("job crashed (worker survived): {what}"),
-            }
+            (
+                Response::Error {
+                    code: ErrorCode::Internal,
+                    id,
+                    message: format!("job crashed (worker survived): {what}"),
+                },
+                "internal_error",
+            )
         }
     }
 }

@@ -1,14 +1,84 @@
-//! Serving metrics: exact per-server counters, mirrored into the
-//! process-global [`obs`] metrics registry.
+//! Serving metrics: exact per-server counters and latency histograms,
+//! mirrored into the process-global [`obs`] metrics registry.
 //!
 //! The per-instance atomics make test assertions exact (two servers in
 //! one process do not pollute each other), while the `obs` mirror keeps
 //! the daemon's numbers in the same registry — and the same `--json`
 //! run reports — as the solver and checker metrics. Mirrored names all
 //! live under the `satverifyd.` prefix.
+//!
+//! Three per-job latencies are tracked in microseconds:
+//!
+//! * **queue wait** — admission to worker pick-up;
+//! * **verify time** — inside the worker, loading inputs and checking;
+//! * **end-to-end** — admission to terminal disposition (including
+//!   jobs purged from the queue unrun, so every admitted job lands in
+//!   this histogram exactly once).
 
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::OnceLock;
+
+use obs::metrics::{
+    bucket_index, bucket_upper_bound, HistogramSnapshot, HISTOGRAM_BUCKETS,
+};
+
+/// A per-instance power-of-two-bucket histogram, mirroring the layout
+/// of [`obs::metrics::Histogram`] but owned by one server so tests can
+/// make exact assertions with several servers in one process.
+#[derive(Debug)]
+pub(crate) struct LocalHistogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+    /// Min tracked as `u64::MAX - value` so it fits monotone `fetch_max`.
+    inv_min: AtomicU64,
+}
+
+impl Default for LocalHistogram {
+    fn default() -> LocalHistogram {
+        LocalHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            inv_min: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LocalHistogram {
+    fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+        self.inv_min.fetch_max(u64::MAX - value, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                u64::MAX - self.inv_min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter_map(|(i, cell)| {
+                    let n = cell.load(Ordering::Relaxed);
+                    (n > 0).then_some((bucket_upper_bound(i), n))
+                })
+                .collect(),
+        }
+    }
+}
 
 /// Admission and outcome counters for one server instance.
 ///
@@ -47,6 +117,12 @@ pub struct ServerStats {
     pub queue_depth: AtomicI64,
     /// Jobs being checked right now.
     pub in_flight: AtomicI64,
+    /// Admission → worker pick-up, in µs.
+    pub(crate) queue_wait_us: LocalHistogram,
+    /// Worker load-and-check time, in µs.
+    pub(crate) verify_us: LocalHistogram,
+    /// Admission → terminal disposition, in µs.
+    pub(crate) e2e_us: LocalHistogram,
 }
 
 /// Cached handles to the mirrored `obs` metrics (registry lookups take
@@ -65,6 +141,9 @@ struct ObsMirror {
     in_flight: obs::metrics::Gauge,
     latency_ms: obs::metrics::Histogram,
     queue_wait_ms: obs::metrics::Histogram,
+    queue_wait_us: obs::metrics::Histogram,
+    verify_us: obs::metrics::Histogram,
+    e2e_us: obs::metrics::Histogram,
 }
 
 fn mirror() -> &'static ObsMirror {
@@ -83,6 +162,9 @@ fn mirror() -> &'static ObsMirror {
         in_flight: obs::metrics::gauge("satverifyd.jobs.in_flight"),
         latency_ms: obs::metrics::histogram("satverifyd.job.latency_ms"),
         queue_wait_ms: obs::metrics::histogram("satverifyd.job.queue_wait_ms"),
+        queue_wait_us: obs::metrics::histogram("satverifyd.job.queue_wait_us"),
+        verify_us: obs::metrics::histogram("satverifyd.job.verify_us"),
+        e2e_us: obs::metrics::histogram("satverifyd.job.e2e_us"),
     })
 }
 
@@ -140,12 +222,27 @@ impl ServerStats {
         mirror().in_flight.add(delta);
     }
 
-    pub(crate) fn record_latency_ms(&self, ms: u64) {
-        mirror().latency_ms.record(ms);
+    /// Records admission → worker pick-up time. Feeds the per-instance
+    /// µs histogram, its `obs` mirror, and the legacy ms mirror.
+    pub(crate) fn record_queue_wait_us(&self, us: u64) {
+        self.queue_wait_us.record(us);
+        mirror().queue_wait_us.record(us);
+        mirror().queue_wait_ms.record(us / 1000);
     }
 
-    pub(crate) fn record_queue_wait_ms(&self, ms: u64) {
-        mirror().queue_wait_ms.record(ms);
+    /// Records the worker's load-and-check time.
+    pub(crate) fn record_verify_us(&self, us: u64) {
+        self.verify_us.record(us);
+        mirror().verify_us.record(us);
+    }
+
+    /// Records admission → terminal disposition time. Every admitted
+    /// job must land here exactly once — run, cancelled mid-run, or
+    /// purged from the queue unrun.
+    pub(crate) fn record_e2e_us(&self, us: u64) {
+        self.e2e_us.record(us);
+        mirror().e2e_us.record(us);
+        mirror().latency_ms.record(us / 1000);
     }
 
     /// A point-in-time copy of every counter.
@@ -164,12 +261,15 @@ impl ServerStats {
             internal_errors: get(&self.internal_errors),
             queue_depth: self.queue_depth.load(Ordering::Relaxed).max(0) as u64,
             in_flight: self.in_flight.load(Ordering::Relaxed).max(0) as u64,
+            queue_wait_us: self.queue_wait_us.snapshot(),
+            verify_us: self.verify_us.snapshot(),
+            e2e_us: self.e2e_us.snapshot(),
         }
     }
 }
 
-/// A point-in-time copy of a server's counters.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+/// A point-in-time copy of a server's counters and latency histograms.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct StatsSnapshot {
     /// `verify` requests received.
     pub submitted: u64,
@@ -193,6 +293,12 @@ pub struct StatsSnapshot {
     pub queue_depth: u64,
     /// Currently checking.
     pub in_flight: u64,
+    /// Admission → worker pick-up, in µs.
+    pub queue_wait_us: HistogramSnapshot,
+    /// Worker load-and-check time, in µs.
+    pub verify_us: HistogramSnapshot,
+    /// Admission → terminal disposition, in µs.
+    pub e2e_us: HistogramSnapshot,
 }
 
 impl StatsSnapshot {
@@ -283,5 +389,38 @@ mod tests {
         assert_eq!(names.len(), 9);
         assert!(names.iter().all(|&(_, v)| v == 1));
         assert_eq!(snap.accounted(), 8, "submitted is not a disposition");
+    }
+
+    #[test]
+    fn local_histograms_are_per_instance() {
+        let a = ServerStats::new();
+        let b = ServerStats::new();
+        a.record_queue_wait_us(10);
+        a.record_verify_us(500);
+        a.record_e2e_us(600);
+        let snap_a = a.snapshot();
+        let snap_b = b.snapshot();
+        assert_eq!(snap_a.queue_wait_us.count, 1);
+        assert_eq!(snap_a.verify_us.count, 1);
+        assert_eq!(snap_a.e2e_us.count, 1);
+        assert_eq!(snap_a.e2e_us.min, 600);
+        assert_eq!(snap_a.e2e_us.max, 600);
+        assert_eq!(snap_b.queue_wait_us.count, 0, "b untouched by a");
+        assert_eq!(snap_b.e2e_us.count, 0);
+    }
+
+    #[test]
+    fn local_histogram_percentiles_track_samples() {
+        let h = LocalHistogram::default();
+        for us in [100u64, 200, 300, 400, 100_000] {
+            h.record(us);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 5);
+        assert_eq!(snap.min, 100);
+        assert_eq!(snap.max, 100_000);
+        let p50 = snap.p50();
+        assert!((200..1024).contains(&p50), "p50 within 2x of 200-300: {p50}");
+        assert!(snap.p99() >= 100_000 / 2, "p99 tracks the outlier");
     }
 }

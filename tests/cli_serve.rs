@@ -29,8 +29,13 @@ const BAD_PROOF: &str = "1 2 0\n0\n";
 /// Boots the daemon on an ephemeral port and returns the child plus
 /// the endpoint it printed.
 fn boot() -> (Child, String) {
+    boot_with(&[])
+}
+
+fn boot_with(extra: &[&str]) -> (Child, String) {
     let mut child = Command::new(bin())
         .args(["serve", "--listen", "tcp:127.0.0.1:0"])
+        .args(extra)
         .stdout(Stdio::piped())
         .stdin(Stdio::null())
         .spawn()
@@ -117,6 +122,97 @@ fn serve_and_client_round_trip_the_check_contract() {
         String::from_utf8_lossy(&out.stderr).contains("cannot connect"),
         "{out:?}"
     );
+}
+
+#[test]
+fn event_log_metrics_and_percentiles_survive_the_real_binary() {
+    let cnf = tmp("obs-xor.cnf");
+    let good = tmp("obs-good.ccp");
+    let log_path = tmp("events.jsonl");
+    std::fs::write(&cnf, XOR_SQUARE).expect("write cnf");
+    std::fs::write(&good, XOR_PROOF).expect("write proof");
+    let cnf = cnf.to_str().expect("utf8");
+    let good = good.to_str().expect("utf8");
+    let log = log_path.to_str().expect("utf8");
+
+    let (mut child, endpoint) = boot_with(&["--event-log", log]);
+
+    for _ in 0..2 {
+        let out = run(&["client", &endpoint, "check", cnf, good]);
+        assert_eq!(out.status.code(), Some(0), "{out:?}");
+    }
+
+    // the extended stats reply renders µs percentile summaries
+    let out = run(&["client", &endpoint, "stats"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("latency_us (count, p50, p90, p99, min, max):"), "{text}");
+    for name in ["queue_wait", "verify", "e2e"] {
+        assert!(text.contains(name), "missing {name} summary in: {text}");
+    }
+
+    // the metrics request answers in Prometheus text exposition
+    let out = run(&["client", &endpoint, "metrics"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    for needle in [
+        "# TYPE satverifyd_jobs_submitted counter",
+        "satverifyd_jobs_submitted 2",
+        "# TYPE satverifyd_job_e2e_us histogram",
+        "satverifyd_job_e2e_us_count 2",
+        "satverifyd_job_e2e_us_bucket{le=\"+Inf\"} 2",
+    ] {
+        assert!(text.contains(needle), "missing {needle:?} in: {text}");
+    }
+
+    let out = run(&["client", &endpoint, "shutdown"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let status = child.wait().expect("daemon exits");
+    assert!(status.success(), "{status:?}");
+
+    // the drained daemon flushed a complete JSONL lifecycle log
+    let text = std::fs::read_to_string(&log_path).expect("event log exists");
+    let mut timelines: std::collections::HashMap<String, Vec<String>> =
+        std::collections::HashMap::new();
+    let mut last_ts_per_job: std::collections::HashMap<String, i64> =
+        std::collections::HashMap::new();
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        // minimal field scrape: every line is one flat JSON object
+        let field = |key: &str| -> Option<String> {
+            let tag = format!("\"{key}\":");
+            let rest = &line[line.find(&tag)? + tag.len()..];
+            let rest = rest.trim_start();
+            Some(if let Some(stripped) = rest.strip_prefix('"') {
+                stripped.split('"').next().unwrap_or_default().to_string()
+            } else {
+                rest.split(&[',', '}'][..]).next().unwrap_or_default().to_string()
+            })
+        };
+        let event = field("event").expect("every line names its event");
+        let ts: i64 = field("ts_us").expect("every line is stamped").parse().expect("ts");
+        if let Some(job) = field("job") {
+            // per-job timestamps are monotone in admission→terminal order
+            let last = last_ts_per_job.entry(job.clone()).or_insert(ts);
+            assert!(ts >= *last || event == "admitted",
+                    "job {job}: {event} at {ts} after {last}");
+            *last = (*last).max(ts);
+            timelines.entry(job).or_default().push(event);
+        }
+    }
+    assert_eq!(timelines.len(), 2, "two jobs traced: {timelines:?}");
+    for (job, events) in &timelines {
+        for needle in ["received", "admitted", "started", "verified"] {
+            assert!(
+                events.iter().any(|e| e == needle),
+                "job {job} missing {needle}: {events:?}"
+            );
+        }
+        assert_eq!(
+            events.iter().filter(|e| *e == "verified").count(),
+            1,
+            "job {job}: exactly one terminal: {events:?}"
+        );
+    }
 }
 
 #[test]
