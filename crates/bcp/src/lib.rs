@@ -7,12 +7,17 @@
 //! * [`WatchedPropagator`] — the two-watched-literal scheme of Chaff,
 //!   which the paper's §6 adopts because proof clauses are long and
 //!   watched literals avoid touching them;
+//! * [`ArenaWatchedPropagator`] — the same scheme over a flat
+//!   [`ClauseArena`] with blocking literals and offset-based watch
+//!   entries, the raw-speed layout;
 //! * [`CountingPropagator`] — the classical counter-based scheme, kept as
 //!   the ablation baseline.
 //!
-//! Clauses live in a [`ClauseDb`] arena owned by the caller, so the CDCL
-//! solver (`cdcl` crate) and the proof checker (`proofver` crate) can add,
-//! delete, and *deactivate* clauses between propagations.
+//! Clauses live in a [`ClauseDb`] or [`ClauseArena`] store owned by the
+//! caller, so the CDCL solver (`cdcl` crate) and the proof checker
+//! (`proofver` crate) can add, delete, and *deactivate* clauses between
+//! propagations. The [`ClauseStore`] and [`Propagator`] traits abstract
+//! over the two layouts; [`PropagatorChoice`] is the runtime switch.
 //!
 //! # Examples
 //!
@@ -36,13 +41,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena;
 mod clause_db;
 mod counting;
+mod engine;
 mod head_tail;
 mod propagator;
 
+pub use arena::{ArenaWatchedPropagator, BulkAttach, ClauseArena, View};
 pub use clause_db::{ClauseDb, ClauseRef};
 pub use counting::CountingPropagator;
+pub use engine::{ClauseRefs, ClauseStore, Propagator, PropagatorChoice};
 pub use head_tail::HeadTailPropagator;
 pub use propagator::{
     Attach, BudgetedPropagation, Conflict, Fuel, Reason, Stopped, WatchedPropagator,

@@ -1,0 +1,337 @@
+//! Differential property tests: the arena-watched engine must derive
+//! exactly the same implications and conflicts as the boxed
+//! watched-literal engine and the counting baseline — on random k-SAT,
+//! on the pigeonhole and mutilated-chessboard families, and across
+//! clause deletions and arena compaction. The arena is a layout change,
+//! never a behavioural one.
+
+use bcp::{
+    ArenaWatchedPropagator, Attach, ClauseArena, ClauseDb, ClauseStore,
+    CountingPropagator, Propagator, WatchedPropagator,
+};
+use cnf::{CnfFormula, LBool, Lit, Var};
+use cnfgen::{mutilated_chessboard, pigeonhole, random_ksat};
+use proptest::prelude::*;
+
+fn dimacs_lit(n: i32) -> impl Strategy<Value = i32> {
+    (1..=n).prop_flat_map(|v| prop_oneof![Just(v), Just(-v)])
+}
+
+fn formula_strategy(max_var: i32) -> impl Strategy<Value = CnfFormula> {
+    prop::collection::vec(prop::collection::vec(dimacs_lit(max_var), 1..=4), 1..30)
+        .prop_map(move |cs| {
+            let mut f = CnfFormula::from_dimacs_clauses(&cs);
+            f.ensure_var(Var::new(max_var as u32 - 1));
+            f
+        })
+}
+
+fn setup_watched(f: &CnfFormula) -> Option<(ClauseDb, WatchedPropagator)> {
+    let mut db = ClauseDb::from_formula(f);
+    let mut p = WatchedPropagator::new(f.num_vars());
+    let refs: Vec<_> = db.refs().collect();
+    for r in refs {
+        match p.attach_clause(&mut db, r) {
+            Attach::Watched => {}
+            Attach::Unit(l) => {
+                if p.enqueue_propagated(l, r).is_err() {
+                    return None; // conflicting root units: skip case
+                }
+            }
+            Attach::Empty => return None,
+        }
+    }
+    Some((db, p))
+}
+
+fn setup_arena(f: &CnfFormula) -> Option<(ClauseArena, ArenaWatchedPropagator)> {
+    let mut db = ClauseArena::from_formula(f);
+    let mut p = ArenaWatchedPropagator::new(f.num_vars());
+    let bulk = p.attach_all(&mut db);
+    if !bulk.empties.is_empty() {
+        return None;
+    }
+    for (r, l) in bulk.units {
+        if p.enqueue_propagated(l, r).is_err() {
+            return None;
+        }
+    }
+    Some((db, p))
+}
+
+fn setup_counting(f: &CnfFormula) -> Option<(ClauseDb, CountingPropagator)> {
+    let db = ClauseDb::from_formula(f);
+    let mut p = CountingPropagator::new(f.num_vars());
+    p.attach_all(&db);
+    for r in db.refs() {
+        if db.clause_len(r) == 1 && p.enqueue_unit(db.lits(r)[0], r).is_err() {
+            return None;
+        }
+    }
+    Some((db, p))
+}
+
+/// Asserts the two engines assign every variable identically.
+fn assert_same_assignment(
+    w: &WatchedPropagator,
+    a: &ArenaWatchedPropagator,
+    num_vars: usize,
+    context: &str,
+) {
+    for v in 0..num_vars {
+        let l = Var::new(v as u32).positive();
+        assert_eq!(w.value(l), a.value(l), "{context}: disagree on {l}");
+    }
+}
+
+/// Drives both engines through the same decision schedule, asserting
+/// conflict parity and identical assignments after every propagation.
+/// Returns early (still asserting parity) on the first conflict.
+fn drive_pair(
+    db_w: &mut ClauseDb,
+    w: &mut WatchedPropagator,
+    db_a: &mut ClauseArena,
+    a: &mut ArenaWatchedPropagator,
+    schedule: &[Lit],
+) {
+    for &lit in schedule {
+        if !w.assignment().is_unassigned(lit) {
+            continue;
+        }
+        w.decide(lit);
+        a.decide(lit);
+        let cw = w.propagate(db_w);
+        let ca = Propagator::propagate(a, db_a);
+        assert_eq!(cw.is_some(), ca.is_some(), "conflict parity after {lit}");
+        assert_same_assignment(w, a, w.assignment().num_vars(), "after decision");
+        if cw.is_some() {
+            let lvl = w.decision_level() - 1;
+            w.backtrack_to(lvl);
+            a.backtrack_to(lvl);
+        }
+    }
+}
+
+/// A fixed but var-count-aware decision schedule for the named families.
+fn family_schedule(num_vars: usize) -> Vec<Lit> {
+    (0..num_vars)
+        .map(|i| {
+            let v = Var::new(((i * 7) % num_vars) as u32);
+            v.lit(i % 3 == 0)
+        })
+        .collect()
+}
+
+/// Runs the full differential harness (root propagation + schedule) on
+/// one formula.
+fn check_family(f: &CnfFormula) {
+    let (sw, sa) = (setup_watched(f), setup_arena(f));
+    // Degenerate at the root (conflicting units): both engines must
+    // agree that setup itself fails.
+    assert_eq!(sw.is_some(), sa.is_some(), "root setup parity");
+    let (Some((mut db_w, mut w)), Some((mut db_a, mut a))) = (sw, sa) else {
+        return;
+    };
+    let cw = w.propagate(&mut db_w);
+    let ca = Propagator::propagate(&mut a, &mut db_a);
+    assert_eq!(cw.is_some(), ca.is_some(), "root conflict parity");
+    if cw.is_some() {
+        return;
+    }
+    drive_pair(&mut db_w, &mut w, &mut db_a, &mut a, &family_schedule(f.num_vars()));
+}
+
+#[test]
+fn pigeonhole_family_agrees() {
+    for holes in 2..=6 {
+        check_family(&pigeonhole(holes));
+    }
+}
+
+#[test]
+fn chessboard_family_agrees() {
+    for n in [2, 4, 6] {
+        check_family(&mutilated_chessboard(n));
+    }
+}
+
+#[test]
+fn random_ksat_family_agrees() {
+    for seed in 0..8 {
+        check_family(&random_ksat(3, 50, 180, seed));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arena-watched, boxed-watched, and counting engines agree on every
+    /// implication and every conflict over random formulas and decisions.
+    #[test]
+    fn arena_agrees_with_watched_and_counting(
+        f in formula_strategy(8),
+        decisions in prop::collection::vec(dimacs_lit(8), 1..8),
+    ) {
+        let (Some((mut db_w, mut w)), Some((mut db_a, mut a)), Some((db_c, mut c))) =
+            (setup_watched(&f), setup_arena(&f), setup_counting(&f))
+        else {
+            return Ok(()); // degenerate root conflict; nothing to compare
+        };
+        let cw0 = w.propagate(&mut db_w);
+        let ca0 = Propagator::propagate(&mut a, &mut db_a);
+        let cc0 = c.propagate(&db_c);
+        prop_assert_eq!(cw0.is_some(), ca0.is_some(), "root conflict parity (arena)");
+        prop_assert_eq!(cw0.is_some(), cc0.is_some(), "root conflict parity (counting)");
+        if cw0.is_some() {
+            return Ok(());
+        }
+        for d in decisions {
+            let lit = Lit::from_dimacs(d);
+            if !w.assignment().is_unassigned(lit) {
+                continue;
+            }
+            w.decide(lit);
+            a.decide(lit);
+            c.decide(lit);
+            let cw = w.propagate(&mut db_w);
+            let ca = Propagator::propagate(&mut a, &mut db_a);
+            let cc = c.propagate(&db_c);
+            prop_assert_eq!(cw.is_some(), ca.is_some(), "arena conflict parity after {}", d);
+            prop_assert_eq!(cw.is_some(), cc.is_some(), "counting conflict parity after {}", d);
+            if cw.is_some() {
+                break;
+            }
+            for v in 0..f.num_vars() {
+                let l = Var::new(v as u32).positive();
+                prop_assert_eq!(w.value(l), a.value(l), "arena disagrees on {}", l);
+                prop_assert_eq!(w.value(l), c.value(l), "counting disagrees on {}", l);
+            }
+        }
+    }
+
+    /// Agreement survives clause deletion: both engines drop the same
+    /// clauses (watched lazily, arena via its garbage bit) and keep
+    /// propagating identically.
+    #[test]
+    fn arena_agrees_after_deletions(
+        f in formula_strategy(8),
+        decisions in prop::collection::vec(dimacs_lit(8), 1..8),
+        delete_mask in prop::collection::vec(any::<bool>(), 29),
+    ) {
+        let (Some((mut db_w, mut w)), Some((mut db_a, mut a))) =
+            (setup_watched(&f), setup_arena(&f))
+        else {
+            return Ok(());
+        };
+        if w.propagate(&mut db_w).is_some() {
+            let _ = Propagator::propagate(&mut a, &mut db_a);
+            return Ok(());
+        }
+        prop_assert!(Propagator::propagate(&mut a, &mut db_a).is_none());
+        // Deletion must happen at decision level 0 with clean state:
+        // reset both engines, delete, then re-propagate from scratch.
+        w.backtrack_to(0);
+        a.backtrack_to(0);
+        for (i, &kill) in delete_mask.iter().enumerate() {
+            if kill && i < db_w.len() {
+                let r = bcp::ClauseRef::from_index(i);
+                db_w.delete_clause(r);
+                ClauseStore::delete_clause(&mut db_a, r);
+            }
+        }
+        drive_pair(
+            &mut db_w, &mut w, &mut db_a, &mut a,
+            &decisions.iter().map(|&d| Lit::from_dimacs(d)).collect::<Vec<_>>(),
+        );
+    }
+
+    /// Agreement survives compaction: after deleting clauses and
+    /// compacting the arena (which rewrites every offset and remaps the
+    /// watch lists), the engines still agree on a fresh schedule.
+    #[test]
+    fn arena_agrees_after_compaction(
+        f in formula_strategy(8),
+        decisions in prop::collection::vec(dimacs_lit(8), 1..8),
+        delete_mask in prop::collection::vec(any::<bool>(), 29),
+    ) {
+        let (Some((mut db_w, mut w)), Some((mut db_a, mut a))) =
+            (setup_watched(&f), setup_arena(&f))
+        else {
+            return Ok(());
+        };
+        if w.propagate(&mut db_w).is_some() {
+            let _ = Propagator::propagate(&mut a, &mut db_a);
+            return Ok(());
+        }
+        prop_assert!(Propagator::propagate(&mut a, &mut db_a).is_none());
+        w.backtrack_to(0);
+        a.backtrack_to(0);
+        for (i, &kill) in delete_mask.iter().enumerate() {
+            if kill && i < db_w.len() {
+                let r = bcp::ClauseRef::from_index(i);
+                db_w.delete_clause(r);
+                ClauseStore::delete_clause(&mut db_a, r);
+            }
+        }
+        a.compact(&mut db_a);
+        drive_pair(
+            &mut db_w, &mut w, &mut db_a, &mut a,
+            &decisions.iter().map(|&d| Lit::from_dimacs(d)).collect::<Vec<_>>(),
+        );
+        // compaction preserved every surviving clause verbatim
+        for i in 0..db_w.len() {
+            let r = bcp::ClauseRef::from_index(i);
+            if !db_w.is_deleted(r) {
+                prop_assert_eq!(db_w.lits(r), ClauseStore::lits(&db_a, r));
+            }
+        }
+    }
+
+    /// The arena engine's budgeted propagation is deterministic and, at
+    /// fixpoint, matches its unbudgeted result.
+    #[test]
+    fn arena_budgeted_matches_unbudgeted(
+        f in formula_strategy(8),
+        decisions in prop::collection::vec(dimacs_lit(8), 1..6),
+    ) {
+        use bcp::{BudgetedPropagation, Fuel};
+        let (Some((mut db_a, mut a)), Some((mut db_b, mut b))) =
+            (setup_arena(&f), setup_arena(&f))
+        else {
+            return Ok(());
+        };
+        let mut fuel = Fuel::unlimited();
+        let ca = Propagator::propagate(&mut a, &mut db_a);
+        let cb = match b.propagate_budgeted(&mut db_b, &mut fuel) {
+            BudgetedPropagation::Conflict(c) => Some(c),
+            BudgetedPropagation::Fixpoint => None,
+            BudgetedPropagation::Interrupted(_) => unreachable!("unlimited fuel"),
+        };
+        prop_assert_eq!(ca.is_some(), cb.is_some());
+        if ca.is_some() {
+            return Ok(());
+        }
+        for d in decisions {
+            let lit = Lit::from_dimacs(d);
+            if a.assignment().lit_value(lit) != LBool::Unassigned {
+                continue;
+            }
+            a.decide(lit);
+            b.decide(lit);
+            let ca = Propagator::propagate(&mut a, &mut db_a);
+            let cb = match b.propagate_budgeted(&mut db_b, &mut fuel) {
+                BudgetedPropagation::Conflict(c) => Some(c),
+                BudgetedPropagation::Fixpoint => None,
+                BudgetedPropagation::Interrupted(_) => unreachable!("unlimited fuel"),
+            };
+            prop_assert_eq!(ca.is_some(), cb.is_some(), "budgeted parity after {}", d);
+            if ca.is_some() {
+                break;
+            }
+            for v in 0..f.num_vars() {
+                let l = Var::new(v as u32).positive();
+                prop_assert_eq!(a.value(l), b.value(l), "budgeted disagrees on {}", l);
+            }
+        }
+    }
+}

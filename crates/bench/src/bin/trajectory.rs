@@ -21,7 +21,10 @@
 use std::process::ExitCode;
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
-use satverify::bcp::{Attach, ClauseDb, CountingPropagator, WatchedPropagator};
+use satverify::bcp::{
+    ArenaWatchedPropagator, Attach, ClauseArena, ClauseDb, CountingPropagator,
+    Propagator, WatchedPropagator,
+};
 use satverify::cdcl::{solve, SolverConfig};
 use satverify::cnf::{CnfFormula, Lit, Var};
 use satverify::cnfgen::{bmc_counter, pigeonhole, random_ksat};
@@ -257,6 +260,24 @@ fn bcp_watched(f: &CnfFormula, schedule: &[Lit]) -> u64 {
     p.num_clause_visits()
 }
 
+fn bcp_arena(f: &CnfFormula, schedule: &[Lit]) -> u64 {
+    let mut db = ClauseArena::from_formula(f);
+    let mut p = ArenaWatchedPropagator::new(f.num_vars());
+    let bulk = p.attach_all(&mut db);
+    for (r, l) in bulk.units {
+        let _ = p.enqueue_propagated(l, r);
+    }
+    for &d in schedule {
+        if p.assignment().is_unassigned(d) {
+            p.decide(d);
+            if p.propagate(&mut db).is_some() {
+                p.backtrack_to(p.decision_level() - 1);
+            }
+        }
+    }
+    p.num_clause_visits()
+}
+
 fn bcp_counting(f: &CnfFormula, schedule: &[Lit]) -> u64 {
     let db = ClauseDb::from_formula(f);
     let mut p = CountingPropagator::new(f.num_vars());
@@ -283,6 +304,9 @@ fn record_bcp(recorder: &mut Recorder, smoke: bool) {
     let schedule = bcp_decisions(num_vars);
     recorder.measure(&format!("bcp.watched.{num_vars}"), || {
         std::hint::black_box(bcp_watched(&f, &schedule));
+    });
+    recorder.measure(&format!("bcp.arena.{num_vars}"), || {
+        std::hint::black_box(bcp_arena(&f, &schedule));
     });
     recorder.measure(&format!("bcp.counting.{num_vars}"), || {
         std::hint::black_box(bcp_counting(&f, &schedule));

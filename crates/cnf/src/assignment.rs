@@ -102,6 +102,10 @@ impl fmt::Display for LBool {
 /// ```
 #[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct Assignment {
+    /// Indexed by *literal* (two slots per variable), so that
+    /// [`Assignment::lit_value`] — the hottest query in every
+    /// propagation engine — is a single load with no sign fixup.
+    /// [`Assignment::assign`] maintains both polarities.
     values: Vec<LBool>,
     num_assigned: usize,
 }
@@ -110,14 +114,17 @@ impl Assignment {
     /// Creates an all-unassigned assignment over `num_vars` variables.
     #[must_use]
     pub fn new(num_vars: usize) -> Self {
-        Assignment { values: vec![LBool::Unassigned; num_vars], num_assigned: 0 }
+        Assignment {
+            values: vec![LBool::Unassigned; 2 * num_vars],
+            num_assigned: 0,
+        }
     }
 
     /// Number of variables tracked.
     #[inline]
     #[must_use]
     pub fn num_vars(&self) -> usize {
-        self.values.len()
+        self.values.len() / 2
     }
 
     /// Number of currently assigned variables.
@@ -129,8 +136,8 @@ impl Assignment {
 
     /// Grows the assignment so that `var` is in range.
     pub fn ensure_var(&mut self, var: Var) {
-        if var.idx() >= self.values.len() {
-            self.values.resize(var.idx() + 1, LBool::Unassigned);
+        if 2 * var.idx() >= self.values.len() {
+            self.values.resize(2 * (var.idx() + 1), LBool::Unassigned);
         }
     }
 
@@ -142,7 +149,7 @@ impl Assignment {
     #[inline]
     #[must_use]
     pub fn var_value(&self, var: Var) -> LBool {
-        self.values[var.idx()]
+        self.lit_value(var.positive())
     }
 
     /// Returns the value of a literal under the current assignment.
@@ -153,12 +160,7 @@ impl Assignment {
     #[inline]
     #[must_use]
     pub fn lit_value(&self, lit: Lit) -> LBool {
-        let v = self.values[lit.var().idx()];
-        if lit.is_positive() {
-            v
-        } else {
-            !v
-        }
+        self.values[lit.idx()]
     }
 
     /// Returns `true` if `lit` is assigned true.
@@ -195,17 +197,20 @@ impl Assignment {
             self.is_unassigned(lit),
             "double assignment of {lit}",
         );
-        self.values[lit.var().idx()] = LBool::from(lit.is_positive());
+        self.values[lit.idx()] = LBool::True;
+        self.values[(!lit).idx()] = LBool::False;
         self.num_assigned += 1;
     }
 
     /// Removes the assignment of `var`.
     #[inline]
     pub fn unassign(&mut self, var: Var) {
-        if self.values[var.idx()].is_assigned() {
+        let lit = var.positive();
+        if self.values[lit.idx()].is_assigned() {
             self.num_assigned -= 1;
         }
-        self.values[var.idx()] = LBool::Unassigned;
+        self.values[lit.idx()] = LBool::Unassigned;
+        self.values[(!lit).idx()] = LBool::Unassigned;
     }
 
     /// Resets every variable to unassigned.
@@ -239,11 +244,10 @@ impl Assignment {
     /// fragment suitable for printing.
     #[must_use]
     pub fn to_lits(&self) -> Vec<Lit> {
-        self.values
-            .iter()
-            .enumerate()
-            .filter_map(|(i, v)| {
-                v.to_bool().map(|b| Var::new(i as u32).lit(b))
+        (0..self.num_vars())
+            .filter_map(|i| {
+                let var = Var::new(i as u32);
+                self.var_value(var).to_bool().map(|b| var.lit(b))
             })
             .collect()
     }

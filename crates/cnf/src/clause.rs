@@ -39,6 +39,15 @@ impl Clause {
         Clause { lits: lits.into().into_boxed_slice() }
     }
 
+    /// Creates a clause from a borrowed literal slice with a single
+    /// allocation (no intermediate `Vec`). The bulk-load counterpart of
+    /// [`Clause::new`] — the DIMACS parser reads into a reusable scratch
+    /// buffer and loads clauses through this.
+    #[must_use]
+    pub fn from_lits(lits: &[Lit]) -> Self {
+        Clause { lits: lits.into() }
+    }
+
     /// Creates the empty clause.
     #[must_use]
     pub fn empty() -> Self {

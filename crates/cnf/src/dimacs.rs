@@ -15,7 +15,6 @@ use std::error::Error;
 use std::fmt;
 use std::io::{self, BufRead, Write};
 
-use crate::clause::Clause;
 use crate::formula::CnfFormula;
 use crate::lit::Lit;
 
@@ -219,7 +218,10 @@ pub fn parse_dimacs<R: BufRead>(reader: R) -> Result<CnfFormula, ParseDimacsErro
                 }
             };
             if value == 0 {
-                formula.add_clause(Clause::new(std::mem::take(&mut current)));
+                // bulk-load from the scratch buffer: one allocation per
+                // clause, the buffer itself is reused across clauses
+                formula.add_clause_lits(&current);
+                current.clear();
             } else {
                 if value.unsigned_abs() > i32::MAX as u64 {
                     return Err(ParseDimacsError::LiteralOutOfRange { line: lineno, column });
@@ -229,7 +231,7 @@ pub fn parse_dimacs<R: BufRead>(reader: R) -> Result<CnfFormula, ParseDimacsErro
         }
     }
     if !current.is_empty() {
-        formula.add_clause(Clause::new(current));
+        formula.add_clause_lits(&current);
     }
     Ok(formula)
 }
@@ -272,6 +274,7 @@ pub fn to_dimacs_string(formula: &CnfFormula) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::clause::Clause;
 
     #[test]
     fn parses_basic_file() {

@@ -117,6 +117,16 @@ impl CnfFormula {
         self.clauses.push(clause);
     }
 
+    /// Appends a clause given as a borrowed literal slice, with a single
+    /// allocation for the clause storage. The caller's buffer can be
+    /// reused for the next clause — this is the parser's bulk-load path.
+    pub fn add_clause_lits(&mut self, lits: &[Lit]) {
+        if let Some(v) = lits.iter().map(|l| l.var()).max() {
+            self.ensure_var(v);
+        }
+        self.clauses.push(Clause::from_lits(lits));
+    }
+
     /// Appends a clause given by DIMACS names.
     ///
     /// # Panics
@@ -201,6 +211,13 @@ impl CnfFormula {
     /// Returns all literals of all clauses (with repetition).
     pub fn all_lits(&self) -> impl Iterator<Item = Lit> + '_ {
         self.clauses.iter().flat_map(|c| c.lits().iter().copied())
+    }
+
+    /// Iterates over the clauses as borrowed literal slices — the
+    /// allocation-free iteration API engines use to bulk-load clause
+    /// storage.
+    pub fn lit_slices(&self) -> impl Iterator<Item = &[Lit]> + '_ {
+        self.clauses.iter().map(|c| c.lits())
     }
 }
 

@@ -19,8 +19,9 @@ use std::sync::OnceLock;
 use std::time::Instant;
 
 use bcp::{
-    Attach, BudgetedPropagation, ClauseDb, ClauseRef, Conflict, Fuel, Reason,
-    Stopped, WatchedPropagator,
+    ArenaWatchedPropagator, Attach, BudgetedPropagation, ClauseRef, ClauseStore,
+    Conflict, Fuel, Propagator, PropagatorChoice, Reason, Stopped,
+    WatchedPropagator,
 };
 use cnf::{Clause, CnfFormula, Lit, Var};
 
@@ -111,6 +112,28 @@ pub fn verify_all(
     Checker::new(formula, proof).run(CheckMode::All)
 }
 
+/// [`verify`]-family entry point with an explicit BCP engine: runs the
+/// selected procedure on the watched (`ClauseDb`) or arena-watched
+/// (`ClauseArena` + blocking literals) engine. Verdicts, marks, and
+/// cores are identical across engines.
+///
+/// # Errors
+///
+/// See [`verify`].
+pub fn verify_with_engine(
+    formula: &CnfFormula,
+    proof: &ConflictClauseProof,
+    mode: CheckMode,
+    engine: PropagatorChoice,
+) -> Result<Verification, VerifyError> {
+    match engine {
+        PropagatorChoice::Watched => Checker::new(formula, proof).run(mode),
+        PropagatorChoice::ArenaWatched => {
+            Checker::<ArenaWatchedPropagator>::with_engine(formula, proof).run(mode)
+        }
+    }
+}
+
 /// Verifies that `F ∪ F* ⊨ target`: each conflict clause of `proof` is
 /// checked as in [`verify`], and the *target* clause takes the place of
 /// the final refutation — its negation, propagated over the formula plus
@@ -193,11 +216,16 @@ fn obs_handles() -> &'static ObsHandles {
 
 /// The proof checker, exposed for callers that want to reuse the arena
 /// across modes or inspect intermediate state.
+///
+/// Generic over the BCP engine (watched over a header-table `ClauseDb`
+/// by default, or the arena-watched engine via
+/// [`Checker::with_engine`]); every engine produces identical verdicts,
+/// marks, and cores — only the propagation cost differs.
 #[derive(Debug)]
-pub struct Checker<'a> {
+pub struct Checker<'a, P: Propagator = WatchedPropagator> {
     proof: &'a ConflictClauseProof,
-    db: ClauseDb,
-    prop: WatchedPropagator,
+    db: P::Store,
+    prop: P,
     /// Unit clauses by arena index (they cannot be watched; each check
     /// enqueues the active ones explicitly).
     units: Vec<(ClauseRef, Lit)>,
@@ -211,15 +239,25 @@ pub struct Checker<'a> {
 }
 
 impl<'a> Checker<'a> {
-    /// Builds the checker arena: the original clauses first, then the
-    /// conflict clauses in chronological order.
+    /// Builds the checker arena with the default watched-literal engine:
+    /// the original clauses first, then the conflict clauses in
+    /// chronological order.
     #[must_use]
     pub fn new(formula: &'a CnfFormula, proof: &'a ConflictClauseProof) -> Self {
+        Checker::with_engine(formula, proof)
+    }
+}
+
+impl<'a, P: Propagator> Checker<'a, P> {
+    /// Builds the checker arena over the engine `P`: the original
+    /// clauses first, then the conflict clauses in chronological order.
+    #[must_use]
+    pub fn with_engine(formula: &'a CnfFormula, proof: &'a ConflictClauseProof) -> Self {
         let num_vars = formula
             .num_vars()
             .max(proof.max_var().map_or(0, |v| v.idx() + 1));
-        let mut db = ClauseDb::new();
-        let mut prop = WatchedPropagator::new(num_vars);
+        let mut db = P::Store::new();
+        let mut prop = P::new(num_vars);
         let mut units = Vec::new();
         let mut empties = Vec::new();
 
@@ -579,7 +617,7 @@ impl<'a> Checker<'a> {
 /// a check *completes*; an interrupted check leaves no trace and is
 /// redone on resume. Checkpoints therefore always describe a state the
 /// uninterrupted run also passes through.
-impl<'a> Checker<'a> {
+impl<'a, P: Propagator> Checker<'a, P> {
     pub(crate) fn run_harnessed(
         mut self,
         mode: CheckMode,

@@ -15,7 +15,10 @@
 //! walking back resurrect their clause, additions deactivate and check
 //! theirs.
 
-use bcp::{Attach, ClauseDb, ClauseRef, Conflict, Reason, WatchedPropagator};
+use bcp::{
+    ArenaWatchedPropagator, Attach, ClauseRef, ClauseStore, Conflict, Propagator,
+    PropagatorChoice, Reason, WatchedPropagator,
+};
 use cnf::{Clause, CnfFormula, Lit};
 
 use crate::core_extract::UnsatCore;
@@ -107,7 +110,31 @@ impl AnnotatedProof {
         &self,
         formula: &CnfFormula,
     ) -> Result<AnnotatedVerification, VerifyError> {
-        DeletionChecker::new(formula, self).run()
+        self.verify_with_engine(formula, PropagatorChoice::Watched)
+    }
+
+    /// [`AnnotatedProof::verify`] on an explicitly chosen BCP engine.
+    ///
+    /// The backward walk *undeletes* clauses, so the arena engine runs
+    /// without compaction here (compaction would drop garbage bodies the
+    /// walk still needs to resurrect).
+    ///
+    /// # Errors
+    ///
+    /// See [`AnnotatedProof::verify`].
+    pub fn verify_with_engine(
+        &self,
+        formula: &CnfFormula,
+        engine: PropagatorChoice,
+    ) -> Result<AnnotatedVerification, VerifyError> {
+        match engine {
+            PropagatorChoice::Watched => {
+                DeletionChecker::<WatchedPropagator>::new(formula, self).run()
+            }
+            PropagatorChoice::ArenaWatched => {
+                DeletionChecker::<ArenaWatchedPropagator>::new(formula, self).run()
+            }
+        }
     }
 }
 
@@ -128,10 +155,10 @@ enum Outcome {
     NoConflict,
 }
 
-struct DeletionChecker<'a> {
+struct DeletionChecker<'a, P: Propagator> {
     proof: &'a AnnotatedProof,
-    db: ClauseDb,
-    prop: WatchedPropagator,
+    db: P::Store,
+    prop: P,
     /// arena ref of each add event (indexed by add order)
     add_refs: Vec<ClauseRef>,
     /// unit clauses (arena ref, literal); liveness via `db.is_deleted`
@@ -142,7 +169,7 @@ struct DeletionChecker<'a> {
     num_original: usize,
 }
 
-impl<'a> DeletionChecker<'a> {
+impl<'a, P: Propagator> DeletionChecker<'a, P> {
     fn new(formula: &CnfFormula, proof: &'a AnnotatedProof) -> Self {
         let max_proof_var = proof
             .events
@@ -155,8 +182,8 @@ impl<'a> DeletionChecker<'a> {
         let num_vars = formula
             .num_vars()
             .max(max_proof_var.map_or(0, |v| v.idx() + 1));
-        let mut db = ClauseDb::new();
-        let mut prop = WatchedPropagator::new(num_vars);
+        let mut db = P::Store::new();
+        let mut prop = P::new(num_vars);
         let mut units = Vec::new();
         let mut empties = Vec::new();
 

@@ -816,9 +816,39 @@ pub fn verify_harnessed(
     mode: CheckMode,
     harness: &Harness,
 ) -> Outcome {
+    verify_harnessed_with_engine(
+        formula,
+        proof,
+        mode,
+        harness,
+        bcp::PropagatorChoice::Watched,
+    )
+}
+
+/// [`verify_harnessed`] on an explicitly chosen BCP engine.
+///
+/// Checkpoint caveat: a checkpoint's `spent_propagations` /
+/// `spent_clause_visits` are engine-specific (the engines do different
+/// amounts of work per check), so a run should be resumed on the engine
+/// that produced the checkpoint.
+#[must_use]
+pub fn verify_harnessed_with_engine(
+    formula: &CnfFormula,
+    proof: &ConflictClauseProof,
+    mode: CheckMode,
+    harness: &Harness,
+    engine: bcp::PropagatorChoice,
+) -> Outcome {
     let fingerprints =
         (formula_fingerprint(formula), proof_fingerprint(proof));
-    Checker::new(formula, proof).run_harnessed(mode, harness, None, fingerprints)
+    match engine {
+        bcp::PropagatorChoice::Watched => Checker::new(formula, proof)
+            .run_harnessed(mode, harness, None, fingerprints),
+        bcp::PropagatorChoice::ArenaWatched => {
+            Checker::<bcp::ArenaWatchedPropagator>::with_engine(formula, proof)
+                .run_harnessed(mode, harness, None, fingerprints)
+        }
+    }
 }
 
 /// Resumes an interrupted verification run from `checkpoint`. The final
@@ -836,14 +866,44 @@ pub fn resume_verification(
     checkpoint: &Checkpoint,
     harness: &Harness,
 ) -> Result<Outcome, CheckpointError> {
+    resume_verification_with_engine(
+        formula,
+        proof,
+        checkpoint,
+        harness,
+        bcp::PropagatorChoice::Watched,
+    )
+}
+
+/// [`resume_verification`] on an explicitly chosen BCP engine. Use the
+/// engine that produced the checkpoint — the spent-fuel counters it
+/// carries are engine-specific.
+///
+/// # Errors
+///
+/// See [`resume_verification`].
+pub fn resume_verification_with_engine(
+    formula: &CnfFormula,
+    proof: &ConflictClauseProof,
+    checkpoint: &Checkpoint,
+    harness: &Harness,
+    engine: bcp::PropagatorChoice,
+) -> Result<Outcome, CheckpointError> {
     checkpoint.validate(formula, proof)?;
     let fingerprints = (checkpoint.formula_hash, checkpoint.proof_hash);
-    Ok(Checker::new(formula, proof).run_harnessed(
-        checkpoint.mode,
-        harness,
-        Some(checkpoint),
-        fingerprints,
-    ))
+    Ok(match engine {
+        bcp::PropagatorChoice::Watched => Checker::new(formula, proof)
+            .run_harnessed(checkpoint.mode, harness, Some(checkpoint), fingerprints),
+        bcp::PropagatorChoice::ArenaWatched => {
+            Checker::<bcp::ArenaWatchedPropagator>::with_engine(formula, proof)
+                .run_harnessed(
+                    checkpoint.mode,
+                    harness,
+                    Some(checkpoint),
+                    fingerprints,
+                )
+        }
+    })
 }
 
 #[cfg(test)]

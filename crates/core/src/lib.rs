@@ -67,8 +67,10 @@ mod trim;
 pub use binary::{
     decode_proof, encode_proof, encode_proof_to_vec, DecodeProofError, MAGIC,
 };
+pub use bcp::PropagatorChoice;
 pub use checker::{
-    verify, verify_all, verify_implication, CheckMode, Checker, Verification,
+    verify, verify_all, verify_implication, verify_with_engine, CheckMode,
+    Checker, Verification,
 };
 pub use core_extract::UnsatCore;
 pub use deletion::{
@@ -77,11 +79,15 @@ pub use deletion::{
 pub use error::VerifyError;
 pub use harness::{
     formula_fingerprint, proof_fingerprint, resume_verification,
-    verify_harnessed, Budget, CancelToken, Checkpoint, CheckpointError,
-    ExhaustReason, FaultPlan, Gate, Harness, Outcome, Progress,
+    resume_verification_with_engine, verify_harnessed,
+    verify_harnessed_with_engine, Budget, CancelToken, Checkpoint,
+    CheckpointError, ExhaustReason, FaultPlan, Gate, Harness, Outcome, Progress,
     DEFAULT_SLICE_RETRIES,
 };
-pub use parallel::{verify_all_parallel, verify_all_parallel_harnessed};
+pub use parallel::{
+    verify_all_parallel, verify_all_parallel_harnessed,
+    verify_all_parallel_harnessed_with_engine,
+};
 pub use format::{
     parse_proof, parse_proof_str, to_proof_string, write_proof, ParseProofError,
 };

@@ -19,6 +19,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::OnceLock;
 use std::time::Instant;
 
+use bcp::{ArenaWatchedPropagator, Propagator, PropagatorChoice, WatchedPropagator};
 use cnf::CnfFormula;
 
 use crate::checker::{CheckMode, Checker, Verification, WorkerOutcome};
@@ -119,6 +120,48 @@ pub fn verify_all_parallel_harnessed(
     num_threads: usize,
     harness: &Harness,
 ) -> Outcome {
+    parallel_harnessed_generic::<WatchedPropagator>(
+        formula,
+        proof,
+        num_threads,
+        harness,
+    )
+}
+
+/// [`verify_all_parallel_harnessed`] on an explicitly chosen BCP engine.
+/// Every worker (and the sequential fallback) runs the same engine.
+#[must_use]
+pub fn verify_all_parallel_harnessed_with_engine(
+    formula: &CnfFormula,
+    proof: &ConflictClauseProof,
+    num_threads: usize,
+    harness: &Harness,
+    engine: PropagatorChoice,
+) -> Outcome {
+    match engine {
+        PropagatorChoice::Watched => parallel_harnessed_generic::<WatchedPropagator>(
+            formula,
+            proof,
+            num_threads,
+            harness,
+        ),
+        PropagatorChoice::ArenaWatched => {
+            parallel_harnessed_generic::<ArenaWatchedPropagator>(
+                formula,
+                proof,
+                num_threads,
+                harness,
+            )
+        }
+    }
+}
+
+fn parallel_harnessed_generic<P: Propagator>(
+    formula: &CnfFormula,
+    proof: &ConflictClauseProof,
+    num_threads: usize,
+    harness: &Harness,
+) -> Outcome {
     let start = Instant::now();
     let run_span = obs::span!("proofver.par.verify");
     let num_threads = num_threads.max(1).min(proof.len().max(1));
@@ -129,7 +172,7 @@ pub fn verify_all_parallel_harnessed(
     // Memory cap: the run needs one arena copy per worker plus the
     // terminal checker's. If that does not fit but a single copy does,
     // degrade to a sequential pass instead of failing.
-    let probe = Checker::new(formula, proof);
+    let probe = Checker::<P>::with_engine(formula, proof);
     let arena_bytes = probe.arena_bytes();
     let copies = num_threads as u64 + 1;
     if arena_bytes.saturating_mul(copies) > budget.max_arena_bytes {
@@ -206,7 +249,7 @@ pub fn verify_all_parallel_harnessed(
     let run_slice = |slice_index: usize, steps: Vec<usize>| {
         let _span = obs::span!("proofver.par.worker");
         let starved = harness.faults.before_slice(slice_index);
-        Checker::new(formula, proof)
+        Checker::<P>::with_engine(formula, proof)
             .check_steps_budgeted(steps, budget, cancel, deadline, starved)
     };
     let attempts: Vec<std::thread::Result<WorkerOutcome>> =
@@ -245,7 +288,7 @@ pub fn verify_all_parallel_harnessed(
                             par_obs_handles().degraded.inc();
                         }
                         run_span.finish();
-                        return sequential_fallback(
+                        return sequential_fallback::<P>(
                             formula, proof, harness, None,
                         );
                     }
@@ -353,16 +396,16 @@ fn retry_slice(
 /// pass without fault injection. If even that panics, the result is
 /// `Exhausted(WorkerFailure)` — the run could not complete, but no
 /// verdict is fabricated.
-fn sequential_fallback(
-    formula: &CnfFormula,
-    proof: &ConflictClauseProof,
+fn sequential_fallback<'f, P: Propagator>(
+    formula: &'f CnfFormula,
+    proof: &'f ConflictClauseProof,
     harness: &Harness,
-    prebuilt: Option<Checker<'_>>,
+    prebuilt: Option<Checker<'f, P>>,
 ) -> Outcome {
     let fingerprints =
         (formula_fingerprint(formula), proof_fingerprint(proof));
     let checker =
-        prebuilt.unwrap_or_else(|| Checker::new(formula, proof));
+        prebuilt.unwrap_or_else(|| Checker::<P>::with_engine(formula, proof));
     catch_unwind(AssertUnwindSafe(|| {
         checker.run_harnessed(CheckMode::All, harness, None, fingerprints)
     }))

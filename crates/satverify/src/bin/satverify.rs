@@ -17,10 +17,10 @@ use std::time::Duration;
 use cdcl::{LearningScheme, SolverConfig};
 use cnf::{parse_dimacs, write_dimacs, CnfFormula};
 use proofver::{
-    decode_proof, encode_proof, parse_proof, resume_verification,
-    verify_all_parallel_harnessed, verify_harnessed, write_proof, Budget,
-    CheckMode, Checkpoint, CheckpointError, ConflictClauseProof, Harness,
-    Outcome, ProofStats, MAGIC,
+    decode_proof, encode_proof, parse_proof, resume_verification_with_engine,
+    verify_all_parallel_harnessed_with_engine, verify_harnessed_with_engine,
+    write_proof, Budget, CheckMode, Checkpoint, CheckpointError,
+    ConflictClauseProof, Harness, Outcome, ProofStats, PropagatorChoice, MAGIC,
 };
 use satverifyd::{
     BudgetSpec, Client, Endpoint, ErrorCode as WireError, Request as WireRequest,
@@ -403,6 +403,7 @@ satverify check — verify a conflict-clause proof of unsatisfiability
 
 USAGE:
     satverify check <cnf> <proof> [--all] [--parallel <n>]
+                    [--engine <watched|arena>]
                     [--max-propagations <n>] [--max-clause-visits <n>]
                     [--max-memory-mb <n>] [--timeout-ms <n>]
                     [--checkpoint <path>] [--resume]
@@ -411,7 +412,11 @@ USAGE:
 The proof file may be text or binary (auto-detected). --all checks
 every proof clause (Proof_verification1); the default checks only the
 clauses marked as contributing (Proof_verification2). --parallel <n>
-splits the --all check across n panic-isolated workers.
+splits the --all check across n panic-isolated workers. --engine
+selects the BCP clause layout: `watched` (the default, boxed clauses
+with two watched literals) or `arena` (a flat literal arena with
+blocking-literal watches). Both produce identical verdicts; `arena`
+is the faster layout on large proofs.
 
 Budget flags bound the run. A run that hits a limit stops with
 `s UNKNOWN` — an exhausted budget is never a verdict. With
@@ -447,6 +452,13 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
     let parallel = match take_u64_option(&mut args, "--parallel") {
         Ok(n) => n,
         Err(msg) => return usage(msg),
+    };
+    let engine = match take_option(&mut args, "--engine") {
+        Some(name) => match name.parse::<PropagatorChoice>() {
+            Ok(choice) => choice,
+            Err(e) => return usage(e),
+        },
+        None => PropagatorChoice::Watched,
     };
     let budget = match take_budget(&mut args) {
         Ok(b) => b,
@@ -499,7 +511,9 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
     };
     summary.resumed = resume_from.is_some();
     let outcome = match (&resume_from, parallel) {
-        (Some(cp), _) => match resume_verification(&formula, &proof, cp, &harness) {
+        (Some(cp), _) => match resume_verification_with_engine(
+            &formula, &proof, cp, &harness, engine,
+        ) {
             Ok(outcome) => outcome,
             // a checkpoint for different inputs is the caller's mistake
             // (wrong file paths), not corrupt data: usage, not malformed
@@ -513,9 +527,13 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
         },
         (None, Some(threads)) => {
             let threads = usize::try_from(threads).unwrap_or(usize::MAX).max(1);
-            verify_all_parallel_harnessed(&formula, &proof, threads, &harness)
+            verify_all_parallel_harnessed_with_engine(
+                &formula, &proof, threads, &harness, engine,
+            )
         }
-        (None, None) => verify_harnessed(&formula, &proof, mode, &harness),
+        (None, None) => {
+            verify_harnessed_with_engine(&formula, &proof, mode, &harness, engine)
+        }
     };
     match outcome {
         Outcome::Verified(v) => {
