@@ -31,8 +31,10 @@ use satverify::cnfgen::{bmc_counter, pigeonhole, random_ksat};
 use satverify::obs::json::{self, Json};
 use satverify::proof_from_trace;
 use satverify::proofver::{
-    decode_proof, encode_proof_to_vec, parse_proof_str, to_proof_string, verify,
-    verify_all, ConflictClauseProof,
+    check_lrat, decode_proof, drat_to_string, encode_proof_to_vec, parse_drat,
+    parse_proof_str, to_proof_string, verify, verify_all,
+    verify_drat_backward_harnessed, ConflictClauseProof, DratOutcome, DratProof,
+    Harness, PropagatorChoice,
 };
 use satverifyd::{Client, Endpoint, Request, Response, Server, ServerConfig};
 
@@ -153,6 +155,7 @@ fn record(smoke: bool, repeats: usize) -> Json {
     record_bcp(&mut recorder, smoke);
     record_proof_io(&mut recorder, smoke);
     record_verification(&mut recorder, smoke);
+    record_drat(&mut recorder, smoke);
     record_daemon(&mut recorder, smoke);
 
     let mut doc = Json::object();
@@ -358,6 +361,38 @@ fn record_verification(recorder: &mut Recorder, smoke: bool) {
             assert!(solve(formula, SolverConfig::default()).is_unsat());
         });
     }
+}
+
+/// The `drat.backward.*` family: the interop path end-to-end on a
+/// pinned pigeonhole instance — parse the text encoding, run the
+/// backward checker on both propagation engines, and replay the
+/// captured LRAT certificate under the strict checker.
+fn record_drat(recorder: &mut Recorder, smoke: bool) {
+    let holes = if smoke { 5 } else { 6 };
+    let tag = format!("php{holes}");
+    let formula = pigeonhole(holes);
+    let drat = DratProof::from(&prepared_proof(&formula));
+    let text = drat_to_string(&drat);
+    recorder.measure(&format!("drat.parse_text.{tag}"), || {
+        std::hint::black_box(parse_drat(text.as_bytes()).expect("parses"));
+    });
+    let backward = |choice: PropagatorChoice| {
+        let harness = Harness::default();
+        match verify_drat_backward_harnessed(&formula, &drat, &harness, choice) {
+            DratOutcome::Verified(v) => *v,
+            other => panic!("pinned proof must verify: {other:?}"),
+        }
+    };
+    recorder.measure(&format!("drat.backward.watched.{tag}"), || {
+        std::hint::black_box(backward(PropagatorChoice::Watched));
+    });
+    recorder.measure(&format!("drat.backward.arena.{tag}"), || {
+        std::hint::black_box(backward(PropagatorChoice::ArenaWatched));
+    });
+    let lrat = backward(PropagatorChoice::Watched).lrat;
+    recorder.measure(&format!("drat.lrat_check.{tag}"), || {
+        std::hint::black_box(check_lrat(&formula, &lrat).expect("replays"));
+    });
 }
 
 const XOR_SQUARE: &str = "p cnf 2 4\n1 2 0\n-1 -2 0\n1 -2 0\n-1 2 0\n";

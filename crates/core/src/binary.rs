@@ -84,7 +84,53 @@ fn lit_from_code(code: u32) -> Lit {
     var.lit(code & 1 == 1)
 }
 
-fn write_varint<W: Write>(writer: &mut W, mut value: u32) -> io::Result<()> {
+/// Why an LEB128 varint could not be decoded. The caller owns the byte
+/// offset (it knows where the varint started); this enum only names the
+/// shape of the fault so each format maps it onto its own error type.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum VarintFault {
+    /// The input ended inside the varint.
+    Truncated,
+    /// A sixth byte appeared: it cannot contribute to a 32-bit value.
+    TooLong,
+    /// The fifth byte set bits above bit 31.
+    Overflow,
+}
+
+/// Decodes one LEB128 varint from `bytes` starting at `*pos`, advancing
+/// `*pos` past it. Shared by the CCP1, binary-DRAT, and binary-LRAT
+/// decoders so all three enforce identical overflow rules.
+pub(crate) fn read_varint(
+    bytes: &[u8],
+    pos: &mut usize,
+) -> Result<u32, VarintFault> {
+    let mut value: u32 = 0;
+    let mut shift = 0u32;
+    loop {
+        if *pos >= bytes.len() {
+            return Err(VarintFault::Truncated);
+        }
+        let byte = bytes[*pos];
+        *pos += 1;
+        let chunk = u32::from(byte & 0x7f);
+        // the fifth byte may only contribute bits 28..32: anything
+        // above would silently shift out of the u32
+        if shift == 28 && chunk > 0x0f {
+            return Err(VarintFault::Overflow);
+        }
+        value |= chunk << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+        if shift > 28 {
+            // a sixth byte cannot contribute to a 32-bit value
+            return Err(VarintFault::TooLong);
+        }
+    }
+}
+
+pub(crate) fn write_varint<W: Write>(writer: &mut W, mut value: u32) -> io::Result<()> {
     loop {
         let byte = (value & 0x7f) as u8;
         value >>= 7;
@@ -158,32 +204,15 @@ pub fn decode_proof<R: Read>(mut reader: R) -> Result<ConflictClauseProof, Decod
             continue;
         }
         let start = pos;
-        let mut value: u32 = 0;
-        let mut shift = 0u32;
-        loop {
-            if pos >= bytes.len() {
+        let value = match read_varint(&bytes, &mut pos) {
+            Ok(v) => v,
+            Err(VarintFault::Overflow) => {
+                return Err(DecodeProofError::LiteralOutOfRange { offset: start });
+            }
+            Err(VarintFault::Truncated | VarintFault::TooLong) => {
                 return Err(DecodeProofError::BadVarint { offset: start });
             }
-            let byte = bytes[pos];
-            pos += 1;
-            let chunk = u32::from(byte & 0x7f);
-            // the fifth byte may only contribute bits 28..32: anything
-            // above would silently shift out of the u32
-            if shift == 28 && chunk > 0x0f {
-                return Err(DecodeProofError::LiteralOutOfRange {
-                    offset: start,
-                });
-            }
-            value |= chunk << shift;
-            if byte & 0x80 == 0 {
-                break;
-            }
-            shift += 7;
-            if shift > 28 {
-                // a sixth byte cannot contribute to a 32-bit value
-                return Err(DecodeProofError::BadVarint { offset: start });
-            }
-        }
+        };
         if value < 2 {
             return Err(DecodeProofError::BadVarint { offset: start });
         }

@@ -53,9 +53,11 @@ mod binary;
 mod checker;
 mod core_extract;
 mod deletion;
+mod drat;
 mod error;
 mod format;
 mod harness;
+mod lrat;
 mod parallel;
 mod proof;
 mod rat;
@@ -76,7 +78,18 @@ pub use core_extract::UnsatCore;
 pub use deletion::{
     AnnotatedProof, AnnotatedVerification, ProofClauseRef, ProofEvent,
 };
+pub use drat::{
+    drat_to_string, encode_drat, encode_drat_to_vec, is_binary_drat, parse_drat,
+    parse_drat_binary, parse_drat_text, trim_drat, verify_drat_backward, write_drat,
+    verify_drat_backward_harnessed, DratError, DratOutcome, DratProof, DratStep,
+    DratStepKind, DratVerification, ParseDratError,
+};
 pub use error::VerifyError;
+pub use lrat::{
+    check_lrat, encode_lrat, encode_lrat_to_vec, is_binary_lrat, lrat_to_string,
+    parse_lrat, parse_lrat_binary, parse_lrat_text, write_lrat, LratAdd,
+    LratError, LratLine, LratProof, LratStats, ParseLratError,
+};
 pub use harness::{
     formula_fingerprint, proof_fingerprint, resume_verification,
     resume_verification_with_engine, verify_harnessed,

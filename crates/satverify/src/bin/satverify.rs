@@ -47,13 +47,22 @@ USAGE:
         schemes: 1uip (default), decision, mixed:<period>
 
     satverify check <cnf> <proof> [--all] [--parallel <n>]
+                          [--proof-format <native|drat>]
+                          [--emit-lrat <path>] [--emit-trimmed <path>]
+                          [--emit-binary]
                           [--max-propagations <n>] [--max-clause-visits <n>]
                           [--max-memory-mb <n>] [--timeout-ms <n>]
                           [--checkpoint <path>] [--resume]
                           [--json <path>] [--trace] [--metrics]
-        verify a conflict-clause proof (text or binary, auto-detected);
+        verify a proof (text or binary, auto-detected);
         --all checks every clause (Proof_verification1); --parallel
         splits the --all check across <n> panic-isolated workers.
+        --proof-format drat ingests a standard DRAT proof (additions
+        and deletions, drat-trim text or binary encoding) and checks
+        it backward with core-first marking; --emit-lrat writes the
+        LRAT certificate recorded during that pass, --emit-trimmed
+        the trimmed DRAT proof (--emit-binary selects the binary
+        encodings). Formats contract: docs/FORMATS.md.
         Budget flags bound the run: when a limit is hit the result is
         s UNKNOWN (exit 4) — never a verdict. With --checkpoint, an
         interrupted sequential run writes its progress there, and
@@ -61,6 +70,11 @@ USAGE:
         modulo timing, to an uninterrupted run).
         exit codes: 0 verified, 1 proof rejected, 2 usage error,
         3 malformed input, 4 budget exhausted
+
+    satverify lrat <cnf> <lrat>
+        replay an LRAT certificate (text or binary, auto-detected)
+        against the formula with the in-repo hint checker;
+        exit codes: 0 valid, 1 invalid, 2 usage, 3 malformed
 
     Observability (solve and check):
         --json <path>  write a machine-readable RunReport (solver stats,
@@ -83,7 +97,7 @@ USAGE:
 
     satverify client <endpoint> ping|stats|metrics|shutdown
     satverify client <endpoint> check <cnf> <proof> [--all] [--by-path]
-                     [budget flags]
+                     [--proof-format <native|drat>] [budget flags]
         talk to a running daemon. `stats` prints counters and µs
         latency percentiles (queue wait, verify, end-to-end); `metrics`
         dumps the daemon's registry in Prometheus text exposition.
@@ -138,6 +152,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "serve" => cmd_serve(rest),
         "client" => cmd_client(rest),
         "drat" => cmd_drat(rest),
+        "lrat" => cmd_lrat(rest),
         "core" => cmd_core(rest),
         "trim" => cmd_trim(rest),
         "gen" => cmd_gen(rest),
@@ -404,6 +419,9 @@ satverify check — verify a conflict-clause proof of unsatisfiability
 USAGE:
     satverify check <cnf> <proof> [--all] [--parallel <n>]
                     [--engine <watched|arena>]
+                    [--proof-format <native|drat>]
+                    [--emit-lrat <path>] [--emit-trimmed <path>]
+                    [--emit-binary]
                     [--max-propagations <n>] [--max-clause-visits <n>]
                     [--max-memory-mb <n>] [--timeout-ms <n>]
                     [--checkpoint <path>] [--resume]
@@ -417,6 +435,19 @@ selects the BCP clause layout: `watched` (the default, boxed clauses
 with two watched literals) or `arena` (a flat literal arena with
 blocking-literal watches). Both produce identical verdicts; `arena`
 is the faster layout on large proofs.
+
+--proof-format drat switches the proof language to standard DRAT
+(drat-trim interchange: clause additions plus `d` deletions, text or
+binary encoding, auto-detected) and checks it *backward* with
+core-first marking — only the steps the refutation depends on are
+verified, with a RAT fallback for steps that are not plain RUP. In
+this mode --all/--parallel/--checkpoint/--resume do not apply (the
+backward pass is inherently sequential and unresumable) and are usage
+errors. --emit-lrat <path> writes the LRAT certificate captured
+during the pass (re-checkable with `satverify lrat` or any standard
+LRAT checker); --emit-trimmed <path> writes the trimmed DRAT proof;
+--emit-binary selects the binary encodings for both. The grammars and
+a worked example live in docs/FORMATS.md.
 
 Budget flags bound the run. A run that hits a limit stops with
 `s UNKNOWN` — an exhausted budget is never a verdict. With
@@ -445,9 +476,22 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
     let all = take_flag(&mut args, "--all");
     let checkpoint_path = take_option(&mut args, "--checkpoint");
     let resume = take_flag(&mut args, "--resume");
+    let proof_format = take_option(&mut args, "--proof-format");
+    let emit = EmitOptions {
+        lrat: take_option(&mut args, "--emit-lrat"),
+        trimmed: take_option(&mut args, "--emit-trimmed"),
+        binary: take_flag(&mut args, "--emit-binary"),
+    };
     let usage = |msg: String| {
         eprintln!("error: {msg}");
         Ok(ExitCode::from(EXIT_USAGE))
+    };
+    let drat = match proof_format.as_deref() {
+        None | Some("native") => false,
+        Some("drat") => true,
+        Some(other) => {
+            return usage(format!("bad --proof-format {other:?} (native|drat)"))
+        }
     };
     let parallel = match take_u64_option(&mut args, "--parallel") {
         Ok(n) => n,
@@ -464,6 +508,22 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
         Ok(b) => b,
         Err(msg) => return usage(msg),
     };
+    if !drat && (emit.lrat.is_some() || emit.trimmed.is_some() || emit.binary) {
+        return usage(
+            "--emit-lrat/--emit-trimmed/--emit-binary require \
+             --proof-format drat"
+                .into(),
+        );
+    }
+    if drat && (all || parallel.is_some() || checkpoint_path.is_some() || resume) {
+        // the backward pass checks only marked steps by construction and
+        // mutates the clause arena in place: nothing to parallelise or resume
+        return usage(
+            "--proof-format drat is checked backward; \
+             --all/--parallel/--checkpoint/--resume do not apply"
+                .into(),
+        );
+    }
     if resume && checkpoint_path.is_none() {
         return usage("--resume requires --checkpoint <path>".into());
     }
@@ -473,6 +533,9 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
     let [cnf_path, proof_path] = args.as_slice() else {
         return usage("usage: satverify check <cnf> <proof> [options]".into());
     };
+    if drat {
+        return check_drat(cnf_path, proof_path, budget, engine, &emit, &obs_opts);
+    }
     let malformed = |msg: String| {
         eprintln!("error: {msg}");
         Ok(ExitCode::from(EXIT_MALFORMED))
@@ -588,6 +651,176 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
     }
 }
 
+/// The `check --proof-format drat` output options: where to write the
+/// captured LRAT certificate and the trimmed proof, and whether to use
+/// the binary encodings.
+struct EmitOptions {
+    lrat: Option<String>,
+    trimmed: Option<String>,
+    binary: bool,
+}
+
+/// The DRAT branch of `satverify check`: parse the standard-format
+/// proof (text or binary), check it backward with core-first marking,
+/// and write the requested LRAT/trimmed-DRAT artifacts on success. The
+/// exit-code contract is identical to the native branch.
+fn check_drat(
+    cnf_path: &str,
+    proof_path: &str,
+    budget: proofver::Budget,
+    engine: PropagatorChoice,
+    emit: &EmitOptions,
+    obs_opts: &ObsOptions,
+) -> Result<ExitCode, String> {
+    let malformed = |msg: String| {
+        eprintln!("error: {msg}");
+        Ok(ExitCode::from(EXIT_MALFORMED))
+    };
+    let formula = match load_formula(cnf_path) {
+        Ok(f) => f,
+        Err(msg) => return malformed(msg),
+    };
+    let bytes = match std::fs::read(proof_path) {
+        Ok(b) => b,
+        Err(e) => return malformed(format!("cannot open {proof_path}: {e}")),
+    };
+    let proof = match proofver::parse_drat(&bytes) {
+        Ok(p) => p,
+        Err(e) => return malformed(format!("{proof_path}: {e}")),
+    };
+    let mut report = RunReport::new("check");
+    report.instance_path = Some(cnf_path.to_string());
+    report.num_vars = Some(formula.num_vars());
+    report.num_clauses = Some(formula.num_clauses());
+    let mut summary = HarnessSummary::default();
+    let harness = Harness::with_budget(budget);
+    match proofver::verify_drat_backward_harnessed(&formula, &proof, &harness, engine) {
+        proofver::DratOutcome::Verified(v) => {
+            println!("s VERIFIED");
+            println!(
+                "c {} of {} additions checked ({} RUP, {} RAT, {} resolvent checks)",
+                v.num_checked,
+                proof.num_adds(),
+                v.stats.num_rup,
+                v.stats.num_rat,
+                v.stats.num_resolvent_checks
+            );
+            println!(
+                "c core: {} of {} original clauses",
+                v.core.len(),
+                formula.num_clauses()
+            );
+            if let Some(path) = &emit.lrat {
+                let file = File::create(path)
+                    .map_err(|e| format!("cannot create {path}: {e}"))?;
+                let mut writer = BufWriter::new(file);
+                if emit.binary {
+                    proofver::encode_lrat(&mut writer, &v.lrat)
+                } else {
+                    proofver::write_lrat(&mut writer, &v.lrat)
+                }
+                .map_err(|e| format!("{path}: {e}"))?;
+                println!("c LRAT certificate written to {path}");
+            }
+            if let Some(path) = &emit.trimmed {
+                let trimmed = proofver::trim_drat(&proof, &v);
+                let file = File::create(path)
+                    .map_err(|e| format!("cannot create {path}: {e}"))?;
+                let mut writer = BufWriter::new(file);
+                if emit.binary {
+                    proofver::encode_drat(&mut writer, &trimmed)
+                } else {
+                    proofver::write_drat(&mut writer, &trimmed)
+                }
+                .map_err(|e| format!("{path}: {e}"))?;
+                println!(
+                    "c trimmed proof written to {path} ({} -> {} steps)",
+                    proof.steps().len(),
+                    trimmed.steps().len()
+                );
+            }
+            summary.outcome = "verified".to_string();
+            summary.steps_checked = Some(v.num_checked);
+            summary.steps_total = Some(proof.num_adds());
+            report.result = Some("VERIFIED".to_string());
+            report.harness = Some(summary);
+            obs_opts.emit(report)?;
+            Ok(ExitCode::from(EXIT_VERIFIED))
+        }
+        proofver::DratOutcome::Rejected { step, error } => {
+            println!("s NOT VERIFIED");
+            println!("c {error}");
+            if let Some(step) = step {
+                println!("c failing proof addition: step {step}");
+            }
+            summary.outcome = "rejected".to_string();
+            summary.rejected_step = step;
+            summary.steps_total = Some(proof.num_adds());
+            report.result = Some("NOT VERIFIED".to_string());
+            report.harness = Some(summary);
+            obs_opts.emit(report)?;
+            Ok(ExitCode::from(EXIT_REJECTED))
+        }
+        proofver::DratOutcome::Exhausted { reason, progress } => {
+            println!("s UNKNOWN");
+            println!(
+                "c budget exhausted ({reason}) after {}/{} checks — no verdict",
+                progress.steps_checked, progress.steps_total
+            );
+            summary.outcome = "exhausted".to_string();
+            summary.exhaust_reason = Some(reason.to_string());
+            summary.steps_checked = Some(progress.steps_checked);
+            summary.steps_total = Some(progress.steps_total);
+            report.result = Some("UNKNOWN".to_string());
+            report.harness = Some(summary);
+            obs_opts.emit(report)?;
+            Ok(ExitCode::from(EXIT_EXHAUSTED))
+        }
+    }
+}
+
+/// `satverify lrat`: replay an LRAT certificate against a formula with
+/// the strict in-repo hint checker. Closes the emit→re-validate loop
+/// (`check --proof-format drat --emit-lrat out.lrat` then
+/// `lrat <cnf> out.lrat`) without leaving the toolchain.
+fn cmd_lrat(args: &[String]) -> Result<ExitCode, String> {
+    let [cnf_path, lrat_path] = args else {
+        eprintln!("usage: satverify lrat <cnf> <lrat>");
+        return Ok(ExitCode::from(EXIT_USAGE));
+    };
+    let malformed = |msg: String| {
+        eprintln!("error: {msg}");
+        Ok(ExitCode::from(EXIT_MALFORMED))
+    };
+    let formula = match load_formula(cnf_path) {
+        Ok(f) => f,
+        Err(msg) => return malformed(msg),
+    };
+    let bytes = match std::fs::read(lrat_path) {
+        Ok(b) => b,
+        Err(e) => return malformed(format!("cannot open {lrat_path}: {e}")),
+    };
+    let proof = match proofver::parse_lrat(&bytes) {
+        Ok(p) => p,
+        Err(e) => return malformed(format!("{lrat_path}: {e}")),
+    };
+    match proofver::check_lrat(&formula, &proof) {
+        Ok(stats) => {
+            println!("s VERIFIED");
+            println!(
+                "c {} addition lines ({} RAT), {} deletion lines",
+                stats.num_add_lines, stats.num_rat_lines, stats.num_delete_lines
+            );
+            Ok(ExitCode::from(EXIT_VERIFIED))
+        }
+        Err(e) => {
+            println!("s NOT VERIFIED");
+            println!("c {e}");
+            Ok(ExitCode::from(EXIT_REJECTED))
+        }
+    }
+}
+
 /// Exit code for `client check` when the daemon refused admission
 /// (queue full or draining): the job was never run, so none of the
 /// verdict codes apply, and it is not the caller's usage error either.
@@ -672,7 +905,7 @@ fn cmd_client(args: &[String]) -> Result<ExitCode, String> {
         eprintln!("usage: satverify client <endpoint> ping|stats|metrics|shutdown");
         eprintln!(
             "       satverify client <endpoint> check <cnf> <proof> \
-             [--all] [--by-path] [budget flags]"
+             [--all] [--by-path] [--proof-format <native|drat>] [budget flags]"
         );
         Ok(ExitCode::from(EXIT_USAGE))
     };
@@ -738,12 +971,25 @@ fn cmd_client(args: &[String]) -> Result<ExitCode, String> {
         "check" => {
             let all = take_flag(&mut args, "--all");
             let by_path = take_flag(&mut args, "--by-path");
+            let proof_format = take_option(&mut args, "--proof-format");
+            match proof_format.as_deref() {
+                None | Some("native") | Some("drat") => {}
+                Some(other) => {
+                    return usage(&format!(
+                        "bad --proof-format {other:?} (native|drat)"
+                    ))
+                }
+            }
+            if proof_format.as_deref() == Some("drat") && all {
+                return usage("drat jobs are checked backward; drop --all");
+            }
             let budget = take_budget_spec(&mut args)?;
             let [cnf_path, proof_path] = args.as_slice() else {
                 return usage("client check needs <cnf> <proof>");
             };
             let mut request = VerifyRequest {
                 mode: all.then(|| "all".to_string()),
+                proof_format,
                 budget,
                 ..VerifyRequest::default()
             };

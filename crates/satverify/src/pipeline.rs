@@ -352,7 +352,7 @@ mod tests {
         let formula = cnfgen::pigeonhole(5);
         let outcome = solve_and_verify(&formula, SolverConfig::default()).expect("ok");
         let run = outcome.into_unsat().expect("UNSAT");
-        assert!(run.proof.len() > 0);
+        assert!(!run.proof.is_empty());
         assert_eq!(run.verification.core.len(), formula.num_clauses());
         assert_eq!(run.stats.conflicts as usize, run.proof.len());
     }
@@ -394,6 +394,6 @@ mod tests {
             .expect("ok")
             .into_unsat()
             .expect("UNSAT");
-        assert!(run.proof.len() > 0);
+        assert!(!run.proof.is_empty());
     }
 }

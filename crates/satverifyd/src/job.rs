@@ -10,7 +10,11 @@ use std::fs::File;
 use std::io::{BufReader, Read};
 
 use cnf::CnfFormula;
-use proofver::{verify_harnessed, ConflictClauseProof, Harness, Outcome, MAGIC};
+use proofver::{
+    parse_drat, verify_drat_backward_harnessed, verify_harnessed,
+    ConflictClauseProof, DratOutcome, DratProof, Harness, Outcome,
+    PropagatorChoice, MAGIC,
+};
 
 use crate::protocol::{ErrorCode, JobResult, VerifyRequest};
 
@@ -64,6 +68,23 @@ fn resolve_proof(request: &VerifyRequest) -> Result<ConflictClauseProof, String>
     }
 }
 
+/// Resolves the request's proof as standard DRAT. Inline proofs are
+/// text DRAT (the wire is newline-JSON, so raw binary cannot travel
+/// inline); `proof_path` files may use either encoding.
+fn resolve_drat(request: &VerifyRequest) -> Result<DratProof, String> {
+    match (&request.proof, &request.proof_path) {
+        (Some(text), _) => {
+            parse_drat(text.as_bytes()).map_err(|e| format!("inline proof: {e}"))
+        }
+        (None, Some(path)) => {
+            let bytes =
+                std::fs::read(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+            parse_drat(&bytes).map_err(|e| format!("{path}: {e}"))
+        }
+        (None, None) => Err("no proof given".into()),
+    }
+}
+
 /// Runs one verification job under `harness` and maps the three-way
 /// [`Outcome`] onto the wire-level [`JobResult`]. Latency fields are
 /// filled in by the server (it owns the submission timestamp).
@@ -78,6 +99,9 @@ pub fn execute(
 ) -> Result<JobResult, (ErrorCode, String)> {
     let invalid = |msg: String| (ErrorCode::InvalidInput, msg);
     let mode = request.check_mode().map_err(invalid)?;
+    if request.is_drat().map_err(invalid)? {
+        return execute_drat(request, harness);
+    }
     let formula = resolve_formula(request).map_err(invalid)?;
     let proof = resolve_proof(request).map_err(invalid)?;
     let steps_total = proof.len() as u64;
@@ -98,6 +122,48 @@ pub fn execute(
             result.detail = Some(error.to_string());
         }
         Outcome::Exhausted { reason, progress, checkpoint: _ } => {
+            result.outcome = "exhausted".into();
+            result.exhaust_reason = Some(reason.as_str().to_string());
+            result.steps_checked = Some(progress.steps_checked as u64);
+            result.propagations = Some(progress.propagations);
+        }
+    }
+    Ok(result)
+}
+
+/// The DRAT branch of [`execute`]: parse the standard-format proof and
+/// check it backward with core-first marking. The wire result carries
+/// the same three-way outcome; `steps_total` counts addition steps and
+/// `steps_checked` the marked ones.
+fn execute_drat(
+    request: &VerifyRequest,
+    harness: &Harness,
+) -> Result<JobResult, (ErrorCode, String)> {
+    let invalid = |msg: String| (ErrorCode::InvalidInput, msg);
+    let formula = resolve_formula(request).map_err(invalid)?;
+    let proof = resolve_drat(request).map_err(invalid)?;
+    let mut result = JobResult {
+        id: request.id.clone(),
+        steps_total: Some(proof.num_adds() as u64),
+        ..JobResult::default()
+    };
+    match verify_drat_backward_harnessed(
+        &formula,
+        &proof,
+        harness,
+        PropagatorChoice::Watched,
+    ) {
+        DratOutcome::Verified(v) => {
+            result.outcome = "verified".into();
+            result.steps_checked = Some(v.num_checked as u64);
+            result.propagations = Some(v.propagations);
+        }
+        DratOutcome::Rejected { step, error } => {
+            result.outcome = "rejected".into();
+            result.rejected_step = step.map(|s| s as u64);
+            result.detail = Some(error.to_string());
+        }
+        DratOutcome::Exhausted { reason, progress } => {
             result.outcome = "exhausted".into();
             result.exhaust_reason = Some(reason.as_str().to_string());
             result.steps_checked = Some(progress.steps_checked as u64);
@@ -148,6 +214,62 @@ mod tests {
             Harness::with_budget(Budget::unlimited().max_propagations(1));
         let result =
             execute(&inline(XOR_SQUARE, XOR_PROOF), &harness).expect("valid inputs");
+        assert_eq!(result.outcome, "exhausted");
+        assert_eq!(result.exhaust_reason.as_deref(), Some("propagations"));
+    }
+
+    fn inline_drat(formula: &str, proof: &str) -> VerifyRequest {
+        VerifyRequest {
+            proof_format: Some("drat".into()),
+            ..inline(formula, proof)
+        }
+    }
+
+    #[test]
+    fn drat_jobs_run_the_backward_checker() {
+        // a deletion step would be rejected by the native parser: this
+        // exercises the DRAT routing end to end
+        let result = execute(
+            &inline_drat(XOR_SQUARE, "2 0\nd 1 2 0\n-2 0\n0\n"),
+            &Harness::default(),
+        )
+        .expect("valid inputs");
+        assert_eq!(result.outcome, "verified");
+        assert_eq!(result.steps_total, Some(3), "additions only");
+    }
+
+    #[test]
+    fn drat_jobs_reject_bad_proofs_and_malformed_input() {
+        let rejected = execute(
+            &inline_drat(XOR_SQUARE, "5 6 0\n"),
+            &Harness::default(),
+        )
+        .expect("valid inputs");
+        assert_eq!(rejected.outcome, "rejected");
+        let malformed = execute(
+            &inline_drat(XOR_SQUARE, "2 0\nbogus 0\n"),
+            &Harness::default(),
+        );
+        assert!(matches!(malformed, Err((ErrorCode::InvalidInput, _))));
+        let bad_format = execute(
+            &VerifyRequest {
+                proof_format: Some("lisp".into()),
+                ..inline(XOR_SQUARE, XOR_PROOF)
+            },
+            &Harness::default(),
+        );
+        assert!(matches!(bad_format, Err((ErrorCode::InvalidInput, _))));
+    }
+
+    #[test]
+    fn drat_jobs_respect_budgets() {
+        let harness =
+            Harness::with_budget(Budget::unlimited().max_propagations(1));
+        let result = execute(
+            &inline_drat(XOR_SQUARE, "2 0\n-2 0\n0\n"),
+            &harness,
+        )
+        .expect("valid inputs");
         assert_eq!(result.outcome, "exhausted");
         assert_eq!(result.exhaust_reason.as_deref(), Some("propagations"));
     }

@@ -155,6 +155,10 @@ pub struct VerifyRequest {
     pub proof_path: Option<String>,
     /// Check mode: `marked-only` (default), `all`, or `all-forward`.
     pub mode: Option<String>,
+    /// Proof format: `native` (default, conflict-clause proofs) or
+    /// `drat` (standard DRAT, checked backward). Additive field:
+    /// absent means `native`, so old clients are unaffected.
+    pub proof_format: Option<String>,
     /// Per-job resource limits.
     pub budget: BudgetSpec,
 }
@@ -173,6 +177,22 @@ impl VerifyRequest {
             Some(other) => Err(format!(
                 "unknown mode {other:?} (marked-only|all|all-forward)"
             )),
+        }
+    }
+
+    /// Whether the job's proof is standard DRAT (`true`) or native
+    /// (`false`), or an error naming the bad value.
+    ///
+    /// # Errors
+    ///
+    /// A message for unknown format strings.
+    pub fn is_drat(&self) -> Result<bool, String> {
+        match self.proof_format.as_deref() {
+            None | Some("native") => Ok(false),
+            Some("drat") => Ok(true),
+            Some(other) => {
+                Err(format!("unknown proof_format {other:?} (native|drat)"))
+            }
         }
     }
 }
@@ -239,6 +259,9 @@ impl Request {
                 if let Some(mode) = &v.mode {
                     obj.push("mode", mode.as_str());
                 }
+                if let Some(format) = &v.proof_format {
+                    obj.push("proof_format", format.as_str());
+                }
                 if !v.budget.is_empty() {
                     obj.push("budget", v.budget.to_json());
                 }
@@ -277,6 +300,7 @@ impl Request {
                     proof: text("proof"),
                     proof_path: text("proof_path"),
                     mode: text("mode"),
+                    proof_format: text("proof_format"),
                     budget: match doc.get("budget") {
                         Some(spec) => BudgetSpec::from_json(spec)?,
                         None => BudgetSpec::default(),
@@ -295,6 +319,12 @@ impl Request {
                     return Err("give `proof` or `proof_path`, not both".into());
                 }
                 request.check_mode()?;
+                request.is_drat()?;
+                if request.is_drat() == Ok(true) && request.mode.is_some() {
+                    return Err(
+                        "drat jobs are checked backward; drop `mode`".into()
+                    );
+                }
                 Ok(Request::Verify(request))
             }
             "stats" => Ok(Request::Stats),
@@ -678,6 +708,34 @@ mod tests {
         let line = request.to_line();
         assert!(!line.contains('\n'), "one line per message");
         assert_eq!(Request::parse(&line), Ok(request));
+    }
+
+    #[test]
+    fn proof_format_roundtrips_and_is_validated() {
+        let request = Request::Verify(VerifyRequest {
+            formula: Some("p cnf 1 1\n1 0\n".into()),
+            proof: Some("0\n".into()),
+            proof_format: Some("drat".into()),
+            ..VerifyRequest::default()
+        });
+        let line = request.to_line();
+        assert!(line.contains("proof_format"));
+        assert_eq!(Request::parse(&line), Ok(request));
+        // unknown formats are a parse-time bad request
+        assert!(Request::parse(
+            r#"{"op":"verify","formula":"p cnf 0 0\n","proof":"0\n","proof_format":"lisp"}"#
+        )
+        .is_err());
+        // backward checking has no mode knob
+        assert!(Request::parse(
+            r#"{"op":"verify","formula":"p cnf 0 0\n","proof":"0\n","proof_format":"drat","mode":"all"}"#
+        )
+        .is_err());
+        // absent field still parses (old clients)
+        assert!(Request::parse(
+            r#"{"op":"verify","formula":"p cnf 0 0\n","proof":"0\n"}"#
+        )
+        .is_ok());
     }
 
     #[test]

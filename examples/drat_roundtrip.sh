@@ -1,0 +1,71 @@
+#!/usr/bin/env sh
+# drat_roundtrip.sh — the DRAT/LRAT interop loop, end to end:
+#
+#   solve → DRAT proof → backward check (core-first) → trimmed DRAT
+#                                                    → LRAT certificate
+#
+# A solver-produced text proof is handed to `check --proof-format drat`
+# as if it came from any external DRAT producer; the checker emits both
+# an LRAT certificate (re-validated by `satverify lrat`) and a trimmed
+# proof (re-verified standalone). Formats are specified in
+# docs/FORMATS.md.
+#
+# Usage:  ./examples/drat_roundtrip.sh
+# (from the repository root; builds the release binary if needed)
+
+set -eu
+
+BIN=${SATVERIFY:-target/release/satverify}
+if [ ! -x "$BIN" ]; then
+    cargo build --release -p satverify
+fi
+
+DIR=$(mktemp -d)
+trap 'rm -rf "$DIR"' EXIT
+
+# An unsatisfiable formula: every sign combination over x1,x2,x3.
+cat > "$DIR/full3.cnf" <<'EOF'
+p cnf 3 8
+1 2 3 0
+1 2 -3 0
+1 -2 3 0
+1 -2 -3 0
+-1 2 3 0
+-1 2 -3 0
+-1 -2 3 0
+-1 -2 -3 0
+EOF
+
+echo "== solve, logging a proof (adds-only text DRAT) =="
+# solve uses the SAT-competition exit convention: 20 means UNSAT
+"$BIN" solve "$DIR/full3.cnf" --proof "$DIR/full3.drat" && exit 1 || test $? -eq 20
+echo
+echo "-- the proof, as any DRAT consumer would receive it:"
+sed 's/^/   /' "$DIR/full3.drat"
+
+# A deletion step keeps the round trip honest: the backward checker
+# must resurrect the clause while walking the proof in reverse.
+printf 'd 1 2 3 0\n' >> "$DIR/full3.drat"
+
+echo
+echo "== backward check with core-first marking, emitting LRAT + trimmed DRAT =="
+"$BIN" check "$DIR/full3.cnf" "$DIR/full3.drat" --proof-format drat \
+    --emit-lrat "$DIR/full3.lrat" --emit-trimmed "$DIR/trimmed.drat"
+
+echo
+echo "-- emitted LRAT certificate:"
+sed 's/^/   /' "$DIR/full3.lrat"
+
+echo
+echo "== the LRAT certificate replays under the strict checker =="
+"$BIN" lrat "$DIR/full3.cnf" "$DIR/full3.lrat"
+
+echo
+echo "== the trimmed proof stands alone =="
+echo "-- trimmed DRAT ($(grep -vc '^$' "$DIR/trimmed.drat") steps," \
+     "from $(grep -vc '^$' "$DIR/full3.drat") in the input):"
+sed 's/^/   /' "$DIR/trimmed.drat"
+"$BIN" check "$DIR/full3.cnf" "$DIR/trimmed.drat" --proof-format drat
+
+echo
+echo "round trip complete: DRAT in, LRAT + trimmed DRAT out, both re-validated."

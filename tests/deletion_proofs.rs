@@ -10,10 +10,7 @@ use satverify::cnfgen::{bmc_counter, pigeonhole, tseitin_grid};
 /// A config that reduces aggressively so deletions actually occur on
 /// small instances.
 fn reducing_config() -> SolverConfig {
-    let mut config = SolverConfig::default();
-    config.reduce_base = 50;
-    config.reduce_growth = 25;
-    config
+    SolverConfig { reduce_base: 50, reduce_growth: 25, ..SolverConfig::default() }
 }
 
 fn trace_of(formula: &CnfFormula, config: SolverConfig) -> cdcl::ProofTrace {
@@ -61,7 +58,7 @@ fn annotated_solver_proofs_verify() {
         let v = annotated
             .verify(&formula)
             .unwrap_or_else(|e| panic!("{name}: annotated proof rejected: {e}"));
-        assert!(v.core.len() > 0, "{name}");
+        assert!(!v.core.is_empty(), "{name}");
         assert!(v.num_checked <= trace.steps.len(), "{name}");
     }
 }

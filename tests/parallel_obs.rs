@@ -79,7 +79,7 @@ fn parallel_and_sequential_reports_agree_modulo_timing() {
         .find(|(n, _)| n == "proofver.par.workers")
         .map(|&(_, v)| v)
         .expect("worker gauge");
-    assert!(workers >= 1 && workers <= 4, "worker count {workers}");
+    assert!((1..=4).contains(&workers), "worker count {workers}");
     let slices = snapshot.histogram("proofver.par.slice_clauses").expect("slice histogram");
     assert_eq!(slices.count, workers as u64, "one slice per worker");
 

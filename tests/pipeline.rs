@@ -17,7 +17,7 @@ fn smoke_suite_solves_and_verifies() {
             .into_unsat()
             .unwrap_or_else(|| panic!("{}: expected UNSAT", instance.name));
         assert!(
-            run.verification.core.len() > 0,
+            !run.verification.core.is_empty(),
             "{}: core must be nonempty",
             instance.name
         );
