@@ -343,6 +343,11 @@ impl ClauseStore for ClauseArena {
     fn arena_len(&self) -> usize {
         self.words.len()
     }
+
+    #[inline]
+    fn garbage_len(&self) -> usize {
+        self.garbage_words
+    }
 }
 
 /// A borrowed view of an arena's active clauses.

@@ -305,6 +305,14 @@ impl crate::engine::ClauseStore for ClauseDb {
     fn arena_len(&self) -> usize {
         ClauseDb::arena_len(self)
     }
+
+    fn garbage_len(&self) -> usize {
+        self.headers
+            .iter()
+            .filter(|h| h.deleted)
+            .map(|h| h.len as usize)
+            .sum()
+    }
 }
 
 #[cfg(test)]

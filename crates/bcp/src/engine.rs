@@ -142,6 +142,11 @@ pub trait ClauseStore: Debug {
     /// words (literal slots plus any inline headers).
     fn arena_len(&self) -> usize;
 
+    /// Arena words occupied by deleted-but-unreclaimed clauses — what a
+    /// store rebuild would give back. The streaming checker uses this to
+    /// decide whether rebuilding is worth it before shrinking its window.
+    fn garbage_len(&self) -> usize;
+
     /// Iterates over all clause references, including deleted ones.
     fn refs(&self) -> ClauseRefs {
         ClauseRefs(0..u32::try_from(self.len()).expect("store fits in u32"))

@@ -30,6 +30,7 @@ use satverify::cnf::{CnfFormula, Lit, Var};
 use satverify::cnfgen::{bmc_counter, pigeonhole, random_ksat};
 use satverify::obs::json::{self, Json};
 use satverify::proof_from_trace;
+use satverify::proofver;
 use satverify::proofver::{
     check_lrat, decode_proof, drat_to_string, encode_proof_to_vec, parse_drat,
     parse_proof_str, to_proof_string, verify, verify_all,
@@ -156,6 +157,7 @@ fn record(smoke: bool, repeats: usize) -> Json {
     record_proof_io(&mut recorder, smoke);
     record_verification(&mut recorder, smoke);
     record_drat(&mut recorder, smoke);
+    record_stream(&mut recorder, smoke);
     record_daemon(&mut recorder, smoke);
 
     let mut doc = Json::object();
@@ -392,6 +394,77 @@ fn record_drat(recorder: &mut Recorder, smoke: bool) {
     let lrat = backward(PropagatorChoice::Watched).lrat;
     recorder.measure(&format!("drat.lrat_check.{tag}"), || {
         std::hint::black_box(check_lrat(&formula, &lrat).expect("replays"));
+    });
+}
+
+/// The `stream.backward.*` family: the windowed bounded-memory checker
+/// on a chain proof at least 10× its residency budget, so the series
+/// demonstrates — and the assertions enforce — verification of a proof
+/// that could never be held in memory under the cap.
+fn record_stream(recorder: &mut Recorder, smoke: bool) {
+    let (links, budget) = if smoke {
+        (60_000usize, 80 * 1024u64)
+    } else {
+        (200_000, 256 * 1024)
+    };
+    let (formula, proof) = proofver::chain_workload(links);
+    let bytes = proofver::encode_drat_to_vec(&proof);
+    assert!(
+        bytes.len() as u64 >= 10 * budget,
+        "workload must dwarf the budget: {} bytes vs {budget}",
+        bytes.len()
+    );
+    let tag = format!("chain{}k", links / 1000);
+    let config = proofver::StreamConfig {
+        memory_budget: budget,
+        window_bytes: 0,
+        min_window_bytes: 2048,
+        index_granule_bytes: if smoke { 2048 } else { 4096 },
+        chunk_bytes: 8192,
+        checkpoint: None,
+    };
+    let run = |engine: PropagatorChoice| {
+        let harness = Harness::default();
+        match proofver::verify_drat_stream_bytes(
+            &formula, &bytes, &harness, &config, engine, None, None,
+        ) {
+            proofver::StreamOutcome::Verified(v) => {
+                assert!(
+                    v.peak_residency <= budget,
+                    "residency {} broke the {budget} cap",
+                    v.peak_residency
+                );
+                assert!(v.windows > 1, "must actually window");
+                v
+            }
+            other => panic!("pinned stream proof must verify: {other:?}"),
+        }
+    };
+    recorder.measure(&format!("stream.backward.watched.{tag}"), || {
+        std::hint::black_box(run(PropagatorChoice::Watched));
+    });
+    recorder.measure(&format!("stream.backward.arena.{tag}"), || {
+        std::hint::black_box(run(PropagatorChoice::ArenaWatched));
+    });
+    // the forward index-and-replay pass alone, to watch its share
+    recorder.measure(&format!("stream.backward.index.{tag}"), || {
+        let harness = Harness::with_budget(
+            proofver::Budget::unlimited().max_propagations(0),
+        );
+        let outcome = proofver::verify_drat_stream_bytes(
+            &formula,
+            &bytes,
+            &harness,
+            &config,
+            PropagatorChoice::Watched,
+            None,
+            None,
+        );
+        assert!(
+            matches!(outcome, proofver::StreamOutcome::Exhausted { .. }),
+            "zero fuel stops right after indexing"
+        );
+        std::hint::black_box(outcome);
     });
 }
 

@@ -389,6 +389,20 @@ pub struct FaultPlan {
     /// test opens it — a deterministic way to hold a verification run
     /// "in flight" without sleeping.
     hold: Option<Gate>,
+    /// I/O fault: reads whose range covers this byte offset fail with an
+    /// injected EIO for the first `attempts` such reads.
+    fail_read: Option<(u64, u32)>,
+    /// Reads attempted against the armed [`FaultPlan::fail_read`] fault.
+    read_attempts: Mutex<u32>,
+    /// I/O fault: every chunked read returns at most this many bytes,
+    /// exercising the reader's short-read refill loop.
+    short_read_cap: Option<usize>,
+    /// I/O fault: checkpoint writes persist only the first `bytes` bytes
+    /// of the payload to the temp file and then fail, for the first
+    /// `attempts` writes — a simulated crash mid-write.
+    torn_write: Option<(usize, u32)>,
+    /// Writes attempted against the armed torn-write fault.
+    write_attempts: Mutex<u32>,
 }
 
 impl FaultPlan {
@@ -430,6 +444,33 @@ impl FaultPlan {
         self
     }
 
+    /// Fails the first `attempts` reads whose byte range covers
+    /// `offset` with an injected EIO. The streaming proof reader
+    /// surfaces this as a `Failed` outcome — never a verdict.
+    #[must_use]
+    pub fn fail_read_at(mut self, offset: u64, attempts: u32) -> Self {
+        self.fail_read = Some((offset, attempts));
+        self
+    }
+
+    /// Caps every chunked read at `cap` bytes, forcing the reader
+    /// through its short-read refill loop.
+    #[must_use]
+    pub fn short_reads(mut self, cap: usize) -> Self {
+        self.short_read_cap = Some(cap.max(1));
+        self
+    }
+
+    /// Makes the first `attempts` checkpoint writes tear: only the first
+    /// `bytes` bytes of the payload reach the temp file before the write
+    /// fails. With atomic write-rename the previous checkpoint must
+    /// survive intact.
+    #[must_use]
+    pub fn torn_write_after(mut self, bytes: usize, attempts: u32) -> Self {
+        self.torn_write = Some((bytes, attempts));
+        self
+    }
+
     /// Whether any fault is configured.
     #[must_use]
     pub fn is_empty(&self) -> bool {
@@ -437,6 +478,9 @@ impl FaultPlan {
             && self.slow_slices.is_empty()
             && self.starve_slices.is_empty()
             && self.hold.is_none()
+            && self.fail_read.is_none()
+            && self.short_read_cap.is_none()
+            && self.torn_write.is_none()
     }
 
     /// Runs the injection hook for the start of a whole harnessed run:
@@ -487,6 +531,68 @@ impl FaultPlan {
         }
         self.starve_slices.contains(&slice)
     }
+
+    /// Injection hook for one chunked read of `[start, start + len)`.
+    /// Returns an error message when the armed read fault fires.
+    pub(crate) fn read_fault(&self, start: u64, len: usize) -> Option<String> {
+        let (offset, max_attempts) = self.fail_read?;
+        if start <= offset && offset < start + len as u64 {
+            let mut attempts = self.read_attempts.lock().expect("fault plan lock");
+            if *attempts < max_attempts {
+                *attempts += 1;
+                let attempt = *attempts;
+                return Some(format!(
+                    "injected fault: EIO reading proof byte {offset} \
+                     (attempt {attempt})"
+                ));
+            }
+        }
+        None
+    }
+
+    /// Injection hook: the per-read byte cap, when short reads are armed.
+    pub(crate) fn read_cap(&self) -> Option<usize> {
+        self.short_read_cap
+    }
+
+    /// Injection hook for one checkpoint write. Returns `Some(bytes)`
+    /// when this write should tear after `bytes` bytes.
+    pub(crate) fn write_fault(&self) -> Option<usize> {
+        let (bytes, max_attempts) = self.torn_write?;
+        let mut attempts = self.write_attempts.lock().expect("fault plan lock");
+        if *attempts < max_attempts {
+            *attempts += 1;
+            return Some(bytes);
+        }
+        None
+    }
+}
+
+/// Writes `bytes` to `path` atomically: the payload goes to a sibling
+/// `<name>.tmp` file which is persisted and then renamed over `path`, so
+/// a crash mid-write (or an injected torn write) can never leave a
+/// half-written file at `path` — the previous version survives intact.
+pub(crate) fn atomic_write(
+    path: &Path,
+    bytes: &[u8],
+    faults: Option<&FaultPlan>,
+) -> std::io::Result<()> {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    let tmp = path.with_file_name(name);
+    let mut file = std::fs::File::create(&tmp)?;
+    if let Some(keep) = faults.and_then(FaultPlan::write_fault) {
+        let keep = keep.min(bytes.len());
+        file.write_all(&bytes[..keep])?;
+        let _ = file.sync_all();
+        return Err(std::io::Error::other(format!(
+            "injected fault: torn write after {keep} bytes"
+        )));
+    }
+    file.write_all(bytes)?;
+    file.sync_all()?;
+    drop(file);
+    std::fs::rename(&tmp, path)
 }
 
 /// Serialized progress of an interrupted sequential verification run.
@@ -582,7 +688,7 @@ fn mode_from_name(name: &str) -> Option<CheckMode> {
 }
 
 /// Packs a bit vector into a lowercase hex string, LSB-first per byte.
-fn marks_to_hex(marks: &[bool]) -> String {
+pub(crate) fn marks_to_hex(marks: &[bool]) -> String {
     use std::fmt::Write as _;
     let mut out = String::with_capacity(marks.len().div_ceil(8) * 2);
     for chunk in marks.chunks(8) {
@@ -597,7 +703,7 @@ fn marks_to_hex(marks: &[bool]) -> String {
     out
 }
 
-fn marks_from_hex(hex: &str, len: usize) -> Option<Vec<bool>> {
+pub(crate) fn marks_from_hex(hex: &str, len: usize) -> Option<Vec<bool>> {
     if hex.len() != len.div_ceil(8) * 2 {
         return None;
     }
@@ -713,9 +819,7 @@ impl Checkpoint {
     /// [`CheckpointError::Io`] on any filesystem failure.
     pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
         let text = self.to_json().to_pretty_string();
-        let mut file = std::fs::File::create(path)
-            .map_err(|e| CheckpointError::Io(format!("{}: {e}", path.display())))?;
-        file.write_all(text.as_bytes())
+        atomic_write(path, text.as_bytes(), None)
             .map_err(|e| CheckpointError::Io(format!("{}: {e}", path.display())))
     }
 

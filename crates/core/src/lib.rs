@@ -64,6 +64,7 @@ mod rat;
 mod report;
 mod resolution;
 mod stats;
+mod stream;
 mod trim;
 
 pub use binary::{
@@ -111,5 +112,10 @@ pub use stats::ProofStats;
 pub use resolution::{
     resolution_proof_from_chains, ChainRef, CheckedResolution, NodeId,
     ResolutionError, ResolutionProof,
+};
+pub use stream::{
+    chain_workload, verify_drat_stream, verify_drat_stream_bytes,
+    StreamCheckpoint, StreamConfig, StreamError, StreamOutcome,
+    StreamVerification,
 };
 pub use trim::{trim_proof, verify_and_trim};

@@ -181,3 +181,128 @@ proptest! {
         }
     }
 }
+
+/// The byte offset a binary-parse error points at, if it is one of the
+/// binary (offset-carrying) variants.
+fn error_offset(e: &proofver::ParseDratError) -> Option<usize> {
+    use proofver::ParseDratError::*;
+    match e {
+        BadPrefix { offset, .. }
+        | BadVarint { offset }
+        | LiteralOutOfRange { offset }
+        | UnexpectedEof { offset } => Some(*offset),
+        BadToken { .. } | UnterminatedClause { .. } => None,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Truncating a binary DRAT proof anywhere either yields a valid
+    /// shorter proof (the cut fell on a step boundary) or a *positioned*
+    /// parse error whose byte offset is inside the input — never a
+    /// panic, and never an error pointing past the bytes it was given.
+    #[test]
+    fn truncated_binary_drat_fails_with_a_position(
+        steps in steps_strategy(),
+        cut in 0usize..1_000_000,
+    ) {
+        let bytes = encode_drat_to_vec(&DratProof::new(steps));
+        if bytes.len() < 2 {
+            return Ok(());
+        }
+        // keep the 'd'/'a' sniff byte so the input stays binary-looking
+        let cut = 1 + cut % (bytes.len() - 1);
+        match proofver::parse_drat_binary(&bytes[..cut]) {
+            Ok(shorter) => {
+                prop_assert!(shorter.steps().len() <= bytes.len());
+            }
+            Err(e) => {
+                let offset = error_offset(&e);
+                prop_assert!(offset.is_some(), "binary error without offset: {e}");
+                prop_assert!(offset.expect("checked") <= cut, "{e} past input end");
+            }
+        }
+    }
+
+    /// Flipping one bit anywhere in a binary DRAT proof either still
+    /// parses (the flip landed in a literal's payload) or fails with a
+    /// positioned error inside the input — never a panic.
+    #[test]
+    fn bit_flipped_binary_drat_never_panics(
+        steps in steps_strategy(),
+        at in 0usize..1_000_000,
+        bit in 0u8..8,
+    ) {
+        let mut bytes = encode_drat_to_vec(&DratProof::new(steps));
+        if bytes.is_empty() {
+            return Ok(());
+        }
+        let at = at % bytes.len();
+        bytes[at] ^= 1 << bit;
+        if !proofver::is_binary_drat(&bytes) {
+            // the flip hit the sniff byte; text parsing is a different
+            // grammar with line-based errors
+            return Ok(());
+        }
+        if let Err(e) = proofver::parse_drat_binary(&bytes) {
+            let offset = error_offset(&e);
+            prop_assert!(offset.is_some(), "binary error without offset: {e}");
+            prop_assert!(offset.expect("checked") <= bytes.len());
+        }
+    }
+
+    /// The streaming checker's incremental scanner mirrors the
+    /// in-memory binary parser on malformed input: same error, same
+    /// byte offset — so a corrupt proof is diagnosed identically no
+    /// matter which path reads it, and is never misreported as a
+    /// Rejected verdict.
+    #[test]
+    fn streaming_scanner_matches_in_memory_parser_on_corrupt_input(
+        steps in steps_strategy(),
+        at in 0usize..1_000_000,
+        bit in 0u8..8,
+        cut in 0usize..1_000_000,
+        truncate in any::<bool>(),
+    ) {
+        let mut bytes = encode_drat_to_vec(&DratProof::new(steps));
+        if bytes.len() < 2 {
+            return Ok(());
+        }
+        if truncate {
+            let keep = 1 + cut % (bytes.len() - 1);
+            bytes.truncate(keep);
+        } else {
+            let at = at % bytes.len();
+            bytes[at] ^= 1 << bit;
+        }
+        if !proofver::is_binary_drat(&bytes) {
+            return Ok(());
+        }
+        let Err(expected) = proofver::parse_drat_binary(&bytes) else {
+            return Ok(());
+        };
+        let formula = CnfFormula::from_dimacs_clauses(&[vec![1], vec![-1]]);
+        let outcome = proofver::verify_drat_stream_bytes(
+            &formula,
+            &bytes,
+            &Harness::default(),
+            &proofver::StreamConfig::default(),
+            PropagatorChoice::Watched,
+            None,
+            None,
+        );
+        match outcome {
+            proofver::StreamOutcome::Failed(
+                proofver::StreamError::Parse(actual),
+            ) => {
+                prop_assert_eq!(actual, expected);
+            }
+            other => {
+                return Err(TestCaseError::fail(format!(
+                    "streaming gave {other:?}, parser gave {expected}"
+                )));
+            }
+        }
+    }
+}

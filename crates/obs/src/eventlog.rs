@@ -10,18 +10,64 @@
 //! [`EventLog`] serialises whole lines under one mutex, so events from
 //! concurrent threads interleave at line granularity, never mid-line.
 //! Writes are buffered; call [`EventLog::flush`] at quiescence points
-//! (drain, shutdown) — dropping the log also flushes.
+//! (drain, shutdown) — dropping the log also flushes, even when a
+//! panicking thread poisoned the mutex, and a process-wide panic hook
+//! best-effort-flushes every live log before the unwind proceeds (so
+//! the tail of the trail survives a crash, which is exactly when it is
+//! most needed).
 
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
 use std::path::Path;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, OnceLock, TryLockError, Weak};
 
 use crate::json::Json;
 
+type Sink = Mutex<BufWriter<Box<dyn Write + Send>>>;
+
+/// Every live log's sink, weakly held so drops are not delayed. The
+/// first registration installs a panic hook (chaining the previous
+/// one) that flushes whatever is still alive.
+static LIVE_LOGS: OnceLock<Mutex<Vec<Weak<Sink>>>> = OnceLock::new();
+
+fn register(sink: &Arc<Sink>) {
+    let registry = LIVE_LOGS.get_or_init(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            flush_all_live();
+            previous(info);
+        }));
+        Mutex::new(Vec::new())
+    });
+    let mut live = registry.lock().unwrap_or_else(|e| e.into_inner());
+    live.retain(|weak| weak.strong_count() > 0);
+    live.push(Arc::downgrade(sink));
+}
+
+/// Flushes every live log without blocking: a log whose mutex is held
+/// by another thread is skipped (its lines flush on drop), and one
+/// poisoned by the panicking thread itself is flushed through the
+/// poison — the buffered lines were complete before the panic.
+fn flush_all_live() {
+    let Some(registry) = LIVE_LOGS.get() else { return };
+    let live = registry.lock().unwrap_or_else(|e| e.into_inner());
+    for weak in live.iter() {
+        let Some(sink) = weak.upgrade() else { continue };
+        match sink.try_lock() {
+            Ok(mut guard) => {
+                let _ = guard.flush();
+            }
+            Err(TryLockError::Poisoned(e)) => {
+                let _ = e.into_inner().flush();
+            }
+            Err(TryLockError::WouldBlock) => {}
+        };
+    }
+}
+
 /// A thread-safe, buffered JSONL writer (see module docs).
 pub struct EventLog {
-    sink: Mutex<BufWriter<Box<dyn Write + Send>>>,
+    sink: Arc<Sink>,
 }
 
 impl EventLog {
@@ -37,7 +83,9 @@ impl EventLog {
     /// Wraps an arbitrary sink — for tests and in-memory capture.
     #[must_use]
     pub fn from_writer(sink: Box<dyn Write + Send>) -> EventLog {
-        EventLog { sink: Mutex::new(BufWriter::new(sink)) }
+        let sink = Arc::new(Mutex::new(BufWriter::new(sink)));
+        register(&sink);
+        EventLog { sink }
     }
 
     /// Appends one event as a compact JSON line.
@@ -65,9 +113,11 @@ impl EventLog {
 
 impl Drop for EventLog {
     fn drop(&mut self) {
-        if let Ok(mut sink) = self.sink.lock() {
-            let _ = sink.flush();
-        }
+        // flush through poison too: a panic elsewhere left the buffer
+        // intact (lines are appended whole), and dropping the last
+        // buffered events is precisely the tail loss this guards
+        // against
+        let _ = self.sink.lock().unwrap_or_else(|e| e.into_inner()).flush();
     }
 }
 
@@ -160,6 +210,44 @@ mod tests {
         assert_eq!(events.len(), 3);
         assert_eq!(events[2].get("seq").and_then(Json::as_int), Some(2));
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn drop_flushes_even_after_a_poisoning_panic() {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        {
+            let log = Arc::new(EventLog::from_writer(Box::new(Shared(
+                Arc::clone(&buf),
+            ))));
+            log.append(&Json::object_from([("k", Json::from(1u64))]))
+                .expect("append");
+            // poison the sink mutex from another thread
+            let poisoner = Arc::clone(&log);
+            let _ = std::thread::spawn(move || {
+                let _guard =
+                    poisoner.sink.lock().expect("first lock succeeds");
+                panic!("poison the event-log mutex");
+            })
+            .join();
+        }
+        let text =
+            String::from_utf8(buf.lock().expect("sink").clone()).expect("utf8");
+        assert_eq!(text, "{\"k\":1}\n", "drop must flush through poison");
+    }
+
+    #[test]
+    fn panic_hook_flushes_live_logs_before_unwind() {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let log = EventLog::from_writer(Box::new(Shared(Arc::clone(&buf))));
+        log.append(&Json::object_from([("k", Json::from(2u64))]))
+            .expect("append");
+        // keep the log alive across the panic: only the hook can have
+        // flushed it when we read the sink below
+        let _ = std::thread::spawn(|| panic!("trip the panic hook")).join();
+        let text =
+            String::from_utf8(buf.lock().expect("sink").clone()).expect("utf8");
+        assert_eq!(text, "{\"k\":2}\n", "panic hook must flush live logs");
+        drop(log);
     }
 
     #[test]

@@ -20,11 +20,12 @@ use proofver::{
     decode_proof, encode_proof, parse_proof, resume_verification_with_engine,
     verify_all_parallel_harnessed_with_engine, verify_harnessed_with_engine,
     write_proof, Budget, CheckMode, Checkpoint, CheckpointError,
-    ConflictClauseProof, Harness, Outcome, ProofStats, PropagatorChoice, MAGIC,
+    ConflictClauseProof, Harness, Outcome, ProofStats, PropagatorChoice,
+    StreamCheckpoint, StreamConfig, StreamError, StreamOutcome, MAGIC,
 };
 use satverifyd::{
     BudgetSpec, Client, Endpoint, ErrorCode as WireError, Request as WireRequest,
-    Response as WireResponse, Server, ServerConfig, VerifyRequest,
+    Response as WireResponse, RetryPolicy, Server, ServerConfig, VerifyRequest,
 };
 use satverify::{
     minimal_core_of_verified, minimize_core, solve_and_verify,
@@ -53,6 +54,9 @@ USAGE:
                           [--max-propagations <n>] [--max-clause-visits <n>]
                           [--max-memory-mb <n>] [--timeout-ms <n>]
                           [--checkpoint <path>] [--resume]
+                          [--stream] [--memory-budget <mb>]
+                          [--window-kb <n>] [--granule-kb <n>]
+                          [--event-log <path>]
                           [--json <path>] [--trace] [--metrics]
         verify a proof (text or binary, auto-detected);
         --all checks every clause (Proof_verification1); --parallel
@@ -63,6 +67,12 @@ USAGE:
         LRAT certificate recorded during that pass, --emit-trimmed
         the trimmed DRAT proof (--emit-binary selects the binary
         encodings). Formats contract: docs/FORMATS.md.
+        --stream (binary DRAT only) checks the proof in bounded
+        memory by windows, never holding more than --memory-budget
+        <mb> (default 64) of proof state; with --checkpoint a durable
+        checkpoint is written at every window boundary and --resume
+        continues a killed run mid-proof. --event-log appends one
+        JSON line per window-lifecycle event.
         Budget flags bound the run: when a limit is hit the result is
         s UNKNOWN (exit 4) — never a verdict. With --checkpoint, an
         interrupted sequential run writes its progress there, and
@@ -97,14 +107,20 @@ USAGE:
 
     satverify client <endpoint> ping|stats|metrics|shutdown
     satverify client <endpoint> check <cnf> <proof> [--all] [--by-path]
-                     [--proof-format <native|drat>] [budget flags]
+                     [--proof-format <native|drat>] [--stream]
+                     [--no-retry] [budget flags]
         talk to a running daemon. `stats` prints counters and µs
         latency percentiles (queue wait, verify, end-to-end); `metrics`
         dumps the daemon's registry in Prometheus text exposition.
         `check` submits one job (file contents are sent inline unless
         --by-path passes server-local paths) and prints the same report
-        as the local `check`; exit codes are the `check` contract plus
-        5 = admission refused (overloaded or draining daemon).
+        as the local `check`; --stream (with --proof-format drat and
+        --by-path) runs the daemon's windowed bounded-memory checker,
+        with --max-memory-mb as the residency cap. Transient connect
+        failures are retried with capped exponential backoff and jitter
+        (--no-retry tries once); exit codes are the `check` contract
+        plus 5 = daemon unavailable (unreachable, overloaded, or
+        draining).
 
     satverify drat <cnf> <proof>
         verify a proof that may contain RAT steps (DRAT semantics)
@@ -126,7 +142,10 @@ USAGE:
         families: php <holes> | tseitin <n> <m> | chess <n> |
                   pebbling <h> | rand3sat <vars> <clauses> <seed> |
                   eqv-adder <w> | eqv-shifter <w> <s> | pipe-cpu <w> |
-                  bmc-counter <bits> <k> | bmc-lfsr <bits> <k>
+                  bmc-counter <bits> <k> | bmc-lfsr <bits> <k> |
+                  stream-chain <links> (writes <out>.cnf + <out>.drat,
+                  a small formula with a proof ~14 bytes per link for
+                  exercising `check --stream`)
 ";
 
 fn main() -> ExitCode {
@@ -425,6 +444,9 @@ USAGE:
                     [--max-propagations <n>] [--max-clause-visits <n>]
                     [--max-memory-mb <n>] [--timeout-ms <n>]
                     [--checkpoint <path>] [--resume]
+                    [--stream] [--memory-budget <mb>]
+                    [--window-kb <n>] [--granule-kb <n>]
+                    [--event-log <path>]
                     [--json <path>] [--trace] [--metrics]
 
 The proof file may be text or binary (auto-detected). --all checks
@@ -441,13 +463,30 @@ is the faster layout on large proofs.
 binary encoding, auto-detected) and checks it *backward* with
 core-first marking — only the steps the refutation depends on are
 verified, with a RAT fallback for steps that are not plain RUP. In
-this mode --all/--parallel/--checkpoint/--resume do not apply (the
-backward pass is inherently sequential and unresumable) and are usage
-errors. --emit-lrat <path> writes the LRAT certificate captured
-during the pass (re-checkable with `satverify lrat` or any standard
-LRAT checker); --emit-trimmed <path> writes the trimmed DRAT proof;
---emit-binary selects the binary encodings for both. The grammars and
-a worked example live in docs/FORMATS.md.
+this mode --all/--parallel do not apply (the backward pass checks only
+marked steps by construction) and are usage errors; without --stream,
+--checkpoint/--resume do not apply either. --emit-lrat <path> writes
+the LRAT certificate captured during the pass (re-checkable with
+`satverify lrat` or any standard LRAT checker); --emit-trimmed <path>
+writes the trimmed DRAT proof; --emit-binary selects the binary
+encodings for both. The grammars and a worked example live in
+docs/FORMATS.md.
+
+--stream (requires --proof-format drat and a *binary* DRAT proof)
+switches to the windowed streaming checker: the proof is indexed in
+one forward pass, then checked backward window by window so resident
+proof state never exceeds --memory-budget <mb> (default 64). Under
+memory pressure the checker degrades (clause-store rebuild, then
+window shrink down to --window-kb floors) before reporting
+exhaustion — an out-of-budget run is `s UNKNOWN`, never a verdict.
+With --checkpoint <path> a durable checkpoint (atomic write-rename)
+is saved at every window boundary; --resume continues a killed run
+from the last boundary and finishes with the identical verdict.
+--window-kb sets the initial window size, --granule-kb the index
+spacing (persisted in the checkpoint; the saved value wins on
+resume). --event-log <path> appends one JSON line per stream
+lifecycle event (schema in docs/OBSERVABILITY.md). --emit-lrat and
+--emit-trimmed are not available in streaming mode.
 
 Budget flags bound the run. A run that hits a limit stops with
 `s UNKNOWN` — an exhausted budget is never a verdict. With
@@ -460,9 +499,11 @@ EXIT CODES:
     0    s VERIFIED      the proof derives the empty clause
     1    s NOT VERIFIED  the proof was rejected (with the failing step)
     2    usage error     bad flags, or a checkpoint that does not match
-                         the given formula/proof (fingerprint mismatch)
+                         the given formula/proof (fingerprint mismatch),
+                         or (--stream) a corrupt/unreadable checkpoint
     3    malformed input the formula, proof, or checkpoint file could
-                         not be read or parsed
+                         not be read or parsed, or (--stream) an I/O
+                         fault while reading the proof
     4    s UNKNOWN       a budget limit was hit before a verdict
 ";
 
@@ -476,6 +517,11 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
     let all = take_flag(&mut args, "--all");
     let checkpoint_path = take_option(&mut args, "--checkpoint");
     let resume = take_flag(&mut args, "--resume");
+    let stream = take_flag(&mut args, "--stream");
+    let memory_budget_mb = take_u64_option(&mut args, "--memory-budget")?;
+    let window_kb = take_u64_option(&mut args, "--window-kb")?;
+    let granule_kb = take_u64_option(&mut args, "--granule-kb")?;
+    let event_log = take_option(&mut args, "--event-log");
     let proof_format = take_option(&mut args, "--proof-format");
     let emit = EmitOptions {
         lrat: take_option(&mut args, "--emit-lrat"),
@@ -515,12 +561,44 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
                 .into(),
         );
     }
-    if drat && (all || parallel.is_some() || checkpoint_path.is_some() || resume) {
-        // the backward pass checks only marked steps by construction and
-        // mutates the clause arena in place: nothing to parallelise or resume
+    if stream && !drat {
+        return usage("--stream requires --proof-format drat".into());
+    }
+    if stream && (emit.lrat.is_some() || emit.trimmed.is_some()) {
+        return usage(
+            "--emit-lrat/--emit-trimmed are not available with --stream \
+             (windows are discarded after checking)"
+                .into(),
+        );
+    }
+    if !stream
+        && (event_log.is_some()
+            || memory_budget_mb.is_some()
+            || window_kb.is_some()
+            || granule_kb.is_some())
+    {
+        return usage(
+            "--memory-budget/--window-kb/--granule-kb/--event-log \
+             require --stream"
+                .into(),
+        );
+    }
+    if drat && (all || parallel.is_some()) {
+        // the backward pass checks only marked steps by construction:
+        // nothing to parallelise
         return usage(
             "--proof-format drat is checked backward; \
-             --all/--parallel/--checkpoint/--resume do not apply"
+             --all/--parallel do not apply"
+                .into(),
+        );
+    }
+    if drat && !stream && (checkpoint_path.is_some() || resume) {
+        // the in-memory backward pass mutates the clause arena in
+        // place and is unresumable; only the windowed checker can stop
+        // at a boundary
+        return usage(
+            "--checkpoint/--resume with --proof-format drat require \
+             --stream"
                 .into(),
         );
     }
@@ -533,6 +611,29 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
     let [cnf_path, proof_path] = args.as_slice() else {
         return usage("usage: satverify check <cnf> <proof> [options]".into());
     };
+    if stream {
+        let mut config = StreamConfig::default();
+        if let Some(mb) = memory_budget_mb {
+            config.memory_budget = mb.saturating_mul(1024 * 1024);
+        }
+        if let Some(kb) = window_kb {
+            config.window_bytes = kb.saturating_mul(1024);
+        }
+        if let Some(kb) = granule_kb {
+            config.index_granule_bytes = kb.saturating_mul(1024);
+        }
+        config.checkpoint = checkpoint_path.as_deref().map(Into::into);
+        return check_drat_stream(
+            cnf_path,
+            proof_path,
+            budget,
+            engine,
+            &config,
+            resume,
+            event_log.as_deref(),
+            &obs_opts,
+        );
+    }
     if drat {
         return check_drat(cnf_path, proof_path, budget, engine, &emit, &obs_opts);
     }
@@ -779,6 +880,151 @@ fn check_drat(
     }
 }
 
+/// The `check --stream` branch: windowed backward verification of a
+/// binary DRAT proof under a memory budget, with durable window-boundary
+/// checkpoints. Exit codes extend the `check` contract: a checkpoint
+/// problem (corrupt JSON, fingerprint mismatch) is a usage error (2),
+/// any other environmental failure (proof I/O fault, parse error,
+/// changed file) is malformed input (3) — never a verdict.
+#[allow(clippy::too_many_arguments)]
+fn check_drat_stream(
+    cnf_path: &str,
+    proof_path: &str,
+    budget: Budget,
+    engine: PropagatorChoice,
+    config: &StreamConfig,
+    resume: bool,
+    event_log: Option<&str>,
+    obs_opts: &ObsOptions,
+) -> Result<ExitCode, String> {
+    let usage = |msg: String| {
+        eprintln!("error: {msg}");
+        Ok(ExitCode::from(EXIT_USAGE))
+    };
+    let malformed = |msg: String| {
+        eprintln!("error: {msg}");
+        Ok(ExitCode::from(EXIT_MALFORMED))
+    };
+    let formula = match load_formula(cnf_path) {
+        Ok(f) => f,
+        Err(msg) => return malformed(msg),
+    };
+    let resume_from = match config.checkpoint.as_deref().filter(|_| resume) {
+        Some(path) if path.exists() => match StreamCheckpoint::load(path) {
+            Ok(cp) => Some(cp),
+            // a checkpoint that cannot be read back — torn by a crash,
+            // truncated, hand-edited — must be surfaced, never silently
+            // restarted from scratch
+            Err(e) => {
+                return usage(format!(
+                    "cannot resume from {}: {e}; delete the checkpoint to \
+                     start fresh",
+                    path.display()
+                ))
+            }
+        },
+        Some(path) => {
+            println!("c no checkpoint at {}; starting fresh", path.display());
+            None
+        }
+        None => None,
+    };
+    let events = match event_log {
+        Some(path) => match obs::EventLog::create(Path::new(path)) {
+            Ok(log) => Some(log),
+            Err(e) => return malformed(format!("cannot create {path}: {e}")),
+        },
+        None => None,
+    };
+    let mut report = RunReport::new("check");
+    report.instance_path = Some(cnf_path.to_string());
+    report.num_vars = Some(formula.num_vars());
+    report.num_clauses = Some(formula.num_clauses());
+    let mut summary = HarnessSummary {
+        resumed: resume_from.is_some(),
+        ..Default::default()
+    };
+    let harness = Harness::with_budget(budget);
+    let outcome = proofver::verify_drat_stream(
+        &formula,
+        Path::new(proof_path),
+        &harness,
+        config,
+        engine,
+        resume_from.as_ref(),
+        events.as_ref(),
+    );
+    match outcome {
+        StreamOutcome::Verified(v) => {
+            println!("s VERIFIED");
+            println!(
+                "c {} of {} additions checked in {} windows \
+                 ({} shrinks, {} rebuilds)",
+                v.num_checked, v.total_adds, v.windows, v.window_shrinks,
+                v.arena_rebuilds
+            );
+            println!(
+                "c peak residency {} of {} budget bytes over a {}-byte proof",
+                v.peak_residency, config.memory_budget, v.proof_bytes
+            );
+            println!(
+                "c core: {} of {} original clauses",
+                v.core.len(),
+                formula.num_clauses()
+            );
+            summary.outcome = "verified".to_string();
+            summary.steps_checked = Some(v.num_checked);
+            summary.steps_total = Some(v.total_adds as usize);
+            report.result = Some("VERIFIED".to_string());
+            report.harness = Some(summary);
+            obs_opts.emit(report)?;
+            Ok(ExitCode::from(EXIT_VERIFIED))
+        }
+        StreamOutcome::Rejected { step, error } => {
+            println!("s NOT VERIFIED");
+            println!("c {error}");
+            if let Some(step) = step {
+                println!("c failing proof addition: step {step}");
+            }
+            summary.outcome = "rejected".to_string();
+            summary.rejected_step = step;
+            report.result = Some("NOT VERIFIED".to_string());
+            report.harness = Some(summary);
+            obs_opts.emit(report)?;
+            Ok(ExitCode::from(EXIT_REJECTED))
+        }
+        StreamOutcome::Exhausted { reason, progress, checkpointed } => {
+            println!("s UNKNOWN");
+            println!(
+                "c budget exhausted ({reason}) after {}/{} checks — no verdict",
+                progress.steps_checked, progress.steps_total
+            );
+            summary.outcome = "exhausted".to_string();
+            summary.exhaust_reason = Some(reason.to_string());
+            summary.steps_checked = Some(progress.steps_checked);
+            summary.steps_total = Some(progress.steps_total);
+            if checkpointed {
+                if let Some(path) = &config.checkpoint {
+                    println!(
+                        "c checkpoint at {}; rerun with --resume",
+                        path.display()
+                    );
+                    summary.checkpoint_path =
+                        Some(path.display().to_string());
+                }
+            }
+            report.result = Some("UNKNOWN".to_string());
+            report.harness = Some(summary);
+            obs_opts.emit(report)?;
+            Ok(ExitCode::from(EXIT_EXHAUSTED))
+        }
+        StreamOutcome::Failed(StreamError::Checkpoint(e)) => usage(format!(
+            "checkpoint problem: {e}; fix or delete the checkpoint file"
+        )),
+        StreamOutcome::Failed(e) => malformed(e.to_string()),
+    }
+}
+
 /// `satverify lrat`: replay an LRAT certificate against a formula with
 /// the strict in-repo hint checker. Closes the emit→re-validate loop
 /// (`check --proof-format drat --emit-lrat out.lrat` then
@@ -905,17 +1151,32 @@ fn cmd_client(args: &[String]) -> Result<ExitCode, String> {
         eprintln!("usage: satverify client <endpoint> ping|stats|metrics|shutdown");
         eprintln!(
             "       satverify client <endpoint> check <cnf> <proof> \
-             [--all] [--by-path] [--proof-format <native|drat>] [budget flags]"
+             [--all] [--by-path] [--proof-format <native|drat>] [--stream] \
+             [--no-retry] [budget flags]"
         );
         Ok(ExitCode::from(EXIT_USAGE))
     };
     if args.len() < 2 {
         return usage("missing endpoint or action");
     }
+    let no_retry = take_flag(&mut args, "--no-retry");
     let endpoint = Endpoint::parse(&args.remove(0))?;
     let action = args.remove(0);
-    let mut client = Client::connect(&endpoint)
-        .map_err(|e| format!("cannot connect to {endpoint}: {e}"))?;
+    let policy = if no_retry {
+        RetryPolicy::no_retry()
+    } else {
+        RetryPolicy::default()
+    };
+    let mut client = match Client::connect_with_retry(&endpoint, &policy) {
+        Ok(client) => client,
+        // an unreachable daemon is the same operational condition as a
+        // draining one: the job never ran, nothing about its inputs is
+        // known to be wrong
+        Err(e) => {
+            eprintln!("error: cannot connect to {endpoint}: {e}");
+            return Ok(ExitCode::from(EXIT_UNAVAILABLE));
+        }
+    };
     let roundtrip = |client: &mut Client, request: &WireRequest| {
         client.request(request).map_err(|e| format!("{endpoint}: {e}"))
     };
@@ -971,6 +1232,7 @@ fn cmd_client(args: &[String]) -> Result<ExitCode, String> {
         "check" => {
             let all = take_flag(&mut args, "--all");
             let by_path = take_flag(&mut args, "--by-path");
+            let stream = take_flag(&mut args, "--stream");
             let proof_format = take_option(&mut args, "--proof-format");
             match proof_format.as_deref() {
                 None | Some("native") | Some("drat") => {}
@@ -983,6 +1245,15 @@ fn cmd_client(args: &[String]) -> Result<ExitCode, String> {
             if proof_format.as_deref() == Some("drat") && all {
                 return usage("drat jobs are checked backward; drop --all");
             }
+            if stream && proof_format.as_deref() != Some("drat") {
+                return usage("--stream requires --proof-format drat");
+            }
+            if stream && !by_path {
+                return usage(
+                    "--stream requires --by-path (the daemon streams a \
+                     server-local binary DRAT file)",
+                );
+            }
             let budget = take_budget_spec(&mut args)?;
             let [cnf_path, proof_path] = args.as_slice() else {
                 return usage("client check needs <cnf> <proof>");
@@ -990,6 +1261,7 @@ fn cmd_client(args: &[String]) -> Result<ExitCode, String> {
             let mut request = VerifyRequest {
                 mode: all.then(|| "all".to_string()),
                 proof_format,
+                stream,
                 budget,
                 ..VerifyRequest::default()
             };
@@ -1218,6 +1490,37 @@ fn cmd_gen(args: &[String]) -> Result<ExitCode, String> {
             .and_then(|v| v.parse().ok())
             .ok_or_else(|| format!("{family}: missing/bad argument {i}"))
     };
+    if family == "stream-chain" {
+        // the streaming-checker workload: a tiny formula with a proof
+        // that grows linearly in <links> (~14 bytes each), written as
+        // <prefix>.cnf + <prefix>.drat (binary DRAT)
+        let links = p(0)?;
+        let Some(prefix) = out else {
+            return Err(
+                "stream-chain: --out <prefix> is required (writes \
+                 <prefix>.cnf and <prefix>.drat)"
+                    .into(),
+            );
+        };
+        let (formula, proof) = proofver::chain_workload(links);
+        let cnf_path = format!("{prefix}.cnf");
+        let file = File::create(&cnf_path)
+            .map_err(|e| format!("cannot create {cnf_path}: {e}"))?;
+        write_dimacs(BufWriter::new(file), &formula)
+            .map_err(|e| format!("{cnf_path}: {e}"))?;
+        let drat_path = format!("{prefix}.drat");
+        let bytes = proofver::encode_drat_to_vec(&proof);
+        std::fs::write(&drat_path, &bytes)
+            .map_err(|e| format!("{drat_path}: {e}"))?;
+        eprintln!(
+            "c wrote {} clauses to {cnf_path} and a {}-byte binary DRAT \
+             proof ({} steps) to {drat_path}",
+            formula.num_clauses(),
+            bytes.len(),
+            proof.steps().len()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
     let formula = match family.as_str() {
         "php" => cnfgen::pigeonhole(p(0)?),
         "tseitin" => cnfgen::tseitin_grid(p(0)?, p(1)?),

@@ -8,12 +8,13 @@
 
 use std::fs::File;
 use std::io::{BufReader, Read};
+use std::path::Path;
 
 use cnf::CnfFormula;
 use proofver::{
-    parse_drat, verify_drat_backward_harnessed, verify_harnessed,
-    ConflictClauseProof, DratOutcome, DratProof, Harness, Outcome,
-    PropagatorChoice, MAGIC,
+    parse_drat, verify_drat_backward_harnessed, verify_drat_stream,
+    verify_harnessed, ConflictClauseProof, DratOutcome, DratProof, Harness,
+    Outcome, PropagatorChoice, StreamConfig, StreamOutcome, MAGIC,
 };
 
 use crate::protocol::{ErrorCode, JobResult, VerifyRequest};
@@ -99,6 +100,14 @@ pub fn execute(
 ) -> Result<JobResult, (ErrorCode, String)> {
     let invalid = |msg: String| (ErrorCode::InvalidInput, msg);
     let mode = request.check_mode().map_err(invalid)?;
+    if request.stream {
+        if !request.is_drat().map_err(invalid)? {
+            return Err(invalid(
+                "stream requires proof_format \"drat\"".into(),
+            ));
+        }
+        return execute_stream(request, harness);
+    }
     if request.is_drat().map_err(invalid)? {
         return execute_drat(request, harness);
     }
@@ -168,6 +177,67 @@ fn execute_drat(
             result.exhaust_reason = Some(reason.as_str().to_string());
             result.steps_checked = Some(progress.steps_checked as u64);
             result.propagations = Some(progress.propagations);
+        }
+    }
+    Ok(result)
+}
+
+/// The streaming branch of [`execute`]: check a server-local binary
+/// DRAT file with the windowed bounded-memory verifier. The budget's
+/// `max_memory_bytes` (request or server default) becomes the streaming
+/// residency cap; other budget fields bound the run as usual. Inline
+/// proofs cannot stream (the wire is newline-JSON, and the point of
+/// streaming is not holding the proof in memory), so `proof_path` is
+/// required.
+fn execute_stream(
+    request: &VerifyRequest,
+    harness: &Harness,
+) -> Result<JobResult, (ErrorCode, String)> {
+    let invalid = |msg: String| (ErrorCode::InvalidInput, msg);
+    let Some(path) = &request.proof_path else {
+        return Err(invalid(
+            "stream requires `proof_path` (a server-local binary DRAT \
+             file); inline proofs cannot stream"
+                .into(),
+        ));
+    };
+    let formula = resolve_formula(request).map_err(invalid)?;
+    let mut config = StreamConfig::default();
+    if harness.budget.max_arena_bytes != u64::MAX {
+        config.memory_budget = harness.budget.max_arena_bytes;
+    }
+    let mut result = JobResult {
+        id: request.id.clone(),
+        ..JobResult::default()
+    };
+    match verify_drat_stream(
+        &formula,
+        Path::new(path),
+        harness,
+        &config,
+        PropagatorChoice::Watched,
+        None,
+        None,
+    ) {
+        StreamOutcome::Verified(v) => {
+            result.outcome = "verified".into();
+            result.steps_total = Some(v.total_adds);
+            result.steps_checked = Some(v.num_checked as u64);
+            result.propagations = Some(v.propagations);
+        }
+        StreamOutcome::Rejected { step, error } => {
+            result.outcome = "rejected".into();
+            result.rejected_step = step.map(|s| s as u64);
+            result.detail = Some(error.to_string());
+        }
+        StreamOutcome::Exhausted { reason, progress, checkpointed: _ } => {
+            result.outcome = "exhausted".into();
+            result.exhaust_reason = Some(reason.as_str().to_string());
+            result.steps_checked = Some(progress.steps_checked as u64);
+            result.propagations = Some(progress.propagations);
+        }
+        StreamOutcome::Failed(e) => {
+            return Err(invalid(format!("streaming check failed: {e}")));
         }
     }
     Ok(result)

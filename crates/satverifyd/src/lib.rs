@@ -61,7 +61,7 @@ pub mod queue;
 pub mod server;
 pub mod stats;
 
-pub use client::Client;
+pub use client::{Client, RetryPolicy};
 pub use net::Endpoint;
 pub use protocol::{
     BudgetSpec, ErrorCode, JobResult, LatencySummary, Request, Response,

@@ -159,6 +159,12 @@ pub struct VerifyRequest {
     /// `drat` (standard DRAT, checked backward). Additive field:
     /// absent means `native`, so old clients are unaffected.
     pub proof_format: Option<String>,
+    /// Check the proof with the windowed streaming verifier (requires
+    /// `proof_format: "drat"` and a server-local `proof_path` to a
+    /// binary DRAT file; the budget's `max_memory_bytes` becomes the
+    /// streaming residency cap). Additive field: absent means `false`,
+    /// so old clients are unaffected.
+    pub stream: bool,
     /// Per-job resource limits.
     pub budget: BudgetSpec,
 }
@@ -262,6 +268,9 @@ impl Request {
                 if let Some(format) = &v.proof_format {
                     obj.push("proof_format", format.as_str());
                 }
+                if v.stream {
+                    obj.push("stream", true);
+                }
                 if !v.budget.is_empty() {
                     obj.push("budget", v.budget.to_json());
                 }
@@ -301,6 +310,7 @@ impl Request {
                     proof_path: text("proof_path"),
                     mode: text("mode"),
                     proof_format: text("proof_format"),
+                    stream: matches!(doc.get("stream"), Some(Json::Bool(true))),
                     budget: match doc.get("budget") {
                         Some(spec) => BudgetSpec::from_json(spec)?,
                         None => BudgetSpec::default(),

@@ -115,9 +115,9 @@ fn serve_and_client_round_trip_the_check_contract() {
     let status = child.wait().expect("daemon exits");
     assert!(status.success(), "daemon drained cleanly: {status:?}");
 
-    // and the endpoint is really gone
-    let out = run(&["client", &endpoint, "ping"]);
-    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    // and the endpoint is really gone: daemon unavailable, exit 5
+    let out = run(&["client", &endpoint, "--no-retry", "ping"]);
+    assert_eq!(out.status.code(), Some(5), "{out:?}");
     assert!(
         String::from_utf8_lossy(&out.stderr).contains("cannot connect"),
         "{out:?}"
@@ -220,9 +220,12 @@ fn usage_and_transport_errors_are_distinct() {
     // missing action: usage error, exit 2
     let out = run(&["client", "tcp:127.0.0.1:1"]);
     assert_eq!(out.status.code(), Some(2), "{out:?}");
-    // unreachable daemon: transport failure, exit 1
+    // unreachable daemon: unavailable after (suppressed) retries, exit 5
+    let out = run(&["client", "tcp:127.0.0.1:1", "--no-retry", "ping"]);
+    assert_eq!(out.status.code(), Some(5), "{out:?}");
+    // ... and retrying does not change the verdict, only the latency
     let out = run(&["client", "tcp:127.0.0.1:1", "ping"]);
-    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    assert_eq!(out.status.code(), Some(5), "{out:?}");
     // unparseable endpoint: exit 1 with a helpful message
     let out = run(&["client", "not-an-endpoint", "ping"]);
     assert_eq!(out.status.code(), Some(1), "{out:?}");
