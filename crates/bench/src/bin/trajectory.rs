@@ -1,22 +1,24 @@
 //! `trajectory` — the repo's recorded performance trajectory.
 //!
-//! Deterministically re-runs the four wall-clock benchmark families
-//! (`bcp_throughput`, `proof_io`, `proof_verification`,
-//! `daemon_throughput`) on pinned `cnfgen` inputs, repeats each N
-//! times, and writes one schema-versioned JSON document per run —
-//! `BENCH_<date>.json` — so successive PRs accumulate a comparable
-//! before/after ledger (see `ROADMAP.md`). The criterion benches stay
-//! the interactive tool; this binary is the recorded artefact.
+//! Deterministically re-runs the wall-clock benchmark families
+//! (`bcp`, `proof_io`, `verify`, `drat`, `stream`, `daemon`) on pinned
+//! `cnfgen` inputs, repeats each N times, and writes one
+//! schema-versioned JSON document per run — `BENCH_<date>.json` — so
+//! successive PRs accumulate a comparable before/after ledger (see
+//! `ROADMAP.md`). The criterion benches stay the interactive tool;
+//! this binary is the recorded artefact.
 //!
 //! USAGE:
-//!     trajectory [--smoke] [--out <path>] [--repeats <n>]
+//!     trajectory [--smoke] [--out <path>] [--repeats <n>] [--only <family>]
 //!     trajectory --validate <path>
 //!
 //! `--smoke` shrinks the pinned instances and repeat count so CI can
-//! regenerate and validate a trajectory file in seconds. `--validate`
-//! checks an emitted file: schema version, required fields, sample
-//! counts, and monotonic benchmark timestamps. The schema is specified
-//! in `docs/OBSERVABILITY.md`.
+//! regenerate and validate a trajectory file in seconds. `--only`
+//! restricts a run to one family (e.g. `--only daemon`) for focused
+//! before/after comparisons. `--validate` checks an emitted file:
+//! schema version, required fields, sample counts, and monotonic
+//! benchmark timestamps. The schema is specified in
+//! `docs/OBSERVABILITY.md`.
 
 use std::process::ExitCode;
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
@@ -37,7 +39,9 @@ use satverify::proofver::{
     verify_drat_backward_harnessed, ConflictClauseProof, DratOutcome, DratProof,
     Harness, PropagatorChoice,
 };
-use satverifyd::{Client, Endpoint, Request, Response, Server, ServerConfig};
+use satverifyd::{
+    Client, Endpoint, Request, Response, Server, ServerConfig, VerifyRequest,
+};
 
 /// Bumped on any incompatible change to the emitted document.
 const SCHEMA_VERSION: u64 = 1;
@@ -80,10 +84,20 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         None if smoke => 3,
         None => 7,
     };
+    let only = take_option(&mut args, "--only");
+    if let Some(family) = &only {
+        if !FAMILIES.iter().any(|(name, _)| name == family) {
+            let known: Vec<&str> = FAMILIES.iter().map(|(n, _)| *n).collect();
+            return Err(format!(
+                "unknown family {family:?}; known: {}",
+                known.join(", ")
+            ));
+        }
+    }
     if !args.is_empty() {
         return Err(format!("unexpected arguments {args:?}"));
     }
-    let doc = record(smoke, repeats.max(1));
+    let doc = record(smoke, repeats.max(1), only.as_deref());
     let mut text = doc.to_pretty_string();
     text.push('\n');
     validate(&text).map_err(|e| format!("generated an invalid document: {e}"))?;
@@ -150,15 +164,29 @@ impl Recorder {
     }
 }
 
-fn record(smoke: bool, repeats: usize) -> Json {
+/// One benchmark family: its `--only` name and its recording function.
+type Family = (&'static str, fn(&mut Recorder, bool));
+
+/// The recordable families, in emission order (`validate` requires the
+/// benchmarks to start in monotone order, so this order is the file
+/// order).
+const FAMILIES: &[Family] = &[
+    ("bcp", record_bcp),
+    ("proof_io", record_proof_io),
+    ("verify", record_verification),
+    ("drat", record_drat),
+    ("stream", record_stream),
+    ("daemon", record_daemon),
+];
+
+fn record(smoke: bool, repeats: usize, only: Option<&str>) -> Json {
     let mut recorder =
         Recorder { epoch: Instant::now(), repeats, records: Vec::new() };
-    record_bcp(&mut recorder, smoke);
-    record_proof_io(&mut recorder, smoke);
-    record_verification(&mut recorder, smoke);
-    record_drat(&mut recorder, smoke);
-    record_stream(&mut recorder, smoke);
-    record_daemon(&mut recorder, smoke);
+    for (name, family) in FAMILIES {
+        if only.is_none_or(|o| o == *name) {
+            family(&mut recorder, smoke);
+        }
+    }
 
     let mut doc = Json::object();
     push_u64(&mut doc, "schema_version", SCHEMA_VERSION);
@@ -492,10 +520,34 @@ fn daemon_pipelined(client: &mut Client, batch: usize) {
     }
 }
 
+/// One `batch` submission line carrying `jobs`, then one response per
+/// job — the wire-level counterpart of `daemon_pipelined`.
+fn daemon_batch(client: &mut Client, jobs: &[VerifyRequest]) {
+    client.send(&Request::Batch(jobs.to_vec())).expect("send batch");
+    for _ in 0..jobs.len() {
+        match client.recv().expect("recv") {
+            Response::Result(r) => assert_eq!(r.outcome, "verified"),
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+}
+
+fn xor_job(id: String) -> VerifyRequest {
+    VerifyRequest {
+        id: Some(id),
+        formula: Some(XOR_SQUARE.to_string()),
+        proof: Some(XOR_PROOF.to_string()),
+        ..VerifyRequest::default()
+    }
+}
+
 /// The daemon runs with its lifecycle instrumentation present but the
 /// event log detached — the disabled-path cost every production server
 /// pays, which the trajectory tracks against the pre-instrumentation
-/// baseline.
+/// baseline. Two servers back the family: a cache-off one (the library
+/// default) keeping `round_trip`/`pipelined`/`serial`/`batch`
+/// comparable across runs, and a cache-on one isolating the verdict
+/// cache's cold-miss vs hit cost.
 fn record_daemon(recorder: &mut Recorder, smoke: bool) {
     let config = ServerConfig::default().workers(4).queue_capacity(256);
     let server =
@@ -505,6 +557,55 @@ fn record_daemon(recorder: &mut Recorder, smoke: bool) {
     let batch = if smoke { 8 } else { 64 };
     recorder.measure(&format!("daemon.pipelined.{batch}"), || {
         daemon_pipelined(&mut client, batch);
+    });
+    // the same eight jobs as blocking round trips and as one `batch`
+    // line: the delta is the protocol overhead the batch op removes
+    recorder.measure("daemon.serial.8", || {
+        for _ in 0..8 {
+            daemon_round_trip(&mut client);
+        }
+    });
+    let jobs: Vec<VerifyRequest> =
+        (0..8).map(|i| xor_job(format!("b-{i}"))).collect();
+    recorder.measure("daemon.batch.8", || daemon_batch(&mut client, &jobs));
+    drop(client);
+    server.shutdown();
+    server.join();
+
+    // cold miss vs cache hit on a caching server, over a proof heavy
+    // enough that the hit's constant-time lookup dominates: every cold
+    // submission prefixes a fresh comment line (identical verification
+    // work, different content bytes, so a guaranteed miss), while the
+    // hit series resubmits the warmed bytes verbatim — the untimed
+    // warm-up populates the cache, so every timed run is a hit. php7
+    // in full mode: its verification dwarfs the wire cost of shipping
+    // the proof, so the hit/cold ratio measures the cache, not the
+    // socket.
+    let holes = if smoke { 5 } else { 7 };
+    let formula = pigeonhole(holes);
+    let formula_text = satverify::cnf::to_dimacs_string(&formula);
+    let proof_text = to_proof_string(&prepared_proof(&formula));
+    let config = ServerConfig::default()
+        .workers(4)
+        .queue_capacity(256)
+        .cache_enabled(true);
+    let server =
+        Server::bind(&Endpoint::tcp("127.0.0.1:0"), config).expect("bind loopback");
+    let mut client = Client::connect(&server.local_endpoint()).expect("connect");
+    let submit = |client: &mut Client, formula: &str| {
+        let req = Request::verify_inline(formula, &proof_text);
+        match client.request(&req).expect("round trip") {
+            Response::Result(r) => assert_eq!(r.outcome, "verified"),
+            other => panic!("unexpected response: {other:?}"),
+        }
+    };
+    let mut cold = 0u64;
+    recorder.measure(&format!("daemon.verify.cold.php{holes}"), || {
+        cold += 1;
+        submit(&mut client, &format!("c cold {cold}\n{formula_text}"));
+    });
+    recorder.measure(&format!("daemon.verify.cache_hit.php{holes}"), || {
+        submit(&mut client, &formula_text);
     });
     drop(client);
     server.shutdown();

@@ -24,8 +24,9 @@ use proofver::{
     StreamCheckpoint, StreamConfig, StreamError, StreamOutcome, MAGIC,
 };
 use satverifyd::{
-    BudgetSpec, Client, Endpoint, ErrorCode as WireError, Request as WireRequest,
-    Response as WireResponse, RetryPolicy, Server, ServerConfig, VerifyRequest,
+    BudgetSpec, Client, Endpoint, ErrorCode as WireError, IoModel,
+    Request as WireRequest, Response as WireResponse, RetryPolicy, Router,
+    RouterConfig, Server, ServerConfig, VerifyRequest, DEFAULT_CACHE_BYTES,
 };
 use satverify::{
     minimal_core_of_verified, minimize_core, solve_and_verify,
@@ -94,6 +95,7 @@ USAGE:
         --metrics      print the metrics registry to stderr
 
     satverify serve [--listen <ep>] [--workers <n>] [--queue-capacity <n>]
+                    [--cache-mb <n>] [--no-cache] [--io <reactor|threads>]
                     [budget flags] [--drain-on-stdin-close]
                     [--event-log <path>]
         run the verification daemon: accept jobs over tcp:HOST:PORT or
@@ -101,14 +103,28 @@ USAGE:
         printed), check them on a bounded worker pool, and drain
         gracefully on a `shutdown` request. Budget flags set the
         per-job default; requests may tighten or override it.
+        Identical inline submissions are served from a content-addressed
+        verdict cache (--cache-mb sets the byte budget, default 64;
+        --no-cache verifies every submission); --io selects the
+        connection I/O model (default reactor on unix: one poller thread
+        for any number of connections).
         --event-log appends one JSON line per job-lifecycle event
         (received, admitted, rejected, started, terminal — schema in
         docs/OBSERVABILITY.md).
+
+    satverify route [--listen <ep>] --backend <ep> [--backend <ep>]...
+                    [--health-interval-ms <n>] [--event-log <path>]
+        run the sharding front tier: speak the same protocol as `serve`,
+        hash each job's formula to a home backend, skip unhealthy
+        backends, and re-route jobs bounced by a draining backend so no
+        submission loses its disposition. `stats` against the router
+        reports per-backend forwarding counters; `shutdown` drains it.
 
     satverify client <endpoint> ping|stats|metrics|shutdown
     satverify client <endpoint> check <cnf> <proof> [--all] [--by-path]
                      [--proof-format <native|drat>] [--stream]
                      [--no-retry] [budget flags]
+    satverify client <endpoint> batch <jobs.jsonl> [--no-retry]
         talk to a running daemon. `stats` prints counters and µs
         latency percentiles (queue wait, verify, end-to-end); `metrics`
         dumps the daemon's registry in Prometheus text exposition.
@@ -116,11 +132,15 @@ USAGE:
         --by-path passes server-local paths) and prints the same report
         as the local `check`; --stream (with --proof-format drat and
         --by-path) runs the daemon's windowed bounded-memory checker,
-        with --max-memory-mb as the residency cap. Transient connect
-        failures are retried with capped exponential backoff and jitter
-        (--no-retry tries once); exit codes are the `check` contract
-        plus 5 = daemon unavailable (unreachable, overloaded, or
-        draining).
+        with --max-memory-mb as the residency cap. `batch` submits one
+        verify job per JSONL line in a single pipelined round trip and
+        prints one result line per job in submission order (jobs
+        without an `id` get `job-<line>`); its exit code is the worst
+        job's. Transient connect failures are retried with capped
+        exponential backoff and jitter (--no-retry tries once; retries
+        are per-connection, never per-job); exit codes are the `check`
+        contract plus 5 = daemon unavailable (unreachable, overloaded,
+        or draining).
 
     satverify drat <cnf> <proof>
         verify a proof that may contain RAT steps (DRAT semantics)
@@ -169,6 +189,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "solve" => cmd_solve(rest),
         "check" => cmd_check(rest),
         "serve" => cmd_serve(rest),
+        "route" => cmd_route(rest),
         "client" => cmd_client(rest),
         "drat" => cmd_drat(rest),
         "lrat" => cmd_lrat(rest),
@@ -1080,6 +1101,9 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
     let queue_capacity = take_u64_option(&mut args, "--queue-capacity")?;
     let drain_on_stdin = take_flag(&mut args, "--drain-on-stdin-close");
     let event_log = take_option(&mut args, "--event-log");
+    let cache_mb = take_u64_option(&mut args, "--cache-mb")?;
+    let no_cache = take_flag(&mut args, "--no-cache");
+    let io = take_option(&mut args, "--io");
     let budget = take_budget(&mut args)?;
     if !args.is_empty() {
         return Err(format!("unexpected arguments {args:?}; see `satverify help`"));
@@ -1091,6 +1115,27 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
     }
     if let Some(n) = queue_capacity {
         config = config.queue_capacity(usize::try_from(n).unwrap_or(usize::MAX));
+    }
+    if no_cache {
+        if cache_mb.is_some() {
+            return Err("--no-cache conflicts with --cache-mb".into());
+        }
+        config = config.cache_enabled(false);
+    } else {
+        // the daemon caches by default; the library default is off so
+        // embedded servers opt in explicitly
+        let bytes = cache_mb
+            .map(|mb| mb.saturating_mul(1024 * 1024))
+            .unwrap_or(DEFAULT_CACHE_BYTES);
+        config = config.cache_bytes(bytes);
+    }
+    match io.as_deref() {
+        None => {}
+        Some("reactor") => config = config.io(IoModel::Reactor),
+        Some("threads") => config = config.io(IoModel::Threads),
+        Some(other) => {
+            return Err(format!("bad --io {other:?} (reactor|threads)"))
+        }
     }
     if let Some(path) = &event_log {
         let log = obs::EventLog::create(Path::new(path))
@@ -1132,6 +1177,55 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// `satverify route`: the sharding front tier. Same protocol as
+/// `serve`, but jobs are forwarded to a static backend pool by formula
+/// fingerprint instead of verified locally.
+fn cmd_route(args: &[String]) -> Result<ExitCode, String> {
+    let mut args = args.to_vec();
+    let listen =
+        take_option(&mut args, "--listen").unwrap_or_else(|| "tcp:127.0.0.1:0".into());
+    let mut backends = Vec::new();
+    while let Some(backend) = take_option(&mut args, "--backend") {
+        backends.push(Endpoint::parse(&backend)?);
+    }
+    let health_interval_ms = take_u64_option(&mut args, "--health-interval-ms")?;
+    let event_log = take_option(&mut args, "--event-log");
+    if !args.is_empty() {
+        return Err(format!("unexpected arguments {args:?}; see `satverify help`"));
+    }
+    if backends.is_empty() {
+        return Err("route needs at least one --backend <ep>".into());
+    }
+    let endpoint = Endpoint::parse(&listen)?;
+    let mut config = RouterConfig::new(backends.clone());
+    if let Some(ms) = health_interval_ms {
+        config = config.health_interval(Duration::from_millis(ms));
+    }
+    if let Some(path) = &event_log {
+        let log = obs::EventLog::create(Path::new(path))
+            .map_err(|e| format!("cannot create event log {path}: {e}"))?;
+        config = config.event_log(std::sync::Arc::new(log));
+    }
+    let handle = Router::bind(&endpoint, config)
+        .map_err(|e| format!("cannot bind {endpoint}: {e}"))?;
+    // same EPIPE discipline as `serve`: the banner's reader may hang up
+    use std::io::Write as _;
+    let mut stdout = std::io::stdout();
+    let _ = writeln!(stdout, "c satverify-route listening on {}", handle.local_endpoint());
+    for (i, backend) in backends.iter().enumerate() {
+        let _ = writeln!(stdout, "c   backend {i}: {backend}");
+    }
+    let _ = writeln!(
+        stdout,
+        "c drain with: satverify client {} shutdown",
+        handle.local_endpoint()
+    );
+    let _ = stdout.flush();
+    handle.join();
+    let _ = writeln!(std::io::stdout(), "c drained cleanly");
+    Ok(ExitCode::SUCCESS)
+}
+
 /// Builds the wire [`BudgetSpec`] from the same budget flags `check`
 /// takes locally.
 fn take_budget_spec(args: &mut Vec<String>) -> Result<BudgetSpec, String> {
@@ -1153,6 +1247,9 @@ fn cmd_client(args: &[String]) -> Result<ExitCode, String> {
             "       satverify client <endpoint> check <cnf> <proof> \
              [--all] [--by-path] [--proof-format <native|drat>] [--stream] \
              [--no-retry] [budget flags]"
+        );
+        eprintln!(
+            "       satverify client <endpoint> batch <jobs.jsonl> [--no-retry]"
         );
         Ok(ExitCode::from(EXIT_USAGE))
     };
@@ -1283,7 +1380,150 @@ fn cmd_client(args: &[String]) -> Result<ExitCode, String> {
                 roundtrip(&mut client, &WireRequest::Verify(request))?;
             report_remote_check(&response)
         }
+        "batch" => {
+            let [path] = args.as_slice() else {
+                return usage("client batch needs <jobs.jsonl>");
+            };
+            let jobs = match load_batch(path) {
+                Ok(jobs) => jobs,
+                Err(msg) => return usage(&msg),
+            };
+            if jobs.is_empty() {
+                return usage(&format!("{path}: no jobs"));
+            }
+            run_batch(&mut client, &endpoint, jobs)
+        }
         other => usage(&format!("unknown client action {other:?}")),
+    }
+}
+
+/// Parses a JSONL batch file: one verify job per non-empty line. Jobs
+/// without an `id` get `job-<line>` so every response can be matched
+/// back to its submission.
+fn load_batch(path: &str) -> Result<Vec<VerifyRequest>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut jobs = Vec::new();
+    for (index, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut job = VerifyRequest::from_json_line(line)
+            .map_err(|e| format!("{path}:{}: {e}", index + 1))?;
+        if job.id.is_none() {
+            job.id = Some(format!("job-{}", index + 1));
+        }
+        jobs.push(job);
+    }
+    Ok(jobs)
+}
+
+/// Submits the whole batch in one pipelined round trip, collects the
+/// per-job responses (which arrive in completion order), and prints one
+/// line per job in submission order. The exit code is the worst job's,
+/// by operational severity: unavailable > malformed > rejected >
+/// exhausted > verified.
+fn run_batch(
+    client: &mut Client,
+    endpoint: &Endpoint,
+    jobs: Vec<VerifyRequest>,
+) -> Result<ExitCode, String> {
+    use std::collections::HashMap;
+    let ids: Vec<String> =
+        jobs.iter().map(|j| j.id.clone().expect("assigned above")).collect();
+    client
+        .send(&WireRequest::Batch(jobs))
+        .map_err(|e| format!("{endpoint}: {e}"))?;
+    // every submission gets exactly one terminal disposition; duplicate
+    // ids are legal (and interesting — they exercise the verdict
+    // cache), so bucket responses per id and drain in submission order
+    let mut by_id: HashMap<String, Vec<WireResponse>> = HashMap::new();
+    for _ in 0..ids.len() {
+        let response = client.recv().map_err(|e| format!("{endpoint}: {e}"))?;
+        let id = match &response {
+            WireResponse::Result(r) => r.id.clone(),
+            WireResponse::Error { id, .. } => id.clone(),
+            other => return Err(format!("unexpected response {other:?}")),
+        };
+        let Some(id) = id else {
+            return Err(format!("response without an id: {response:?}"));
+        };
+        by_id.entry(id).or_default().push(response);
+    }
+    let mut worst = ExitCode::SUCCESS;
+    let mut worst_rank = 0;
+    for id in &ids {
+        let response = by_id
+            .get_mut(id)
+            .and_then(|bucket| (!bucket.is_empty()).then(|| bucket.remove(0)))
+            .ok_or_else(|| format!("no response for job {id:?}"))?;
+        let (line, code, rank) = batch_line(&response);
+        println!("{id}: {line}");
+        if rank > worst_rank {
+            worst_rank = rank;
+            worst = code;
+        }
+    }
+    Ok(worst)
+}
+
+/// One result line for `client batch`, plus the job's exit code and its
+/// severity rank for worst-of aggregation.
+fn batch_line(response: &WireResponse) -> (String, ExitCode, u8) {
+    match response {
+        WireResponse::Result(r) => match r.outcome.as_str() {
+            "verified" => {
+                let checked = r.steps_checked.unwrap_or(0);
+                (
+                    format!("s VERIFIED ({checked} clauses checked)"),
+                    ExitCode::from(EXIT_VERIFIED),
+                    0,
+                )
+            }
+            "rejected" => {
+                let detail = r.detail.as_deref().unwrap_or("proof rejected");
+                (
+                    format!("s NOT VERIFIED ({detail})"),
+                    ExitCode::from(EXIT_REJECTED),
+                    2,
+                )
+            }
+            "exhausted" => {
+                let reason = r.exhaust_reason.as_deref().unwrap_or("budget");
+                (
+                    format!("s UNKNOWN (budget exhausted: {reason})"),
+                    ExitCode::from(EXIT_EXHAUSTED),
+                    1,
+                )
+            }
+            other => (
+                format!("unknown outcome {other:?}"),
+                ExitCode::from(EXIT_MALFORMED),
+                3,
+            ),
+        },
+        WireResponse::Error { code, message, .. } => match code {
+            WireError::Overloaded | WireError::Draining => (
+                format!("error: {message}"),
+                ExitCode::from(EXIT_UNAVAILABLE),
+                4,
+            ),
+            WireError::InvalidInput => (
+                format!("error: {message}"),
+                ExitCode::from(EXIT_MALFORMED),
+                3,
+            ),
+            WireError::BadRequest | WireError::Internal => (
+                format!("error: {message}"),
+                ExitCode::from(EXIT_MALFORMED),
+                3,
+            ),
+        },
+        other => (
+            format!("unexpected response {other:?}"),
+            ExitCode::from(EXIT_MALFORMED),
+            3,
+        ),
     }
 }
 

@@ -27,7 +27,22 @@
 //!   in Prometheus text exposition (schema in `docs/OBSERVABILITY.md`);
 //! * **graceful drain**: a `shutdown` request (or
 //!   [`ServerHandle::shutdown`]) stops admissions, finishes queued and
-//!   in-flight jobs, and exits cleanly.
+//!   in-flight jobs, and exits cleanly;
+//! * a **content-addressed verdict cache** ([`cache`]) — a byte-budget
+//!   LRU keyed on the full job content, with single-flight coalescing
+//!   of identical in-flight jobs: a hit is byte-identical to a fresh
+//!   verdict, still counts exactly one disposition, and lands in its
+//!   own `cache_hit` latency series;
+//! * an additive **`batch` op** submitting many jobs in one line with
+//!   all-or-nothing validation and per-job completion-order responses;
+//! * **readiness-driven I/O** (`server::reactor`, default on unix):
+//!   one thread `poll(2)`s every connection, so idle clients cost
+//!   buffers instead of parked threads — thread-per-connection remains
+//!   selectable via [`IoModel`];
+//! * a **sharding front tier** ([`router`], CLI `satverify route`)
+//!   hashing jobs by formula content to a static backend pool, with
+//!   health probing and drain/EOF failover so no submission loses its
+//!   disposition.
 //!
 //! The verdict taxonomy is exactly the CLI's: `verified`, `rejected`,
 //! or `exhausted` — a job that ran out of budget is *never* reported as
@@ -53,14 +68,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod client;
 pub mod job;
 pub mod net;
 pub mod protocol;
 pub mod queue;
+pub mod router;
 pub mod server;
 pub mod stats;
 
+pub use cache::{CacheConfig, CacheKey, VerdictCache, DEFAULT_CACHE_BYTES};
 pub use client::{Client, RetryPolicy};
 pub use net::Endpoint;
 pub use protocol::{
@@ -68,5 +86,8 @@ pub use protocol::{
     StatsReply, VerifyRequest, PROTOCOL_VERSION,
 };
 pub use queue::{JobQueue, PushError};
-pub use server::{DrainTrigger, FaultFactory, Server, ServerConfig, ServerHandle};
+pub use router::{Router, RouterConfig, RouterHandle};
+pub use server::{
+    DrainTrigger, FaultFactory, IoModel, Server, ServerConfig, ServerHandle,
+};
 pub use stats::{ServerStats, StatsSnapshot};

@@ -8,8 +8,11 @@ use std::fmt;
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
 #[cfg(unix)]
+use std::os::fd::AsRawFd;
+#[cfg(unix)]
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
+use std::time::Duration;
 
 /// A server or client address: TCP socket address or Unix socket path.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -122,6 +125,25 @@ impl Listener {
             Listener::Unix(l) => Ok(Stream::Unix(l.accept()?.0)),
         }
     }
+
+    /// Switches the listener between blocking and readiness-driven
+    /// accepts (the reactor polls it alongside the connections).
+    pub(crate) fn set_nonblocking(&self, nonblocking: bool) -> io::Result<()> {
+        match self {
+            Listener::Tcp(l) => l.set_nonblocking(nonblocking),
+            #[cfg(unix)]
+            Listener::Unix(l) => l.set_nonblocking(nonblocking),
+        }
+    }
+
+    /// The raw fd, for `poll(2)` registration.
+    #[cfg(unix)]
+    pub(crate) fn raw_fd(&self) -> i32 {
+        match self {
+            Listener::Tcp(l) => l.as_raw_fd(),
+            Listener::Unix(l) => l.as_raw_fd(),
+        }
+    }
 }
 
 /// A connected stream for either transport.
@@ -187,6 +209,54 @@ impl Stream {
             Stream::Unix(s) => {
                 let _ = s.shutdown(Shutdown::Write);
             }
+        }
+    }
+
+    /// Switches the connection between blocking and non-blocking I/O.
+    /// The flag lives on the file description, so it is shared with
+    /// every [`Stream::try_clone`] of this connection.
+    pub(crate) fn set_nonblocking(&self, nonblocking: bool) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_nonblocking(nonblocking),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.set_nonblocking(nonblocking),
+        }
+    }
+
+    /// Caps how long a blocking `read` may wait (`None` = forever).
+    /// The router's health prober uses this so a wedged backend cannot
+    /// hang the probe loop.
+    pub(crate) fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_read_timeout(timeout),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.set_read_timeout(timeout),
+        }
+    }
+
+    /// The raw fd, for `poll(2)` registration.
+    #[cfg(unix)]
+    pub(crate) fn raw_fd(&self) -> i32 {
+        match self {
+            Stream::Tcp(s) => s.as_raw_fd(),
+            Stream::Unix(s) => s.as_raw_fd(),
+        }
+    }
+
+    /// Blocks until the connection is writable or `timeout` elapses.
+    /// Returns whether it became writable. Used by the reactor's write
+    /// path when a non-blocking send fills the socket buffer.
+    pub(crate) fn wait_writable(&self, timeout: Duration) -> io::Result<bool> {
+        #[cfg(unix)]
+        {
+            let ms = i32::try_from(timeout.as_millis()).unwrap_or(i32::MAX);
+            minipoll::wait_writable(self.raw_fd(), ms)
+        }
+        #[cfg(not(unix))]
+        {
+            // non-unix streams stay blocking, so writes never need this
+            let _ = timeout;
+            Ok(true)
         }
     }
 }

@@ -201,6 +201,106 @@ impl VerifyRequest {
             }
         }
     }
+
+    /// Parses and validates one verify body — a full `verify` request
+    /// document or one entry of a `batch` request's `jobs` array (an
+    /// `"op"` field, if present, is ignored).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message for missing/conflicting inputs or
+    /// unknown mode/format values.
+    pub fn from_json(doc: &Json) -> Result<VerifyRequest, String> {
+        let text =
+            |key: &str| doc.get(key).and_then(Json::as_str).map(str::to_string);
+        let request = VerifyRequest {
+            id: text("id"),
+            formula: text("formula"),
+            formula_path: text("formula_path"),
+            proof: text("proof"),
+            proof_path: text("proof_path"),
+            mode: text("mode"),
+            proof_format: text("proof_format"),
+            stream: matches!(doc.get("stream"), Some(Json::Bool(true))),
+            budget: match doc.get("budget") {
+                Some(spec) => BudgetSpec::from_json(spec)?,
+                None => BudgetSpec::default(),
+            },
+        };
+        if request.formula.is_none() && request.formula_path.is_none() {
+            return Err("verify needs `formula` or `formula_path`".into());
+        }
+        if request.formula.is_some() && request.formula_path.is_some() {
+            return Err("give `formula` or `formula_path`, not both".into());
+        }
+        if request.proof.is_none() && request.proof_path.is_none() {
+            return Err("verify needs `proof` or `proof_path`".into());
+        }
+        if request.proof.is_some() && request.proof_path.is_some() {
+            return Err("give `proof` or `proof_path`, not both".into());
+        }
+        request.check_mode()?;
+        request.is_drat()?;
+        if request.is_drat() == Ok(true) && request.mode.is_some() {
+            return Err("drat jobs are checked backward; drop `mode`".into());
+        }
+        Ok(request)
+    }
+
+    /// Parses one JSONL line as a verify body (see
+    /// [`VerifyRequest::from_json`]) — the format `satverify client
+    /// batch <file>` reads.
+    ///
+    /// # Errors
+    ///
+    /// A message for invalid JSON or an invalid body.
+    pub fn from_json_line(line: &str) -> Result<VerifyRequest, String> {
+        let doc =
+            obs::json::parse(line).map_err(|e| format!("not valid JSON: {e}"))?;
+        if let Some(op) = doc.get("op").and_then(Json::as_str) {
+            if op != "verify" {
+                return Err(format!("job line has op {op:?}, expected a verify body"));
+            }
+        }
+        VerifyRequest::from_json(&doc)
+    }
+}
+
+/// Serialises one verify body, optionally with the `"op":"verify"`
+/// discriminator (full requests carry it; `batch` jobs do not).
+fn verify_to_json(v: &VerifyRequest, with_op: bool) -> Json {
+    let mut obj = Json::object();
+    if with_op {
+        obj.push("op", "verify");
+    }
+    if let Some(id) = &v.id {
+        obj.push("id", id.as_str());
+    }
+    if let Some(text) = &v.formula {
+        obj.push("formula", text.as_str());
+    }
+    if let Some(path) = &v.formula_path {
+        obj.push("formula_path", path.as_str());
+    }
+    if let Some(text) = &v.proof {
+        obj.push("proof", text.as_str());
+    }
+    if let Some(path) = &v.proof_path {
+        obj.push("proof_path", path.as_str());
+    }
+    if let Some(mode) = &v.mode {
+        obj.push("mode", mode.as_str());
+    }
+    if let Some(format) = &v.proof_format {
+        obj.push("proof_format", format.as_str());
+    }
+    if v.stream {
+        obj.push("stream", true);
+    }
+    if !v.budget.is_empty() {
+        obj.push("budget", v.budget.to_json());
+    }
+    obj
 }
 
 /// A client-to-server message.
@@ -212,6 +312,12 @@ impl VerifyRequest {
 pub enum Request {
     /// Submit a verification job.
     Verify(VerifyRequest),
+    /// Submit several verification jobs in one line. Each job is
+    /// admitted independently (same admission control and fair queue as
+    /// `verify`) and answered by its own response, streamed back in
+    /// completion order. Additive op: old servers answer `bad-request`,
+    /// which a client can detect and fall back to pipelined `verify`.
+    Batch(Vec<VerifyRequest>),
     /// Ask for server statistics.
     Stats,
     /// Ask for the metrics registry in Prometheus text exposition.
@@ -244,36 +350,16 @@ impl Request {
     #[must_use]
     pub fn to_json(&self) -> Json {
         match self {
-            Request::Verify(v) => {
+            Request::Verify(v) => verify_to_json(v, true),
+            Request::Batch(jobs) => {
                 let mut obj = Json::object();
-                obj.push("op", "verify");
-                if let Some(id) = &v.id {
-                    obj.push("id", id.as_str());
-                }
-                if let Some(text) = &v.formula {
-                    obj.push("formula", text.as_str());
-                }
-                if let Some(path) = &v.formula_path {
-                    obj.push("formula_path", path.as_str());
-                }
-                if let Some(text) = &v.proof {
-                    obj.push("proof", text.as_str());
-                }
-                if let Some(path) = &v.proof_path {
-                    obj.push("proof_path", path.as_str());
-                }
-                if let Some(mode) = &v.mode {
-                    obj.push("mode", mode.as_str());
-                }
-                if let Some(format) = &v.proof_format {
-                    obj.push("proof_format", format.as_str());
-                }
-                if v.stream {
-                    obj.push("stream", true);
-                }
-                if !v.budget.is_empty() {
-                    obj.push("budget", v.budget.to_json());
-                }
+                obj.push("op", "batch");
+                obj.push(
+                    "jobs",
+                    Json::Array(
+                        jobs.iter().map(|v| verify_to_json(v, false)).collect(),
+                    ),
+                );
                 obj
             }
             Request::Stats => Json::object_from([("op", Json::from("stats"))]),
@@ -298,44 +384,26 @@ impl Request {
             .and_then(Json::as_str)
             .ok_or("missing string field `op`")?;
         match op {
-            "verify" => {
-                let text = |key: &str| {
-                    doc.get(key).and_then(Json::as_str).map(str::to_string)
-                };
-                let request = VerifyRequest {
-                    id: text("id"),
-                    formula: text("formula"),
-                    formula_path: text("formula_path"),
-                    proof: text("proof"),
-                    proof_path: text("proof_path"),
-                    mode: text("mode"),
-                    proof_format: text("proof_format"),
-                    stream: matches!(doc.get("stream"), Some(Json::Bool(true))),
-                    budget: match doc.get("budget") {
-                        Some(spec) => BudgetSpec::from_json(spec)?,
-                        None => BudgetSpec::default(),
-                    },
-                };
-                if request.formula.is_none() && request.formula_path.is_none() {
-                    return Err("verify needs `formula` or `formula_path`".into());
+            "verify" => Ok(Request::Verify(VerifyRequest::from_json(&doc)?)),
+            "batch" => {
+                let jobs = doc
+                    .get("jobs")
+                    .and_then(Json::as_array)
+                    .ok_or("batch needs a `jobs` array")?;
+                if jobs.is_empty() {
+                    return Err("batch needs a non-empty `jobs` array".into());
                 }
-                if request.formula.is_some() && request.formula_path.is_some() {
-                    return Err("give `formula` or `formula_path`, not both".into());
-                }
-                if request.proof.is_none() && request.proof_path.is_none() {
-                    return Err("verify needs `proof` or `proof_path`".into());
-                }
-                if request.proof.is_some() && request.proof_path.is_some() {
-                    return Err("give `proof` or `proof_path`, not both".into());
-                }
-                request.check_mode()?;
-                request.is_drat()?;
-                if request.is_drat() == Ok(true) && request.mode.is_some() {
-                    return Err(
-                        "drat jobs are checked backward; drop `mode`".into()
-                    );
-                }
-                Ok(Request::Verify(request))
+                // strict whole-line validation: one malformed job fails
+                // the entire batch before anything is admitted, so a
+                // batch never half-runs
+                jobs.iter()
+                    .enumerate()
+                    .map(|(i, job)| {
+                        VerifyRequest::from_json(job)
+                            .map_err(|e| format!("batch job {i}: {e}"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()
+                    .map(Request::Batch)
             }
             "stats" => Ok(Request::Stats),
             "metrics" => Ok(Request::Metrics),
@@ -446,9 +514,14 @@ pub struct StatsReply {
     pub in_flight: u64,
     /// `(upper_bound_ms, count)` buckets of the job latency histogram.
     pub latency_buckets: Vec<(u64, u64)>,
-    /// Named µs latency summaries: `queue_wait`, `verify`, `e2e`.
-    /// Absent entries (an older server) parse as an empty vec.
+    /// Named µs latency summaries: `queue_wait`, `verify`, `e2e`,
+    /// `cache_hit`. Absent entries (an older server) parse as an empty
+    /// vec.
     pub latency_us: Vec<(String, LatencySummary)>,
+    /// Whether the server has begun draining. Additive field: absent
+    /// (an older server) parses as `false`. The router's health checker
+    /// reads this to stop routing new jobs at a draining backend.
+    pub draining: bool,
 }
 
 impl StatsReply {
@@ -575,6 +648,7 @@ impl Response {
                     latency_us.push(name.as_str(), summary.to_json());
                 }
                 obj.push("latency_us", latency_us);
+                obj.push("draining", Json::Bool(s.draining));
                 obj
             }
             Response::Metrics { text } => Json::object_from([
@@ -675,6 +749,7 @@ impl Response {
                     in_flight: get_u64(&doc, "in_flight").unwrap_or(0),
                     latency_buckets,
                     latency_us,
+                    draining: matches!(doc.get("draining"), Some(Json::Bool(true))),
                 }))
             }
             "metrics" => Ok(Response::Metrics {
@@ -809,8 +884,66 @@ mod tests {
                 ),
                 ("e2e".into(), LatencySummary { count: 7, ..LatencySummary::default() }),
             ],
+            draining: true,
         });
         assert_eq!(Response::parse(&stats.to_line()), Ok(stats));
+        // absent draining flag (older server) parses as false
+        let old = r#"{"op":"stats","counters":{},"queue_depth":0,"in_flight":0,"latency_ms":[]}"#;
+        let Ok(Response::Stats(reply)) = Response::parse(old) else {
+            panic!("old-server stats must parse");
+        };
+        assert!(!reply.draining);
+    }
+
+    #[test]
+    fn batch_request_roundtrips() {
+        let batch = Request::Batch(vec![
+            VerifyRequest {
+                id: Some("a".into()),
+                formula: Some("p cnf 1 1\n1 0\n".into()),
+                proof: Some("0\n".into()),
+                ..VerifyRequest::default()
+            },
+            VerifyRequest {
+                id: Some("b".into()),
+                formula: Some("p cnf 1 1\n-1 0\n".into()),
+                proof: Some("0\n".into()),
+                budget: BudgetSpec {
+                    max_propagations: Some(9),
+                    ..BudgetSpec::default()
+                },
+                ..VerifyRequest::default()
+            },
+        ]);
+        let line = batch.to_line();
+        assert!(!line.contains('\n'), "one line per message");
+        assert_eq!(Request::parse(&line), Ok(batch));
+    }
+
+    #[test]
+    fn batch_validation_is_whole_line_strict() {
+        // empty jobs array
+        assert!(Request::parse(r#"{"op":"batch","jobs":[]}"#).is_err());
+        // missing jobs entirely
+        assert!(Request::parse(r#"{"op":"batch"}"#).is_err());
+        // one malformed job (no proof) fails the whole batch, naming it
+        let half_bad = r#"{"op":"batch","jobs":[{"formula":"p cnf 0 0\n","proof":"0\n"},{"formula":"p cnf 0 0\n"}]}"#;
+        let err = Request::parse(half_bad).expect_err("half-bad batch rejected");
+        assert!(err.contains("batch job 1"), "error names the job: {err}");
+        // a job entry may redundantly carry op:"verify" (it is ignored)
+        assert!(Request::parse(
+            r#"{"op":"batch","jobs":[{"op":"verify","formula":"p cnf 0 0\n","proof":"0\n"}]}"#
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn verify_body_jsonl_line_parses() {
+        let body = r#"{"id":"j1","formula":"p cnf 0 0\n","proof":"0\n"}"#;
+        let parsed = VerifyRequest::from_json_line(body).expect("body parses");
+        assert_eq!(parsed.id.as_deref(), Some("j1"));
+        // a non-verify op in a job file is an error
+        assert!(VerifyRequest::from_json_line(r#"{"op":"stats"}"#).is_err());
     }
 
     #[test]

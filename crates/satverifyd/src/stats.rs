@@ -113,6 +113,18 @@ pub struct ServerStats {
     pub cancelled_queued: AtomicU64,
     /// Jobs that crashed inside a worker (the worker survived).
     pub internal_errors: AtomicU64,
+    /// Jobs served straight from the verdict cache (no verification
+    /// ran). Informational: a hit *also* counts its terminal
+    /// disposition (verified/rejected/exhausted), so the accounting
+    /// invariant is unchanged.
+    pub cache_hits: AtomicU64,
+    /// Jobs coalesced behind an identical in-flight leader
+    /// (single-flight). Informational, like `cache_hits`.
+    pub cache_coalesced: AtomicU64,
+    /// Cacheable jobs that had to run (first flight for their content).
+    pub cache_misses: AtomicU64,
+    /// Verdict-cache entries evicted by the LRU byte budget.
+    pub cache_evictions: AtomicU64,
     /// Jobs waiting in the queue right now.
     pub queue_depth: AtomicI64,
     /// Jobs being checked right now.
@@ -123,6 +135,10 @@ pub struct ServerStats {
     pub(crate) verify_us: LocalHistogram,
     /// Admission → terminal disposition, in µs.
     pub(crate) e2e_us: LocalHistogram,
+    /// Admission → cache-served response, in µs. Kept apart from
+    /// `verify_us` so cache hits never pollute the verification
+    /// latency distribution.
+    pub(crate) cache_hit_us: LocalHistogram,
 }
 
 /// Cached handles to the mirrored `obs` metrics (registry lookups take
@@ -137,6 +153,10 @@ struct ObsMirror {
     exhausted: obs::metrics::Counter,
     cancelled_queued: obs::metrics::Counter,
     internal_errors: obs::metrics::Counter,
+    cache_hits: obs::metrics::Counter,
+    cache_coalesced: obs::metrics::Counter,
+    cache_misses: obs::metrics::Counter,
+    cache_evictions: obs::metrics::Counter,
     queue_depth: obs::metrics::Gauge,
     in_flight: obs::metrics::Gauge,
     latency_ms: obs::metrics::Histogram,
@@ -144,6 +164,7 @@ struct ObsMirror {
     queue_wait_us: obs::metrics::Histogram,
     verify_us: obs::metrics::Histogram,
     e2e_us: obs::metrics::Histogram,
+    cache_hit_us: obs::metrics::Histogram,
 }
 
 fn mirror() -> &'static ObsMirror {
@@ -158,6 +179,10 @@ fn mirror() -> &'static ObsMirror {
         exhausted: obs::metrics::counter("satverifyd.jobs.exhausted"),
         cancelled_queued: obs::metrics::counter("satverifyd.jobs.cancelled_queued"),
         internal_errors: obs::metrics::counter("satverifyd.jobs.internal_errors"),
+        cache_hits: obs::metrics::counter("satverifyd.cache.hits"),
+        cache_coalesced: obs::metrics::counter("satverifyd.cache.coalesced"),
+        cache_misses: obs::metrics::counter("satverifyd.cache.misses"),
+        cache_evictions: obs::metrics::counter("satverifyd.cache.evictions"),
         queue_depth: obs::metrics::gauge("satverifyd.queue.depth"),
         in_flight: obs::metrics::gauge("satverifyd.jobs.in_flight"),
         latency_ms: obs::metrics::histogram("satverifyd.job.latency_ms"),
@@ -165,6 +190,7 @@ fn mirror() -> &'static ObsMirror {
         queue_wait_us: obs::metrics::histogram("satverifyd.job.queue_wait_us"),
         verify_us: obs::metrics::histogram("satverifyd.job.verify_us"),
         e2e_us: obs::metrics::histogram("satverifyd.job.e2e_us"),
+        cache_hit_us: obs::metrics::histogram("satverifyd.job.cache_hit_us"),
     })
 }
 
@@ -181,6 +207,10 @@ pub(crate) enum Event {
     Exhausted,
     CancelledQueued,
     InternalError,
+    CacheHit,
+    CacheCoalesced,
+    CacheMiss,
+    CacheEviction,
 }
 
 impl ServerStats {
@@ -206,6 +236,14 @@ impl ServerStats {
             }
             Event::InternalError => {
                 (&self.internal_errors, mirror().internal_errors)
+            }
+            Event::CacheHit => (&self.cache_hits, mirror().cache_hits),
+            Event::CacheCoalesced => {
+                (&self.cache_coalesced, mirror().cache_coalesced)
+            }
+            Event::CacheMiss => (&self.cache_misses, mirror().cache_misses),
+            Event::CacheEviction => {
+                (&self.cache_evictions, mirror().cache_evictions)
             }
         };
         own.fetch_add(1, Ordering::Relaxed);
@@ -245,6 +283,13 @@ impl ServerStats {
         mirror().latency_ms.record(us / 1000);
     }
 
+    /// Records admission → response time for a cache-served job. This
+    /// deliberately does **not** touch `verify_us`: no verification ran.
+    pub(crate) fn record_cache_hit_us(&self, us: u64) {
+        self.cache_hit_us.record(us);
+        mirror().cache_hit_us.record(us);
+    }
+
     /// A point-in-time copy of every counter.
     #[must_use]
     pub fn snapshot(&self) -> StatsSnapshot {
@@ -259,11 +304,16 @@ impl ServerStats {
             exhausted: get(&self.exhausted),
             cancelled_queued: get(&self.cancelled_queued),
             internal_errors: get(&self.internal_errors),
+            cache_hits: get(&self.cache_hits),
+            cache_coalesced: get(&self.cache_coalesced),
+            cache_misses: get(&self.cache_misses),
+            cache_evictions: get(&self.cache_evictions),
             queue_depth: self.queue_depth.load(Ordering::Relaxed).max(0) as u64,
             in_flight: self.in_flight.load(Ordering::Relaxed).max(0) as u64,
             queue_wait_us: self.queue_wait_us.snapshot(),
             verify_us: self.verify_us.snapshot(),
             e2e_us: self.e2e_us.snapshot(),
+            cache_hit_us: self.cache_hit_us.snapshot(),
         }
     }
 }
@@ -289,6 +339,15 @@ pub struct StatsSnapshot {
     pub cancelled_queued: u64,
     /// Worker crashes survived.
     pub internal_errors: u64,
+    /// Served straight from the verdict cache (informational — a hit
+    /// also counts its terminal disposition).
+    pub cache_hits: u64,
+    /// Coalesced behind an identical in-flight job (informational).
+    pub cache_coalesced: u64,
+    /// Cacheable jobs that ran as the first flight for their content.
+    pub cache_misses: u64,
+    /// Verdict-cache LRU evictions.
+    pub cache_evictions: u64,
     /// Currently queued.
     pub queue_depth: u64,
     /// Currently checking.
@@ -299,6 +358,9 @@ pub struct StatsSnapshot {
     pub verify_us: HistogramSnapshot,
     /// Admission → terminal disposition, in µs.
     pub e2e_us: HistogramSnapshot,
+    /// Admission → cache-served response, in µs (kept out of
+    /// `verify_us`).
+    pub cache_hit_us: HistogramSnapshot,
 }
 
 impl StatsSnapshot {
@@ -329,6 +391,10 @@ impl StatsSnapshot {
             ("exhausted", self.exhausted),
             ("cancelled_queued", self.cancelled_queued),
             ("internal_errors", self.internal_errors),
+            ("cache_hits", self.cache_hits),
+            ("cache_coalesced", self.cache_coalesced),
+            ("cache_misses", self.cache_misses),
+            ("cache_evictions", self.cache_evictions),
         ]
         .into_iter()
         .map(|(n, v)| (n.to_string(), v))
@@ -381,14 +447,31 @@ mod tests {
             Event::Exhausted,
             Event::CancelledQueued,
             Event::InternalError,
+            Event::CacheHit,
+            Event::CacheCoalesced,
+            Event::CacheMiss,
+            Event::CacheEviction,
         ] {
             stats.record(event);
         }
         let snap = stats.snapshot();
         let names = snap.named_counters();
-        assert_eq!(names.len(), 9);
+        assert_eq!(names.len(), 13);
         assert!(names.iter().all(|&(_, v)| v == 1));
-        assert_eq!(snap.accounted(), 8, "submitted is not a disposition");
+        assert_eq!(
+            snap.accounted(),
+            8,
+            "submitted and the informational cache counters are not dispositions"
+        );
+    }
+
+    #[test]
+    fn cache_hit_latency_is_not_verify_latency() {
+        let stats = ServerStats::new();
+        stats.record_cache_hit_us(40);
+        let snap = stats.snapshot();
+        assert_eq!(snap.cache_hit_us.count, 1);
+        assert_eq!(snap.verify_us.count, 0, "hits never touch verify_us");
     }
 
     #[test]

@@ -1,0 +1,219 @@
+//! Front-tier tests: the router shards jobs across real in-process
+//! backends, duplicate submissions coalesce at the backend, a draining
+//! backend's bounced jobs fail over with zero lost dispositions, and an
+//! exhausted pool answers with an error rather than silence.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use proofver::{FaultPlan, Gate};
+use satverifyd::router::shard_index;
+use satverifyd::{
+    Client, Endpoint, ErrorCode, Request, Response, Router, RouterConfig,
+    Server, ServerConfig, ServerHandle, VerifyRequest,
+};
+
+const XOR_SQUARE: &str = "p cnf 2 4\n1 2 0\n-1 -2 0\n1 -2 0\n-1 2 0\n";
+const XOR_PROOF: &str = "2 0\n-2 0\n0\n";
+
+/// The XOR formula with a distinguishing comment line: same verdict,
+/// different content bytes, so variants spread across shards.
+fn formula_variant(n: usize) -> String {
+    format!("c variant {n}\n{XOR_SQUARE}")
+}
+
+fn job_for(formula: &str, id: &str) -> VerifyRequest {
+    VerifyRequest {
+        id: Some(id.to_string()),
+        formula: Some(formula.to_string()),
+        proof: Some(XOR_PROOF.to_string()),
+        ..VerifyRequest::default()
+    }
+}
+
+/// The first formula variant at or after `start` that hashes to
+/// `shard` of `shards`.
+fn variant_on_shard(start: usize, shard: usize, shards: usize) -> String {
+    (start..start + 10_000)
+        .map(formula_variant)
+        .find(|f| shard_index(&job_for(f, "probe"), shards) == shard)
+        .expect("a variant lands on every shard within 10k tries")
+}
+
+fn backend(gate: Option<Gate>) -> ServerHandle {
+    let mut config = ServerConfig::default().workers(1).cache_enabled(true);
+    if let Some(gate) = gate {
+        config = config.fault_factory(Arc::new(move |_seq| {
+            FaultPlan::none().hold_before_run(gate.clone())
+        }));
+    }
+    Server::bind(&Endpoint::tcp("127.0.0.1:0"), config).expect("bind backend")
+}
+
+fn counters(handle: &satverifyd::RouterHandle) -> HashMap<String, u64> {
+    handle.counters().into_iter().collect()
+}
+
+/// A mixed batch with duplicates through the router: every job gets
+/// exactly one disposition, duplicates are verified once (coalesced or
+/// cache-served at their home backend), and the per-backend forwarding
+/// counters account for every submission.
+#[test]
+fn routed_batch_with_duplicates_verifies_once_per_distinct_job() {
+    let b0 = backend(None);
+    let b1 = backend(None);
+    let router = Router::bind(
+        &Endpoint::tcp("127.0.0.1:0"),
+        RouterConfig::new(vec![b0.local_endpoint(), b1.local_endpoint()]),
+    )
+    .expect("bind router");
+
+    // 4 distinct formulas, each submitted twice
+    let mut jobs = Vec::new();
+    for n in 0..4 {
+        let formula = formula_variant(n);
+        jobs.push(job_for(&formula, &format!("v{n}-a")));
+        jobs.push(job_for(&formula, &format!("v{n}-b")));
+    }
+    let mut client = Client::connect(&router.local_endpoint()).expect("connect");
+    client.send(&Request::Batch(jobs)).expect("send");
+    let mut ids = Vec::new();
+    for _ in 0..8 {
+        match client.recv().expect("every job answers") {
+            Response::Result(r) => {
+                assert_eq!(r.outcome, "verified");
+                ids.push(r.id.expect("id echoed"));
+            }
+            other => panic!("expected a result, got {other:?}"),
+        }
+    }
+    ids.sort();
+    let mut expected: Vec<String> = (0..4)
+        .flat_map(|n| [format!("v{n}-a"), format!("v{n}-b")])
+        .collect();
+    expected.sort();
+    assert_eq!(ids, expected, "zero lost dispositions");
+
+    let counters = counters(&router);
+    assert_eq!(counters["submitted"], 8);
+    assert_eq!(
+        counters["forwarded_backend_0"] + counters["forwarded_backend_1"],
+        8,
+        "every submission was forwarded"
+    );
+    assert_eq!(counters["failovers"], 0);
+    assert_eq!(counters["unroutable"], 0);
+
+    // each duplicate pair ran at most one verification at its backend
+    let runs = b0.stats().verify_us.count + b1.stats().verify_us.count;
+    assert_eq!(runs, 4, "duplicates were coalesced or cache-served");
+    let saved = b0.stats().cache_hits
+        + b1.stats().cache_hits
+        + b0.stats().cache_coalesced
+        + b1.stats().cache_coalesced;
+    assert_eq!(saved, 4, "one saved verification per duplicate");
+
+    router.shutdown();
+    drop(client);
+    router.join();
+    for handle in [b0, b1] {
+        handle.shutdown();
+        handle.join();
+    }
+}
+
+/// Deterministic drain failover: backend 0 starts draining while a job
+/// is mid-flight there. The in-flight job finishes and is relayed; a
+/// new job bounced by the drain is re-routed to backend 1. Both clients
+/// get verdicts — zero lost dispositions, failovers counted.
+#[test]
+fn draining_backend_fails_over_without_losing_dispositions() {
+    let gate = Gate::new();
+    let b0 = backend(Some(gate.clone()));
+    let b1 = backend(None);
+    let config =
+        RouterConfig::new(vec![b0.local_endpoint(), b1.local_endpoint()])
+            // keep the prober out of the race: health flips only via the
+            // drain bounce below
+            .health_interval(Duration::from_secs(600));
+    let router =
+        Router::bind(&Endpoint::tcp("127.0.0.1:0"), config).expect("bind router");
+
+    let held_formula = variant_on_shard(0, 0, 2);
+    let bounced_formula = variant_on_shard(10_000, 0, 2);
+    assert_ne!(held_formula, bounced_formula);
+
+    let mut client = Client::connect(&router.local_endpoint()).expect("connect");
+    client
+        .send(&Request::Verify(job_for(&held_formula, "held")))
+        .expect("send");
+    gate.await_blocked(1); // the job is running on backend 0
+
+    b0.shutdown(); // backend 0 drains: finishes `held`, bounces new work
+    client
+        .send(&Request::Verify(job_for(&bounced_formula, "bounced")))
+        .expect("send");
+
+    // `bounced` completes on backend 1 while `held` is still gated
+    match client.recv().expect("failover answer") {
+        Response::Result(r) => {
+            assert_eq!(r.id.as_deref(), Some("bounced"));
+            assert_eq!(r.outcome, "verified", "re-routed and verified");
+        }
+        other => panic!("expected the failover result, got {other:?}"),
+    }
+    gate.open();
+    match client.recv().expect("held answer") {
+        Response::Result(r) => {
+            assert_eq!(r.id.as_deref(), Some("held"));
+            assert_eq!(r.outcome, "verified", "drain finished the backlog");
+        }
+        other => panic!("expected the held result, got {other:?}"),
+    }
+
+    let counters = counters(&router);
+    assert_eq!(counters["submitted"], 2);
+    assert!(counters["failovers"] >= 1, "the drain bounce was re-routed");
+    assert!(counters["forwarded_backend_1"] >= 1);
+    assert_eq!(counters["unroutable"], 0);
+    assert_eq!(router.backend_health(), [false, true], "bounce marked b0 down");
+
+    router.shutdown();
+    drop(client);
+    router.join();
+    b0.join(); // drained by the shutdown above
+    b1.shutdown();
+    b1.join();
+}
+
+/// When every backend is gone the router still owes each submission a
+/// disposition: it answers `overloaded` instead of dropping the job.
+#[test]
+fn exhausted_pool_answers_instead_of_dropping() {
+    let b0 = backend(None);
+    let config = RouterConfig::new(vec![b0.local_endpoint()])
+        .health_interval(Duration::from_secs(600));
+    let router =
+        Router::bind(&Endpoint::tcp("127.0.0.1:0"), config).expect("bind router");
+
+    b0.shutdown();
+    let mut client = Client::connect(&router.local_endpoint()).expect("connect");
+    client
+        .send(&Request::Verify(job_for(XOR_SQUARE, "doomed")))
+        .expect("send");
+    match client.recv().expect("an answer, not silence") {
+        Response::Error { code, id, .. } => {
+            assert_eq!(code, ErrorCode::Overloaded);
+            assert_eq!(id.as_deref(), Some("doomed"));
+        }
+        other => panic!("expected overloaded, got {other:?}"),
+    }
+    let counters = counters(&router);
+    assert_eq!(counters["unroutable"], 1);
+
+    router.shutdown();
+    drop(client);
+    router.join();
+    b0.join();
+}

@@ -1,0 +1,90 @@
+//! I/O-model tests: the readiness-driven reactor holds a thousand idle
+//! connections on a bounded thread count, and the thread-per-connection
+//! model remains selectable and fully functional.
+
+use satverifyd::{
+    Client, Endpoint, IoModel, Request, Response, Server, ServerConfig,
+    VerifyRequest,
+};
+
+const XOR_SQUARE: &str = "p cnf 2 4\n1 2 0\n-1 -2 0\n1 -2 0\n-1 2 0\n";
+const XOR_PROOF: &str = "2 0\n-2 0\n0\n";
+
+fn verify_job(id: &str) -> Request {
+    Request::Verify(VerifyRequest {
+        id: Some(id.to_string()),
+        formula: Some(XOR_SQUARE.to_string()),
+        proof: Some(XOR_PROOF.to_string()),
+        ..VerifyRequest::default()
+    })
+}
+
+/// The explicit thread-per-connection model still round-trips jobs and
+/// control requests.
+#[test]
+fn threaded_model_round_trips() {
+    let config = ServerConfig::default().workers(1).io(IoModel::Threads);
+    let handle = Server::bind(&Endpoint::tcp("127.0.0.1:0"), config).expect("bind");
+    let mut client = Client::connect(&handle.local_endpoint()).expect("connect");
+    assert!(matches!(client.request(&Request::Ping).expect("ping"), Response::Pong));
+    match client.request(&verify_job("t-0")).expect("verify") {
+        Response::Result(r) => assert_eq!(r.outcome, "verified"),
+        other => panic!("expected a result, got {other:?}"),
+    }
+    drop(client);
+    handle.shutdown();
+    handle.join();
+}
+
+/// Threads currently alive in this process, from `/proc/self/status`.
+#[cfg(target_os = "linux")]
+fn thread_count() -> u64 {
+    let status = std::fs::read_to_string("/proc/self/status").expect("status");
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+        .expect("Threads: line")
+}
+
+/// A thousand idle connections cost the reactor a poll set, not a
+/// thousand parked threads — and the server still answers through any
+/// of them afterwards.
+#[cfg(target_os = "linux")]
+#[test]
+fn reactor_holds_a_thousand_idle_connections_with_bounded_threads() {
+    minipoll::raise_nofile_limit(4096).expect("raise nofile limit");
+    let handle =
+        Server::bind(&Endpoint::tcp("127.0.0.1:0"), ServerConfig::default().workers(2))
+            .expect("bind");
+    let endpoint = handle.local_endpoint();
+
+    let mut idle = Vec::with_capacity(1000);
+    for i in 0..1000 {
+        match Client::connect(&endpoint) {
+            Ok(client) => idle.push(client),
+            Err(e) => panic!("connect {i}: {e}"),
+        }
+    }
+    // the accept backlog may still hold some: prove all 1000 are
+    // serviced by round-tripping through the last one accepted
+    let last = idle.last_mut().expect("clients");
+    assert!(matches!(last.request(&Request::Ping).expect("ping"), Response::Pong));
+
+    let threads = thread_count();
+    assert!(
+        threads < 64,
+        "idle connections must not cost threads: {threads} alive with \
+         1000 connections open"
+    );
+
+    // the server still verifies under the full poll set
+    match idle[0].request(&verify_job("soak-0")).expect("verify") {
+        Response::Result(r) => assert_eq!(r.outcome, "verified"),
+        other => panic!("expected a result, got {other:?}"),
+    }
+
+    drop(idle);
+    handle.shutdown();
+    handle.join();
+}

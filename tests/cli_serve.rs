@@ -135,7 +135,9 @@ fn event_log_metrics_and_percentiles_survive_the_real_binary() {
     let good = good.to_str().expect("utf8");
     let log = log_path.to_str().expect("utf8");
 
-    let (mut child, endpoint) = boot_with(&["--event-log", log]);
+    // --no-cache: this test traces the full fresh-run lifecycle for both
+    // submissions; the cache-hit lifecycle is covered in satverifyd's tests.
+    let (mut child, endpoint) = boot_with(&["--event-log", log, "--no-cache"]);
 
     for _ in 0..2 {
         let out = run(&["client", &endpoint, "check", cnf, good]);
